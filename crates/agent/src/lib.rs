@@ -1,0 +1,26 @@
+//! # antdt-agent — the AntDT Agent component
+//!
+//! One Agent process runs beside every worker/server (§V-F). It does two
+//! things:
+//!
+//! 1. **Report**: asynchronously pushes application state (BPT, batch size) to
+//!    the Monitor every `report_every_iters` iterations (paper default 10).
+//! 2. **Execute**: receives actions from the Controller. *Node actions*
+//!    (`KILL_RESTART`) fire independently. *Global actions* (`ADJUST_BS`,
+//!    `BACKUP_WORKERS`, `ADJUST_LR`) go through the synchronization mechanism
+//!    of Fig. 6: a randomly-elected **primary agent** receives the Controller's
+//!    response and broadcasts it to all secondary agents; a local barrier
+//!    between each agent and its training process guarantees every worker
+//!    applies the action *in the same iteration*.
+//!
+//! The messages are bytes-level signals, so the overhead is dominated by
+//! latency, not bandwidth — the ledger in [`overhead`] quantifies it (paper
+//! Fig. 18 reports < 0.5% of JCT).
+
+pub mod overhead;
+pub mod runtime;
+pub mod sync;
+
+pub use overhead::OverheadLedger;
+pub use runtime::{Agent, AgentConfig};
+pub use sync::{elect_primary, BroadcastModel};

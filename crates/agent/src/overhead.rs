@@ -1,0 +1,74 @@
+//! Overhead accounting for paper Fig. 18: the framework's added time split into
+//! the Stateful DDS share (shard fetch/report round-trips) and the Agent
+//! synchronization share (broadcast + local barrier), reported as a percentage
+//! of the JCT.
+
+use antdt_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadLedger {
+    pub dds: SimDuration,
+    pub sync: SimDuration,
+}
+
+impl OverheadLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_dds(&mut self, d: SimDuration) {
+        self.dds += d;
+    }
+
+    pub fn add_sync(&mut self, d: SimDuration) {
+        self.sync += d;
+    }
+
+    pub fn total(&self) -> SimDuration {
+        self.dds + self.sync
+    }
+
+    /// Overhead as a fraction of the job completion time.
+    pub fn fraction_of(&self, jct: SimDuration) -> f64 {
+        if jct.is_zero() {
+            return 0.0;
+        }
+        self.total().as_secs_f64() / jct.as_secs_f64()
+    }
+
+    /// Split `(dds_share, sync_share)` of the total overhead, each in `[0, 1]`.
+    pub fn split(&self) -> (f64, f64) {
+        let t = self.total().as_secs_f64();
+        if t <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (self.dds.as_secs_f64() / t, self.sync.as_secs_f64() / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reports_fractions() {
+        let mut l = OverheadLedger::new();
+        l.add_dds(SimDuration::from_secs(11));
+        l.add_sync(SimDuration::from_secs(9));
+        assert_eq!(l.total(), SimDuration::from_secs(20));
+        let f = l.fraction_of(SimDuration::from_secs(4000));
+        assert!((f - 0.005).abs() < 1e-9);
+        let (d, s) = l.split();
+        assert!((d - 0.55).abs() < 1e-9);
+        assert!((s - 0.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let l = OverheadLedger::new();
+        assert_eq!(l.fraction_of(SimDuration::from_secs(100)), 0.0);
+        assert_eq!(l.split(), (0.0, 0.0));
+        assert_eq!(l.fraction_of(SimDuration::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! The per-node Agent: report cadence plus the delivery inbox whose contents
+//! take effect at the next iteration boundary (the "local barrier" end of
+//! Fig. 6 — the training process picks the action up between iterations, never
+//! mid-batch).
+
+use antdt_controller::Action;
+use antdt_monitor::NodeId;
+use antdt_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Report application state every this many iterations (paper: 10).
+    pub report_every_iters: u32,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig { report_every_iters: 10 }
+    }
+}
+
+/// Agent state for one node.
+#[derive(Debug, Clone)]
+pub struct Agent {
+    pub node: NodeId,
+    cfg: AgentConfig,
+    iters_since_report: u32,
+    /// `(delivery time, action)` — delivered by the broadcast, applied when the
+    /// training process crosses an iteration boundary at/after that time.
+    inbox: VecDeque<(SimTime, Action)>,
+}
+
+impl Agent {
+    pub fn new(node: NodeId, cfg: AgentConfig) -> Self {
+        Agent { node, cfg, iters_since_report: 0, inbox: VecDeque::new() }
+    }
+
+    /// Called once per completed iteration; returns `true` when this iteration's
+    /// statistics should be pushed to the Monitor.
+    pub fn on_iteration(&mut self) -> bool {
+        self.iters_since_report += 1;
+        if self.iters_since_report >= self.cfg.report_every_iters {
+            self.iters_since_report = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Deliver a broadcast action that becomes effective at `at`.
+    pub fn deliver(&mut self, at: SimTime, action: Action) {
+        self.inbox.push_back((at, action));
+    }
+
+    /// At an iteration boundary at time `now`, drain every action whose
+    /// delivery time has passed (in delivery order).
+    pub fn take_due(&mut self, now: SimTime) -> Vec<Action> {
+        let mut due = Vec::new();
+        while let Some(&(at, _)) = self.inbox.front() {
+            if at <= now {
+                due.push(self.inbox.pop_front().unwrap().1);
+            } else {
+                break;
+            }
+        }
+        due
+    }
+
+    /// Reset after a restart: a fresh pod starts a fresh agent (pending
+    /// deliveries addressed to the dead process are dropped).
+    pub fn reset(&mut self) {
+        self.iters_since_report = 0;
+        self.inbox.clear();
+    }
+
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn reports_every_n_iterations() {
+        let mut a = Agent::new(NodeId::worker(0), AgentConfig { report_every_iters: 3 });
+        let due: Vec<bool> = (0..9).map(|_| a.on_iteration()).collect();
+        assert_eq!(due, vec![false, false, true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn actions_apply_only_after_delivery_time() {
+        let mut a = Agent::new(NodeId::worker(1), AgentConfig::default());
+        a.deliver(t(10.0), Action::BackupWorkers { b: 1 });
+        a.deliver(t(20.0), Action::None);
+        assert!(a.take_due(t(5.0)).is_empty());
+        assert_eq!(a.take_due(t(10.0)), vec![Action::BackupWorkers { b: 1 }]);
+        assert_eq!(a.take_due(t(25.0)), vec![Action::None]);
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn delivery_order_is_preserved_within_a_boundary() {
+        let mut a = Agent::new(NodeId::worker(1), AgentConfig::default());
+        a.deliver(t(1.0), Action::BackupWorkers { b: 1 });
+        a.deliver(t(2.0), Action::BackupWorkers { b: 2 });
+        let due = a.take_due(t(3.0));
+        assert_eq!(
+            due,
+            vec![Action::BackupWorkers { b: 1 }, Action::BackupWorkers { b: 2 }]
+        );
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut a = Agent::new(NodeId::worker(0), AgentConfig { report_every_iters: 2 });
+        a.on_iteration();
+        a.deliver(t(1.0), Action::None);
+        a.reset();
+        assert_eq!(a.pending(), 0);
+        // Cadence restarts from zero.
+        assert!(!a.on_iteration());
+        assert!(a.on_iteration());
+    }
+}

@@ -1,0 +1,59 @@
+//! DDS service throughput: the shard queue must stay far off any training
+//! critical path (bytes-level signals, µs-level operations).
+
+use antdt_dds::{DdsConfig, DdsService};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fetch_done_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dds_fetch_done_cycle");
+    for &k in &[100u64, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let svc = DdsService::new(
+                    DdsConfig::new(k * 100, 10).with_batches_per_shard(10),
+                );
+                let mut n = 0u64;
+                while let Some(lease) = svc.fetch(black_box(0)) {
+                    svc.report_done(0, lease).unwrap();
+                    n += 1;
+                }
+                assert_eq!(n, k);
+                n
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fail_worker(c: &mut Criterion) {
+    c.bench_function("dds_fail_worker_100_doing", |b| {
+        b.iter_batched(
+            || {
+                let svc =
+                    DdsService::new(DdsConfig::new(100_000, 10).with_batches_per_shard(10));
+                for _ in 0..100 {
+                    svc.fetch(7).unwrap();
+                }
+                svc
+            },
+            |svc| {
+                let requeued = svc.fail_worker(black_box(7));
+                assert_eq!(requeued.len(), 100);
+                requeued
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let svc = DdsService::new(DdsConfig::new(1_000_000, 10).with_batches_per_shard(10));
+    while let Some(lease) = svc.fetch(0) {
+        svc.report_done(0, lease).unwrap();
+    }
+    c.bench_function("dds_audit_10k_shards", |b| b.iter(|| black_box(svc.audit())));
+}
+
+criterion_group!(benches, bench_fetch_done_cycle, bench_fail_worker, bench_audit);
+criterion_main!(benches);

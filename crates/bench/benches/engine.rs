@@ -1,0 +1,63 @@
+//! Simulation kernel throughput (events/sec) and whole-job wall time — the
+//! practical limits on how big an experiment the harness can regenerate.
+
+use antdt_core::{Job, JobConfig, MitigationChoice};
+use antdt_sim::{Engine, SimDuration};
+use antdt_workloads::{cluster, ModelProfile, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    c.bench_function("engine_100k_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u32> = Engine::new();
+            for i in 0..1_000u32 {
+                eng.schedule(antdt_sim::SimTime::from_secs_f64(i as f64), i);
+            }
+            let mut n = 0u64;
+            eng.run(|eng, ev| {
+                n += 1;
+                if n < 100_000 {
+                    eng.schedule_after(SimDuration::from_millis(ev as u64 % 97 + 1), ev);
+                }
+            });
+            black_box(n)
+        })
+    });
+}
+
+fn bench_full_job(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_job");
+    g.sample_size(10);
+    g.bench_function("bsp_antdt_nd_8x4_1m_samples", |b| {
+        b.iter(|| {
+            let cfg = JobConfig::ps_bsp(
+                cluster::cluster_a_scaled(8, 4),
+                Scenario::WorkerMix { intensity: 0.8 },
+            )
+            .with_model(ModelProfile::xdeepfm())
+            .with_global_batch(8_192)
+            .with_samples(1_000_000)
+            .with_batches_per_shard(10)
+            .with_mitigation(MitigationChoice::AntDtNd);
+            black_box(Job::run(cfg))
+        })
+    });
+    g.bench_function("asp_dds_8x4_1m_samples", |b| {
+        b.iter(|| {
+            let cfg = JobConfig::ps_asp(
+                cluster::cluster_a_scaled(8, 4),
+                Scenario::WorkerMix { intensity: 0.8 },
+            )
+            .with_model(ModelProfile::xdeepfm())
+            .with_global_batch(8_192)
+            .with_samples(1_000_000)
+            .with_batches_per_shard(10);
+            black_box(Job::run(cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_full_job);
+criterion_main!(benches);

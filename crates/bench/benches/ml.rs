@@ -1,0 +1,37 @@
+//! ML substrate throughput: factorization-machine gradients (the real-math
+//! mode's hot loop) and exact AUC evaluation.
+
+use antdt_ml::{auc, FactorizationMachine, Model};
+use antdt_workloads::{ctr, CtrConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fm_grad(c: &mut Criterion) {
+    let data = ctr::generate(&CtrConfig::default().with_samples(8_192));
+    let fm = FactorizationMachine::new(data.n_features, 8, 0.05);
+    let mut g = c.benchmark_group("fm_grad_batch");
+    for &batch in &[256usize, 1024, 4096] {
+        let idx: Vec<u64> = (0..batch as u64).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &idx, |b, idx| {
+            let mut grad = vec![0.0f32; fm.n_params()];
+            b.iter(|| {
+                grad.iter_mut().for_each(|x| *x = 0.0);
+                black_box(fm.grad_batch(&data, black_box(idx), &mut grad))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_auc(c: &mut Criterion) {
+    let data = ctr::generate(&CtrConfig::default().with_samples(50_000));
+    let fm = FactorizationMachine::new(data.n_features, 8, 0.05);
+    let scores = fm.scores(&data);
+    let labels: Vec<f32> = data.examples.iter().map(|e| e.label).collect();
+    c.bench_function("auc_50k", |b| {
+        b.iter(|| black_box(auc(black_box(&scores), black_box(&labels))))
+    });
+}
+
+criterion_group!(benches, bench_fm_grad, bench_auc);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Monitor hot paths: per-iteration BPT reports and the periodic snapshot the
+//! Controller consumes — both must scale to hundreds of nodes (paper Q4).
+
+use antdt_monitor::{MetricStore, MonitorConfig, NodeId};
+use antdt_sim::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn warmed_store(nodes: u32, samples_per_node: u32) -> MetricStore {
+    let mut m = MetricStore::new(MonitorConfig::default());
+    for w in 0..nodes {
+        m.register(NodeId::worker(w));
+    }
+    for i in 0..samples_per_node {
+        for w in 0..nodes {
+            m.report_bpt(
+                NodeId::worker(w),
+                SimTime::from_secs_f64(i as f64 * 2.0),
+                2.0 + (w % 5) as f64 * 0.1,
+                4096,
+            );
+        }
+    }
+    m
+}
+
+fn bench_report(c: &mut Criterion) {
+    c.bench_function("monitor_report_bpt", |b| {
+        let mut m = warmed_store(100, 10);
+        let mut t = 100.0;
+        b.iter(|| {
+            t += 2.0;
+            m.report_bpt(
+                black_box(NodeId::worker(42)),
+                SimTime::from_secs_f64(t),
+                black_box(2.05),
+                4096,
+            )
+        })
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor_snapshot");
+    for &nodes in &[20u32, 100, 500] {
+        let m = warmed_store(nodes, 150);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &m, |b, m| {
+            b.iter(|| black_box(m.snapshot(SimTime::from_secs_f64(300.0))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_report, bench_snapshot);
+criterion_main!(benches);

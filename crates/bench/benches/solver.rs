@@ -1,0 +1,57 @@
+//! Solver micro-benchmarks backing the paper's §VII-E claim: the `ADJUST_BS`
+//! optimization is milliseconds-level even at 1000 workers, and Eq. 4 stays
+//! cheap for realistic device-class counts.
+
+use antdt_controller::solve::AffineCost;
+use antdt_controller::{grad_accum_allocation, lb_bsp_allocation, minmax_batch_allocation, Eq4Class, Eq4Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_eq3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq3_minmax_batch_allocation");
+    for &n in &[10usize, 100, 1000] {
+        let v: Vec<f64> = (0..n).map(|i| 500.0 + (i % 11) as f64 * 250.0).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &v, |b, v| {
+            b.iter(|| minmax_batch_allocation(black_box(30_720), black_box(v), 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lb_bsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lb_bsp_allocation");
+    for &n in &[10usize, 100, 1000] {
+        let v: Vec<f64> = (0..n).map(|i| 500.0 + (i % 11) as f64 * 250.0).collect();
+        let caps = vec![u64::MAX / 2; n];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(v, caps), |b, (v, caps)| {
+            b.iter(|| lb_bsp_allocation(black_box(30_720), black_box(v), black_box(caps)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_eq4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eq4_grad_accum_allocation");
+    for &k in &[2usize, 4, 6] {
+        let classes: Vec<Eq4Class> = (0..k)
+            .map(|i| Eq4Class {
+                count: 4,
+                cost: AffineCost { c0: 0.12, per_sample: 1e-3 * (1.0 + i as f64) },
+                b_min: 16,
+                b_max: 112,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &classes, |b, classes| {
+            b.iter(|| {
+                grad_accum_allocation(
+                    Eq4Config { global_batch: 1_536, c_min: 1, c_max: 5 },
+                    black_box(classes),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eq3, bench_lb_bsp, bench_eq4);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>...         # fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
+//!                             # fig12 fig13 fig14 fig15 fig16 fig17 fig18
+//!                             # fig19 tab3 integrity solver ablate
+//! experiments all             # everything, in paper order
+//! experiments list            # show the registry
+//! experiments --out DIR <id>  # additionally write each report to DIR/<id>.txt
+//! ```
+
+use std::io::Write;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out requires a directory argument");
+            std::process::exit(2);
+        }
+        let dir = std::path::PathBuf::from(args.remove(pos + 1));
+        args.remove(pos);
+        std::fs::create_dir_all(&dir).expect("create --out directory");
+        out_dir = Some(dir);
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if args.is_empty() || args[0] == "list" {
+        let _ = writeln!(out, "available experiments:");
+        for (id, desc, _) in antdt_bench::registry() {
+            let _ = writeln!(out, "  {id:<10} {desc}");
+        }
+        let _ = writeln!(out, "  {:<10} run everything in paper order", "all");
+        return;
+    }
+    for id in &args {
+        match antdt_bench::run(id) {
+            Some(report) => {
+                let _ = write!(out, "{report}");
+                if let Some(dir) = &out_dir {
+                    std::fs::write(dir.join(format!("{id}.txt")), &report)
+                        .expect("write experiment artifact");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (try `experiments list`)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

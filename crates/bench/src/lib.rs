@@ -1,0 +1,57 @@
+//! # antdt-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation (§VII). Each
+//! regenerates the corresponding artifact from scratch on the simulator and
+//! returns a printable report; the `experiments` binary dispatches on ids
+//! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `all`).
+//!
+//! Absolute numbers come from a simulated substrate, so they are not expected
+//! to match the paper's testbed; the *shapes* — who wins, by what factor,
+//! where crossovers fall — are the reproduction targets (see EXPERIMENTS.md).
+
+pub mod exps;
+pub mod util;
+
+/// The experiment registry: `(id, description, runner)`.
+pub type Runner = fn() -> String;
+
+pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        ("fig1", "BPT time series among workers/servers (motivation)", exps::fig1 as Runner),
+        ("fig2", "JCT of BSP vs ASP in dedicated vs non-dedicated clusters", exps::fig2),
+        ("fig3", "Data consumption & throughput under even-partition ASP", exps::fig3),
+        ("fig7", "BPT vs batch size on CPU (linear)", exps::fig7),
+        ("fig8", "BPT vs batch size on GPU (saturation)", exps::fig8),
+        ("fig9", "Gantt: DDP vs LB-BSP vs AntDT-DD", exps::fig9),
+        ("fig10", "JCT in BSP training under worker/server stragglers", exps::fig10),
+        ("fig11", "JCT in ASP training under worker/server stragglers", exps::fig11),
+        ("fig12", "Batch-size adjustment trajectories (AntDT-ND)", exps::fig12),
+        ("fig13", "Worker BPT trajectories (AntDT-ND)", exps::fig13),
+        ("fig14", "Slow-server BPT + global throughput around KILL_RESTART", exps::fig14),
+        ("fig15", "JCT of DDP/LB-BSP/AntDT-DD on mixed V100+P100", exps::fig15),
+        ("fig16", "Shards consumed vs worker throughput (ASP-DDS)", exps::fig16),
+        ("fig17", "Failover delay: DDS-based vs checkpoint-based", exps::fig17),
+        ("fig18", "AntDT overhead at small/medium/large scale", exps::fig18),
+        ("fig19", "Production fleet A/B test", exps::fig19),
+        ("tab3", "Table III: JCT under varying straggler intensity", exps::tab3),
+        ("integrity", "Data integrity: DONE shards + AUC under failovers", exps::integrity),
+        ("solver", "Optimization solver runtime at scale", exps::solver),
+        ("ablate", "Ablations: M, lambda, windows, C_max, backup count", exps::ablate),
+    ]
+}
+
+/// Run one experiment by id (`all` runs everything in order).
+pub fn run(id: &str) -> Option<String> {
+    if id == "all" {
+        let mut out = String::new();
+        for (_, _, f) in registry() {
+            out.push_str(&f());
+            out.push('\n');
+        }
+        return Some(out);
+    }
+    registry()
+        .into_iter()
+        .find(|(eid, _, _)| *eid == id)
+        .map(|(_, _, f)| f())
+}

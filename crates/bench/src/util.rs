@@ -1,0 +1,114 @@
+//! Formatting helpers for the experiment reports.
+
+use antdt_sim::{SimTime, TimeSeries};
+use std::fmt::Write;
+
+/// Section header.
+pub fn header(id: &str, title: &str) -> String {
+    format!("\n=== {id}: {title} ===\n")
+}
+
+/// A simple aligned table: `rows` of equal arity, first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows[0].len();
+    let mut widths = vec![0usize; cols];
+    for r in rows {
+        for (c, cell) in r.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        let line: Vec<String> = r
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{:<w$}", cell, w = widths[c]))
+            .collect();
+        let _ = writeln!(out, "  {}", line.join("  "));
+        if i == 0 {
+            let _ = writeln!(
+                out,
+                "  {}",
+                widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+            );
+        }
+    }
+    out
+}
+
+pub fn secs(s: f64) -> String {
+    format!("{s:.1}s")
+}
+
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Render a downsampled series as `t:v` pairs.
+pub fn series_line(s: &TimeSeries, buckets: usize, unit: &str) -> String {
+    s.downsample(buckets)
+        .iter()
+        .map(|&(t, v)| format!("{:.0}s:{v:.2}{unit}", t.as_secs_f64()))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// A crude sparkline over the series values.
+pub fn sparkline(s: &TimeSeries, buckets: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let pts = s.downsample(buckets);
+    if pts.is_empty() {
+        return String::new();
+    }
+    let lo = pts.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+    let hi = pts.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    pts.iter()
+        .map(|&(_, v)| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Format a sim instant compactly.
+pub fn at(t: SimTime) -> String {
+    format!("{:.0}s", t.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            vec!["method".into(), "jct".into()],
+            vec!["BSP".into(), "8144s".into()],
+            vec!["AntDT-ND".into(), "3982s".into()],
+        ]);
+        assert!(t.contains("method"));
+        assert!(t.contains("--------"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn sparkline_spans_glyphs() {
+        let mut s = TimeSeries::new();
+        for i in 0..16 {
+            s.push(SimTime::from_secs_f64(i as f64), i as f64);
+        }
+        let sp = sparkline(&s, 8);
+        assert_eq!(sp.chars().count(), 8);
+        assert!(sp.starts_with('▁'));
+        assert!(sp.ends_with('█'));
+        assert_eq!(sparkline(&TimeSeries::new(), 4), "");
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(0.275), "+27.5%");
+        assert_eq!(pct(-0.10), "-10.0%");
+    }
+}

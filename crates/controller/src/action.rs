@@ -1,0 +1,89 @@
+//! The straggler-mitigation action set (paper Table II).
+
+use antdt_monitor::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One mitigation action, as sent from the Controller to the Agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Load-balancing: set every worker's local batch size for the next
+    /// iteration (dead workers get 0). `grad_accum[i]` > 1 additionally splits
+    /// worker `i`'s batch into sequential micro-batches (AntDT-DD).
+    AdjustBs {
+        batch_sizes: Vec<u64>,
+        grad_accum: Option<Vec<u32>>,
+    },
+    /// Replication: proceed after `n − b` fastest pushes each iteration; the
+    /// DDS puts the dropped shards back to preserve at-least-once semantics.
+    BackupWorkers { b: u32 },
+    /// Scheduling: kill `node` and restart it on (hopefully) healthy hardware.
+    KillRestart { node: NodeId },
+    /// Optimization: scale each worker's learning rate (penalize stale
+    /// gradients from lagging workers).
+    AdjustLr { scales: Vec<f32> },
+    /// Dummy action — explicitly "do nothing this round" (§V-E1).
+    None,
+}
+
+/// The paper's two execution classes (§V-E1): node actions fire independently;
+/// global actions need the Agent synchronization mechanism so every worker
+/// applies them in the same iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionType {
+    Node,
+    Global,
+    NoOp,
+}
+
+impl Action {
+    pub fn action_type(&self) -> ActionType {
+        match self {
+            Action::KillRestart { .. } => ActionType::Node,
+            Action::AdjustBs { .. } | Action::BackupWorkers { .. } | Action::AdjustLr { .. } => {
+                ActionType::Global
+            }
+            Action::None => ActionType::NoOp,
+        }
+    }
+
+    /// Rough payload size in bytes when broadcast through the Agent mechanism
+    /// (the paper notes these messages are bytes-level signals).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Action::AdjustBs { batch_sizes, grad_accum } => {
+                (batch_sizes.len() * 8 + grad_accum.as_ref().map_or(0, |g| g.len() * 4) + 8) as u64
+            }
+            Action::BackupWorkers { .. } => 12,
+            Action::KillRestart { .. } => 16,
+            Action::AdjustLr { scales } => (scales.len() * 4 + 8) as u64,
+            Action::None => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_table_ii() {
+        assert_eq!(
+            Action::KillRestart { node: NodeId::worker(0) }.action_type(),
+            ActionType::Node
+        );
+        assert_eq!(
+            Action::AdjustBs { batch_sizes: vec![1, 2], grad_accum: None }.action_type(),
+            ActionType::Global
+        );
+        assert_eq!(Action::BackupWorkers { b: 2 }.action_type(), ActionType::Global);
+        assert_eq!(Action::AdjustLr { scales: vec![1.0] }.action_type(), ActionType::Global);
+        assert_eq!(Action::None.action_type(), ActionType::NoOp);
+    }
+
+    #[test]
+    fn payloads_are_bytes_level() {
+        let a = Action::AdjustBs { batch_sizes: vec![4096; 100], grad_accum: None };
+        assert!(a.payload_bytes() < 1024);
+        assert!(Action::None.payload_bytes() <= 8);
+    }
+}

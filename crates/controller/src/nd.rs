@@ -1,0 +1,364 @@
+//! AntDT-ND — the straggler-mitigation solution for non-dedicated clusters
+//! (paper §VI-A).
+//!
+//! Worker side: transient stragglers (`T̄ᵢᵗʳᵃⁿˢ ≥ λ·T̄ᵗʳᵃⁿˢ`) trigger the
+//! lightweight `ADJUST_BS` (Eq. 3 re-solve from measured throughputs);
+//! persistent stragglers (`T̄ᵢᵖᵉʳ ≥ λ·T̄ᵖᵉʳ`) trigger the heavyweight
+//! `KILL_RESTART`, gated on the cluster being idle (pending time is "dozens of
+//! minutes" at peak). Server side: persistent detection only, always answered
+//! by `KILL_RESTART` since no load-balancing action can shrink `Tᵢˢ`/`Tᵢᵐ`.
+
+use crate::action::Action;
+use crate::policy::{worker_throughputs, MitigationPolicy, PolicyCtx};
+use crate::solve::minmax_batch_allocation;
+use antdt_monitor::{MonitorSnapshot, NodeId};
+use antdt_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NdConfig {
+    /// Relative slowness ratio `λ` (paper default 1.5; must be > 1).
+    pub lambda: f64,
+    /// Smallest batch a live worker may be assigned.
+    pub b_min: u64,
+    /// Re-kill cooldown per node, so an in-flight failover or a just-restarted
+    /// node isn't immediately killed again on stale statistics.
+    pub kill_cooldown: SimDuration,
+    /// Skip `KILL_RESTART` while the cluster is busy (§VI-A4).
+    pub gate_on_busy: bool,
+    /// Take `ADJUST_BS` for transient worker stragglers (true in BSP; in ASP
+    /// the DDS already balances data, so AntDT-ND only kills — §VII-A3).
+    pub adjust_bs: bool,
+    /// Take `KILL_RESTART` on persistent worker stragglers.
+    pub kill_workers: bool,
+    /// Take `KILL_RESTART` on persistent server stragglers.
+    pub kill_servers: bool,
+}
+
+impl Default for NdConfig {
+    fn default() -> Self {
+        NdConfig {
+            lambda: 1.5,
+            b_min: 1,
+            kill_cooldown: SimDuration::from_minutes(15),
+            gate_on_busy: true,
+            adjust_bs: true,
+            kill_workers: true,
+            kill_servers: true,
+        }
+    }
+}
+
+impl NdConfig {
+    /// The ASP variant: only `KILL_RESTART` (the DDS handles balance).
+    pub fn asp() -> Self {
+        NdConfig { adjust_bs: false, ..Default::default() }
+    }
+}
+
+/// AntDT-ND policy state.
+#[derive(Debug, Clone)]
+pub struct AntDtNd {
+    cfg: NdConfig,
+    last_alloc: Option<Vec<u64>>,
+    last_kill: HashMap<NodeId, SimTime>,
+    kills_issued: u64,
+}
+
+impl AntDtNd {
+    pub fn new(cfg: NdConfig) -> Self {
+        AntDtNd { cfg, last_alloc: None, last_kill: HashMap::new(), kills_issued: 0 }
+    }
+
+    pub fn kills_issued(&self) -> u64 {
+        self.kills_issued
+    }
+
+    fn may_kill(&self, node: NodeId, now: SimTime) -> bool {
+        match self.last_kill.get(&node) {
+            Some(&t) => now.since(t) >= self.cfg.kill_cooldown,
+            None => true,
+        }
+    }
+}
+
+impl MitigationPolicy for AntDtNd {
+    fn name(&self) -> &'static str {
+        "antdt-nd"
+    }
+
+    fn decide(&mut self, now: SimTime, snap: &MonitorSnapshot, ctx: &PolicyCtx) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let lambda = self.cfg.lambda;
+        let busy_gated = self.cfg.gate_on_busy && snap.cluster.busy;
+
+        // ---- Worker side: persistent stragglers -> KILL_RESTART (step 4),
+        // decided first so the batch re-solve below can route the victim's
+        // share to the survivors in the very same tick.
+        let mut worker_victim: Option<u32> = None;
+        if self.cfg.kill_workers && !busy_gated {
+            if let Some(mean) = snap.mean_worker_bpt_per() {
+                // Kill at most one worker per tick: each failover perturbs the
+                // statistics of everyone else behind the barrier.
+                if let Some(victim) = snap
+                    .workers
+                    .iter()
+                    .filter(|s| {
+                        s.alive
+                            && s.bpt_per.is_some_and(|t| t >= lambda * mean)
+                            && self.may_kill(s.node, now)
+                    })
+                    .max_by(|a, b| a.bpt_per.partial_cmp(&b.bpt_per).unwrap())
+                {
+                    self.last_kill.insert(victim.node, now);
+                    self.kills_issued += 1;
+                    worker_victim = Some(victim.node.idx);
+                    actions.push(Action::KillRestart { node: victim.node });
+                }
+            }
+        }
+
+        // ---- Worker side: transient stragglers -> ADJUST_BS (steps 2-3). ----
+        if self.cfg.adjust_bs {
+            let transient_detected = match snap.mean_worker_bpt_trans() {
+                Some(mean) => snap
+                    .workers
+                    .iter()
+                    .any(|s| s.alive && s.bpt_trans.is_some_and(|t| t >= lambda * mean)),
+                None => false,
+            };
+            // Re-solve also when the alive set changed (a kill or restart must
+            // redistribute the fixed global batch immediately).
+            let alive_changed = match &self.last_alloc {
+                Some(prev) => snap
+                    .workers
+                    .iter()
+                    .zip(prev)
+                    .any(|(s, &b)| s.alive == (b == 0)),
+                None => true,
+            };
+            if transient_detected || alive_changed || worker_victim.is_some() {
+                let mut v = worker_throughputs(&snap.workers);
+                if let Some(victim) = worker_victim {
+                    if let Some(slot) = v.get_mut(victim as usize) {
+                        *slot = 0.0; // the victim is as good as dead already
+                    }
+                }
+                let alloc = minmax_batch_allocation(ctx.global_batch, &v, self.cfg.b_min);
+                if self.last_alloc.as_ref() != Some(&alloc) {
+                    self.last_alloc = Some(alloc.clone());
+                    actions.push(Action::AdjustBs { batch_sizes: alloc, grad_accum: None });
+                }
+            }
+        }
+
+        // ---- Server side: persistent stragglers -> KILL_RESTART (§VI-A). ----
+        if self.cfg.kill_servers && !busy_gated {
+            if let Some(mean) = snap.mean_server_bpt_per() {
+                if let Some(victim) = snap
+                    .servers
+                    .iter()
+                    .filter(|s| {
+                        s.alive
+                            && s.bpt_per.is_some_and(|t| t >= lambda * mean)
+                            && self.may_kill(s.node, now)
+                    })
+                    .max_by(|a, b| a.bpt_per.partial_cmp(&b.bpt_per).unwrap())
+                {
+                    self.last_kill.insert(victim.node, now);
+                    self.kills_issued += 1;
+                    actions.push(Action::KillRestart { node: victim.node });
+                }
+            }
+        }
+
+        if actions.is_empty() {
+            actions.push(Action::None); // step 5: explicit no-op
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdt_monitor::{ClusterInfo, NodeStats};
+
+    fn worker(idx: u32, trans: f64, per: f64, v: f64, alive: bool) -> NodeStats {
+        NodeStats {
+            node: NodeId::worker(idx),
+            bpt_trans: Some(trans),
+            bpt_per: Some(per),
+            throughput: Some(v),
+            batch: Some(100),
+            alive,
+        }
+    }
+
+    fn server(idx: u32, per: f64) -> NodeStats {
+        NodeStats {
+            node: NodeId::server(idx),
+            bpt_trans: Some(per),
+            bpt_per: Some(per),
+            throughput: None,
+            batch: None,
+            alive: true,
+        }
+    }
+
+    fn ctx() -> PolicyCtx {
+        PolicyCtx { global_batch: 300, n_workers: 3, n_servers: 2 }
+    }
+
+    fn snap(workers: Vec<NodeStats>, servers: Vec<NodeStats>, busy: bool) -> MonitorSnapshot {
+        MonitorSnapshot {
+            workers,
+            servers,
+            cluster: ClusterInfo { busy, expected_pending_secs: if busy { 900.0 } else { 10.0 } },
+        }
+    }
+
+    #[test]
+    fn healthy_cluster_yields_none_after_initial_allocation() {
+        let mut p = AntDtNd::new(NdConfig::default());
+        let s = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 2.1, 2.1, 50.0, true),
+                worker(2, 1.9, 1.9, 50.0, true),
+            ],
+            vec![server(0, 0.5), server(1, 0.5)],
+            false,
+        );
+        // First tick emits the initial allocation (alive set was unknown).
+        let a1 = p.decide(SimTime::from_secs_f64(300.0), &s, &ctx());
+        assert!(matches!(a1[0], Action::AdjustBs { .. }));
+        // Steady state: explicit None.
+        let a2 = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
+        assert_eq!(a2, vec![Action::None]);
+    }
+
+    #[test]
+    fn transient_straggler_triggers_rebalance_toward_fast_workers() {
+        let mut p = AntDtNd::new(NdConfig::default());
+        let healthy = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 2.0, 2.0, 50.0, true),
+                worker(2, 2.0, 2.0, 50.0, true),
+            ],
+            vec![],
+            false,
+        );
+        p.decide(SimTime::from_secs_f64(300.0), &healthy, &ctx());
+        // Worker 2 becomes 3x slower in the short window only.
+        let degraded = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 2.0, 2.0, 50.0, true),
+                worker(2, 6.0, 2.5, 50.0 / 3.0, true),
+            ],
+            vec![],
+            false,
+        );
+        let actions = p.decide(SimTime::from_secs_f64(600.0), &degraded, &ctx());
+        let Action::AdjustBs { batch_sizes, .. } = &actions[0] else {
+            panic!("expected AdjustBs, got {actions:?}");
+        };
+        assert_eq!(batch_sizes.iter().sum::<u64>(), 300);
+        assert!(batch_sizes[2] < batch_sizes[0], "straggler gets less: {batch_sizes:?}");
+    }
+
+    #[test]
+    fn persistent_worker_straggler_is_killed_once() {
+        let mut p = AntDtNd::new(NdConfig::default());
+        let s = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 2.0, 2.0, 50.0, true),
+                worker(2, 7.0, 7.0, 14.0, true), // >= 1.5 * mean in both windows
+            ],
+            vec![],
+            false,
+        );
+        let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
+        assert!(
+            actions.contains(&Action::KillRestart { node: NodeId::worker(2) }),
+            "{actions:?}"
+        );
+        // Cooldown: the same snapshot a minute later must not re-kill.
+        let again = p.decide(SimTime::from_secs_f64(660.0), &s, &ctx());
+        assert!(!again.iter().any(|a| matches!(a, Action::KillRestart { .. })));
+        assert_eq!(p.kills_issued(), 1);
+    }
+
+    #[test]
+    fn busy_cluster_gates_kill_restart_but_not_adjust_bs() {
+        let mut p = AntDtNd::new(NdConfig::default());
+        let s = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 2.0, 2.0, 50.0, true),
+                worker(2, 8.0, 8.0, 12.0, true),
+            ],
+            vec![],
+            true, // cluster busy
+        );
+        let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
+        assert!(!actions.iter().any(|a| matches!(a, Action::KillRestart { .. })));
+        assert!(actions.iter().any(|a| matches!(a, Action::AdjustBs { .. })));
+    }
+
+    #[test]
+    fn persistent_server_straggler_is_killed() {
+        let mut p = AntDtNd::new(NdConfig::default());
+        let s = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 2.0, 2.0, 50.0, true),
+            ],
+            vec![server(0, 0.5), server(1, 0.5), server(2, 2.5)],
+            false,
+        );
+        let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
+        assert!(
+            actions.contains(&Action::KillRestart { node: NodeId::server(2) }),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn asp_variant_never_adjusts_batch() {
+        let mut p = AntDtNd::new(NdConfig::asp());
+        let s = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 9.0, 2.0, 11.0, true), // transient only
+            ],
+            vec![],
+            false,
+        );
+        let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
+        assert_eq!(actions, vec![Action::None]);
+    }
+
+    #[test]
+    fn dead_worker_forces_rebalance_with_zero_share() {
+        let mut p = AntDtNd::new(NdConfig::default());
+        let healthy = snap(
+            vec![worker(0, 2.0, 2.0, 50.0, true), worker(1, 2.0, 2.0, 50.0, true)],
+            vec![],
+            false,
+        );
+        p.decide(SimTime::from_secs_f64(300.0), &healthy, &ctx());
+        let mut one_dead = healthy.clone();
+        one_dead.workers[1].alive = false;
+        let actions = p.decide(SimTime::from_secs_f64(600.0), &one_dead, &ctx());
+        let Action::AdjustBs { batch_sizes, .. } = &actions[0] else {
+            panic!("expected AdjustBs, got {actions:?}");
+        };
+        assert_eq!(batch_sizes[1], 0);
+        assert_eq!(batch_sizes[0], 300);
+    }
+}

@@ -1,0 +1,664 @@
+//! The optimization solvers behind `ADJUST_BS`.
+//!
+//! * [`minmax_batch_allocation`] — paper Eq. 2/3: given worker throughputs
+//!   `vᵢ`, pick integer batch sizes `Bᵢ` with `ΣBᵢ = B` minimizing
+//!   `max Bᵢ/vᵢ`. Solved exactly by a greedy exchange argument (provably
+//!   optimal for this separable min-max; verified against brute force in the
+//!   property tests). Runtime is `O((B − n·Bmin)·log n)` — milliseconds even at
+//!   1000 workers (§VII-E).
+//! * [`grad_accum_allocation`] — paper Eq. 4 (AntDT-DD): per device class,
+//!   jointly choose batch size `Bᵢ ∈ [B̂ᵢᵐⁱⁿ, B̂ᵢᵐᵃˣ]` and accumulation count
+//!   `Cᵢ ∈ [Ĉᵐⁱⁿ, Ĉᵐᵃˣ]` s.t. `Σ nᵢCᵢBᵢ = B`, minimizing
+//!   `max Cᵢ·tᵢ(Bᵢ)`. The number of device *classes* is tiny, so we enumerate
+//!   `C` vectors and solve the inner problem by bisection on the objective.
+//! * [`lb_bsp_allocation`] — the LB-BSP baseline's rule: batch sizes
+//!   proportional to measured throughput, clamped into memory, leftovers
+//!   redistributed. Deliberately ignorant of the fixed per-batch overhead,
+//!   which is the gap AntDT-DD exploits.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Affine batch cost `t(B) = c0 + per_sample·B` (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AffineCost {
+    pub c0: f64,
+    pub per_sample: f64,
+}
+
+impl AffineCost {
+    #[inline]
+    pub fn time(&self, b: u64) -> f64 {
+        if b == 0 {
+            0.0
+        } else {
+            self.c0 + self.per_sample * b as f64
+        }
+    }
+
+    /// Largest batch with `time(B) ≤ z`, or `None` if even `B = 1` exceeds `z`.
+    fn max_batch_within(&self, z: f64) -> Option<u64> {
+        if self.time(1) > z {
+            return None;
+        }
+        if self.per_sample <= 0.0 {
+            return Some(u64::MAX / 4);
+        }
+        Some(((z - self.c0) / self.per_sample).floor() as u64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 3: min-max batch allocation for n workers
+// ---------------------------------------------------------------------------
+
+/// Exact solver for Eq. 3. `v[i]` is worker `i`'s throughput (samples/sec);
+/// workers with `v[i] <= 0` (dead or unmeasured) receive 0 samples. Every live
+/// worker gets at least `b_min` (when the budget allows). Returns per-worker
+/// batch sizes summing to exactly `global_batch`.
+pub fn minmax_batch_allocation(global_batch: u64, v: &[f64], b_min: u64) -> Vec<u64> {
+    let n = v.len();
+    let mut out = vec![0u64; n];
+    if n == 0 || global_batch == 0 {
+        return out;
+    }
+    let live: Vec<usize> = (0..n).filter(|&i| v[i] > 0.0).collect();
+    if live.is_empty() {
+        // Nothing measured: fall back to an even split over everyone.
+        even_split(global_batch, n, &mut out, &(0..n).collect::<Vec<_>>());
+        return out;
+    }
+
+    // Budget for the floors; if it doesn't fit, shrink the floor.
+    let b_min = b_min.min(global_batch / live.len() as u64);
+    let mut remaining = global_batch - b_min * live.len() as u64;
+    for &i in &live {
+        out[i] = b_min;
+    }
+
+    // Greedy: hand each remaining sample to the worker whose time after the
+    // increment stays smallest. Heap keyed on (B_i + 1) / v_i.
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = live
+        .iter()
+        .map(|&i| Reverse((OrdF64((out[i] + 1) as f64 / v[i]), i)))
+        .collect();
+    while remaining > 0 {
+        let Reverse((_, i)) = heap.pop().expect("live workers present");
+        out[i] += 1;
+        remaining -= 1;
+        heap.push(Reverse((OrdF64((out[i] + 1) as f64 / v[i]), i)));
+    }
+    out
+}
+
+fn even_split(total: u64, _n: usize, out: &mut [u64], targets: &[usize]) {
+    let k = targets.len() as u64;
+    for (rank, &i) in targets.iter().enumerate() {
+        out[i] = total / k + u64::from((rank as u64) < total % k);
+    }
+}
+
+/// Objective value of an allocation: `max Bᵢ/vᵢ` over live workers.
+pub fn allocation_objective(alloc: &[u64], v: &[f64]) -> f64 {
+    alloc
+        .iter()
+        .zip(v)
+        .filter(|&(_, &vi)| vi > 0.0)
+        .map(|(&b, &vi)| b as f64 / vi)
+        .fold(0.0, f64::max)
+}
+
+/// Total-order wrapper for f64 keys (no NaNs by construction).
+#[derive(PartialEq, PartialOrd)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN in solver key")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LB-BSP baseline allocation
+// ---------------------------------------------------------------------------
+
+/// LB-BSP's rule: `Bᵢ ∝ vᵢ`, clamped into `[1, cap]`, with leftovers
+/// redistributed proportionally among unclamped workers.
+pub fn lb_bsp_allocation(global_batch: u64, v: &[f64], caps: &[u64]) -> Vec<u64> {
+    let n = v.len();
+    assert_eq!(n, caps.len());
+    let mut out = vec![0u64; n];
+    if n == 0 || global_batch == 0 {
+        return out;
+    }
+    let mut free: Vec<usize> = (0..n).filter(|&i| v[i] > 0.0 && caps[i] > 0).collect();
+    if free.is_empty() {
+        even_split(global_batch, n, &mut out, &(0..n).collect::<Vec<_>>());
+        return out;
+    }
+    let mut budget = global_batch;
+    // Iteratively allocate proportional shares (largest-remainder rounding so
+    // each round hands out exactly `budget`); workers hitting their cap are
+    // frozen and the residual is re-shared.
+    while budget > 0 && !free.is_empty() {
+        let vs: f64 = free.iter().map(|&i| v[i]).sum();
+        let mut want: Vec<(u64, f64, usize)> = free
+            .iter()
+            .map(|&i| {
+                let share = budget as f64 * v[i] / vs;
+                (share.floor() as u64, share.fract(), i)
+            })
+            .collect();
+        let mut deficit = budget - want.iter().map(|&(b, _, _)| b).sum::<u64>();
+        // Hand the rounding deficit to the largest fractional remainders.
+        want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        for w in want.iter_mut() {
+            if deficit == 0 {
+                break;
+            }
+            w.0 += 1;
+            deficit -= 1;
+        }
+        let mut next_free = Vec::with_capacity(free.len());
+        let mut assigned = 0u64;
+        for &(ideal, _, i) in &want {
+            let take = ideal.min(caps[i] - out[i]);
+            out[i] += take;
+            assigned += take;
+            if out[i] < caps[i] {
+                next_free.push(i);
+            }
+        }
+        budget -= assigned;
+        if assigned == 0 {
+            break; // every remaining worker is capped
+        }
+        next_free.sort_unstable();
+        free = next_free;
+    }
+    // If every cap binds, push the residue onto the fastest capped worker(s)
+    // (LB-BSP has nowhere else to put it — documents the cap-saturation case).
+    if budget > 0 {
+        let fastest = (0..n)
+            .max_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("no NaN throughputs"))
+            .expect("n > 0 checked above");
+        out[fastest] += budget;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 4: joint batch size + gradient accumulation for device classes
+// ---------------------------------------------------------------------------
+
+/// One device class (e.g. "4× V100").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Eq4Class {
+    pub count: u32,
+    pub cost: AffineCost,
+    /// `B̂ᵢᵐⁱⁿ` — saturation point.
+    pub b_min: u64,
+    /// `B̂ᵢᵐᵃˣ` — memory cap.
+    pub b_max: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Eq4Config {
+    /// `B` — the global batch each synchronization round must process.
+    pub global_batch: u64,
+    /// `Ĉᵐⁱⁿ` (usually 1).
+    pub c_min: u32,
+    /// `Ĉᵐᵃˣ` (e.g. 5).
+    pub c_max: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Eq4Solution {
+    /// Per class: `(Bᵢ, Cᵢ)`.
+    pub per_class: Vec<(u64, u32)>,
+    /// `max Cᵢ·tᵢ(Bᵢ)` — the round time before synchronization.
+    pub objective_secs: f64,
+    /// `Σ nᵢCᵢBᵢ` — equals `global_batch` when an exact split exists; otherwise
+    /// the closest achievable from above (documented slack, at most
+    /// `min nᵢCᵢ − 1` samples).
+    pub achieved_batch: u64,
+}
+
+/// Exact-ish solver for Eq. 4: enumerate `C` vectors (few device classes ⇒
+/// tiny space), inner bisection on the objective, greedy trim to the target
+/// batch. Returns `None` if no `C` vector admits a feasible allocation.
+pub fn grad_accum_allocation(cfg: Eq4Config, classes: &[Eq4Class]) -> Option<Eq4Solution> {
+    let k = classes.len();
+    if k == 0 || cfg.global_batch == 0 || cfg.c_min == 0 || cfg.c_min > cfg.c_max {
+        return None;
+    }
+    let span = (cfg.c_max - cfg.c_min + 1) as u64;
+    let combos = span.checked_pow(k as u32)?;
+    assert!(combos <= 1_000_000, "too many C combinations ({combos}); cap c_max or classes");
+
+    let mut best: Option<Eq4Solution> = None;
+    let mut c = vec![cfg.c_min; k];
+    'outer: loop {
+        if let Some(sol) = solve_inner(cfg.global_batch, classes, &c) {
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (sol.objective_secs, sol.achieved_batch)
+                        < (b.objective_secs, b.achieved_batch)
+                }
+            };
+            if better {
+                best = Some(sol);
+            }
+        }
+        // Odometer increment over the C vector.
+        for digit in c.iter_mut() {
+            if *digit < cfg.c_max {
+                *digit += 1;
+                continue 'outer;
+            }
+            *digit = cfg.c_min;
+        }
+        break;
+    }
+    best
+}
+
+/// Inner problem for a fixed C vector: bisect on z, then trim.
+fn solve_inner(global_batch: u64, classes: &[Eq4Class], c: &[u32]) -> Option<Eq4Solution> {
+    // Capacity at objective z: B_i(z) = clamp(max batch with C_i * t_i(B) <= z).
+    let alloc_at = |z: f64| -> Option<Vec<u64>> {
+        let mut alloc = Vec::with_capacity(classes.len());
+        for (cl, &ci) in classes.iter().zip(c) {
+            let per_micro = z / ci as f64;
+            let b = cl.cost.max_batch_within(per_micro)?;
+            if b < cl.b_min {
+                return None; // forced below saturation floor => z infeasible
+            }
+            alloc.push(b.min(cl.b_max));
+        }
+        Some(alloc)
+    };
+    let total =
+        |alloc: &[u64]| -> u64 { alloc.iter().zip(classes).zip(c).map(|((&b, cl), &ci)| b * cl.count as u64 * ci as u64).sum() };
+
+    // Upper bound: everyone at b_max.
+    let z_hi_alloc: Vec<u64> = classes.iter().map(|cl| cl.b_max).collect();
+    if total(&z_hi_alloc) < global_batch {
+        return None; // even maxed out, the round can't reach B
+    }
+    let mut hi = classes
+        .iter()
+        .zip(c)
+        .map(|(cl, &ci)| ci as f64 * cl.cost.time(cl.b_max))
+        .fold(0.0f64, f64::max);
+    let mut lo = 0.0f64;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        match alloc_at(mid) {
+            Some(a) if total(&a) >= global_batch => hi = mid,
+            _ => lo = mid,
+        }
+    }
+    let mut alloc = alloc_at(hi)?;
+
+    // Greedy trim: shed surplus from the class with the largest current time
+    // whose floor allows it and whose step doesn't undershoot the target.
+    let step = |i: usize| classes[i].count as u64 * c[i] as u64;
+    let mut surplus = total(&alloc).checked_sub(global_batch)?;
+    loop {
+        let mut cand: Option<(f64, usize)> = None;
+        for i in 0..alloc.len() {
+            if alloc[i] > classes[i].b_min && step(i) <= surplus {
+                let t = c[i] as f64 * classes[i].cost.time(alloc[i]);
+                if cand.is_none_or(|(bt, _)| t > bt) {
+                    cand = Some((t, i));
+                }
+            }
+        }
+        match cand {
+            Some((_, i)) => {
+                alloc[i] -= 1;
+                surplus -= step(i);
+            }
+            None => break,
+        }
+    }
+    let objective = alloc
+        .iter()
+        .zip(classes)
+        .zip(c)
+        .map(|((&b, cl), &ci)| ci as f64 * cl.cost.time(b))
+        .fold(0.0f64, f64::max);
+    Some(Eq4Solution {
+        per_class: alloc.iter().zip(c).map(|(&b, &ci)| (b, ci)).collect(),
+        objective_secs: objective,
+        achieved_batch: global_batch + surplus,
+    })
+}
+
+/// Brute-force reference solver for tiny Eq. 3 instances (tests only).
+#[cfg(test)]
+pub(crate) fn brute_force_eq3(b: u64, v: &[f64]) -> f64 {
+    fn rec(i: usize, left: u64, v: &[f64], cur: f64) -> f64 {
+        if i == v.len() - 1 {
+            return cur.max(left as f64 / v[i]);
+        }
+        let mut best = f64::INFINITY;
+        for take in 0..=left {
+            let t = cur.max(take as f64 / v[i]);
+            if t >= best {
+                continue;
+            }
+            best = best.min(rec(i + 1, left - take, v, t));
+        }
+        best
+    }
+    rec(0, b, v, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq3_proportional_when_unconstrained() {
+        // v = [1, 2, 3], B = 60 => optimal is exactly [10, 20, 30].
+        let alloc = minmax_batch_allocation(60, &[1.0, 2.0, 3.0], 1);
+        assert_eq!(alloc, vec![10, 20, 30]);
+        assert_eq!(alloc.iter().sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn eq3_dead_workers_get_zero() {
+        let alloc = minmax_batch_allocation(30, &[1.0, 0.0, 2.0], 1);
+        assert_eq!(alloc[1], 0);
+        assert_eq!(alloc.iter().sum::<u64>(), 30);
+        assert_eq!(alloc, vec![10, 0, 20]);
+    }
+
+    #[test]
+    fn eq3_all_dead_falls_back_to_even() {
+        let alloc = minmax_batch_allocation(10, &[0.0, 0.0, 0.0], 1);
+        assert_eq!(alloc.iter().sum::<u64>(), 10);
+        assert!(alloc.iter().all(|&b| b == 3 || b == 4));
+    }
+
+    #[test]
+    fn eq3_respects_floor_when_budget_allows() {
+        let alloc = minmax_batch_allocation(100, &[1.0, 100.0], 10);
+        assert!(alloc[0] >= 10);
+        assert_eq!(alloc.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn eq3_tiny_budget_shrinks_floor() {
+        let alloc = minmax_batch_allocation(3, &[1.0, 1.0, 1.0, 1.0], 5);
+        assert_eq!(alloc.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn eq3_empty_inputs() {
+        assert!(minmax_batch_allocation(10, &[], 1).is_empty());
+        assert_eq!(minmax_batch_allocation(0, &[1.0, 1.0], 1), vec![0, 0]);
+    }
+
+    #[test]
+    fn eq3_matches_brute_force_on_small_instances() {
+        let cases: &[(u64, &[f64])] = &[
+            (12, &[1.0, 2.0, 4.0]),
+            (7, &[3.0, 1.0]),
+            (20, &[1.0, 1.0, 1.0, 5.0]),
+            (5, &[10.0, 0.5]),
+        ];
+        for &(b, v) in cases {
+            let alloc = minmax_batch_allocation(b, v, 0);
+            let got = allocation_objective(&alloc, v);
+            let want = brute_force_eq3(b, v);
+            assert!((got - want).abs() < 1e-9, "B={b} v={v:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn lb_bsp_proportional_then_clamped() {
+        // Unclamped: proportional.
+        let a = lb_bsp_allocation(60, &[1.0, 2.0, 3.0], &[100, 100, 100]);
+        assert_eq!(a.iter().sum::<u64>(), 60);
+        assert!(a[2] > a[1] && a[1] > a[0]);
+        // Fast worker clamped: leftovers flow to the others.
+        let b = lb_bsp_allocation(60, &[1.0, 2.0, 3.0], &[100, 100, 20]);
+        assert_eq!(b.iter().sum::<u64>(), 60);
+        assert_eq!(b[2], 20);
+        assert!(b[0] + b[1] == 40);
+    }
+
+    #[test]
+    fn lb_bsp_handles_zero_throughputs() {
+        let a = lb_bsp_allocation(10, &[0.0, 0.0], &[5, 5]);
+        assert_eq!(a.iter().sum::<u64>(), 10);
+    }
+
+    fn gpu_classes() -> Vec<Eq4Class> {
+        vec![
+            // 4× V100 (reference speed)
+            Eq4Class {
+                count: 4,
+                cost: AffineCost { c0: 0.15, per_sample: 1.733e-3 },
+                b_min: 16,
+                b_max: 112,
+            },
+            // 4× P100 (3× slower variable part)
+            Eq4Class {
+                count: 4,
+                cost: AffineCost { c0: 0.15, per_sample: 5.2e-3 },
+                b_min: 16,
+                b_max: 96,
+            },
+        ]
+    }
+
+    #[test]
+    fn eq4_hits_global_batch_exactly_when_divisible() {
+        let sol = grad_accum_allocation(
+            Eq4Config { global_batch: 768, c_min: 1, c_max: 5 },
+            &gpu_classes(),
+        )
+        .expect("feasible");
+        assert_eq!(sol.achieved_batch, 768);
+        let total: u64 = sol
+            .per_class
+            .iter()
+            .zip(&gpu_classes())
+            .map(|(&(b, c), cl)| b * c as u64 * cl.count as u64)
+            .sum();
+        assert_eq!(total, 768);
+        // Box constraints.
+        for (&(b, c), cl) in sol.per_class.iter().zip(&gpu_classes()) {
+            assert!(b >= cl.b_min && b <= cl.b_max, "B={b}");
+            assert!((1..=5).contains(&c));
+        }
+    }
+
+    #[test]
+    fn eq4_beats_lb_bsp_when_caps_bind() {
+        // LB-BSP proportional: V100 wants 768*3/(4*3+4) = 144 > cap 112 =>
+        // clamps and overloads P100s. Eq. 4 uses accumulation instead.
+        let classes = gpu_classes();
+        let caps = [112u64, 112, 112, 112, 96, 96, 96, 96];
+        let v: Vec<f64> = (0..8)
+            .map(|i| {
+                let cl = &classes[usize::from(i >= 4)];
+                96.0 / cl.cost.time(96)
+            })
+            .collect();
+        let lb = lb_bsp_allocation(768, &v, &caps);
+        let lb_round = lb
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| classes[usize::from(i >= 4)].cost.time(b))
+            .fold(0.0f64, f64::max);
+
+        let sol = grad_accum_allocation(
+            Eq4Config { global_batch: 768, c_min: 1, c_max: 5 },
+            &classes,
+        )
+        .unwrap();
+        assert!(
+            sol.objective_secs < lb_round + 1e-9,
+            "eq4 {} vs lb-bsp {}",
+            sol.objective_secs,
+            lb_round
+        );
+    }
+
+    #[test]
+    fn eq4_infeasible_when_batch_exceeds_capacity() {
+        let classes = vec![Eq4Class {
+            count: 2,
+            cost: AffineCost { c0: 0.1, per_sample: 1e-3 },
+            b_min: 1,
+            b_max: 10,
+        }];
+        // max possible = 2 * 5 * 10 = 100 < 101
+        let sol = grad_accum_allocation(
+            Eq4Config { global_batch: 101, c_min: 1, c_max: 5 },
+            &classes,
+        );
+        assert!(sol.is_none());
+    }
+
+    #[test]
+    fn eq4_degenerate_configs() {
+        assert!(grad_accum_allocation(
+            Eq4Config { global_batch: 0, c_min: 1, c_max: 5 },
+            &gpu_classes()
+        )
+        .is_none());
+        assert!(grad_accum_allocation(
+            Eq4Config { global_batch: 10, c_min: 0, c_max: 5 },
+            &gpu_classes()
+        )
+        .is_none());
+        assert!(grad_accum_allocation(
+            Eq4Config { global_batch: 10, c_min: 1, c_max: 5 },
+            &[]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn eq4_homogeneous_cluster_needs_no_accumulation() {
+        let classes = vec![Eq4Class {
+            count: 8,
+            cost: AffineCost { c0: 0.1, per_sample: 1e-3 },
+            b_min: 8,
+            b_max: 128,
+        }];
+        let sol = grad_accum_allocation(
+            Eq4Config { global_batch: 512, c_min: 1, c_max: 5 },
+            &classes,
+        )
+        .unwrap();
+        assert_eq!(sol.per_class[0], (64, 1));
+        assert_eq!(sol.achieved_batch, 512);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn eq3_sums_and_is_optimal(
+            b in 0u64..40,
+            v in proptest::collection::vec(0.1f64..10.0, 1..5),
+        ) {
+            let alloc = minmax_batch_allocation(b, &v, 0);
+            prop_assert_eq!(alloc.iter().sum::<u64>(), b);
+            let got = allocation_objective(&alloc, &v);
+            let want = super::brute_force_eq3(b, &v);
+            prop_assert!((got - want).abs() < 1e-9, "got {} want {}", got, want);
+        }
+
+        #[test]
+        fn eq3_sums_at_scale(
+            b in 0u64..100_000,
+            v in proptest::collection::vec(0.0f64..100.0, 1..64),
+        ) {
+            let alloc = minmax_batch_allocation(b, &v, 1);
+            prop_assert_eq!(alloc.iter().sum::<u64>(), b);
+            // Dead workers get nothing (when someone is alive).
+            if v.iter().any(|&x| x > 0.0) {
+                for (i, &vi) in v.iter().enumerate() {
+                    if vi <= 0.0 {
+                        prop_assert_eq!(alloc[i], 0);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn lb_bsp_sums_and_respects_caps_when_roomy(
+            b in 0u64..10_000,
+            v in proptest::collection::vec(0.1f64..10.0, 1..16),
+        ) {
+            // Caps with plenty of headroom.
+            let caps: Vec<u64> = v.iter().map(|_| b + 1).collect();
+            let alloc = lb_bsp_allocation(b, &v, &caps);
+            prop_assert_eq!(alloc.iter().sum::<u64>(), b);
+            for (a, c) in alloc.iter().zip(&caps) {
+                prop_assert!(a <= c);
+            }
+        }
+
+        #[test]
+        fn eq4_feasible_solutions_respect_all_constraints(
+            b in 1u64..5_000,
+            k in 1usize..4,
+            seed in 0u64..1_000,
+        ) {
+            let mk = |i: u64| Eq4Class {
+                count: (1 + (seed + i) % 6) as u32,
+                cost: AffineCost {
+                    c0: 0.01 + ((seed * 7 + i) % 20) as f64 * 0.01,
+                    per_sample: 1e-4 * (1.0 + ((seed * 13 + i) % 30) as f64),
+                },
+                b_min: 1 + (seed + i) % 8,
+                b_max: 32 + ((seed * 3 + i) % 100),
+            };
+            let classes: Vec<Eq4Class> = (0..k as u64).map(mk).collect();
+            if let Some(sol) = grad_accum_allocation(
+                Eq4Config { global_batch: b, c_min: 1, c_max: 4 },
+                &classes,
+            ) {
+                let total: u64 = sol.per_class.iter().zip(&classes)
+                    .map(|(&(bb, c), cl)| bb * c as u64 * cl.count as u64).sum();
+                prop_assert_eq!(total, sol.achieved_batch);
+                prop_assert!(sol.achieved_batch >= b);
+                // Surplus is irreducible: no class can shed another unit — its
+                // batch sits on the saturation floor or its step exceeds the
+                // remaining slack.
+                let surplus = sol.achieved_batch - b;
+                for (&(bb, c), cl) in sol.per_class.iter().zip(&classes) {
+                    let step = c as u64 * cl.count as u64;
+                    prop_assert!(
+                        bb == cl.b_min || step > surplus,
+                        "class could shed: B={} floor={} step={} surplus={}",
+                        bb, cl.b_min, step, surplus
+                    );
+                }
+                for (&(bb, c), cl) in sol.per_class.iter().zip(&classes) {
+                    prop_assert!(bb >= cl.b_min && bb <= cl.b_max);
+                    prop_assert!((1..=4).contains(&c));
+                    prop_assert!(c as f64 * cl.cost.time(bb) <= sol.objective_secs + 1e-9);
+                }
+            }
+        }
+    }
+}
+

@@ -1,0 +1,458 @@
+//! The AllReduce (PyTorch-DDP-style) training runtime.
+//!
+//! All ranks synchronize every round (BSP only): each device computes `Cᵢ`
+//! sequential micro-batches of `Bᵢ` samples, then a ring AllReduce of the
+//! model gradients closes the round. Native DDP fixes `Bᵢ = B/n, Cᵢ = 1`;
+//! LB-BSP rebalances `Bᵢ`; AntDT-DD jointly picks `(Bᵢ, Cᵢ)` (§VI-B, Fig. 9).
+
+use crate::config::{DataStrategy, ExecutionMode, JobConfig};
+use crate::events::Ev;
+use crate::report::JobReport;
+use antdt_agent::{Agent, OverheadLedger};
+use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
+use antdt_dds::{DdsConfig, DdsService, ShardLease};
+use antdt_ml::{FactorizationMachine, Model, Optimizer, Sgd};
+use antdt_monitor::{ClusterInfo, MetricStore, NodeId};
+use antdt_sim::gantt::SpanKind;
+use antdt_sim::network::ring_allreduce_secs;
+use antdt_sim::{Engine, Gantt, RngPool, SimDuration, SimTime, TimeSeries};
+use rand::rngs::StdRng;
+
+struct LeaseState {
+    lease: ShardLease,
+    order: Option<Vec<u64>>,
+    consumed: u64,
+    /// Samples already folded into a gradient (for real-math index tracking).
+    committed: u64,
+}
+
+struct Rank {
+    agent: Agent,
+    quota: u64,
+    accum: u32,
+    lr_scale: f32,
+    leases: Vec<LeaseState>,
+    fixed_remaining: u64,
+    rng: StdRng,
+    series_bpt: TimeSeries,
+    series_batch: TimeSeries,
+}
+
+struct Part {
+    w: usize,
+    took: u64,
+    compute_secs: f64,
+    grad: Option<Vec<f32>>,
+}
+
+struct ArWorld {
+    cfg: JobConfig,
+    pool: RngPool,
+    ranks: Vec<Rank>,
+    dds: Option<DdsService>,
+    store: MetricStore,
+    policy: Box<dyn MitigationPolicy>,
+    ctx: PolicyCtx,
+    model: Option<(FactorizationMachine, Sgd)>,
+    overhead: OverheadLedger,
+    actions: Vec<(SimTime, Action)>,
+    round: u64,
+    round_start: SimTime,
+    parts: Vec<Part>,
+    samples_done: u64,
+    jct_mark: SimTime,
+    finished: bool,
+    timed_out: bool,
+    throughput: TimeSeries,
+    gantt: Option<Gantt>,
+}
+
+pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobReport {
+    cfg.validate();
+    let pool = RngPool::new(cfg.seed);
+    let n = cfg.n_workers();
+
+    // Shards sized in local batches, as in the PS runtime.
+    let local_batch = (cfg.global_batch / n.max(1) as u64).max(1);
+    let dds = match cfg.data {
+        DataStrategy::Dds => Some(DdsService::new(
+            DdsConfig::new(cfg.total_samples, local_batch)
+                .with_batches_per_shard(cfg.batches_per_shard)
+                .with_epochs(cfg.epochs)
+                .with_shuffle(Some(cfg.seed)),
+        )),
+        DataStrategy::EvenPartition => None,
+    };
+    let model = match &cfg.execution {
+        ExecutionMode::Simulated => None,
+        ExecutionMode::Real { dataset, latent_k, lr, .. } => Some((
+            FactorizationMachine::new(dataset.n_features, *latent_k, 0.05),
+            Sgd::new(*lr),
+        )),
+    };
+
+    let mut store = MetricStore::new(cfg.monitor);
+    let total_fixed = cfg.total_samples * cfg.epochs as u64;
+    let ranks: Vec<Rank> = (0..n)
+        .map(|i| {
+            store.register(NodeId::worker(i as u32));
+            Rank {
+                agent: Agent::new(NodeId::worker(i as u32), cfg.agent),
+                quota: cfg.global_batch / n as u64
+                    + u64::from((i as u64) < cfg.global_batch % n as u64),
+                accum: 1,
+                lr_scale: 1.0,
+                leases: Vec::new(),
+                fixed_remaining: total_fixed / n as u64
+                    + u64::from((i as u64) < total_fixed % n as u64),
+                rng: pool.stream2(21, i as u64),
+                series_bpt: TimeSeries::new(),
+                series_batch: TimeSeries::new(),
+            }
+        })
+        .collect();
+
+    let ctx = PolicyCtx { global_batch: cfg.global_batch, n_workers: n, n_servers: 0 };
+    let gantt = cfg.record_gantt.then(Gantt::new);
+    let mut world = ArWorld {
+        pool,
+        ranks,
+        dds,
+        store,
+        policy,
+        ctx,
+        model,
+        overhead: OverheadLedger::new(),
+        actions: Vec::new(),
+        round: 0,
+        round_start: SimTime::ZERO,
+        parts: Vec::new(),
+        samples_done: 0,
+        jct_mark: SimTime::ZERO,
+        finished: false,
+        timed_out: false,
+        throughput: TimeSeries::new(),
+        gantt,
+        cfg,
+    };
+
+    let mut eng: Engine<Ev> = Engine::new();
+    eng.schedule(SimTime::ZERO, Ev::RoundEnd { round: 0 }); // bootstraps round 0
+    eng.schedule(SimTime::ZERO + world.cfg.monitor_tick, Ev::MonitorTick);
+
+    let deadline = world.cfg.max_sim_time;
+    let drained = eng.run_until(deadline, |eng, ev| world.handle(eng, ev));
+    if !drained && !world.finished {
+        world.timed_out = true;
+    }
+    world.into_report(eng.processed())
+}
+
+impl ArWorld {
+    fn handle(&mut self, eng: &mut Engine<Ev>, ev: Ev) {
+        if self.finished {
+            return;
+        }
+        match ev {
+            Ev::RoundEnd { round }
+                if round == self.round => {
+                    self.close_round(eng);
+                }
+            Ev::MonitorTick => self.monitor_tick(eng),
+            // AllReduce jobs have no PS-style lifecycle events.
+            _ => {}
+        }
+    }
+
+    fn take(&mut self, w: usize, want: u64) -> u64 {
+        if want == 0 {
+            return 0;
+        }
+        match self.cfg.data {
+            DataStrategy::EvenPartition => {
+                let take = want.min(self.ranks[w].fixed_remaining);
+                self.ranks[w].fixed_remaining -= take;
+                take
+            }
+            DataStrategy::Dds => {
+                // Batches may span shard boundaries (multiple open leases).
+                let mut total = 0u64;
+                while total < want {
+                    let need_fetch = match self.ranks[w].leases.last() {
+                        Some(l) => l.consumed >= l.lease.shard.len,
+                        None => true,
+                    };
+                    if need_fetch {
+                        let dds = self.dds.as_ref().expect("dds");
+                        match dds.fetch(w as u32) {
+                            Some(lease) => {
+                                let order =
+                                    matches!(self.cfg.execution, ExecutionMode::Real { .. })
+                                        .then(|| dds.sample_order(&lease));
+                                self.overhead.add_dds(SimDuration::from_secs_f64(0.005));
+                                self.ranks[w].leases.push(LeaseState {
+                                    lease,
+                                    order,
+                                    consumed: 0,
+                                    committed: 0,
+                                });
+                            }
+                            None => break,
+                        }
+                    }
+                    let lease = self.ranks[w].leases.last_mut().unwrap();
+                    let take = (want - total).min(lease.lease.shard.len - lease.consumed);
+                    lease.consumed += take;
+                    total += take;
+                }
+                total
+            }
+        }
+    }
+
+    /// Commit consumption at round close (AllReduce rounds never drop pushes):
+    /// fully consumed shards go DONE, a trailing partial lease stays open.
+    fn commit_lease(&mut self, w: usize) {
+        let mut finished = Vec::new();
+        for lease in &mut self.ranks[w].leases {
+            lease.committed = lease.consumed;
+            if lease.consumed >= lease.lease.shard.len {
+                finished.push(lease.lease);
+            }
+        }
+        self.ranks[w].leases.retain(|l| l.consumed < l.lease.shard.len);
+        for l in finished {
+            self.dds
+                .as_ref()
+                .expect("dds")
+                .report_done(w as u32, l)
+                .expect("lease held");
+        }
+    }
+
+    fn start_round(&mut self, eng: &mut Engine<Ev>) {
+        let now = eng.now();
+        self.round_start = now;
+        self.parts.clear();
+        let mut max_end = now;
+
+        for w in 0..self.ranks.len() {
+            let due = self.ranks[w].agent.take_due(now);
+            for a in due {
+                self.apply_action(w, a);
+            }
+            let accum = self.ranks[w].accum.max(1);
+            let quota = self.ranks[w].quota;
+            let mut took = 0u64;
+            let mut compute = 0.0f64;
+            for _ in 0..accum {
+                let got = self.take(w, quota);
+                if got == 0 {
+                    break;
+                }
+                took += got;
+                let spec = &self.cfg.cluster.workers[w];
+                let base = self.cfg.model.compute.time(got, spec.device.speed);
+                let rank = &mut self.ranks[w];
+                compute += spec.profile.iteration_secs(&self.pool, now, base, &mut rank.rng);
+            }
+            if took == 0 {
+                continue;
+            }
+            let grad = self.real_grad(w, took);
+            if let Some(g) = self.gantt.as_mut() {
+                g.record(
+                    w as u32,
+                    SpanKind::Compute,
+                    now,
+                    now + SimDuration::from_secs_f64(compute),
+                );
+            }
+            max_end = max_end.max(now + SimDuration::from_secs_f64(compute));
+            self.parts.push(Part { w, took, compute_secs: compute, grad });
+        }
+
+        if self.parts.is_empty() {
+            let complete = self.dds.as_ref().map(|d| d.is_complete()).unwrap_or(true)
+                && match self.cfg.data {
+                    DataStrategy::EvenPartition => {
+                        self.ranks.iter().all(|r| r.fixed_remaining == 0)
+                    }
+                    DataStrategy::Dds => true,
+                };
+            if complete {
+                self.finished = true;
+                eng.clear();
+            } else {
+                // Shard queue momentarily empty: retry shortly.
+                let round = self.round;
+                eng.schedule_after(SimDuration::from_secs(1), Ev::RoundEnd { round });
+            }
+            return;
+        }
+
+        // Ring AllReduce over the participating ranks.
+        let link = &self.cfg.cluster.workers[0].link;
+        let ar = ring_allreduce_secs(link, max_end, self.parts.len(), self.cfg.model.param_bytes);
+        let end = max_end + SimDuration::from_secs_f64(ar);
+        if let Some(g) = self.gantt.as_mut() {
+            for p in &self.parts {
+                g.record(
+                    p.w as u32,
+                    SpanKind::Idle,
+                    self.round_start + SimDuration::from_secs_f64(p.compute_secs),
+                    max_end,
+                );
+                g.record(p.w as u32, SpanKind::Comm, max_end, end);
+            }
+        }
+        eng.schedule(end, Ev::RoundEnd { round: self.round });
+    }
+
+    fn real_grad(&mut self, w: usize, took: u64) -> Option<Vec<f32>> {
+        let (model, _) = self.model.as_ref()?;
+        let ExecutionMode::Real { dataset, .. } = &self.cfg.execution else {
+            return None;
+        };
+        let mut idx = Vec::with_capacity(took as usize);
+        for lease in &self.ranks[w].leases {
+            if lease.consumed > lease.committed {
+                let order = lease.order.as_ref()?;
+                idx.extend_from_slice(&order[lease.committed as usize..lease.consumed as usize]);
+            }
+        }
+        let mut grad = vec![0.0f32; model.n_params()];
+        model.grad_batch(dataset, &idx, &mut grad);
+        Some(grad)
+    }
+
+    fn close_round(&mut self, eng: &mut Engine<Ev>) {
+        let now = eng.now();
+        if self.round == 0 && self.parts.is_empty() && self.round_start == SimTime::ZERO {
+            // Bootstrap event.
+            self.start_round(eng);
+            return;
+        }
+        let parts = std::mem::take(&mut self.parts);
+        // Math: sample-weighted mean of the per-rank accumulated gradients.
+        let total: u64 = parts.iter().filter(|p| p.grad.is_some()).map(|p| p.took).sum();
+        if total > 0 {
+            let lr_frac = (total as f32 / self.cfg.global_batch.max(1) as f32).min(1.0);
+            let mut agg = vec![0.0f32; self.model.as_ref().map_or(0, |(m, _)| m.n_params())];
+            for p in &parts {
+                if let Some(g) = &p.grad {
+                    let wgt = p.took as f32 / total as f32 * self.ranks[p.w].lr_scale * lr_frac;
+                    for (a, b) in agg.iter_mut().zip(g) {
+                        *a += b * wgt;
+                    }
+                }
+            }
+            if let Some((model, opt)) = self.model.as_mut() {
+                opt.step(model.params_mut(), &agg);
+            }
+        }
+        let mut round_samples = 0u64;
+        for p in &parts {
+            self.commit_lease(p.w);
+            round_samples += p.took;
+            let bpt = now.since(self.round_start).as_secs_f64();
+            self.ranks[p.w].series_bpt.push(now, p.compute_secs.max(0.0));
+            self.ranks[p.w].series_batch.push(now, p.took as f64);
+            if self.ranks[p.w].agent.on_iteration() {
+                // Reported BPT: the device's own compute time (what AntDT-DD
+                // estimates costs from), not the barrier-inclusive round time.
+                self.store
+                    .report_bpt(NodeId::worker(p.w as u32), now, p.compute_secs, p.took);
+                self.overhead
+                    .add_sync(SimDuration::from_secs_f64(self.cfg.broadcast.barrier_secs));
+            }
+            let _ = bpt;
+        }
+        if round_samples > 0 {
+            self.samples_done += round_samples;
+            self.throughput.push(
+                now,
+                round_samples as f64 / now.since(self.round_start).as_secs_f64().max(1e-9),
+            );
+            self.jct_mark = now;
+            self.round += 1;
+        }
+        self.start_round(eng);
+    }
+
+    fn apply_action(&mut self, w: usize, action: Action) {
+        match action {
+            Action::AdjustBs { batch_sizes, grad_accum } => {
+                if let Some(&b) = batch_sizes.get(w) {
+                    self.ranks[w].quota = b;
+                }
+                if let Some(acc) = grad_accum {
+                    if let Some(&c) = acc.get(w) {
+                        self.ranks[w].accum = c.max(1);
+                    }
+                }
+            }
+            Action::AdjustLr { scales } => {
+                if let Some(&s) = scales.get(w) {
+                    self.ranks[w].lr_scale = s;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn monitor_tick(&mut self, eng: &mut Engine<Ev>) {
+        let now = eng.now();
+        let sched = &self.cfg.cluster.scheduler;
+        self.store.set_cluster_info(ClusterInfo {
+            busy: sched.is_busy(now),
+            expected_pending_secs: sched.expected_pending_secs(now),
+        });
+        let snap = self.store.snapshot(now);
+        let actions = self.policy.decide(now, &snap, &self.ctx);
+        for action in actions {
+            if matches!(action, Action::None | Action::KillRestart { .. }) {
+                continue; // kill-restart is a PS-side action in this build
+            }
+            self.actions.push((now, action.clone()));
+            let delay = self.cfg.broadcast.full_broadcast_delay(action.payload_bytes());
+            self.overhead.add_sync(delay);
+            let at = now + delay;
+            for r in &mut self.ranks {
+                r.agent.deliver(at, action.clone());
+            }
+        }
+        eng.schedule(now + self.cfg.monitor_tick, Ev::MonitorTick);
+    }
+
+    fn into_report(self, events_processed: u64) -> JobReport {
+        let auc = match (&self.model, &self.cfg.execution) {
+            (Some((model, _)), ExecutionMode::Real { holdout, .. }) if !holdout.is_empty() => {
+                let scores = model.scores(holdout);
+                let labels: Vec<f32> = holdout.examples.iter().map(|e| e.label).collect();
+                antdt_ml::auc(&scores, &labels)
+            }
+            _ => None,
+        };
+        JobReport {
+            jct: self.jct_mark.since(SimTime::ZERO),
+            iterations: self.round,
+            samples_done: self.samples_done,
+            rolled_back_samples: 0,
+            timed_out: self.timed_out,
+            worker_bpt: self.ranks.iter().map(|r| r.series_bpt.clone()).collect(),
+            worker_batch: self.ranks.iter().map(|r| r.series_batch.clone()).collect(),
+            server_bpt: Vec::new(),
+            global_throughput: self.throughput,
+            actions: self.actions,
+            kills: Vec::new(),
+            restarts: Vec::new(),
+            overhead: self.overhead,
+            audit: self.dds.as_ref().map(|d| d.audit()),
+            consumption: self.dds.as_ref().map(|d| d.consumption()),
+            auc,
+            gantt: self.gantt,
+            events_processed,
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Job configuration: architecture, consistency model, data strategy,
+//! mitigation solution, cost knobs and execution mode.
+
+use antdt_agent::{AgentConfig, BroadcastModel};
+use antdt_controller::{DdConfig, DeviceClassSpec};
+use antdt_ml::Dataset;
+use antdt_monitor::MonitorConfig;
+use antdt_sim::{SimDuration, SimTime};
+use antdt_workloads::{ClusterSpec, ModelProfile, Scenario};
+
+/// Consistency model of the Parameter Server (§I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// Bulk Synchronous Parallel: a barrier every iteration.
+    Bsp,
+    /// Asynchronous Parallel: no synchronization.
+    Asp,
+    /// Stale Synchronous Parallel: leaders may run at most `staleness`
+    /// iterations ahead of the slowest worker.
+    Ssp { staleness: u32 },
+}
+
+/// Training architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    ParameterServer { consistency: Consistency },
+    /// Ring AllReduce (PyTorch DDP); always BSP.
+    AllReduce,
+}
+
+/// How training data is handed to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataStrategy {
+    /// The Stateful Dynamic Data Sharding service.
+    Dds,
+    /// Static even partition (the native-ASP baseline and Fig. 3).
+    EvenPartition,
+}
+
+/// Which straggler-mitigation solution drives the Controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MitigationChoice {
+    /// Native training.
+    None,
+    /// AntDT-ND (§VI-A) — full solution (BSP flavour).
+    AntDtNd,
+    /// AntDT-ND in ASP mode: `KILL_RESTART` only (§VII-A3).
+    AntDtNdAsp,
+    /// AntDT-DD (§VI-B) for dedicated heterogeneous GPU clusters.
+    AntDtDd,
+    /// LB-BSP batch-size rebalancing \[18\].
+    LbBsp,
+    /// Sync-OPT backup workers \[28\] with DDS put-back.
+    BackupWorkers { b: u32 },
+    /// Scheduling-only baseline.
+    KillRestartOnly,
+    /// Optimization-based baseline.
+    AdjustLr,
+}
+
+/// How a killed worker's training state is recovered (§V-E3, Fig. 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverMode {
+    /// AntDT: servers keep the parameters; only the dead worker's DOING shards
+    /// replay. The rest of the fleet keeps training.
+    DdsBased,
+    /// Mainstream libraries: restore model + IO state from the last checkpoint
+    /// and recompute everything since — the whole job stalls for the duration.
+    CheckpointBased,
+}
+
+/// Background fault injection: mean time between failures per node (memoryless
+/// exponential arrivals). Models the unexpected failures — evictions, machine
+/// breakdowns — that the paper's footnote 2 says failover must absorb at scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    pub worker_mtbf: SimDuration,
+    pub server_mtbf: Option<SimDuration>,
+}
+
+/// Whether gradient math is real or ghosted (timing only).
+#[derive(Debug, Clone)]
+pub enum ExecutionMode {
+    /// Cost-model only; no gradients computed (fast, used for timing sweeps).
+    Simulated,
+    /// Real factorization-machine training on `dataset`; the report carries the
+    /// trained model's holdout AUC.
+    Real { dataset: Dataset, holdout: Dataset, latent_k: usize, lr: f32 },
+}
+
+/// Everything a job needs. Build with one of the constructors, then chain
+/// `with_*` to customize.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    pub arch: Arch,
+    pub cluster: ClusterSpec,
+    pub model: ModelProfile,
+    pub mitigation: MitigationChoice,
+    pub data: DataStrategy,
+    pub execution: ExecutionMode,
+
+    /// `B` — fixed global batch per iteration/round.
+    pub global_batch: u64,
+    /// `N` — samples per epoch.
+    pub total_samples: u64,
+    pub epochs: u32,
+    /// `M` — batches per shard (paper default 100).
+    pub batches_per_shard: u64,
+
+    pub monitor: MonitorConfig,
+    /// Monitor aggregation + Controller decision cadence (paper: 5 min).
+    pub monitor_tick: SimDuration,
+    pub agent: AgentConfig,
+    pub broadcast: BroadcastModel,
+
+    /// Checkpoint cadence and cost knobs (failover model, Fig. 17).
+    pub checkpoint_interval: SimDuration,
+    pub ckpt_save_secs: f64,
+    pub ckpt_restore_secs: f64,
+    /// Communication-world rebuild on any restart.
+    pub world_rebuild_secs: f64,
+    /// Wall-clock factor for recomputing lost progress after a *server*
+    /// failover (< 1: the replay has no stragglers and a warm cache).
+    pub rollback_recompute_factor: f64,
+
+    /// AntDT-DD device classes (required when `mitigation == AntDtDd`).
+    pub dd_classes: Option<Vec<DeviceClassSpec>>,
+    /// Worker failover recovery scheme.
+    pub failover: FailoverMode,
+    /// Optional background fault injection.
+    pub faults: Option<FaultConfig>,
+
+    pub seed: u64,
+    /// Safety cap; the run reports `timed_out` when exceeded.
+    pub max_sim_time: SimTime,
+    /// Record a Gantt chart (costly on long runs).
+    pub record_gantt: bool,
+}
+
+impl JobConfig {
+    fn base(arch: Arch, cluster: ClusterSpec) -> Self {
+        JobConfig {
+            arch,
+            cluster,
+            model: ModelProfile::xdeepfm(),
+            mitigation: MitigationChoice::None,
+            data: DataStrategy::Dds,
+            execution: ExecutionMode::Simulated,
+            global_batch: 8192,
+            total_samples: 1_000_000,
+            epochs: 1,
+            batches_per_shard: 100,
+            monitor: MonitorConfig::default(),
+            monitor_tick: SimDuration::from_minutes(5),
+            agent: AgentConfig::default(),
+            broadcast: BroadcastModel::default(),
+            checkpoint_interval: SimDuration::from_minutes(10),
+            ckpt_save_secs: 15.0,
+            ckpt_restore_secs: 60.0,
+            world_rebuild_secs: 45.0,
+            rollback_recompute_factor: 0.8,
+            dd_classes: None,
+            failover: FailoverMode::DdsBased,
+            faults: None,
+            seed: 1,
+            max_sim_time: SimTime::from_secs_f64(30.0 * 24.0 * 3600.0),
+            record_gantt: false,
+        }
+    }
+
+    /// A BSP Parameter Server job on `cluster` with `scenario` injected.
+    pub fn ps_bsp(mut cluster: ClusterSpec, scenario: Scenario) -> Self {
+        antdt_workloads::straggler::apply(&mut cluster, scenario);
+        Self::base(
+            Arch::ParameterServer { consistency: Consistency::Bsp },
+            cluster,
+        )
+    }
+
+    /// An ASP Parameter Server job.
+    pub fn ps_asp(mut cluster: ClusterSpec, scenario: Scenario) -> Self {
+        antdt_workloads::straggler::apply(&mut cluster, scenario);
+        Self::base(
+            Arch::ParameterServer { consistency: Consistency::Asp },
+            cluster,
+        )
+    }
+
+    /// An SSP Parameter Server job with the given staleness bound.
+    pub fn ps_ssp(mut cluster: ClusterSpec, scenario: Scenario, staleness: u32) -> Self {
+        antdt_workloads::straggler::apply(&mut cluster, scenario);
+        Self::base(
+            Arch::ParameterServer { consistency: Consistency::Ssp { staleness } },
+            cluster,
+        )
+    }
+
+    /// An AllReduce (DDP-style) job.
+    pub fn allreduce(mut cluster: ClusterSpec, scenario: Scenario) -> Self {
+        antdt_workloads::straggler::apply(&mut cluster, scenario);
+        Self::base(Arch::AllReduce, cluster)
+    }
+
+    pub fn with_model(mut self, model: ModelProfile) -> Self {
+        self.model = model;
+        self
+    }
+    pub fn with_mitigation(mut self, m: MitigationChoice) -> Self {
+        self.mitigation = m;
+        self
+    }
+    pub fn with_data_strategy(mut self, d: DataStrategy) -> Self {
+        self.data = d;
+        self
+    }
+    pub fn with_global_batch(mut self, b: u64) -> Self {
+        self.global_batch = b;
+        self
+    }
+    pub fn with_samples(mut self, n: u64) -> Self {
+        self.total_samples = n;
+        self
+    }
+    pub fn with_epochs(mut self, e: u32) -> Self {
+        self.epochs = e;
+        self
+    }
+    pub fn with_batches_per_shard(mut self, m: u64) -> Self {
+        self.batches_per_shard = m;
+        self
+    }
+    pub fn with_seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+    pub fn with_execution(mut self, e: ExecutionMode) -> Self {
+        self.execution = e;
+        self
+    }
+    pub fn with_monitor_tick(mut self, d: SimDuration) -> Self {
+        self.monitor_tick = d;
+        self
+    }
+    /// Shrink the whole observe/decide cadence proportionally — useful for
+    /// short jobs (tests, examples) where the paper's production cadence
+    /// (5-minute ticks, 5/10-minute windows) would never fire.
+    pub fn with_fast_cadence(mut self, tick: SimDuration) -> Self {
+        self.monitor_tick = tick;
+        self.monitor = MonitorConfig { l_trans: tick, l_per: tick * 2 };
+        self
+    }
+    pub fn with_monitor(mut self, m: MonitorConfig) -> Self {
+        self.monitor = m;
+        self
+    }
+    pub fn with_dd_classes(mut self, classes: Vec<DeviceClassSpec>) -> Self {
+        self.dd_classes = Some(classes);
+        self
+    }
+    pub fn with_gantt(mut self) -> Self {
+        self.record_gantt = true;
+        self
+    }
+    pub fn with_checkpoint_interval(mut self, d: SimDuration) -> Self {
+        self.checkpoint_interval = d;
+        self
+    }
+    pub fn with_failover_mode(mut self, mode: FailoverMode) -> Self {
+        self.failover = mode;
+        self
+    }
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.cluster.n_workers()
+    }
+    pub fn n_servers(&self) -> usize {
+        self.cluster.n_servers()
+    }
+
+    /// The DD config derived from `dd_classes`.
+    pub fn dd_config(&self) -> Option<DdConfig> {
+        self.dd_classes.clone().map(DdConfig::new)
+    }
+
+    /// Validate cross-field invariants; panics with a clear message on misuse.
+    pub fn validate(&self) {
+        assert!(self.cluster.n_workers() > 0, "need at least one worker");
+        if let Arch::ParameterServer { .. } = self.arch {
+            assert!(self.cluster.n_servers() > 0, "PS architecture needs servers");
+        }
+        assert!(self.global_batch > 0, "global batch must be positive");
+        if let MitigationChoice::AntDtDd = self.mitigation {
+            let n: usize = self
+                .dd_classes
+                .as_ref()
+                .expect("AntDT-DD needs dd_classes")
+                .iter()
+                .map(|c| c.count as usize)
+                .sum();
+            assert_eq!(n, self.n_workers(), "dd_classes must cover every worker");
+        }
+        if let MitigationChoice::BackupWorkers { b } = self.mitigation {
+            assert!(
+                (b as usize) < self.n_workers(),
+                "backup worker count must leave at least one active worker"
+            );
+        }
+        if let ExecutionMode::Real { dataset, .. } = &self.execution {
+            assert!(
+                dataset.len() as u64 >= self.total_samples,
+                "real-math dataset smaller than total_samples"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdt_workloads::cluster::cluster_a_scaled;
+
+    #[test]
+    fn builders_apply_scenario_and_defaults() {
+        let cfg = JobConfig::ps_bsp(
+            cluster_a_scaled(4, 2),
+            Scenario::WorkerPersistent { intensity: 1.0 },
+        );
+        cfg.validate();
+        assert_eq!(cfg.n_workers(), 4);
+        // Scenario applied: last worker has a persistent phase.
+        assert!(!cfg.cluster.workers[3].profile.phases.is_empty());
+        assert!(cfg.cluster.workers[0].profile.phases.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "PS architecture needs servers")]
+    fn ps_without_servers_is_rejected() {
+        JobConfig::ps_bsp(cluster_a_scaled(4, 0), Scenario::None).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "backup worker count")]
+    fn too_many_backup_workers_rejected() {
+        JobConfig::ps_bsp(cluster_a_scaled(2, 1), Scenario::None)
+            .with_mitigation(MitigationChoice::BackupWorkers { b: 2 })
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dd_classes")]
+    fn dd_requires_classes() {
+        JobConfig::allreduce(cluster_a_scaled(2, 0), Scenario::None)
+            .with_mitigation(MitigationChoice::AntDtDd)
+            .validate();
+    }
+}

@@ -1,0 +1,33 @@
+//! The discrete-event vocabulary shared by the PS and AllReduce runtimes.
+//! Every node-scoped event carries the node's *generation* (incarnation
+//! counter); events addressed to a previous generation are stale — the node was
+//! killed after they were scheduled — and are dropped on receipt.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// Worker `w` attempts to begin its next iteration.
+    WorkerStart { w: u32, gen: u32 },
+    /// Worker `w` finished computing iteration `iter`.
+    WorkerComputeDone { w: u32, gen: u32, iter: u64 },
+    /// Worker `w`'s pull of fresh parameters completed (ASP path).
+    WorkerReady { w: u32, gen: u32 },
+    /// Monitor aggregation + Controller decision tick.
+    MonitorTick,
+    /// A `KILL_RESTART` (or fault) signal reached worker `w`.
+    WorkerKill { w: u32, gen: u32 },
+    /// Worker `w`'s replacement pod is up.
+    WorkerRestart { w: u32, gen: u32 },
+    /// A kill signal reached server `s`.
+    ServerKill { s: u32, gen: u32 },
+    /// Server `s`'s replacement pod is up (parameters restored).
+    ServerRestart { s: u32, gen: u32 },
+    /// Periodic checkpoint save.
+    Checkpoint,
+    /// Background fault arrival at worker `w` (kills whatever generation is
+    /// alive, then re-arms).
+    FaultWorker { w: u32 },
+    /// Background fault arrival at server `s`.
+    FaultServer { s: u32 },
+    /// AllReduce round `round` ends (all ranks synchronized).
+    RoundEnd { round: u64 },
+}

@@ -1,0 +1,186 @@
+//! Fleet A/B emulation (paper §VII-F, Fig. 19): a population of production
+//! jobs — some healthy, some straggling to varying degrees — each run under
+//! every method, reporting the mean JCT per method. This mirrors the paper's
+//! 3-day A/B test over 30% of production jobs, where normal and straggling
+//! jobs cannot be separated a priori.
+
+use crate::config::{DataStrategy, JobConfig, MitigationChoice};
+use crate::job::Job;
+use antdt_sim::rng::mix64;
+use antdt_workloads::cluster::cluster_a_scaled;
+use antdt_workloads::{ModelProfile, Scenario};
+use serde::Serialize;
+
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of jobs in the A/B population.
+    pub n_jobs: usize,
+    /// Workers / servers per job.
+    pub n_workers: usize,
+    pub n_servers: usize,
+    /// Samples per job (kept small; only ratios matter).
+    pub samples: u64,
+    pub global_batch: u64,
+    /// Fraction of jobs with no straggler at all.
+    pub healthy_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_jobs: 10,
+            n_workers: 6,
+            n_servers: 3,
+            samples: 1_500_000,
+            global_batch: 6144,
+            healthy_fraction: 0.4,
+            seed: 99,
+        }
+    }
+}
+
+/// Which arm of the A/B test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FleetMethod {
+    Bsp,
+    BackupWorkers,
+    LbBsp,
+    AntDtNd,
+    Asp,
+    AspDds,
+    AntDtNdAsp,
+}
+
+impl FleetMethod {
+    pub fn label(&self) -> &'static str {
+        match self {
+            FleetMethod::Bsp => "BSP",
+            FleetMethod::BackupWorkers => "Backup Workers",
+            FleetMethod::LbBsp => "LB-BSP",
+            FleetMethod::AntDtNd => "AntDT-ND",
+            FleetMethod::Asp => "ASP",
+            FleetMethod::AspDds => "ASP-DDS",
+            FleetMethod::AntDtNdAsp => "AntDT-ND (ASP)",
+        }
+    }
+
+    pub fn bsp_family() -> [FleetMethod; 4] {
+        [
+            FleetMethod::Bsp,
+            FleetMethod::BackupWorkers,
+            FleetMethod::LbBsp,
+            FleetMethod::AntDtNd,
+        ]
+    }
+
+    pub fn asp_family() -> [FleetMethod; 3] {
+        [FleetMethod::Asp, FleetMethod::AspDds, FleetMethod::AntDtNdAsp]
+    }
+}
+
+/// The straggler condition drawn for one job in the population.
+fn job_scenario(cfg: &FleetConfig, job: usize) -> Scenario {
+    let h = mix64(cfg.seed ^ mix64(job as u64));
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    if u < cfg.healthy_fraction {
+        return Scenario::None;
+    }
+    let intensity = 0.2 + 0.6 * ((h >> 7) & 0xff) as f64 / 255.0;
+    match h % 3 {
+        0 => Scenario::WorkerTransient { intensity },
+        1 => Scenario::WorkerMix { intensity },
+        _ => Scenario::ServerPersistent { intensity },
+    }
+}
+
+fn job_config(cfg: &FleetConfig, job: usize, method: FleetMethod) -> JobConfig {
+    let cluster = cluster_a_scaled(cfg.n_workers, cfg.n_servers);
+    let scenario = job_scenario(cfg, job);
+    let base = match method {
+        FleetMethod::Bsp | FleetMethod::BackupWorkers | FleetMethod::LbBsp | FleetMethod::AntDtNd => {
+            JobConfig::ps_bsp(cluster, scenario)
+        }
+        _ => JobConfig::ps_asp(cluster, scenario),
+    };
+    let base = base
+        .with_model(ModelProfile::xdeepfm())
+        .with_global_batch(cfg.global_batch)
+        .with_samples(cfg.samples)
+        .with_batches_per_shard(4)
+        .with_fast_cadence(antdt_sim::SimDuration::from_secs(120))
+        .with_seed(cfg.seed.wrapping_add(job as u64));
+    match method {
+        FleetMethod::Bsp => base,
+        FleetMethod::BackupWorkers => {
+            base.with_mitigation(MitigationChoice::BackupWorkers { b: 1 })
+        }
+        FleetMethod::LbBsp => base.with_mitigation(MitigationChoice::LbBsp),
+        FleetMethod::AntDtNd => base.with_mitigation(MitigationChoice::AntDtNd),
+        FleetMethod::Asp => base.with_data_strategy(DataStrategy::EvenPartition),
+        FleetMethod::AspDds => base,
+        FleetMethod::AntDtNdAsp => base.with_mitigation(MitigationChoice::AntDtNdAsp),
+    }
+}
+
+/// Mean JCT (seconds) of one method over the whole population.
+pub fn run_arm(cfg: &FleetConfig, method: FleetMethod) -> ArmResult {
+    let mut total = 0.0;
+    let mut worst: f64 = 0.0;
+    for job in 0..cfg.n_jobs {
+        let r = Job::run(job_config(cfg, job, method));
+        assert!(!r.timed_out, "fleet job timed out under {method:?}");
+        let jct = r.jct.as_secs_f64();
+        total += jct;
+        worst = worst.max(jct);
+    }
+    ArmResult {
+        method,
+        mean_jct_secs: total / cfg.n_jobs as f64,
+        worst_jct_secs: worst,
+    }
+}
+
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ArmResult {
+    pub method: FleetMethod,
+    pub mean_jct_secs: f64,
+    pub worst_jct_secs: f64,
+}
+
+/// Run the full A/B test: both families over the same job population.
+pub fn ab_test(cfg: &FleetConfig) -> Vec<ArmResult> {
+    FleetMethod::bsp_family()
+        .into_iter()
+        .chain(FleetMethod::asp_family())
+        .map(|m| run_arm(cfg, m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_and_mixed() {
+        let cfg = FleetConfig::default();
+        let a: Vec<Scenario> = (0..cfg.n_jobs).map(|j| job_scenario(&cfg, j)).collect();
+        let b: Vec<Scenario> = (0..cfg.n_jobs).map(|j| job_scenario(&cfg, j)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|s| matches!(s, Scenario::None)));
+        assert!(a.iter().any(|s| !matches!(s, Scenario::None)));
+    }
+
+    #[test]
+    fn antdt_nd_wins_the_bsp_family_on_average() {
+        let cfg = FleetConfig { n_jobs: 4, samples: 200_000, ..Default::default() };
+        let bsp = run_arm(&cfg, FleetMethod::Bsp);
+        let nd = run_arm(&cfg, FleetMethod::AntDtNd);
+        assert!(
+            nd.mean_jct_secs < bsp.mean_jct_secs,
+            "bsp {} vs nd {}",
+            bsp.mean_jct_secs,
+            nd.mean_jct_secs
+        );
+    }
+}

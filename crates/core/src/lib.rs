@@ -1,0 +1,45 @@
+//! # antdt-core — the AntDT framework runtime
+//!
+//! Wires the four AntDT components (Stateful DDS, Monitor, Controller, Agent)
+//! around two data-parallel training runtimes built on the discrete-event
+//! simulator:
+//!
+//! * [`ps`] — a Parameter Server runtime with BSP / ASP / SSP consistency,
+//!   per-server gradient queues, checkpointing and kill/restart failover;
+//! * [`allreduce`] — a ring-AllReduce (PyTorch-DDP-style) runtime with
+//!   per-device batch sizes and gradient accumulation.
+//!
+//! [`job::Job`] is the entry point: it takes a [`JobConfig`], runs the
+//! simulated job to completion and returns a [`JobReport`] with everything the
+//! paper's figures need — JCT, per-node BPT trajectories, batch-size
+//! trajectories, shard-consumption stats, the integrity audit, action/failover
+//! logs, overhead ledger, and (in real-math mode) the trained model's AUC.
+//!
+//! [`fleet`] emulates the production A/B test of §VII-F across a population of
+//! jobs.
+
+pub mod allreduce;
+pub mod config;
+pub mod events;
+pub mod failover;
+pub mod fleet;
+pub mod job;
+pub mod ps;
+pub mod report;
+
+pub use config::{
+    Arch, Consistency, DataStrategy, ExecutionMode, FailoverMode, FaultConfig, JobConfig,
+    MitigationChoice,
+};
+pub use job::Job;
+pub use report::JobReport;
+
+/// Run a Parameter Server job with an explicitly constructed policy — the
+/// escape hatch for ablations that sweep policy hyper-parameters the standard
+/// [`MitigationChoice`] doesn't expose.
+pub fn ps_run_with_policy(
+    cfg: JobConfig,
+    policy: Box<dyn antdt_controller::MitigationPolicy>,
+) -> JobReport {
+    ps::run(cfg, policy)
+}

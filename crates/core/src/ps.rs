@@ -1,0 +1,1229 @@
+//! The Parameter Server training runtime (BSP / ASP / SSP) on the
+//! discrete-event simulator.
+//!
+//! ## Time model
+//!
+//! One worker iteration: fetch data (DDS round-trip when a new shard is
+//! needed), compute `Tᵢʷ` (cost profile × node contention profile ×
+//! accumulation count), push gradient pieces to every server, wait for the
+//! servers (`Tᵢˢ`: per-piece aggregation, plus one optimizer-apply per
+//! iteration in BSP / per push in ASP — which is why ASP loses to BSP under a
+//! server straggler, §VII-B1b), and pull fresh parameters (`Tᵢᵐ`).
+//!
+//! In **BSP** a barrier closes the iteration once the required pushes arrived
+//! (`n` alive participants, or `n − b` with backup workers; the dropped
+//! stragglers' samples are rolled back into their DDS shards). In **ASP** every
+//! worker loops independently; server work is serialized through per-server
+//! busy-time bookkeeping. **SSP** is ASP with an iteration-lead bound.
+//!
+//! ## Fault model
+//!
+//! `KILL_RESTART` (and injected faults) bump the node's *generation*; stale
+//! events are dropped. A killed worker's `DOING` shards requeue (at-least-once);
+//! its replacement starts clean (new hardware) after scheduler pending + init +
+//! world rebuild. A killed server stalls dependent pushes until its replacement
+//! restores parameters from the last checkpoint (plus a recompute penalty for
+//! the lost progress).
+
+use crate::config::{Consistency, DataStrategy, ExecutionMode, FailoverMode, JobConfig};
+use crate::events::Ev;
+use crate::report::JobReport;
+use antdt_agent::{Agent, OverheadLedger};
+use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
+use antdt_dds::{DdsConfig, DdsService, ShardLease};
+use antdt_ml::{FactorizationMachine, Model, Optimizer, PartitionPlan, Sgd};
+use antdt_monitor::{ClusterInfo, ErrorClass, MetricStore, NodeEvent, NodeId, RetryableError};
+use antdt_sim::gantt::SpanKind;
+use antdt_sim::dist::Dist;
+use antdt_sim::{Engine, Gantt, Link, NodeProfile, RngPool, SimDuration, SimTime, TimeSeries};
+use antdt_workloads::DeviceClass;
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Extra per-iteration DDS state-synchronization stall (shard offsets, batch
+/// cursors) charged on the worker's critical path and in the overhead ledger.
+const DDS_SYNC_SECS: f64 = 0.002;
+/// DDS round-trip when fetching / reporting a shard.
+const DDS_FETCH_SECS: f64 = 0.005;
+/// Retry delay when the shard queue is momentarily empty (end of epoch).
+const DATA_POLL: SimDuration = SimDuration(5_000_000);
+
+struct LeaseState {
+    lease: ShardLease,
+    order: Option<Vec<u64>>,
+    consumed: u64,
+    committed: u64,
+}
+
+enum DataSource {
+    Dds,
+    Fixed { remaining: u64 },
+}
+
+struct Inflight {
+    took: u64,
+    start: SimTime,
+    compute_end: SimTime,
+    grad: Option<Vec<f32>>,
+}
+
+struct WorkerState {
+    gen: u32,
+    alive: bool,
+    done: bool,
+    profile: NodeProfile,
+    device: DeviceClass,
+    link: Link,
+    agent: Agent,
+    quota: u64,
+    accum: u32,
+    lr_scale: f32,
+    source: DataSource,
+    leases: Vec<LeaseState>,
+    iter: u64,
+    inflight: Option<Inflight>,
+    rng: StdRng,
+    series_bpt: TimeSeries,
+    series_batch: TimeSeries,
+    killed_at: Option<SimTime>,
+    /// Wants data but the shard queue is momentarily empty; excluded from the
+    /// SSP minimum so leaders holding leases are not gated on a worker that
+    /// cannot progress anyway (liveness guard).
+    starving: bool,
+    /// Earliest instant the worker may begin its next iteration — the barrier
+    /// release + pull time. Guards against stray wake-ups (action-delivery
+    /// pokes, duplicate events) starting an iteration before the release,
+    /// which would illegally pipeline the synchronous schedule.
+    next_allowed: SimTime,
+}
+
+struct ServerState {
+    gen: u32,
+    alive: bool,
+    profile: NodeProfile,
+    link: Link,
+    free_at: SimTime,
+    series_bpt: TimeSeries,
+}
+
+struct MathState {
+    model: FactorizationMachine,
+    opt: Sgd,
+    #[allow(dead_code)]
+    plan: PartitionPlan,
+    agg: Vec<f32>,
+}
+
+/// One worker's completed push, waiting at the BSP barrier.
+struct Push {
+    w: u32,
+    compute_end: SimTime,
+    arrivals: Vec<SimTime>,
+}
+
+struct BspState {
+    iter: u64,
+    /// The iteration's participant set, frozen at the previous barrier release:
+    /// alive, not done, not starving, with a positive batch quota. Members may
+    /// only *leave* mid-iteration (death, data exhaustion, quota zeroed) —
+    /// late joiners wait for the next release, so the close threshold never
+    /// rises underneath an open iteration.
+    participants: HashSet<u32>,
+    pushes: Vec<Push>,
+    backup_b: u32,
+    /// Set when the close condition was met but a server is down.
+    close_pending: bool,
+}
+
+pub(crate) struct PsWorld {
+    cfg: JobConfig,
+    pool: RngPool,
+    sched_rng: StdRng,
+    workers: Vec<WorkerState>,
+    servers: Vec<ServerState>,
+    dds: Option<DdsService>,
+    store: MetricStore,
+    policy: Box<dyn MitigationPolicy>,
+    ctx: PolicyCtx,
+    math: Option<MathState>,
+    bsp: BspState,
+    overhead: OverheadLedger,
+    actions: Vec<(SimTime, Action)>,
+    kills: Vec<(SimTime, NodeId)>,
+    restarts: Vec<(SimTime, NodeId)>,
+    last_ckpt: SimTime,
+    samples_done: u64,
+    rolled_back_samples: u64,
+    iterations: u64,
+    jct_mark: SimTime,
+    finished: bool,
+    timed_out: bool,
+    throughput: TimeSeries,
+    bucket_start: SimTime,
+    bucket_samples: u64,
+    gantt: Option<Gantt>,
+    /// ASP pushes parked on a dead server: (worker, gen, compute_end).
+    parked: Vec<(u32, u32, SimTime)>,
+    ssp_waiting: HashSet<u32>,
+    /// Checkpoint-based failover stalls the whole job until the restore and
+    /// global recompute finish.
+    stall_until: SimTime,
+}
+
+const THROUGHPUT_BUCKET: SimDuration = SimDuration(60_000_000);
+
+pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobReport {
+    cfg.validate();
+    let pool = RngPool::new(cfg.seed);
+    let n = cfg.n_workers();
+    let m = cfg.n_servers();
+
+    // Shards are sized in *local* batches: a shard is consumed by one worker,
+    // so `M` counts that worker's batches (K = N / ((B/n)·M)).
+    let local_batch = (cfg.global_batch / n.max(1) as u64).max(1);
+    let dds = match cfg.data {
+        DataStrategy::Dds => Some(DdsService::new(
+            DdsConfig::new(cfg.total_samples, local_batch)
+                .with_batches_per_shard(cfg.batches_per_shard)
+                .with_epochs(cfg.epochs)
+                .with_shuffle(Some(cfg.seed)),
+        )),
+        DataStrategy::EvenPartition => None,
+    };
+
+    let math = match &cfg.execution {
+        ExecutionMode::Simulated => None,
+        ExecutionMode::Real { dataset, latent_k, lr, .. } => {
+            let model = FactorizationMachine::new(dataset.n_features, *latent_k, 0.05);
+            let n_params = model.n_params();
+            Some(MathState {
+                model,
+                opt: Sgd::new(*lr),
+                plan: PartitionPlan::even(n_params, m.max(1)),
+                agg: vec![0.0; n_params],
+            })
+        }
+    };
+
+    let even_quota = |i: usize| cfg.global_batch / n as u64 + u64::from((i as u64) < cfg.global_batch % n as u64);
+    let per_worker_fixed = |i: usize| {
+        let total = cfg.total_samples * cfg.epochs as u64;
+        total / n as u64 + u64::from((i as u64) < total % n as u64)
+    };
+
+    let mut store = MetricStore::new(cfg.monitor);
+    let workers: Vec<WorkerState> = (0..n)
+        .map(|i| {
+            store.register(NodeId::worker(i as u32));
+            let spec = &cfg.cluster.workers[i];
+            WorkerState {
+                gen: 0,
+                alive: true,
+                done: false,
+                profile: spec.profile.clone(),
+                device: spec.device,
+                link: spec.link.clone(),
+                agent: Agent::new(NodeId::worker(i as u32), cfg.agent),
+                quota: even_quota(i),
+                accum: 1,
+                lr_scale: 1.0,
+                source: match cfg.data {
+                    DataStrategy::Dds => DataSource::Dds,
+                    DataStrategy::EvenPartition => DataSource::Fixed { remaining: per_worker_fixed(i) },
+                },
+                leases: Vec::new(),
+                iter: 0,
+                inflight: None,
+                rng: pool.stream2(11, i as u64),
+                series_bpt: TimeSeries::new(),
+                series_batch: TimeSeries::new(),
+                killed_at: None,
+                starving: false,
+                next_allowed: SimTime::ZERO,
+            }
+        })
+        .collect();
+    let servers: Vec<ServerState> = (0..m)
+        .map(|j| {
+            store.register(NodeId::server(j as u32));
+            let spec = &cfg.cluster.servers[j];
+            ServerState {
+                gen: 0,
+                alive: true,
+                profile: spec.profile.clone(),
+                link: spec.link.clone(),
+                free_at: SimTime::ZERO,
+                series_bpt: TimeSeries::new(),
+            }
+        })
+        .collect();
+
+    let ctx = PolicyCtx { global_batch: cfg.global_batch, n_workers: n, n_servers: m };
+    let gantt = cfg.record_gantt.then(Gantt::new);
+    let mut world = PsWorld {
+        sched_rng: pool.stream(7),
+        pool,
+        workers,
+        servers,
+        dds,
+        store,
+        policy,
+        ctx,
+        math,
+        bsp: BspState {
+            iter: 0,
+            participants: (0..n as u32).collect(),
+            pushes: Vec::new(),
+            backup_b: 0,
+            close_pending: false,
+        },
+        overhead: OverheadLedger::new(),
+        actions: Vec::new(),
+        kills: Vec::new(),
+        restarts: Vec::new(),
+        last_ckpt: SimTime::ZERO,
+        samples_done: 0,
+        rolled_back_samples: 0,
+        iterations: 0,
+        jct_mark: SimTime::ZERO,
+        finished: false,
+        timed_out: false,
+        throughput: TimeSeries::new(),
+        bucket_start: SimTime::ZERO,
+        bucket_samples: 0,
+        gantt,
+        parked: Vec::new(),
+        ssp_waiting: HashSet::new(),
+        stall_until: SimTime::ZERO,
+        cfg,
+    };
+
+    let mut eng: Engine<Ev> = Engine::new();
+    for w in 0..n as u32 {
+        eng.schedule(SimTime::ZERO, Ev::WorkerStart { w, gen: 0 });
+    }
+    eng.schedule(SimTime::ZERO + world.cfg.monitor_tick, Ev::MonitorTick);
+    eng.schedule(SimTime::ZERO + world.cfg.checkpoint_interval, Ev::Checkpoint);
+    if let Some(faults) = world.cfg.faults {
+        for w in 0..n as u32 {
+            let at = world.sample_fault_delay(faults.worker_mtbf);
+            eng.schedule(SimTime::ZERO + at, Ev::FaultWorker { w });
+        }
+        if let Some(mtbf) = faults.server_mtbf {
+            for s in 0..m as u32 {
+                let at = world.sample_fault_delay(mtbf);
+                eng.schedule(SimTime::ZERO + at, Ev::FaultServer { s });
+            }
+        }
+    }
+
+    let deadline = world.cfg.max_sim_time;
+    let drained = eng.run_until(deadline, |eng, ev| world.handle(eng, ev));
+    if !drained && !world.finished {
+        world.timed_out = true;
+    }
+    world.into_report(eng.processed())
+}
+
+impl PsWorld {
+    fn consistency(&self) -> Consistency {
+        match self.cfg.arch {
+            crate::config::Arch::ParameterServer { consistency } => consistency,
+            crate::config::Arch::AllReduce => unreachable!("allreduce uses its own runtime"),
+        }
+    }
+
+    fn is_bsp(&self) -> bool {
+        matches!(self.consistency(), Consistency::Bsp)
+    }
+
+    fn handle(&mut self, eng: &mut Engine<Ev>, ev: Ev) {
+        if self.finished {
+            return;
+        }
+        match ev {
+            Ev::WorkerStart { w, gen } => self.worker_start(eng, w, gen),
+            Ev::WorkerComputeDone { w, gen, iter } => self.compute_done(eng, w, gen, iter),
+            Ev::WorkerReady { w, gen } => {
+                // Alias of WorkerStart after a pull completes.
+                self.worker_start(eng, w, gen)
+            }
+            Ev::MonitorTick => self.monitor_tick(eng),
+            Ev::WorkerKill { w, gen } => self.worker_kill(
+                eng,
+                w,
+                gen,
+                ErrorClass::Retryable(RetryableError::ProactiveKill),
+            ),
+            Ev::WorkerRestart { w, gen } => self.worker_restart(eng, w, gen),
+            Ev::ServerKill { s, gen } => self.server_kill(eng, s, gen),
+            Ev::ServerRestart { s, gen } => self.server_restart(eng, s, gen),
+            Ev::Checkpoint => self.checkpoint(eng),
+            Ev::FaultWorker { w } => self.fault_worker(eng, w),
+            Ev::FaultServer { s } => self.fault_server(eng, s),
+            Ev::RoundEnd { .. } => unreachable!("PS runtime has no rounds"),
+        }
+    }
+
+    // ----------------------------------------------------------------- data
+
+    /// Take up to `quota` samples from the worker's source. A batch may span
+    /// shard boundaries: multiple leases stay open (uncommitted) until the
+    /// push succeeds, so a dropped push can still roll back every one of them.
+    /// Returns samples taken (< quota only when the shard queue is exhausted).
+    fn take_batch(&mut self, w: usize, now: SimTime) -> u64 {
+        let _ = now;
+        let quota = self.workers[w].quota;
+        if quota == 0 {
+            return 0;
+        }
+        match &mut self.workers[w].source {
+            DataSource::Fixed { remaining } => {
+                let take = quota.min(*remaining);
+                *remaining -= take;
+                take
+            }
+            DataSource::Dds => {
+                let mut total = 0u64;
+                while total < quota {
+                    let need_fetch = match self.workers[w].leases.last() {
+                        Some(l) => l.consumed >= l.lease.shard.len,
+                        None => true,
+                    };
+                    if need_fetch {
+                        let dds = self.dds.as_ref().expect("dds source");
+                        match dds.fetch(w as u32) {
+                            Some(lease) => {
+                                let order = match &self.cfg.execution {
+                                    ExecutionMode::Real { .. } => Some(dds.sample_order(&lease)),
+                                    ExecutionMode::Simulated => None,
+                                };
+                                self.overhead.add_dds(SimDuration::from_secs_f64(DDS_FETCH_SECS));
+                                self.workers[w]
+                                    .leases
+                                    .push(LeaseState { lease, order, consumed: 0, committed: 0 });
+                            }
+                            None => break,
+                        }
+                    }
+                    let lease = self.workers[w].leases.last_mut().expect("lease ensured");
+                    let take = (quota - total).min(lease.lease.shard.len - lease.consumed);
+                    lease.consumed += take;
+                    total += take;
+                }
+                total
+            }
+        }
+    }
+
+    /// Compute the real gradient for the samples just taken (math mode).
+    fn real_grad(&mut self, w: usize, took: u64) -> Option<Vec<f32>> {
+        let math = self.math.as_ref()?;
+        let ExecutionMode::Real { dataset, .. } = &self.cfg.execution else {
+            return None;
+        };
+        // Collect the just-taken (consumed but uncommitted) indices across the
+        // worker's open leases.
+        let mut idx = Vec::with_capacity(took as usize);
+        for lease in &self.workers[w].leases {
+            if lease.consumed > lease.committed {
+                let order = lease.order.as_ref()?;
+                idx.extend_from_slice(&order[lease.committed as usize..lease.consumed as usize]);
+            }
+        }
+        debug_assert_eq!(idx.len() as u64, took);
+        let mut grad = vec![0.0f32; math.model.n_params()];
+        math.model.grad_batch(dataset, &idx, &mut grad);
+        Some(grad)
+    }
+
+    /// Commit the in-flight consumption after a successful push; fully
+    /// consumed shards go DONE in the DDS, a trailing partial lease stays open.
+    fn commit(&mut self, w: usize) {
+        if let DataSource::Fixed { .. } = self.workers[w].source {
+            return; // committed at take time
+        }
+        let mut finished = Vec::new();
+        for lease in &mut self.workers[w].leases {
+            lease.committed = lease.consumed;
+            if lease.committed >= lease.lease.shard.len {
+                finished.push(lease.lease);
+            }
+        }
+        self.workers[w]
+            .leases
+            .retain(|l| l.committed < l.lease.shard.len);
+        if !finished.is_empty() {
+            let dds = self.dds.as_ref().expect("dds source");
+            for l in finished {
+                dds.report_done(w as u32, l).expect("lease held by this worker");
+                self.overhead.add_dds(SimDuration::from_secs_f64(DDS_FETCH_SECS));
+            }
+        }
+    }
+
+    /// Roll back uncommitted consumption (dropped push or mid-compute death).
+    fn rollback(&mut self, w: usize, took: u64) {
+        self.rolled_back_samples += took;
+        match &mut self.workers[w].source {
+            DataSource::Fixed { remaining } => *remaining += took,
+            DataSource::Dds => {
+                for lease in &mut self.workers[w].leases {
+                    lease.consumed = lease.committed;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- lifecycle
+
+    fn worker_start(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32) {
+        let wi = w as usize;
+        if !self.workers[wi].alive || self.workers[wi].gen != gen || self.finished {
+            return;
+        }
+        if self.workers[wi].inflight.is_some() || self.workers[wi].done {
+            return;
+        }
+        let now = eng.now();
+        if now < self.workers[wi].next_allowed {
+            // A wake-up arrived before this worker's barrier release; the
+            // event scheduled for the release instant will start it.
+            return;
+        }
+        if now < self.stall_until {
+            // Checkpoint-based failover in progress: everyone waits.
+            eng.schedule(self.stall_until, Ev::WorkerStart { w, gen });
+            return;
+        }
+
+        // Apply actions that reached this agent.
+        let due = self.workers[wi].agent.take_due(now);
+        for action in due {
+            self.apply_worker_action(wi, action);
+        }
+
+        // SSP gate: don't run ahead of the slowest alive worker.
+        if let Consistency::Ssp { staleness } = self.consistency() {
+            let min_iter = self
+                .workers
+                .iter()
+                .filter(|x| x.alive && !x.done && !x.starving)
+                .map(|x| x.iter)
+                .min()
+                .unwrap_or(u64::MAX);
+            if self.workers[wi].iter > min_iter.saturating_add(staleness as u64) {
+                self.ssp_waiting.insert(w);
+                return;
+            }
+        }
+
+        let quota = self.workers[wi].quota;
+        if quota == 0 && self.is_bsp() && self.bsp.participants.remove(&w) {
+            // Zero-quota workers sit out; the barrier must not wait for them.
+            self.try_close_bsp(eng);
+        }
+        let took = self.take_batch(wi, now);
+        if took > 0 {
+            self.workers[wi].starving = false;
+        }
+        if took == 0 {
+            let dds_complete = self.dds.as_ref().map(|d| d.is_complete()).unwrap_or(true);
+            let fixed_done = matches!(self.workers[wi].source, DataSource::Fixed { remaining: 0 });
+            let holds_data = self
+                .workers[wi]
+                .leases
+                .iter()
+                .any(|l| l.consumed < l.lease.shard.len);
+            if (matches!(self.workers[wi].source, DataSource::Dds) && dds_complete && !holds_data)
+                || fixed_done
+            {
+                self.workers[wi].done = true;
+                if self.is_bsp() && self.bsp.participants.remove(&w) {
+                    self.try_close_bsp(eng);
+                }
+                self.check_finished(eng);
+            } else if self.workers[wi].quota == 0 {
+                // Idle until an AdjustBs wakes it (delivery schedules a start).
+            } else {
+                // Queue momentarily empty (epoch tail): retry shortly. Any
+                // SSP-parked workers must keep draining their leases, or the
+                // starving worker waits on them forever (they hold the DOING
+                // shards while it holds the minimum iteration count).
+                if !self.ssp_waiting.is_empty() {
+                    let waiting: Vec<u32> = self.ssp_waiting.drain().collect();
+                    for v in waiting {
+                        let vg = self.workers[v as usize].gen;
+                        eng.schedule(eng.now(), Ev::WorkerStart { w: v, gen: vg });
+                    }
+                }
+                self.workers[wi].starving = true;
+                if self.is_bsp() && self.bsp.participants.remove(&w) {
+                    self.try_close_bsp(eng);
+                }
+                eng.schedule_after(DATA_POLL, Ev::WorkerStart { w, gen });
+            }
+            return;
+        }
+
+        // Iteration cost: C sequential micro-batches of `took` samples each
+        // behave like the full batch split C ways (the quota already reflects
+        // the per-micro-batch size in DD mode).
+        let accum = self.workers[wi].accum.max(1);
+        let mut dur = 0.0;
+        for _ in 0..accum {
+            let base = self.cfg.model.compute.time(took, self.workers[wi].device.speed);
+            let worker = &mut self.workers[wi];
+            let (profile, rng) = (&worker.profile, &mut worker.rng);
+            dur += profile.iteration_secs(&self.pool, now, base, rng);
+        }
+        dur += DDS_SYNC_SECS;
+
+        let grad = self.real_grad(wi, took);
+        let iter_tag = if self.is_bsp() { self.bsp.iter } else { self.workers[wi].iter };
+        let compute_end = now + SimDuration::from_secs_f64(dur);
+        self.workers[wi].inflight = Some(Inflight { took, start: now, compute_end, grad });
+        if let Some(g) = self.gantt.as_mut() {
+            g.record(w, SpanKind::Compute, now, compute_end);
+        }
+        eng.schedule(compute_end, Ev::WorkerComputeDone { w, gen, iter: iter_tag });
+    }
+
+    fn piece_bytes(&self) -> u64 {
+        (self.cfg.model.param_bytes / self.servers.len().max(1) as u64).max(1)
+    }
+
+    fn path_transfer(&self, now: SimTime, wi: usize, sj: usize) -> f64 {
+        let bytes = self.piece_bytes();
+        let wl = &self.workers[wi].link;
+        let sl = &self.servers[sj].link;
+        let bw = wl.bandwidth_bps.min(sl.bandwidth_bps);
+        wl.latency_secs
+            + sl.latency_secs
+            + bytes as f64 / bw * wl.congestion_at(now) * sl.congestion_at(now)
+    }
+
+    /// Max pull transfer over all servers (parallel pulls).
+    fn pull_secs(&self, now: SimTime, wi: usize) -> f64 {
+        (0..self.servers.len())
+            .map(|j| self.path_transfer(now, wi, j))
+            .fold(0.0, f64::max)
+    }
+
+    fn compute_done(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32, iter: u64) {
+        let wi = w as usize;
+        if !self.workers[wi].alive || self.workers[wi].gen != gen || self.finished {
+            return;
+        }
+        let now = eng.now();
+        if self.is_bsp() {
+            if iter < self.bsp.iter {
+                // This worker was dropped by backup-workers while computing:
+                // roll back its samples and let it join the current iteration.
+                let took = self.workers[wi].inflight.take().map(|i| i.took).unwrap_or(0);
+                self.rollback(wi, took);
+                eng.schedule(now, Ev::WorkerStart { w, gen });
+                return;
+            }
+            let arrivals: Vec<SimTime> = (0..self.servers.len())
+                .map(|j| now + SimDuration::from_secs_f64(self.path_transfer(now, wi, j)))
+                .collect();
+            self.bsp.pushes.push(Push { w, compute_end: now, arrivals });
+            self.try_close_bsp(eng);
+        } else {
+            self.asp_push(eng, w, gen);
+        }
+    }
+
+    // -------------------------------------------------------------- BSP path
+
+    fn bsp_required(&self) -> usize {
+        self.bsp
+            .participants
+            .len()
+            .saturating_sub(self.bsp.backup_b as usize)
+            .max(1)
+    }
+
+    fn try_close_bsp(&mut self, eng: &mut Engine<Ev>) {
+        if self.bsp.pushes.len() < self.bsp_required().min(self.bsp.participants.len().max(1)) {
+            return;
+        }
+        if self.bsp.pushes.is_empty() {
+            return;
+        }
+        if self.servers.iter().any(|s| !s.alive) {
+            self.bsp.close_pending = true;
+            return;
+        }
+        self.bsp.close_pending = false;
+        let now = eng.now();
+
+        // ---- Server pass: per-server FIFO over the arrived pieces, then one
+        // optimizer apply per iteration.
+        let mut ready_max = SimTime::ZERO;
+        for j in 0..self.servers.len() {
+            let mut arrivals: Vec<SimTime> =
+                self.bsp.pushes.iter().map(|p| p.arrivals[j]).collect();
+            arrivals.sort_unstable();
+            let mut t = self.servers[j].free_at;
+            let mut busy = 0.0;
+            for a in arrivals {
+                let start = t.max(a);
+                let svc = self.cfg.model.server_agg_secs * self.servers[j].profile.slowdown(start);
+                t = start + SimDuration::from_secs_f64(svc);
+                busy += svc;
+            }
+            let apply = self.cfg.model.server_apply_secs * self.servers[j].profile.slowdown(t);
+            t += SimDuration::from_secs_f64(apply);
+            busy += apply;
+            self.servers[j].free_at = t;
+            self.servers[j].series_bpt.push(t, busy);
+            self.store.report_bpt(NodeId::server(j as u32), t, busy, 0);
+            ready_max = ready_max.max(t);
+        }
+
+        // ---- Drop the stragglers beyond the backup threshold (their late
+        // ComputeDone events will roll back & rejoin).
+        let pushed: HashSet<u32> = self.bsp.pushes.iter().map(|p| p.w).collect();
+
+        // ---- Math: aggregate pushed gradients, one apply.
+        #[allow(clippy::unnecessary_unwrap)] // borrow split: pushes/workers read while math written
+        if self.math.is_some() {
+            let mut total_weight = 0u64;
+            let grads: Vec<(u64, Vec<f32>, f32)> = self
+                .bsp
+                .pushes
+                .iter()
+                .filter_map(|p| {
+                    let inf = self.workers[p.w as usize].inflight.as_ref()?;
+                    let g = inf.grad.clone()?;
+                    total_weight += inf.took;
+                    Some((inf.took, g, self.workers[p.w as usize].lr_scale))
+                })
+                .collect();
+            if total_weight > 0 {
+                // Linear learning-rate scaling: an iteration that realized only
+                // part of the global batch (stragglers dropped, epoch tail)
+                // takes a proportionally smaller step, so the training is
+                // equivalent to fixed-B SGD regardless of mitigation actions.
+                let lr_frac =
+                    (total_weight as f32 / self.cfg.global_batch.max(1) as f32).min(1.0);
+                let math = self.math.as_mut().expect("math mode checked above");
+                math.agg.iter_mut().for_each(|x| *x = 0.0);
+                for (took, g, scale) in grads {
+                    let wgt = took as f32 / total_weight as f32 * scale * lr_frac;
+                    for (a, b) in math.agg.iter_mut().zip(&g) {
+                        *a += b * wgt;
+                    }
+                }
+                let agg = std::mem::take(&mut math.agg);
+                math.opt.step(math.model.params_mut(), &agg);
+                math.agg = agg;
+            }
+        }
+
+        // ---- Commit pushed workers; record their BPT and schedule the next
+        // iteration start after the pull.
+        let pushes = std::mem::take(&mut self.bsp.pushes);
+        let mut iteration_samples = 0u64;
+        for p in &pushes {
+            let wi = p.w as usize;
+            let Some(inf) = self.workers[wi].inflight.take() else {
+                continue;
+            };
+            iteration_samples += inf.took;
+            self.commit(wi);
+            let pull = self.pull_secs(ready_max, wi);
+            let push_tx = p
+                .arrivals
+                .iter()
+                .map(|&a| a.since(p.compute_end).as_secs_f64())
+                .fold(0.0, f64::max);
+            let bpt =
+                inf.compute_end.since(inf.start).as_secs_f64() + push_tx + pull;
+            self.workers[wi].iter += 1;
+            self.workers[wi].series_bpt.push(now, bpt);
+            self.workers[wi].series_batch.push(now, inf.took as f64);
+            if self.workers[wi].agent.on_iteration() {
+                self.store.report_bpt(NodeId::worker(p.w), now, bpt, inf.took);
+                self.overhead.add_sync(SimDuration::from_secs_f64(
+                    self.cfg.broadcast.barrier_secs,
+                ));
+            }
+            if let Some(g) = self.gantt.as_mut() {
+                g.record(p.w, SpanKind::Comm, inf.compute_end, inf.compute_end + SimDuration::from_secs_f64(push_tx));
+                g.record(p.w, SpanKind::Idle, inf.compute_end + SimDuration::from_secs_f64(push_tx), ready_max);
+            }
+            let next = ready_max + SimDuration::from_secs_f64(pull);
+            self.workers[wi].next_allowed = next;
+            eng.schedule(next, Ev::WorkerStart { w: p.w, gen: self.workers[wi].gen });
+        }
+
+        // DDS shard-state synchronization sits on the iteration's critical
+        // path once per global iteration (Fig. 18 accounting).
+        self.overhead.add_dds(SimDuration::from_secs_f64(DDS_SYNC_SECS));
+        self.account_samples(ready_max, iteration_samples);
+        self.iterations += 1;
+        self.jct_mark = self.jct_mark.max(ready_max);
+        self.bsp.iter += 1;
+        // Freeze the next iteration's participant set: everyone currently able
+        // to contribute a push.
+        self.bsp.participants = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| x.alive && !x.done && !x.starving && x.quota > 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        // Workers still computing past the barrier belong to the *old* iter;
+        // nothing to do — their ComputeDone rolls them into the new one. Idle
+        // alive workers that never joined (quota 0 at the time) get poked so a
+        // fresh AdjustBs can pick them up.
+        for w in 0..self.workers.len() {
+            if self.workers[w].alive
+                && !self.workers[w].done
+                && self.workers[w].inflight.is_none()
+                && !pushed.contains(&(w as u32))
+            {
+                eng.schedule(ready_max, Ev::WorkerStart { w: w as u32, gen: self.workers[w].gen });
+            }
+        }
+        self.check_finished(eng);
+    }
+
+    // -------------------------------------------------------------- ASP path
+
+    fn asp_push(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32) {
+        let now = eng.now();
+        if self.servers.iter().any(|s| !s.alive) {
+            self.parked.push((w, gen, now));
+            return;
+        }
+        self.finish_asp_push(eng, w, gen, now);
+    }
+
+    fn finish_asp_push(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32, compute_end: SimTime) {
+        let wi = w as usize;
+        if !self.workers[wi].alive || self.workers[wi].gen != gen {
+            return;
+        }
+        let Some(inf) = self.workers[wi].inflight.take() else {
+            return;
+        };
+        // Per-server booking: each push costs aggregation + apply (ASP applies
+        // per push — the higher server-side update frequency of §VII-B1b).
+        let mut ready = SimTime::ZERO;
+        for j in 0..self.servers.len() {
+            let arrival =
+                compute_end + SimDuration::from_secs_f64(self.path_transfer(compute_end, wi, j));
+            let start = self.servers[j].free_at.max(arrival);
+            let svc = (self.cfg.model.server_agg_secs + self.cfg.model.server_apply_asp_secs)
+                * self.servers[j].profile.slowdown(start);
+            let end = start + SimDuration::from_secs_f64(svc);
+            self.servers[j].free_at = end;
+            self.servers[j].series_bpt.push(end, svc);
+            self.store.report_bpt(NodeId::server(j as u32), end, svc, 0);
+            ready = ready.max(end);
+        }
+        // Math: apply this worker's gradient immediately (arrival order is the
+        // event order, exactly ASP's semantics).
+        if let Some(g) = &inf.grad {
+            // ASP linear scaling: each push steps in proportion to its share of
+            // the global batch, so slow/partial batches don't overstep.
+            let n = self.workers.len().max(1) as f32;
+            let lr_frac = (inf.took as f32 * n / self.cfg.global_batch.max(1) as f32).min(1.0);
+            let scale = self.workers[wi].lr_scale * lr_frac;
+            let math = self.math.as_mut().unwrap();
+            if scale == 1.0 {
+                math.opt.step(math.model.params_mut(), g);
+            } else {
+                let scaled: Vec<f32> = g.iter().map(|x| x * scale).collect();
+                math.opt.step(math.model.params_mut(), &scaled);
+            }
+        }
+        self.commit(wi);
+        let pull = self.pull_secs(ready, wi);
+        let bpt = ready.since(inf.start).as_secs_f64() + pull;
+        self.workers[wi].iter += 1;
+        self.workers[wi].series_bpt.push(ready, bpt);
+        self.workers[wi].series_batch.push(ready, inf.took as f64);
+        if self.workers[wi].agent.on_iteration() {
+            self.store.report_bpt(NodeId::worker(w), ready, bpt, inf.took);
+            self.overhead
+                .add_sync(SimDuration::from_secs_f64(self.cfg.broadcast.barrier_secs));
+        }
+        // Amortized DDS-state sync share of this push (one sync per global
+        // batch worth of pushes).
+        self.overhead.add_dds(SimDuration::from_secs_f64(
+            DDS_SYNC_SECS / self.workers.len().max(1) as f64,
+        ));
+        self.account_samples(ready, inf.took);
+        self.iterations += 1;
+        self.jct_mark = self.jct_mark.max(ready);
+        let next = ready + SimDuration::from_secs_f64(pull);
+        self.workers[wi].next_allowed = next;
+        eng.schedule(next, Ev::WorkerStart { w, gen });
+
+        // SSP: this worker's progress may unblock waiters.
+        if !self.ssp_waiting.is_empty() {
+            let waiting: Vec<u32> = self.ssp_waiting.drain().collect();
+            for v in waiting {
+                eng.schedule(next, Ev::WorkerStart { w: v, gen: self.workers[v as usize].gen });
+            }
+        }
+        self.check_finished(eng);
+    }
+
+    // ------------------------------------------------------------- lifecycle
+
+    fn worker_kill(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32, class: ErrorClass) {
+        let wi = w as usize;
+        if !self.workers[wi].alive || self.workers[wi].gen != gen {
+            return;
+        }
+        let now = eng.now();
+        self.workers[wi].alive = false;
+        self.workers[wi].gen += 1;
+        self.workers[wi].killed_at = Some(now);
+        self.kills.push((now, NodeId::worker(w)));
+        self.store.report_event(NodeEvent::Killed {
+            node: NodeId::worker(w),
+            at: now,
+            class,
+        });
+        // Roll back in-flight samples, requeue DOING shards.
+        if let Some(inf) = self.workers[wi].inflight.take() {
+            self.rollback(wi, inf.took);
+        }
+        self.bsp.participants.remove(&w);
+        self.workers[wi].leases.clear();
+        if let Some(dds) = &self.dds {
+            dds.fail_worker(w);
+        }
+        self.ssp_waiting.remove(&w);
+        if !self.ssp_waiting.is_empty() {
+            let waiting: Vec<u32> = self.ssp_waiting.drain().collect();
+            for v in waiting {
+                eng.schedule(now, Ev::WorkerStart { w: v, gen: self.workers[v as usize].gen });
+            }
+        }
+        // Schedule the replacement pod. DDS-based recovery only rebuilds the
+        // communication world (the servers still hold the parameters);
+        // checkpoint-based recovery additionally restores the checkpoint and
+        // recomputes all progress since it — stalling the whole job (§V-E3).
+        let mut delay = self
+            .cfg
+            .cluster
+            .scheduler
+            .sample_restart_delay(now, &mut self.sched_rng)
+            + SimDuration::from_secs_f64(self.cfg.world_rebuild_secs);
+        if self.cfg.failover == FailoverMode::CheckpointBased {
+            let rollback = self.cfg.rollback_recompute_factor
+                * now.since(self.last_ckpt)
+                    .as_secs_f64()
+                    .min(self.cfg.checkpoint_interval.as_secs_f64());
+            delay += SimDuration::from_secs_f64(self.cfg.ckpt_restore_secs + rollback);
+            self.stall_until = self.stall_until.max(now + delay);
+        }
+        if let Some(g) = self.gantt.as_mut() {
+            g.record(w, SpanKind::Failover, now, now + delay);
+        }
+        eng.schedule(now + delay, Ev::WorkerRestart { w, gen: self.workers[wi].gen });
+        if self.is_bsp() {
+            self.try_close_bsp(eng);
+        }
+        self.check_finished(eng);
+    }
+
+    fn worker_restart(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32) {
+        let wi = w as usize;
+        if self.workers[wi].alive || self.workers[wi].gen != gen || self.finished {
+            return;
+        }
+        let now = eng.now();
+        self.workers[wi].alive = true;
+        self.workers[wi].done = false;
+        // The replacement lands on healthy hardware: clean profile, fresh
+        // stream so its jitter doesn't replay the old node's.
+        let stream = self.workers[wi].profile.stream + 100_000 * gen as u64;
+        self.workers[wi].profile = NodeProfile::clean(stream);
+        self.workers[wi].agent.reset();
+        self.workers[wi].next_allowed = now;
+        self.restarts.push((now, NodeId::worker(w)));
+        self.store
+            .report_event(NodeEvent::Restarted { node: NodeId::worker(w), at: now });
+        eng.schedule(now, Ev::WorkerStart { w, gen });
+    }
+
+    fn server_kill(&mut self, eng: &mut Engine<Ev>, s: u32, gen: u32) {
+        let sj = s as usize;
+        if !self.servers[sj].alive || self.servers[sj].gen != gen {
+            return;
+        }
+        let now = eng.now();
+        self.servers[sj].alive = false;
+        self.servers[sj].gen += 1;
+        self.kills.push((now, NodeId::server(s)));
+        self.store.report_event(NodeEvent::Killed {
+            node: NodeId::server(s),
+            at: now,
+            class: ErrorClass::Retryable(RetryableError::ProactiveKill),
+        });
+        // Server failover: pending + init + rebuild + checkpoint restore +
+        // recompute of the progress since the last checkpoint (§V-E2).
+        let rollback = self.cfg.rollback_recompute_factor
+            * now.since(self.last_ckpt).as_secs_f64().min(
+                self.cfg.checkpoint_interval.as_secs_f64(),
+            );
+        let delay = self
+            .cfg
+            .cluster
+            .scheduler
+            .sample_restart_delay(now, &mut self.sched_rng)
+            + SimDuration::from_secs_f64(
+                self.cfg.world_rebuild_secs + self.cfg.ckpt_restore_secs + rollback,
+            );
+        eng.schedule(now + delay, Ev::ServerRestart { s, gen: self.servers[sj].gen });
+    }
+
+    fn server_restart(&mut self, eng: &mut Engine<Ev>, s: u32, gen: u32) {
+        let sj = s as usize;
+        if self.servers[sj].alive || self.servers[sj].gen != gen || self.finished {
+            return;
+        }
+        let now = eng.now();
+        self.servers[sj].alive = true;
+        // Replacement server: clean profile and link (the congestion followed
+        // the contended host, not the pod identity).
+        let stream = self.servers[sj].profile.stream + 100_000 * gen as u64;
+        self.servers[sj].profile = NodeProfile::clean(stream);
+        self.servers[sj].link.congestion.clear();
+        self.servers[sj].free_at = now;
+        self.restarts.push((now, NodeId::server(s)));
+        self.store
+            .report_event(NodeEvent::Restarted { node: NodeId::server(s), at: now });
+
+        if self.servers.iter().all(|x| x.alive) {
+            if self.bsp.close_pending {
+                self.try_close_bsp(eng);
+            }
+            let parked = std::mem::take(&mut self.parked);
+            for (w, g, _computed_at) in parked {
+                // The push resumes now: the gradient transfer restarts against
+                // the fresh server.
+                self.finish_asp_push(eng, w, g, now);
+            }
+        }
+    }
+
+    /// Exponential inter-arrival draw for background faults.
+    fn sample_fault_delay(&mut self, mtbf: SimDuration) -> SimDuration {
+        let d = Dist::Exponential { mean: mtbf.as_secs_f64() };
+        SimDuration::from_secs_f64(d.sample(&mut self.sched_rng).max(1.0))
+    }
+
+    fn fault_worker(&mut self, eng: &mut Engine<Ev>, w: u32) {
+        if self.finished {
+            return;
+        }
+        let gen = self.workers[w as usize].gen;
+        if self.workers[w as usize].alive {
+            self.worker_kill(
+                eng,
+                w,
+                gen,
+                ErrorClass::Retryable(RetryableError::NodeFailure),
+            );
+        }
+        // Re-arm: the replacement pod is as mortal as its predecessor.
+        let mtbf = self.cfg.faults.expect("fault event without config").worker_mtbf;
+        let next = self.sample_fault_delay(mtbf);
+        eng.schedule_after(next, Ev::FaultWorker { w });
+    }
+
+    fn fault_server(&mut self, eng: &mut Engine<Ev>, s: u32) {
+        if self.finished {
+            return;
+        }
+        let gen = self.servers[s as usize].gen;
+        if self.servers[s as usize].alive {
+            self.server_kill(eng, s, gen);
+        }
+        let mtbf = self
+            .cfg
+            .faults
+            .expect("fault event without config")
+            .server_mtbf
+            .expect("server fault without server mtbf");
+        let next = self.sample_fault_delay(mtbf);
+        eng.schedule_after(next, Ev::FaultServer { s });
+    }
+
+    fn checkpoint(&mut self, eng: &mut Engine<Ev>) {
+        if self.finished {
+            return;
+        }
+        let now = eng.now();
+        self.last_ckpt = now;
+        // Saving blocks the servers briefly.
+        for srv in &mut self.servers {
+            if srv.alive {
+                srv.free_at =
+                    srv.free_at.max(now) + SimDuration::from_secs_f64(self.cfg.ckpt_save_secs);
+            }
+        }
+        eng.schedule(now + self.cfg.checkpoint_interval, Ev::Checkpoint);
+    }
+
+    // ------------------------------------------------------------ controller
+
+    fn monitor_tick(&mut self, eng: &mut Engine<Ev>) {
+        if self.finished {
+            return;
+        }
+        let now = eng.now();
+        let sched = &self.cfg.cluster.scheduler;
+        self.store.set_cluster_info(ClusterInfo {
+            busy: sched.is_busy(now),
+            expected_pending_secs: sched.expected_pending_secs(now),
+        });
+        let snap = self.store.snapshot(now);
+        let actions = self.policy.decide(now, &snap, &self.ctx);
+        for action in actions {
+            if !matches!(action, Action::None) {
+                self.actions.push((now, action.clone()));
+            }
+            self.dispatch(eng, action, now);
+        }
+        eng.schedule(now + self.cfg.monitor_tick, Ev::MonitorTick);
+    }
+
+    fn dispatch(&mut self, eng: &mut Engine<Ev>, action: Action, now: SimTime) {
+        match action {
+            Action::None => {}
+            Action::KillRestart { node } => {
+                let delay = self.cfg.broadcast.direct_delay(16);
+                match node.role {
+                    antdt_monitor::Role::Worker => {
+                        let w = node.idx;
+                        let gen = self.workers[w as usize].gen;
+                        eng.schedule(now + delay, Ev::WorkerKill { w, gen });
+                    }
+                    antdt_monitor::Role::Server => {
+                        let s = node.idx;
+                        let gen = self.servers[s as usize].gen;
+                        eng.schedule(now + delay, Ev::ServerKill { s, gen });
+                    }
+                }
+            }
+            global => {
+                // Fig. 6: controller -> primary agent -> broadcast -> local
+                // barrier; every worker applies at its next iteration boundary.
+                let payload = global.payload_bytes();
+                let delay = self.cfg.broadcast.full_broadcast_delay(payload);
+                self.overhead.add_sync(delay);
+                let at = now + delay;
+                for w in 0..self.workers.len() {
+                    if self.workers[w].alive {
+                        self.workers[w].agent.deliver(at, global.clone());
+                        // Idle workers (quota 0 / parked) need a poke to pick
+                        // the action up.
+                        if self.workers[w].inflight.is_none() && !self.workers[w].done {
+                            eng.schedule(at, Ev::WorkerStart { w: w as u32, gen: self.workers[w].gen });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_worker_action(&mut self, wi: usize, action: Action) {
+        match action {
+            Action::AdjustBs { batch_sizes, grad_accum } => {
+                if let Some(&b) = batch_sizes.get(wi) {
+                    self.workers[wi].quota = b;
+                }
+                if let Some(acc) = grad_accum {
+                    if let Some(&c) = acc.get(wi) {
+                        self.workers[wi].accum = c.max(1);
+                    }
+                }
+            }
+            Action::BackupWorkers { b } => {
+                self.bsp.backup_b = b;
+            }
+            Action::AdjustLr { scales } => {
+                if let Some(&s) = scales.get(wi) {
+                    self.workers[wi].lr_scale = s;
+                }
+            }
+            Action::KillRestart { .. } | Action::None => {}
+        }
+    }
+
+    // --------------------------------------------------------------- closing
+
+    fn account_samples(&mut self, at: SimTime, samples: u64) {
+        self.samples_done += samples;
+        self.bucket_samples += samples;
+        while at.since(self.bucket_start) >= THROUGHPUT_BUCKET {
+            let mid = self.bucket_start + THROUGHPUT_BUCKET / 2;
+            self.throughput.push(
+                mid,
+                self.bucket_samples as f64 / THROUGHPUT_BUCKET.as_secs_f64(),
+            );
+            self.bucket_start += THROUGHPUT_BUCKET;
+            self.bucket_samples = 0;
+        }
+    }
+
+    fn check_finished(&mut self, eng: &mut Engine<Ev>) {
+        if self.finished {
+            return;
+        }
+        let data_done = match self.cfg.data {
+            DataStrategy::Dds => self.dds.as_ref().unwrap().is_complete(),
+            DataStrategy::EvenPartition => self
+                .workers
+                .iter()
+                .all(|w| matches!(w.source, DataSource::Fixed { remaining: 0 })),
+        };
+        let no_inflight = self.workers.iter().all(|w| w.inflight.is_none());
+        if data_done && no_inflight {
+            self.finished = true;
+            eng.clear();
+        }
+    }
+
+    fn into_report(self, events_processed: u64) -> JobReport {
+        let auc = match (&self.math, &self.cfg.execution) {
+            (Some(math), ExecutionMode::Real { holdout, .. }) if !holdout.is_empty() => {
+                let scores = math.model.scores(holdout);
+                let labels: Vec<f32> = holdout.examples.iter().map(|e| e.label).collect();
+                antdt_ml::auc(&scores, &labels)
+            }
+            _ => None,
+        };
+        JobReport {
+            jct: self.jct_mark.since(SimTime::ZERO),
+            iterations: self.iterations,
+            samples_done: self.samples_done,
+            rolled_back_samples: self.rolled_back_samples,
+            timed_out: self.timed_out,
+            worker_bpt: self.workers.iter().map(|w| w.series_bpt.clone()).collect(),
+            worker_batch: self.workers.iter().map(|w| w.series_batch.clone()).collect(),
+            server_bpt: self.servers.iter().map(|s| s.series_bpt.clone()).collect(),
+            global_throughput: self.throughput,
+            actions: self.actions,
+            kills: self.kills,
+            restarts: self.restarts,
+            overhead: self.overhead,
+            audit: self.dds.as_ref().map(|d| d.audit()),
+            consumption: self.dds.as_ref().map(|d| d.consumption()),
+            auc,
+            gantt: self.gantt,
+            events_processed,
+        }
+    }
+}

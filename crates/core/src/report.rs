@@ -1,0 +1,67 @@
+//! The job report: every quantity the paper's tables and figures consume.
+
+use antdt_agent::OverheadLedger;
+use antdt_controller::Action;
+use antdt_dds::{ConsumptionStats, IntegrityAudit};
+use antdt_monitor::NodeId;
+use antdt_sim::{Gantt, SimDuration, SimTime, TimeSeries};
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// Job completion time.
+    pub jct: SimDuration,
+    /// Global iterations (BSP/AllReduce rounds, or total worker iterations in ASP).
+    pub iterations: u64,
+    pub samples_done: u64,
+    /// Samples computed but rolled back (dropped backup-worker pushes,
+    /// mid-compute deaths) — recomputed later by the at-least-once machinery.
+    pub rolled_back_samples: u64,
+    /// `true` if the safety cap fired before the data was exhausted.
+    pub timed_out: bool,
+
+    /// Reported BPT per worker over time (paper Figs. 1a, 13).
+    pub worker_bpt: Vec<TimeSeries>,
+    /// Local batch size per worker over time (Fig. 12).
+    pub worker_batch: Vec<TimeSeries>,
+    /// Reported BPT per server over time (Figs. 1b, 14).
+    pub server_bpt: Vec<TimeSeries>,
+    /// Global throughput (samples/sec, bucketed) over time (Fig. 14).
+    pub global_throughput: TimeSeries,
+
+    /// Controller decisions with timestamps.
+    pub actions: Vec<(SimTime, Action)>,
+    pub kills: Vec<(SimTime, NodeId)>,
+    pub restarts: Vec<(SimTime, NodeId)>,
+
+    pub overhead: OverheadLedger,
+    /// Data-integrity audit (§VII-D2); absent for even-partition runs.
+    pub audit: Option<IntegrityAudit>,
+    pub consumption: Option<ConsumptionStats>,
+    /// Holdout AUC when the job trained a real model.
+    pub auc: Option<f64>,
+    pub gantt: Option<Gantt>,
+    pub events_processed: u64,
+}
+
+impl JobReport {
+    /// Mean reported BPT of one worker (for summary tables).
+    pub fn mean_worker_bpt(&self, w: usize) -> Option<f64> {
+        self.worker_bpt.get(w).and_then(|s| s.mean())
+    }
+
+    /// Number of KILL_RESTART actions that actually fired.
+    pub fn n_kills(&self) -> usize {
+        self.kills.len()
+    }
+
+    /// Throughput of the whole job: samples per second of JCT.
+    pub fn job_throughput(&self) -> f64 {
+        let secs = self.jct.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.samples_done as f64 / secs
+        }
+    }
+}

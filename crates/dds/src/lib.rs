@@ -1,0 +1,34 @@
+//! # antdt-dds — Stateful Dynamic Data Sharding service
+//!
+//! The central data-allocation mechanism of AntDT (§V-C). The total `N` training
+//! samples are split into `K = ⌈N / (B·M)⌉` shards (`B` = global batch size,
+//! `M` = batches per shard); each shard is just `(offset, len)` — two integers —
+//! and all shards live in a global queue. Workers *pull* shards: a fast worker
+//! naturally consumes more shards, a straggler fewer, which is what makes every
+//! mitigation action (batch adjustment, backup workers, kill-restart) compatible
+//! with a single allocation mechanism.
+//!
+//! Each shard carries a state:
+//!
+//! * `TODO` — ready for assignment,
+//! * `DOING` — leased to a worker, never handed to anyone else,
+//! * `DONE` — the worker pushed the corresponding gradients.
+//!
+//! When a worker dies (crash, eviction, or a deliberate `KILL_RESTART`), its
+//! `DOING` shards flip back to `TODO` at the *tail* of the queue, guaranteeing
+//! **at-least-once** semantics. **At-most-once** additionally requires `M = 1`
+//! and no re-serves; the [`audit`](DdsService::audit) reports both.
+//!
+//! The service is thread-safe (`parking_lot::Mutex`) so it can serve either the
+//! single-threaded discrete-event runtimes in `antdt-core` or real worker
+//! threads (see the crossbeam integration test).
+
+pub mod service;
+pub mod shard;
+pub mod shuffle;
+pub mod stats;
+
+pub use service::{DdsConfig, DdsError, DdsService, ShardLease};
+pub use shard::{Shard, ShardId, ShardState, WorkerId};
+pub use shuffle::ShardShuffler;
+pub use stats::{ConsumptionStats, IntegrityAudit, WorkerConsumption};

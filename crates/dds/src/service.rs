@@ -1,0 +1,575 @@
+//! The Stateful Dynamic Data Sharding service proper: a global shard queue plus
+//! the per-shard state table, with requeue-on-failure and epoch management.
+//!
+//! The queue flows *across* epochs: when it runs dry and more epochs remain,
+//! the next epoch's (re-shuffled) shards are appended immediately. Leader
+//! workers therefore start epoch `e+1` while stragglers finish epoch `e` —
+//! there is no epoch barrier, only the final completion condition that every
+//! epoch's every shard reached `DONE`.
+
+use crate::shard::{plan_shards, Shard, ShardId, ShardState, WorkerId};
+use crate::shuffle::ShardShuffler;
+use crate::stats::{ConsumptionStats, IntegrityAudit};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static configuration of the sharding service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DdsConfig {
+    /// `N` — samples per epoch.
+    pub total_samples: u64,
+    /// `B` — the batch size used for shard sizing (the *local* batch in the
+    /// paper's `K = ⌈N/(B·M)⌉` once divided over workers).
+    pub global_batch: u64,
+    /// `M` — batches per shard; the granularity hyper-parameter (default 100).
+    /// `M = 1` is required for at-most-once semantics.
+    pub batches_per_shard: u64,
+    /// Number of passes over the data.
+    pub epochs: u32,
+    /// Seed for the shard shuffler; `None` disables shuffling.
+    pub shuffle_seed: Option<u64>,
+}
+
+impl DdsConfig {
+    pub fn new(total_samples: u64, global_batch: u64) -> Self {
+        DdsConfig {
+            total_samples,
+            global_batch,
+            batches_per_shard: 100,
+            epochs: 1,
+            shuffle_seed: Some(0),
+        }
+    }
+
+    pub fn with_batches_per_shard(mut self, m: u64) -> Self {
+        self.batches_per_shard = m;
+        self
+    }
+
+    pub fn with_epochs(mut self, e: u32) -> Self {
+        self.epochs = e;
+        self
+    }
+
+    pub fn with_shuffle(mut self, seed: Option<u64>) -> Self {
+        self.shuffle_seed = seed;
+        self
+    }
+
+    /// Samples per shard, `B·M`.
+    pub fn samples_per_shard(&self) -> u64 {
+        self.global_batch.saturating_mul(self.batches_per_shard).max(1)
+    }
+
+    /// `K` — shards per epoch.
+    pub fn shards_per_epoch(&self) -> u64 {
+        self.total_samples.div_ceil(self.samples_per_shard())
+    }
+
+    /// Total DONE reports a complete job must produce.
+    pub fn expected_done_shards(&self) -> u64 {
+        self.shards_per_epoch() * self.epochs as u64
+    }
+}
+
+/// A leased shard: what [`DdsService::fetch`] hands to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLease {
+    pub shard: Shard,
+    pub epoch: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DdsError {
+    /// The shard is not currently leased to this worker.
+    NotLeased { shard: ShardId, worker: WorkerId },
+}
+
+impl std::fmt::Display for DdsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DdsError::NotLeased { shard, worker } => {
+                write!(f, "shard {shard} is not leased to worker {worker}")
+            }
+        }
+    }
+}
+impl std::error::Error for DdsError {}
+
+#[derive(Debug)]
+struct Inner {
+    cfg: DdsConfig,
+    shuffler: ShardShuffler,
+    /// Per-epoch shard geometry (identical every epoch).
+    shards: Vec<Shard>,
+    /// Epochs whose shards have been appended to the queue so far.
+    epochs_enqueued: u32,
+    /// Global slot ids: `epoch * K + shard_id`.
+    queue: VecDeque<u64>,
+    state: Vec<ShardState>,
+    owner: Vec<Option<WorkerId>>,
+    /// Serve counts per slot (>1 means a requeue happened — at-most-once audit).
+    serves: Vec<u32>,
+    done_total: u64,
+    ever_double_served: bool,
+    stats: ConsumptionStats,
+}
+
+impl Inner {
+    fn k(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Append the next epoch's shards when the queue is dry.
+    fn refill(&mut self) {
+        if !self.queue.is_empty() || self.epochs_enqueued >= self.cfg.epochs || self.k() == 0 {
+            return;
+        }
+        let e = self.epochs_enqueued;
+        let base = e as u64 * self.k() as u64;
+        for id in self.shuffler.epoch_order(e, self.k()) {
+            self.queue.push_back(base + id as u64);
+        }
+        let new_len = self.state.len() + self.k();
+        self.state.resize(new_len, ShardState::Todo);
+        self.owner.resize(new_len, None);
+        self.serves.resize(new_len, 0);
+        self.epochs_enqueued = e + 1;
+    }
+
+    fn slot(&self, lease: &ShardLease) -> usize {
+        lease.epoch as usize * self.k() + lease.shard.id as usize
+    }
+}
+
+/// The thread-safe sharding service. Share it via `Arc`.
+#[derive(Debug)]
+pub struct DdsService {
+    inner: Mutex<Inner>,
+}
+
+impl DdsService {
+    pub fn new(cfg: DdsConfig) -> Self {
+        let shards = plan_shards(cfg.total_samples, cfg.samples_per_shard());
+        let shuffler = match cfg.shuffle_seed {
+            Some(s) => ShardShuffler::new(s),
+            None => ShardShuffler::disabled(),
+        };
+        let mut inner = Inner {
+            cfg,
+            shuffler,
+            shards,
+            epochs_enqueued: 0,
+            queue: VecDeque::new(),
+            state: Vec::new(),
+            owner: Vec::new(),
+            serves: Vec::new(),
+            done_total: 0,
+            ever_double_served: false,
+            stats: ConsumptionStats::default(),
+        };
+        inner.refill();
+        DdsService { inner: Mutex::new(inner) }
+    }
+
+    pub fn config(&self) -> DdsConfig {
+        self.inner.lock().cfg
+    }
+
+    /// Fetch the next `TODO` shard for `worker`, marking it `DOING`.
+    ///
+    /// Returns `None` when nothing is currently assignable: either the job is
+    /// complete, or every remaining shard is `DOING` elsewhere (the caller
+    /// should retry after a failure or completion event). When the current
+    /// epoch's queue drains, the next epoch's re-shuffled shards are appended
+    /// immediately — leaders flow into the next epoch without a barrier.
+    pub fn fetch(&self, worker: WorkerId) -> Option<ShardLease> {
+        let mut g = self.inner.lock();
+        g.refill();
+        let slot = g.queue.pop_front()?;
+        debug_assert_eq!(g.state[slot as usize], ShardState::Todo);
+        g.state[slot as usize] = ShardState::Doing;
+        g.owner[slot as usize] = Some(worker);
+        g.serves[slot as usize] += 1;
+        if g.serves[slot as usize] > 1 {
+            g.ever_double_served = true;
+        }
+        let k = g.k() as u64;
+        let shard = g.shards[(slot % k) as usize];
+        let epoch = (slot / k) as u32;
+        let w = g.stats.worker(worker);
+        w.shards_fetched += 1;
+        w.samples_fetched += shard.len;
+        Some(ShardLease { shard, epoch })
+    }
+
+    /// Mark a leased shard `DONE` (the worker's gradients reached the servers).
+    pub fn report_done(&self, worker: WorkerId, lease: ShardLease) -> Result<(), DdsError> {
+        let mut g = self.inner.lock();
+        let slot = g.slot(&lease);
+        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker)
+        {
+            return Err(DdsError::NotLeased { shard: lease.shard.id, worker });
+        }
+        g.state[slot] = ShardState::Done;
+        g.owner[slot] = None;
+        g.done_total += 1;
+        let len = lease.shard.len;
+        let w = g.stats.worker(worker);
+        w.shards_done += 1;
+        w.samples_done += len;
+        Ok(())
+    }
+
+    /// Requeue one leased shard (e.g. a push that was dropped by the backup-
+    /// workers action): `DOING → TODO`, reinserted at the queue tail.
+    pub fn report_failed(&self, worker: WorkerId, lease: ShardLease) -> Result<(), DdsError> {
+        let mut g = self.inner.lock();
+        let slot = g.slot(&lease);
+        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker)
+        {
+            return Err(DdsError::NotLeased { shard: lease.shard.id, worker });
+        }
+        g.state[slot] = ShardState::Todo;
+        g.owner[slot] = None;
+        g.queue.push_back(slot as u64);
+        g.stats.requeued_shards += 1;
+        g.stats.requeued_samples += lease.shard.len;
+        Ok(())
+    }
+
+    /// A worker terminated (crash or `KILL_RESTART`): every shard it was DOING
+    /// goes back to `TODO` at the queue tail. Returns the requeued shards.
+    pub fn fail_worker(&self, worker: WorkerId) -> Vec<Shard> {
+        let mut g = self.inner.lock();
+        let slots: Vec<usize> = (0..g.state.len())
+            .filter(|&i| g.state[i] == ShardState::Doing && g.owner[i] == Some(worker))
+            .collect();
+        let mut out = Vec::with_capacity(slots.len());
+        let k = g.k();
+        for i in slots {
+            g.state[i] = ShardState::Todo;
+            g.owner[i] = None;
+            g.queue.push_back(i as u64);
+            let shard = g.shards[i % k];
+            g.stats.requeued_shards += 1;
+            g.stats.requeued_samples += shard.len;
+            out.push(shard);
+        }
+        out
+    }
+
+    /// Whether every epoch's every shard has reached `DONE`.
+    pub fn is_complete(&self) -> bool {
+        let g = self.inner.lock();
+        g.done_total == g.cfg.expected_done_shards()
+    }
+
+    /// `(done shards so far, expected total)`.
+    pub fn progress(&self) -> (u64, u64) {
+        let g = self.inner.lock();
+        (g.done_total, g.cfg.expected_done_shards())
+    }
+
+    /// Number of epochs whose shards have entered the queue so far.
+    pub fn epochs_started(&self) -> u32 {
+        self.inner.lock().epochs_enqueued
+    }
+
+    /// Snapshot of consumption statistics.
+    pub fn consumption(&self) -> ConsumptionStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Sample order for a lease (delegates to the shard shuffler).
+    pub fn sample_order(&self, lease: &ShardLease) -> Vec<u64> {
+        let g = self.inner.lock();
+        g.shuffler.sample_order(lease.epoch, &lease.shard)
+    }
+
+    /// The integrity audit (§VII-D2).
+    pub fn audit(&self) -> IntegrityAudit {
+        let g = self.inner.lock();
+        let expected = g.cfg.expected_done_shards();
+        IntegrityAudit {
+            expected_done_shards: expected,
+            done_shards: g.done_total,
+            outstanding_shards: expected - g.done_total,
+            requeued_shards: g.stats.requeued_shards,
+            duplicate_samples_upper_bound: g.stats.requeued_samples,
+            at_least_once: g.done_total == expected,
+            at_most_once: !g.ever_double_served,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(n: u64, b: u64, m: u64, epochs: u32) -> DdsService {
+        DdsService::new(
+            DdsConfig::new(n, b)
+                .with_batches_per_shard(m)
+                .with_epochs(epochs),
+        )
+    }
+
+    #[test]
+    fn k_matches_paper_formula() {
+        // With the local batch 4096 and M = 100: K = ceil(45e6 / 409600) = 110.
+        let cfg = DdsConfig::new(45_000_000, 4_096).with_batches_per_shard(100);
+        assert_eq!(cfg.shards_per_epoch(), 110);
+    }
+
+    #[test]
+    fn normal_lifecycle_todo_doing_done() {
+        let s = svc(1000, 10, 10, 1); // 10 shards of 100
+        let mut done = 0;
+        while let Some(lease) = s.fetch(0) {
+            assert_eq!(lease.epoch, 0);
+            s.report_done(0, lease).unwrap();
+            done += 1;
+        }
+        assert_eq!(done, 10);
+        assert!(s.is_complete());
+        let a = s.audit();
+        assert!(a.at_least_once);
+        assert!(a.at_most_once);
+        assert_eq!(a.done_shards, 10);
+        assert_eq!(a.outstanding_shards, 0);
+    }
+
+    #[test]
+    fn doing_shard_is_not_reassigned() {
+        let s = svc(200, 10, 10, 1); // 2 shards
+        let l0 = s.fetch(0).unwrap();
+        let l1 = s.fetch(1).unwrap();
+        assert_ne!(l0.shard.id, l1.shard.id);
+        assert!(s.fetch(2).is_none(), "both shards are DOING");
+        s.report_done(0, l0).unwrap();
+        s.report_done(1, l1).unwrap();
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn fail_worker_requeues_at_tail() {
+        let s = svc(300, 10, 10, 1); // 3 shards
+        let dead = s.fetch(0).unwrap();
+        let requeued = s.fail_worker(0);
+        assert_eq!(requeued, vec![dead.shard]);
+        // Worker 1 drains: the requeued shard must come back *last*.
+        let mut order = Vec::new();
+        while let Some(l) = s.fetch(1) {
+            order.push(l.shard.id);
+            s.report_done(1, l).unwrap();
+        }
+        assert_eq!(order.len(), 3);
+        assert_eq!(*order.last().unwrap(), dead.shard.id);
+        let a = s.audit();
+        assert!(a.at_least_once);
+        assert!(!a.at_most_once, "a shard was served twice");
+        assert_eq!(a.requeued_shards, 1);
+    }
+
+    #[test]
+    fn report_done_requires_lease() {
+        let s = svc(100, 10, 10, 1);
+        let l = s.fetch(0).unwrap();
+        assert!(matches!(
+            s.report_done(1, l),
+            Err(DdsError::NotLeased { .. })
+        ));
+        s.report_done(0, l).unwrap();
+        // Double-done is rejected.
+        assert!(s.report_done(0, l).is_err());
+    }
+
+    #[test]
+    fn epochs_flow_without_a_barrier() {
+        // 4 shards x 2 epochs. A straggler holds an epoch-0 shard while a
+        // leader drains the rest — the leader must receive epoch-1 shards
+        // immediately, not wait for the straggler.
+        let s = svc(400, 10, 10, 2);
+        let straggler = s.fetch(9).unwrap();
+        assert_eq!(straggler.epoch, 0);
+        let mut leader_epochs = Vec::new();
+        let mut held = Vec::new();
+        for _ in 0..4 {
+            let l = s.fetch(1).unwrap();
+            leader_epochs.push(l.epoch);
+            held.push(l);
+        }
+        assert_eq!(leader_epochs, vec![0, 0, 0, 1], "leader crossed into epoch 1");
+        for l in held {
+            s.report_done(1, l).unwrap();
+        }
+        // Straggler finishes its epoch-0 shard late: still accepted.
+        s.report_done(9, straggler).unwrap();
+        // Remaining epoch-1 shards.
+        while let Some(l) = s.fetch(1) {
+            assert_eq!(l.epoch, 1);
+            s.report_done(1, l).unwrap();
+        }
+        assert!(s.is_complete());
+        assert_eq!(s.progress(), (8, 8));
+        assert_eq!(s.epochs_started(), 2);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let s = svc(1600, 10, 10, 2); // 16 shards x 2 epochs
+        let mut orders: Vec<Vec<ShardId>> = vec![Vec::new(), Vec::new()];
+        while let Some(l) = s.fetch(0) {
+            orders[l.epoch as usize].push(l.shard.id);
+            s.report_done(0, l).unwrap();
+        }
+        assert!(s.is_complete());
+        assert_eq!(orders[0].len(), 16);
+        assert_ne!(orders[0], orders[1], "epochs reshuffle");
+    }
+
+    #[test]
+    fn report_failed_requeues_single_shard() {
+        let s = svc(200, 10, 10, 1);
+        let l = s.fetch(0).unwrap();
+        s.report_failed(0, l).unwrap();
+        // Same worker can pick it up again later.
+        let mut got = 0;
+        while let Some(l) = s.fetch(0) {
+            s.report_done(0, l).unwrap();
+            got += 1;
+        }
+        assert_eq!(got, 2);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn consumption_tracks_per_worker() {
+        let s = svc(1000, 10, 10, 1); // 10 shards of 100
+        // Worker 0 takes 7 shards, worker 1 takes 3.
+        for i in 0..10 {
+            let w = if i < 7 { 0 } else { 1 };
+            let l = s.fetch(w).unwrap();
+            s.report_done(w, l).unwrap();
+        }
+        let c = s.consumption();
+        assert_eq!(c.per_worker[&0].shards_done, 7);
+        assert_eq!(c.per_worker[&0].samples_done, 700);
+        assert_eq!(c.per_worker[&1].shards_done, 3);
+        assert_eq!(c.total_samples_done(), 1000);
+    }
+
+    #[test]
+    fn empty_dataset_serves_nothing() {
+        let s = svc(0, 10, 10, 1);
+        assert!(s.fetch(0).is_none());
+        assert_eq!(s.progress(), (0, 0));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn audit_counts_unfinished_epochs() {
+        let s = svc(400, 10, 10, 3); // 4 shards x 3 epochs
+        let l = s.fetch(0).unwrap();
+        s.report_done(0, l).unwrap();
+        let a = s.audit();
+        assert_eq!(a.expected_done_shards, 12);
+        assert_eq!(a.done_shards, 1);
+        assert_eq!(a.outstanding_shards, 11);
+        assert!(!a.at_least_once);
+    }
+
+    #[test]
+    fn cross_epoch_failure_requeues_the_right_epoch_slot() {
+        let s = svc(200, 10, 10, 2); // 2 shards x 2 epochs
+        // Drain epoch 0 fully with worker 0, start epoch 1 with worker 1.
+        let a = s.fetch(0).unwrap();
+        let b = s.fetch(0).unwrap();
+        s.report_done(0, a).unwrap();
+        s.report_done(0, b).unwrap();
+        let e1 = s.fetch(1).unwrap();
+        assert_eq!(e1.epoch, 1);
+        s.fail_worker(1);
+        // The requeued slot must come back as an epoch-1 lease.
+        let again = s.fetch(2).unwrap();
+        let last = s.fetch(2).unwrap();
+        assert_eq!(again.epoch, 1);
+        assert_eq!(last.epoch, 1);
+        s.report_done(2, again).unwrap();
+        s.report_done(2, last).unwrap();
+        assert!(s.is_complete());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Random interleaving of fetch / done / fail across workers must always end
+    // with every shard DONE exactly `epochs` times and at-least-once holding.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn at_least_once_under_random_failures(
+            n in 1u64..2_000,
+            spb in 1u64..200,
+            epochs in 1u32..3,
+            seed in 0u64..u64::MAX,
+            ops in proptest::collection::vec((0u8..10, 0u32..4), 0..400),
+        ) {
+            let cfg = DdsConfig {
+                total_samples: n,
+                global_batch: 1,
+                batches_per_shard: spb,
+                epochs,
+                shuffle_seed: Some(seed),
+            };
+            let s = DdsService::new(cfg);
+            let mut held: Vec<Vec<ShardLease>> = vec![Vec::new(); 4];
+
+            for (op, w) in ops {
+                let w = w as usize;
+                match op {
+                    0..=4 => {
+                        if let Some(l) = s.fetch(w as WorkerId) {
+                            held[w].push(l);
+                        }
+                    }
+                    5..=7 => {
+                        if let Some(l) = held[w].pop() {
+                            s.report_done(w as WorkerId, l).unwrap();
+                        }
+                    }
+                    _ => {
+                        s.fail_worker(w as WorkerId);
+                        held[w].clear();
+                    }
+                }
+            }
+            // Drain: leases held by a non-owner are rejected, then a survivor
+            // finishes the job.
+            for leases in held.iter_mut() {
+                for l in leases.drain(..) {
+                    let _ = s.report_done(9, l);
+                }
+            }
+            for w in 0..4u32 {
+                s.fail_worker(w);
+            }
+            while let Some(l) = s.fetch(0) {
+                s.report_done(0, l).unwrap();
+            }
+            prop_assert!(s.is_complete());
+            let a = s.audit();
+            prop_assert!(a.at_least_once);
+            prop_assert_eq!(a.done_shards, a.expected_done_shards);
+            prop_assert_eq!(a.outstanding_shards, 0);
+            // Every sample accounted for at least once per epoch.
+            let c = s.consumption();
+            prop_assert!(c.total_samples_done() >= n * epochs as u64);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Sparse classification data. Criteo-style CTR rows are one-hot categorical
+//! fields plus a few dense features — represented here as `(feature_index,
+//! value)` pairs with a binary label.
+
+use serde::{Deserialize, Serialize};
+
+/// One labelled example with sparse features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseExample {
+    /// `(feature index, value)` pairs; indices must be `< n_features`.
+    pub feats: Vec<(u32, f32)>,
+    /// Binary label in {0.0, 1.0}.
+    pub label: f32,
+}
+
+/// An in-memory dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub examples: Vec<SparseExample>,
+    pub n_features: u32,
+}
+
+impl Dataset {
+    pub fn new(n_features: u32) -> Self {
+        Dataset { examples: Vec::new(), n_features }
+    }
+
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    pub fn push(&mut self, ex: SparseExample) {
+        debug_assert!(ex.feats.iter().all(|&(i, _)| i < self.n_features));
+        self.examples.push(ex);
+    }
+
+    #[inline]
+    pub fn get(&self, i: u64) -> &SparseExample {
+        &self.examples[i as usize]
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        self.examples.iter().filter(|e| e.label > 0.5).count() as f64 / self.examples.len() as f64
+    }
+
+    /// Split off the last `frac` of examples as a held-out set.
+    pub fn split_holdout(mut self, frac: f64) -> (Dataset, Dataset) {
+        let n = self.examples.len();
+        let cut = ((n as f64) * (1.0 - frac)).round() as usize;
+        let test = self.examples.split_off(cut.min(n));
+        let held = Dataset { examples: test, n_features: self.n_features };
+        (self, held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(label: f32) -> SparseExample {
+        SparseExample { feats: vec![(0, 1.0)], label }
+    }
+
+    #[test]
+    fn positive_rate_counts_labels() {
+        let mut d = Dataset::new(4);
+        d.push(ex(1.0));
+        d.push(ex(0.0));
+        d.push(ex(0.0));
+        d.push(ex(1.0));
+        assert!((d.positive_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(Dataset::new(1).positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn split_holdout_partitions() {
+        let mut d = Dataset::new(4);
+        for i in 0..10 {
+            d.push(ex((i % 2) as f32));
+        }
+        let (train, test) = d.split_holdout(0.3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.n_features, 4);
+        assert_eq!(test.n_features, 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Evaluation metrics. The paper reports AUC (area under the ROC curve) for the
+//! statistical-integrity experiment; we implement the exact rank-statistic form
+//! with proper tie handling and verify it against the O(n²) pair-counting
+//! definition in tests.
+
+/// Exact AUC via the Mann–Whitney U statistic with average ranks for ties.
+/// Returns `None` when either class is absent.
+pub fn auc(scores: &[f32], labels: &[f32]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+
+    // Sum of positive ranks, averaging ranks within tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j+1 share the average rank.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            if labels[k] > 0.5 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    Some(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// Mean binary log loss with probability clamping.
+pub fn log_loss(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&p, &y) in scores.iter().zip(labels) {
+        let p = (p as f64).clamp(1e-7, 1.0 - 1e-7);
+        total -= if y > 0.5 { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / scores.len() as f64
+}
+
+/// Classification accuracy at threshold 0.5.
+pub fn accuracy(scores: &[f32], labels: &[f32]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let hits = scores
+        .iter()
+        .zip(labels)
+        .filter(|&(&p, &y)| (p >= 0.5) == (y > 0.5))
+        .count();
+    hits as f64 / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference: P(score⁺ > score⁻) + ½ P(tie).
+    fn auc_naive(scores: &[f32], labels: &[f32]) -> Option<f64> {
+        let pos: Vec<f32> = scores
+            .iter()
+            .zip(labels)
+            .filter(|&(_, &l)| l > 0.5)
+            .map(|(&s, _)| s)
+            .collect();
+        let neg: Vec<f32> = scores
+            .iter()
+            .zip(labels)
+            .filter(|&(_, &l)| l <= 0.5)
+            .map(|(&s, _)| s)
+            .collect();
+        if pos.is_empty() || neg.is_empty() {
+            return None;
+        }
+        let mut wins = 0.0f64;
+        for &p in &pos {
+            for &n in &neg {
+                if p > n {
+                    wins += 1.0;
+                } else if p == n {
+                    wins += 0.5;
+                }
+            }
+        }
+        Some(wins / (pos.len() * neg.len()) as f64)
+    }
+
+    #[test]
+    fn perfect_and_inverted_rankings() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+        let inv = [0.0f32, 0.0, 1.0, 1.0];
+        let inv_scores = [0.9f32, 0.8, 0.2, 0.1];
+        assert_eq!(auc(&inv_scores, &inv), Some(0.0));
+    }
+
+    #[test]
+    fn random_scores_give_half() {
+        // All scores identical => AUC must be exactly 0.5 via tie handling.
+        let scores = vec![0.5f32; 100];
+        let labels: Vec<f32> = (0..100).map(|i| (i % 2) as f32).collect();
+        assert_eq!(auc(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn single_class_is_none() {
+        assert_eq!(auc(&[0.4, 0.6], &[1.0, 1.0]), None);
+        assert_eq!(auc(&[0.4, 0.6], &[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn matches_naive_on_ties_and_mixtures() {
+        let scores = [0.3f32, 0.3, 0.7, 0.7, 0.5, 0.1, 0.9, 0.5];
+        let labels = [0.0f32, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let fast = auc(&scores, &labels).unwrap();
+        let slow = auc_naive(&scores, &labels).unwrap();
+        assert!((fast - slow).abs() < 1e-12, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn log_loss_and_accuracy_basics() {
+        let perfect = log_loss(&[1e-9, 1.0 - 1e-9], &[0.0, 1.0]);
+        assert!(perfect < 1e-5);
+        let awful = log_loss(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!(awful > 10.0);
+        assert_eq!(accuracy(&[0.9, 0.1, 0.6], &[1.0, 0.0, 0.0]), 2.0 / 3.0);
+        assert_eq!(log_loss(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn fast_auc_matches_naive(
+            pairs in proptest::collection::vec((0u8..=10, proptest::bool::ANY), 2..120)
+        ) {
+            let scores: Vec<f32> = pairs.iter().map(|&(s, _)| s as f32 / 10.0).collect();
+            let labels: Vec<f32> = pairs.iter().map(|&(_, l)| if l { 1.0 } else { 0.0 }).collect();
+            let fast = auc(&scores, &labels);
+            let slow = {
+                let pos: Vec<f32> = scores.iter().zip(&labels).filter(|&(_, &l)| l > 0.5).map(|(&s, _)| s).collect();
+                let neg: Vec<f32> = scores.iter().zip(&labels).filter(|&(_, &l)| l <= 0.5).map(|(&s, _)| s).collect();
+                if pos.is_empty() || neg.is_empty() { None } else {
+                    let mut wins = 0.0f64;
+                    for &p in &pos { for &n in &neg {
+                        if p > n { wins += 1.0 } else if p == n { wins += 0.5 }
+                    }}
+                    Some(wins / (pos.len() * neg.len()) as f64)
+                }
+            };
+            match (fast, slow) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (a, b) => prop_assert_eq!(a, b),
+            }
+        }
+
+        #[test]
+        fn auc_is_invariant_to_monotone_transform(
+            // Scores on a 1/16 grid so the affine transform is exact in f32 and
+            // preserves the tie structure (arbitrary floats can collapse under
+            // rounding, which would legitimately change the AUC).
+            raw in proptest::collection::vec((0u8..=16, proptest::bool::ANY), 4..60)
+        ) {
+            let scores: Vec<f32> = raw.iter().map(|&(s, _)| s as f32 / 16.0).collect();
+            let labels: Vec<f32> = raw.iter().map(|&(_, l)| if l { 1.0 } else { 0.0 }).collect();
+            let transformed: Vec<f32> = scores.iter().map(|&s| s * 3.0 + 1.0).collect();
+            prop_assert_eq!(auc(&scores, &labels), auc(&transformed, &labels));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Even range-partitioning of the flat parameter vector across `m` parameter
+//! servers (the paper's footnote 1: "we assume the parameters stored on the
+//! servers are evenly distributed").
+
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    ranges: Vec<(usize, usize)>,
+}
+
+impl PartitionPlan {
+    /// Split `n_params` into `m` contiguous ranges whose sizes differ by at
+    /// most one.
+    pub fn even(n_params: usize, m: usize) -> Self {
+        assert!(m > 0, "at least one server");
+        let base = n_params / m;
+        let extra = n_params % m;
+        let mut ranges = Vec::with_capacity(m);
+        let mut at = 0;
+        for j in 0..m {
+            let len = base + usize::from(j < extra);
+            ranges.push((at, at + len));
+            at += len;
+        }
+        PartitionPlan { ranges }
+    }
+
+    pub fn n_servers(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn range(&self, server: usize) -> Range<usize> {
+        let (a, b) = self.ranges[server];
+        a..b
+    }
+
+    /// Which server owns parameter `p`.
+    pub fn owner(&self, p: usize) -> usize {
+        self.ranges
+            .partition_point(|&(_, end)| end <= p)
+            .min(self.ranges.len() - 1)
+    }
+
+    /// Bytes of gradient payload destined for `server`, assuming f32 params.
+    pub fn payload_bytes(&self, server: usize) -> u64 {
+        (self.range(server).len() * std::mem::size_of::<f32>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition_covers_everything_once() {
+        let p = PartitionPlan::even(10, 3);
+        assert_eq!(p.range(0), 0..4);
+        assert_eq!(p.range(1), 4..7);
+        assert_eq!(p.range(2), 7..10);
+        let total: usize = (0..3).map(|j| p.range(j).len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        for n in [0usize, 1, 7, 100, 101, 999] {
+            for m in [1usize, 2, 3, 8, 16] {
+                let p = PartitionPlan::even(n, m);
+                let sizes: Vec<usize> = (0..m).map(|j| p.range(j).len()).collect();
+                let mn = *sizes.iter().min().unwrap();
+                let mx = *sizes.iter().max().unwrap();
+                assert!(mx - mn <= 1, "n={n} m={m} sizes={sizes:?}");
+                assert_eq!(sizes.iter().sum::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_is_consistent_with_ranges() {
+        let p = PartitionPlan::even(11, 4);
+        for param in 0..11 {
+            let o = p.owner(param);
+            assert!(p.range(o).contains(&param), "param {param} owner {o}");
+        }
+    }
+
+    #[test]
+    fn payload_bytes_are_range_sized() {
+        let p = PartitionPlan::even(100, 4);
+        assert_eq!(p.payload_bytes(0), 100);
+        assert_eq!((0..4).map(|j| p.payload_bytes(j)).sum::<u64>(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = PartitionPlan::even(10, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Node lifecycle events and the retryable/unretryable error taxonomy (§V-D):
+//! retryable errors trigger failover; unretryable ones must terminate the job.
+
+use crate::NodeId;
+use antdt_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Errors the framework recovers from by restarting the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RetryableError {
+    /// Deliberate termination by the `KILL_RESTART` action.
+    ProactiveKill,
+    /// Transient network failure.
+    NetworkError,
+    /// The multi-tenant scheduler evicted the pod.
+    JobEviction,
+    /// Machine breakdown / OOM-kill by the kubelet.
+    NodeFailure,
+}
+
+/// Errors that must terminate the whole training job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnretryableError {
+    /// Bad user configuration (wrong paths, malformed hyper-parameters…).
+    ConfigError,
+    /// A bug in user code (exception in the training loop).
+    ProgramError,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    Retryable(RetryableError),
+    Unretryable(UnretryableError),
+}
+
+impl ErrorClass {
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ErrorClass::Retryable(_))
+    }
+
+    /// Classify a Kubernetes-style exit code / reason string. Unknown codes are
+    /// treated as retryable node failures — the conservative choice, since
+    /// killing a healthy job on a flaky signal is worse than one spurious
+    /// restart.
+    pub fn classify(reason: &str) -> ErrorClass {
+        let r = reason.to_ascii_lowercase();
+        if r.contains("config") || r.contains("invalid") {
+            ErrorClass::Unretryable(UnretryableError::ConfigError)
+        } else if r.contains("assert") || r.contains("panic") || r.contains("exception") {
+            ErrorClass::Unretryable(UnretryableError::ProgramError)
+        } else if r.contains("evict") || r.contains("preempt") {
+            ErrorClass::Retryable(RetryableError::JobEviction)
+        } else if r.contains("network") || r.contains("timeout") || r.contains("conn") {
+            ErrorClass::Retryable(RetryableError::NetworkError)
+        } else if r.contains("sigterm") || r.contains("kill_restart") {
+            ErrorClass::Retryable(RetryableError::ProactiveKill)
+        } else {
+            ErrorClass::Retryable(RetryableError::NodeFailure)
+        }
+    }
+}
+
+/// A node lifecycle notification delivered to the Monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeEvent {
+    Killed { node: NodeId, at: SimTime, class: ErrorClass },
+    Restarted { node: NodeId, at: SimTime },
+}
+
+impl NodeEvent {
+    pub fn node(&self) -> NodeId {
+        match *self {
+            NodeEvent::Killed { node, .. } | NodeEvent::Restarted { node, .. } => node,
+        }
+    }
+
+    pub fn at(&self) -> SimTime {
+        match *self {
+            NodeEvent::Killed { at, .. } | NodeEvent::Restarted { at, .. } => at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_taxonomy() {
+        assert_eq!(
+            ErrorClass::classify("pod evicted by scheduler"),
+            ErrorClass::Retryable(RetryableError::JobEviction)
+        );
+        assert_eq!(
+            ErrorClass::classify("connection reset by peer"),
+            ErrorClass::Retryable(RetryableError::NetworkError)
+        );
+        assert_eq!(
+            ErrorClass::classify("SIGTERM from kill_restart"),
+            ErrorClass::Retryable(RetryableError::ProactiveKill)
+        );
+        assert_eq!(
+            ErrorClass::classify("invalid config: bad learning rate"),
+            ErrorClass::Unretryable(UnretryableError::ConfigError)
+        );
+        assert_eq!(
+            ErrorClass::classify("panicked at train.rs:42"),
+            ErrorClass::Unretryable(UnretryableError::ProgramError)
+        );
+        // Unknown => retryable node failure.
+        assert_eq!(
+            ErrorClass::classify("???"),
+            ErrorClass::Retryable(RetryableError::NodeFailure)
+        );
+    }
+
+    #[test]
+    fn retryability_flag() {
+        assert!(ErrorClass::Retryable(RetryableError::NetworkError).is_retryable());
+        assert!(!ErrorClass::Unretryable(UnretryableError::ProgramError).is_retryable());
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = NodeEvent::Killed {
+            node: NodeId::worker(2),
+            at: SimTime::from_secs_f64(5.0),
+            class: ErrorClass::Retryable(RetryableError::ProactiveKill),
+        };
+        assert_eq!(e.node(), NodeId::worker(2));
+        assert_eq!(e.at(), SimTime::from_secs_f64(5.0));
+    }
+}

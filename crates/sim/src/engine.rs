@@ -1,0 +1,217 @@
+//! The discrete-event engine: a priority queue of timestamped events with a
+//! FIFO tiebreak so that events scheduled at the same instant fire in the order
+//! they were scheduled. This makes every run fully deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ordered by (time, insertion sequence); the payload never participates.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event engine over an arbitrary event type `E`.
+///
+/// ```
+/// use antdt_sim::{Engine, SimDuration, SimTime};
+///
+/// let mut eng: Engine<&str> = Engine::new();
+/// eng.schedule_after(SimDuration::from_secs(2), "b");
+/// eng.schedule_after(SimDuration::from_secs(1), "a");
+/// let mut seen = Vec::new();
+/// eng.run(|eng, ev| {
+///     seen.push((eng.now(), ev));
+/// });
+/// assert_eq!(seen[0].1, "a");
+/// assert_eq!(seen[1], (SimTime::from_secs_f64(2.0), "b"));
+/// ```
+#[derive(Debug)]
+pub struct Engine<E: Eq> {
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E: Eq> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> Engine<E> {
+    pub fn new() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated instant (the timestamp of the event being handled).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `ev` at absolute instant `at`. Scheduling in the past is a logic
+    /// error in the driving runtime; the engine clamps to `now` rather than
+    /// time-travelling, so the clock stays monotonic.
+    pub fn schedule(&mut self, at: SimTime, ev: E) {
+        let at = at.max(self.now);
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            ev,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedule `ev` to fire `delay` after the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, ev: E) {
+        self.schedule(self.now + delay, ev);
+    }
+
+    /// Pop the next event, advancing the clock. Returns `None` when drained.
+    pub fn step(&mut self) -> Option<E> {
+        let Reverse(s) = self.queue.pop()?;
+        debug_assert!(s.at >= self.now, "event queue produced non-monotonic time");
+        self.now = s.at;
+        self.processed += 1;
+        Some(s.ev)
+    }
+
+    /// Run to quiescence. The handler receives `&mut Engine` so it can schedule
+    /// follow-up events, and the event itself by value.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some(ev) = self.step() {
+            handler(self, ev);
+        }
+    }
+
+    /// Run until the clock would pass `deadline` (events at exactly `deadline`
+    /// still fire). Returns `true` if the queue drained before the deadline.
+    pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Self, E)) -> bool {
+        loop {
+            match self.queue.peek() {
+                None => return true,
+                Some(Reverse(s)) if s.at > deadline => return false,
+                _ => {}
+            }
+            let ev = self.step().expect("peeked event must pop");
+            handler(self, ev);
+        }
+    }
+
+    /// Drop all pending events (used when a job finishes early, e.g. the last
+    /// shard completes while stray monitor ticks are still queued).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs_f64(3.0), Ev::Tick(3));
+        eng.schedule(SimTime::from_secs_f64(1.0), Ev::Tick(1));
+        eng.schedule(SimTime::from_secs_f64(2.0), Ev::Tick(2));
+        let mut order = Vec::new();
+        eng.run(|_, Ev::Tick(n)| order.push(n));
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut eng = Engine::new();
+        for i in 0..100u32 {
+            eng.schedule(SimTime::from_secs_f64(1.0), Ev::Tick(i));
+        }
+        let mut order = Vec::new();
+        eng.run(|_, Ev::Tick(n)| order.push(n));
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut eng = Engine::new();
+        eng.schedule(SimTime::from_secs_f64(5.0), Ev::Tick(0));
+        let mut times = Vec::new();
+        eng.run(|eng, Ev::Tick(n)| {
+            if n == 0 {
+                eng.schedule(SimTime::from_secs_f64(1.0), Ev::Tick(1));
+            }
+            times.push((n, eng.now()));
+        });
+        assert_eq!(times[1], (1, SimTime::from_secs_f64(5.0)));
+    }
+
+    #[test]
+    fn cascading_events_from_handler() {
+        let mut eng = Engine::new();
+        eng.schedule_after(SimDuration::from_secs(1), Ev::Tick(0));
+        let mut count = 0;
+        eng.run(|eng, Ev::Tick(n)| {
+            count += 1;
+            if n < 9 {
+                eng.schedule_after(SimDuration::from_secs(1), Ev::Tick(n + 1));
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(eng.now(), SimTime::from_secs_f64(10.0));
+        assert_eq!(eng.processed(), 10);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new();
+        for i in 1..=10u32 {
+            eng.schedule(SimTime::from_secs_f64(i as f64), Ev::Tick(i));
+        }
+        let mut seen = 0;
+        let drained = eng.run_until(SimTime::from_secs_f64(5.0), |_, _| seen += 1);
+        assert!(!drained);
+        assert_eq!(seen, 5);
+        assert_eq!(eng.pending(), 5);
+        let drained = eng.run_until(SimTime::MAX, |_, _| seen += 1);
+        assert!(drained);
+        assert_eq!(seen, 10);
+    }
+}

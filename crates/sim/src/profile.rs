@@ -1,0 +1,326 @@
+//! Per-node speed and contention profiles.
+//!
+//! A node's iteration cost is composed as
+//!
+//! ```text
+//! T = base_cost(batch) / speed_factor * slowdown(t) * jitter + extra_delay(t)
+//! ```
+//!
+//! * `speed_factor` models *deterministic* stragglers (hardware heterogeneity:
+//!   a P100 at 1/3 of a V100's speed, older CPU series…).
+//! * `slowdown(t)` and `extra_delay(t)` model *non-deterministic* stragglers from
+//!   resource contention, following the paper's FlexRR-style injection (§VII-A4):
+//!   `T_delay = SleepDuration × Intensity` with a certain probability, either in
+//!   periodic 15-minutes-in-30 windows (transient) or from start to end
+//!   (persistent).
+//! * `jitter` is small multiplicative log-normal noise so that even leader nodes
+//!   show realistic BPT variance.
+//!
+//! Episode coin flips are addressed deterministically by `(stream, episode
+//! index)` via [`RngPool::bernoulli_at`], so a profile can be queried at any time
+//! in any order and always answers the same.
+
+use crate::dist::unit_mean_jitter;
+use crate::rng::RngPool;
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Periodic transient-contention pattern: every `period`, an episode of length
+/// `active` begins; with probability `probability` this node is disturbed for
+/// the whole episode, adding `sleep_secs * intensity` to every iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientPattern {
+    pub period: SimDuration,
+    pub active: SimDuration,
+    pub probability: f64,
+    pub sleep_secs: f64,
+    pub intensity: f64,
+}
+
+impl TransientPattern {
+    /// The paper's default injection: 15 minutes of contention every 30 minutes
+    /// with probability 0.3, `SleepDuration = 1.5 s` (§VII-A4).
+    pub fn paper_default(intensity: f64) -> Self {
+        TransientPattern {
+            period: SimDuration::from_minutes(30),
+            active: SimDuration::from_minutes(15),
+            probability: 0.3,
+            sleep_secs: 1.5,
+            intensity,
+        }
+    }
+
+    fn delay_at(&self, pool: &RngPool, stream: u64, now: SimTime) -> f64 {
+        if self.period.is_zero() {
+            return 0.0;
+        }
+        let episode = now.as_micros() / self.period.as_micros();
+        let offset = now.as_micros() % self.period.as_micros();
+        if offset < self.active.as_micros() && pool.bernoulli_at(stream, episode, self.probability)
+        {
+            self.sleep_secs * self.intensity
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One contention phase contributing additive delay or multiplicative slowdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ContentionPhase {
+    /// Constant extra delay per iteration over `[from, to)` — the paper's
+    /// persistent straggler (`T_delay = 4 s`, start to end).
+    Persistent {
+        delay_secs: f64,
+        from: SimTime,
+        to: SimTime,
+    },
+    /// FlexRR-style periodic transient contention.
+    Transient(TransientPattern),
+    /// Multiplicative slowdown over `[from, to)` (e.g. a co-located production
+    /// job stealing half the cores).
+    Slowdown {
+        factor: f64,
+        from: SimTime,
+        to: SimTime,
+    },
+}
+
+/// Full per-node profile. See the module docs for the composition rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// Deterministic hardware speed relative to the reference device (1.0).
+    pub speed_factor: f64,
+    /// Sigma of the unit-mean multiplicative log-normal iteration jitter.
+    pub jitter_sigma: f64,
+    /// Contention phases, all evaluated and summed/multiplied together.
+    pub phases: Vec<ContentionPhase>,
+    /// RNG stream id for this node's episode coin flips.
+    pub stream: u64,
+}
+
+impl NodeProfile {
+    /// A clean leader node: reference speed, mild jitter, no contention.
+    pub fn clean(stream: u64) -> Self {
+        NodeProfile {
+            speed_factor: 1.0,
+            jitter_sigma: 0.02,
+            phases: Vec::new(),
+            stream,
+        }
+    }
+
+    /// A deterministic straggler: hardware `factor`× slower than reference.
+    pub fn deterministic(stream: u64, factor_slower: f64) -> Self {
+        NodeProfile {
+            speed_factor: 1.0 / factor_slower.max(f64::MIN_POSITIVE),
+            ..NodeProfile::clean(stream)
+        }
+    }
+
+    pub fn with_jitter(mut self, sigma: f64) -> Self {
+        self.jitter_sigma = sigma;
+        self
+    }
+
+    pub fn with_phase(mut self, phase: ContentionPhase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Paper persistent straggler: constant `delay_secs` for the whole job.
+    pub fn persistent(stream: u64, delay_secs: f64) -> Self {
+        NodeProfile::clean(stream).with_phase(ContentionPhase::Persistent {
+            delay_secs,
+            from: SimTime::ZERO,
+            to: SimTime::MAX,
+        })
+    }
+
+    /// Paper transient straggler with the default FlexRR pattern.
+    pub fn transient(stream: u64, intensity: f64) -> Self {
+        NodeProfile::clean(stream)
+            .with_phase(ContentionPhase::Transient(TransientPattern::paper_default(intensity)))
+    }
+
+    /// Additive contention delay (seconds) at instant `now`.
+    pub fn extra_delay(&self, pool: &RngPool, now: SimTime) -> f64 {
+        let mut d = 0.0;
+        for p in &self.phases {
+            match *p {
+                ContentionPhase::Persistent { delay_secs, from, to } => {
+                    if now >= from && now < to {
+                        d += delay_secs;
+                    }
+                }
+                ContentionPhase::Transient(t) => d += t.delay_at(pool, self.stream, now),
+                ContentionPhase::Slowdown { .. } => {}
+            }
+        }
+        d
+    }
+
+    /// Multiplicative slowdown factor (≥ 1.0) at instant `now`.
+    pub fn slowdown(&self, now: SimTime) -> f64 {
+        let mut f = 1.0;
+        for p in &self.phases {
+            if let ContentionPhase::Slowdown { factor, from, to } = *p {
+                if now >= from && now < to {
+                    f *= factor.max(1.0);
+                }
+            }
+        }
+        f
+    }
+
+    /// Whether the node is currently under any contention phase (used by tests
+    /// and visualisation, not by the mitigation logic — AntDT only observes BPT).
+    pub fn contended(&self, pool: &RngPool, now: SimTime) -> bool {
+        self.extra_delay(pool, now) > 0.0 || self.slowdown(now) > 1.0
+    }
+
+    /// Compose the full iteration cost in seconds for a base (contention-free,
+    /// reference-device) cost.
+    pub fn iteration_secs<R: Rng + ?Sized>(
+        &self,
+        pool: &RngPool,
+        now: SimTime,
+        base_cost_secs: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let jitter = unit_mean_jitter(rng, self.jitter_sigma);
+        base_cost_secs / self.speed_factor * self.slowdown(now) * jitter
+            + self.extra_delay(pool, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool() -> RngPool {
+        RngPool::new(2024)
+    }
+
+    #[test]
+    fn clean_node_has_no_delay() {
+        let n = NodeProfile::clean(0);
+        assert_eq!(n.extra_delay(&pool(), SimTime::from_secs_f64(100.0)), 0.0);
+        assert_eq!(n.slowdown(SimTime::ZERO), 1.0);
+    }
+
+    #[test]
+    fn persistent_delay_is_constant() {
+        let n = NodeProfile::persistent(1, 4.0);
+        for s in [0.0, 10.0, 10_000.0, 1e6] {
+            assert_eq!(n.extra_delay(&pool(), SimTime::from_secs_f64(s)), 4.0);
+        }
+    }
+
+    #[test]
+    fn persistent_delay_respects_interval() {
+        let n = NodeProfile::clean(1).with_phase(ContentionPhase::Persistent {
+            delay_secs: 2.0,
+            from: SimTime::from_secs_f64(100.0),
+            to: SimTime::from_secs_f64(200.0),
+        });
+        assert_eq!(n.extra_delay(&pool(), SimTime::from_secs_f64(50.0)), 0.0);
+        assert_eq!(n.extra_delay(&pool(), SimTime::from_secs_f64(150.0)), 2.0);
+        assert_eq!(n.extra_delay(&pool(), SimTime::from_secs_f64(250.0)), 0.0);
+    }
+
+    #[test]
+    fn transient_active_only_in_window_and_episode() {
+        let n = NodeProfile::transient(3, 0.8);
+        let p = pool();
+        // Find an episode where the coin flip succeeded and one where it failed.
+        let mut hit = None;
+        let mut miss = None;
+        for e in 0..200u64 {
+            let t_active = SimTime(e * SimDuration::from_minutes(30).as_micros()
+                + SimDuration::from_minutes(5).as_micros());
+            let d = n.extra_delay(&p, t_active);
+            if d > 0.0 {
+                hit = Some((e, d));
+            } else {
+                miss = Some(e);
+            }
+            // Outside the active window there is never delay.
+            let t_idle = SimTime(e * SimDuration::from_minutes(30).as_micros()
+                + SimDuration::from_minutes(20).as_micros());
+            assert_eq!(n.extra_delay(&p, t_idle), 0.0);
+        }
+        let (_, d) = hit.expect("some episode should hit with p=0.3 over 200 tries");
+        assert!((d - 1.5 * 0.8).abs() < 1e-12);
+        assert!(miss.is_some());
+    }
+
+    #[test]
+    fn transient_rate_near_probability() {
+        let n = NodeProfile::transient(5, 1.0);
+        let p = pool();
+        let active = (0..2000u64)
+            .filter(|e| {
+                let t = SimTime(e * SimDuration::from_minutes(30).as_micros() + 1);
+                n.extra_delay(&p, t) > 0.0
+            })
+            .count();
+        let rate = active as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_straggler_scales_cost() {
+        let n = NodeProfile::deterministic(0, 3.0).with_jitter(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = n.iteration_secs(&pool(), SimTime::ZERO, 1.0, &mut rng);
+        assert!((t - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slowdown_phase_multiplies() {
+        let n = NodeProfile::clean(0)
+            .with_jitter(0.0)
+            .with_phase(ContentionPhase::Slowdown {
+                factor: 2.5,
+                from: SimTime::ZERO,
+                to: SimTime::MAX,
+            });
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = n.iteration_secs(&pool(), SimTime::ZERO, 2.0, &mut rng);
+        assert!((t - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_secs_composition() {
+        // 3x-slower hardware + persistent 4s + no jitter on a 1.5s base cost.
+        let n = NodeProfile {
+            speed_factor: 1.0 / 3.0,
+            jitter_sigma: 0.0,
+            phases: vec![ContentionPhase::Persistent {
+                delay_secs: 4.0,
+                from: SimTime::ZERO,
+                to: SimTime::MAX,
+            }],
+            stream: 9,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = n.iteration_secs(&pool(), SimTime::ZERO, 1.5, &mut rng);
+        assert!((t - (1.5 * 3.0 + 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_unit_mean() {
+        let n = NodeProfile::clean(0).with_jitter(0.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 50_000;
+        let m: f64 = (0..k)
+            .map(|_| n.iteration_secs(&pool(), SimTime::ZERO, 1.0, &mut rng))
+            .sum::<f64>()
+            / k as f64;
+        assert!((m - 1.0).abs() < 0.01, "mean {m}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Cluster builders mirroring the paper's three evaluation clusters (§VII-A1).
+
+use crate::devices::DeviceClass;
+use antdt_sim::{Link, NodeProfile, SchedulerModel};
+use serde::{Deserialize, Serialize};
+
+/// One node: contention profile + hardware class + network link.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NodeSpec {
+    pub profile: NodeProfile,
+    pub device: DeviceClass,
+    pub link: Link,
+}
+
+impl NodeSpec {
+    pub fn new(profile: NodeProfile, device: DeviceClass, link: Link) -> Self {
+        NodeSpec { profile, device, link }
+    }
+}
+
+/// Cluster-C's three node-scale settings (§VII-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterSize {
+    /// 30 workers / 12 servers.
+    Small,
+    /// 60 workers / 24 servers.
+    Medium,
+    /// 90 workers / 36 servers.
+    Large,
+}
+
+impl ClusterSize {
+    pub fn workers_servers(self) -> (usize, usize) {
+        match self {
+            ClusterSize::Small => (30, 12),
+            ClusterSize::Medium => (60, 24),
+            ClusterSize::Large => (90, 36),
+        }
+    }
+}
+
+/// A full cluster: worker and server node specs plus the scheduler model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterSpec {
+    pub workers: Vec<NodeSpec>,
+    pub servers: Vec<NodeSpec>,
+    pub scheduler: SchedulerModel,
+    /// Dedicated clusters have no multi-tenant contention.
+    pub dedicated: bool,
+}
+
+impl ClusterSpec {
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+}
+
+/// RNG stream-id bases so node streams never collide across roles.
+pub const WORKER_STREAM_BASE: u64 = 1_000;
+pub const SERVER_STREAM_BASE: u64 = 2_000;
+
+/// Cluster-A: dedicated CPU, 20 workers (16 cores) + 8 servers (4 cores).
+pub fn cluster_a() -> ClusterSpec {
+    cluster_a_scaled(20, 8)
+}
+
+/// Cluster-A shape at an arbitrary scale (for fast tests and examples).
+pub fn cluster_a_scaled(n_workers: usize, n_servers: usize) -> ClusterSpec {
+    let workers = (0..n_workers)
+        .map(|i| {
+            NodeSpec::new(
+                NodeProfile::clean(WORKER_STREAM_BASE + i as u64),
+                DeviceClass::cpu_worker(),
+                Link::datacenter(),
+            )
+        })
+        .collect();
+    let servers = (0..n_servers)
+        .map(|j| {
+            NodeSpec::new(
+                NodeProfile::clean(SERVER_STREAM_BASE + j as u64),
+                DeviceClass::cpu_server(),
+                Link::datacenter(),
+            )
+        })
+        .collect();
+    ClusterSpec {
+        workers,
+        servers,
+        scheduler: SchedulerModel::paper_default(),
+        dedicated: true,
+    }
+}
+
+/// Cluster-B: dedicated GPU, 8 nodes — four V100s and four P100s, 100 Gb/s
+/// links, AllReduce architecture (no servers).
+pub fn cluster_b() -> ClusterSpec {
+    cluster_b_with(DeviceClass::v100(), DeviceClass::p100())
+}
+
+/// Cluster-B with custom device classes (MobileNets uses the wider-gap P100).
+pub fn cluster_b_with(fast: DeviceClass, slow: DeviceClass) -> ClusterSpec {
+    let workers = (0..8usize)
+        .map(|i| {
+            let device = if i < 4 { fast } else { slow };
+            NodeSpec::new(
+                NodeProfile::clean(WORKER_STREAM_BASE + i as u64).with_jitter(0.01),
+                device,
+                Link::gpu_cluster(),
+            )
+        })
+        .collect();
+    ClusterSpec {
+        workers,
+        servers: Vec::new(),
+        scheduler: SchedulerModel::paper_default(),
+        dedicated: true,
+    }
+}
+
+/// Cluster-C: non-dedicated CPU at one of three scales. Nodes start clean; the
+/// non-dedicated contention is layered on by
+/// [`straggler::non_dedicated_background`](crate::straggler::non_dedicated_background)
+/// so experiments control severity explicitly.
+pub fn cluster_c(size: ClusterSize) -> ClusterSpec {
+    let (nw, ns) = size.workers_servers();
+    let mut spec = cluster_a_scaled(nw, ns);
+    spec.dedicated = false;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_a_matches_paper_shape() {
+        let c = cluster_a();
+        assert_eq!(c.n_workers(), 20);
+        assert_eq!(c.n_servers(), 8);
+        assert!(c.dedicated);
+    }
+
+    #[test]
+    fn cluster_b_is_half_v100_half_p100() {
+        let c = cluster_b();
+        assert_eq!(c.n_workers(), 8);
+        assert!(c.servers.is_empty());
+        let v = c.workers.iter().filter(|n| n.device.name == "V100").count();
+        let p = c.workers.iter().filter(|n| n.device.name == "P100").count();
+        assert_eq!((v, p), (4, 4));
+    }
+
+    #[test]
+    fn cluster_c_sizes() {
+        assert_eq!(cluster_c(ClusterSize::Small).n_workers(), 30);
+        assert_eq!(cluster_c(ClusterSize::Medium).n_servers(), 24);
+        assert_eq!(cluster_c(ClusterSize::Large).n_workers(), 90);
+        assert!(!cluster_c(ClusterSize::Small).dedicated);
+    }
+
+    #[test]
+    fn worker_streams_are_unique() {
+        let c = cluster_c(ClusterSize::Large);
+        let mut streams: Vec<u64> = c
+            .workers
+            .iter()
+            .chain(c.servers.iter())
+            .map(|n| n.profile.stream)
+            .collect();
+        streams.sort_unstable();
+        let before = streams.len();
+        streams.dedup();
+        assert_eq!(before, streams.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Synthetic Criteo-like CTR dataset.
+//!
+//! Rows have `n_fields` categorical fields, each one-hot into its own vocabulary
+//! slice, labelled by a hidden ground truth that mixes per-feature weights with
+//! pairwise field interactions — so a factorization machine genuinely has
+//! something to learn and reaches an AUC in the paper's ballpark (0.794 for
+//! XDeepFM on real Criteo), while logistic regression plateaus lower. Labels are
+//! imbalanced like click data.
+
+use antdt_ml::{Dataset, SparseExample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CtrConfig {
+    pub n_samples: u64,
+    pub n_fields: usize,
+    /// Vocabulary size per field; `n_features = n_fields × field_dim`.
+    pub field_dim: u32,
+    /// Latent dimension of the hidden ground-truth interactions.
+    pub k_true: usize,
+    /// Shifts the intercept to control the positive rate (≈ click rate).
+    pub bias: f32,
+    /// Label noise: probability a label is flipped.
+    pub noise: f64,
+    pub seed: u64,
+}
+
+impl Default for CtrConfig {
+    fn default() -> Self {
+        CtrConfig {
+            n_samples: 50_000,
+            n_fields: 8,
+            field_dim: 64,
+            k_true: 4,
+            bias: -1.2,
+            noise: 0.02,
+            seed: 7,
+        }
+    }
+}
+
+impl CtrConfig {
+    pub fn n_features(&self) -> u32 {
+        self.n_fields as u32 * self.field_dim
+    }
+
+    pub fn with_samples(mut self, n: u64) -> Self {
+        self.n_samples = n;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Generate the dataset. Deterministic in `cfg.seed`.
+pub fn generate(cfg: &CtrConfig) -> Dataset {
+    let n_feat = cfg.n_features() as usize;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Hidden ground truth: linear weights + latent factors per feature.
+    let w: Vec<f32> = (0..n_feat).map(|_| rng.gen_range(-1.6f32..1.6)).collect();
+    let v: Vec<f32> = (0..n_feat * cfg.k_true)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+
+    let mut data = Dataset::new(cfg.n_features());
+    let mut sums = vec![0.0f32; cfg.k_true];
+    for _ in 0..cfg.n_samples {
+        // One active category per field; skewed (Zipf-ish) category popularity.
+        let mut feats = Vec::with_capacity(cfg.n_fields);
+        for f in 0..cfg.n_fields {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let cat = ((u * u) * cfg.field_dim as f64) as u32 % cfg.field_dim;
+            feats.push((f as u32 * cfg.field_dim + cat, 1.0f32));
+        }
+        // Ground-truth score: linear + FM-style pairwise interactions.
+        let mut z = cfg.bias;
+        sums.iter_mut().for_each(|s| *s = 0.0);
+        let mut sq = 0.0f32;
+        for &(i, _) in &feats {
+            z += w[i as usize];
+            for (f, s) in sums.iter_mut().enumerate() {
+                let vif = v[i as usize * cfg.k_true + f];
+                *s += vif;
+                sq += vif * vif;
+            }
+        }
+        let s2: f32 = sums.iter().map(|s| s * s).sum();
+        z += 0.5 * (s2 - sq);
+
+        let p = sigmoid(z);
+        let mut label = if rng.gen_range(0.0f32..1.0) < p { 1.0 } else { 0.0 };
+        if rng.gen_range(0.0f64..1.0) < cfg.noise {
+            label = 1.0 - label;
+        }
+        data.push(SparseExample { feats, label });
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdt_ml::{auc, FactorizationMachine, Model, Optimizer, Sgd};
+
+    #[test]
+    fn generation_is_deterministic_and_shaped() {
+        let cfg = CtrConfig::default().with_samples(2_000);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2_000);
+        assert_eq!(a.n_features, 8 * 64);
+        // One active feature per field, field-local indices.
+        for ex in &a.examples {
+            assert_eq!(ex.feats.len(), 8);
+            for (f, &(idx, val)) in ex.feats.iter().enumerate() {
+                assert_eq!(val, 1.0);
+                assert!(idx >= f as u32 * 64 && idx < (f as u32 + 1) * 64);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_imbalanced_like_ctr_data() {
+        let d = generate(&CtrConfig::default().with_samples(20_000));
+        let rate = d.positive_rate();
+        assert!((0.05..0.45).contains(&rate), "positive rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CtrConfig::default().with_samples(500).with_seed(1));
+        let b = generate(&CtrConfig::default().with_samples(500).with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fm_learns_auc_in_paper_ballpark() {
+        let d = generate(&CtrConfig::default().with_samples(24_000));
+        let (train, test) = d.split_holdout(0.2);
+        let mut fm = FactorizationMachine::new(train.n_features, 8, 0.05);
+        let mut opt = Sgd::new(0.5);
+        let mut grad = vec![0.0f32; fm.n_params()];
+        let idx: Vec<u64> = (0..train.len() as u64).collect();
+        for epoch in 0..15 {
+            for chunk in idx.chunks(512) {
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                fm.grad_batch(&train, chunk, &mut grad);
+                opt.step(fm.params_mut(), &grad);
+            }
+            let _ = epoch;
+        }
+        let scores = fm.scores(&test);
+        let labels: Vec<f32> = test.examples.iter().map(|e| e.label).collect();
+        let a = auc(&scores, &labels).expect("both classes present");
+        // Real Criteo/XDeepFM reaches 0.794; our synthetic stand-in should land
+        // in a comparable band — well above random.
+        assert!(a > 0.72, "AUC {a}");
+    }
+}

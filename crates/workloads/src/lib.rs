@@ -1,0 +1,32 @@
+//! # antdt-workloads — datasets, cost profiles, clusters, straggler scenarios
+//!
+//! Everything the paper's evaluation needs as *inputs*, rebuilt synthetically
+//! (the substitutions are documented in `DESIGN.md`):
+//!
+//! * [`ctr`] — a Criteo-like sparse CTR dataset generated from a hidden
+//!   factorization-machine ground truth, so real training reaches a meaningful
+//!   AUC (the paper reports 0.794 for XDeepFM on Criteo).
+//! * [`cost`] — per-model compute/communication cost profiles. CPU models are
+//!   linear in the batch size (validated by paper Fig. 7); GPU models are affine
+//!   (`c0 + c1·B`), which on a log scale reproduces the flat-then-linear shape of
+//!   paper Fig. 8 and gives gradient accumulation its real trade-off.
+//! * [`devices`] — device classes (V100, P100, CPU workers/servers) with speed
+//!   factors, memory caps `B̂ᵐᵃˣ` and saturation points `B̂ᵐⁱⁿ`.
+//! * [`cluster`] — builders for the paper's Cluster-A (dedicated CPU),
+//!   Cluster-B (mixed V100/P100 GPU) and Cluster-C (non-dedicated CPU at
+//!   small/medium/large scale).
+//! * [`straggler`] — FlexRR-style injection scenarios (§VII-A4): transient
+//!   (15-in-30-minute windows, p = 0.3, `1.5 s × intensity`), persistent
+//!   (`4 s × intensity`, whole job), and the deterministic V100/P100 gap.
+
+pub mod cluster;
+pub mod cost;
+pub mod ctr;
+pub mod devices;
+pub mod straggler;
+
+pub use cluster::{ClusterSpec, ClusterSize, NodeSpec};
+pub use cost::{ComputeCost, ModelProfile};
+pub use ctr::CtrConfig;
+pub use devices::DeviceClass;
+pub use straggler::Scenario;

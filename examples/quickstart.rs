@@ -1,0 +1,81 @@
+//! Quickstart: run one BSP Parameter Server training job on a straggler-prone
+//! cluster, first natively and then under the AntDT-ND mitigation solution,
+//! and compare what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use antdt::core::{Job, JobConfig, MitigationChoice};
+use antdt::workloads::{cluster, straggler, ModelProfile, Scenario};
+
+fn main() {
+    // A small dedicated CPU cluster (8 workers, 4 parameter servers) with the
+    // paper's worker-straggler injection: transient contention on every worker
+    // plus one persistent straggler.
+    let scenario = Scenario::WorkerMix { intensity: 0.8 };
+    let base = || {
+        JobConfig::ps_bsp(cluster::cluster_a_scaled(8, 4), scenario)
+            .with_model(ModelProfile::xdeepfm())
+            .with_global_batch(16_384)
+            .with_samples(8_000_000)
+            .with_batches_per_shard(20)
+    };
+
+    println!("running native BSP ...");
+    let native = Job::run(base());
+    println!("running the same job under AntDT-ND ...");
+    let antdt = Job::run(base().with_mitigation(MitigationChoice::AntDtNd));
+
+    println!();
+    println!("                         native BSP    AntDT-ND");
+    println!(
+        "job completion time      {:>10.1}s   {:>8.1}s",
+        native.jct.as_secs_f64(),
+        antdt.jct.as_secs_f64()
+    );
+    println!(
+        "global iterations        {:>11}   {:>9}",
+        native.iterations, antdt.iterations
+    );
+    println!(
+        "kill/restart actions     {:>11}   {:>9}",
+        native.n_kills(),
+        antdt.n_kills()
+    );
+    let speedup = native.jct.as_secs_f64() / antdt.jct.as_secs_f64();
+    println!("\nAntDT-ND speedup: {speedup:.2}x");
+
+    // Show the mitigation timeline: which actions the Controller took.
+    println!("\ncontroller actions (AntDT-ND):");
+    for (t, action) in antdt.actions.iter().take(8) {
+        let label = match action {
+            antdt::controller::Action::AdjustBs { .. } => "ADJUST_BS (rebalance batch sizes)",
+            antdt::controller::Action::KillRestart { node } => {
+                println!("  {:>7.0}s  KILL_RESTART {node}", t.as_secs_f64());
+                continue;
+            }
+            other => {
+                println!("  {:>7.0}s  {other:?}", t.as_secs_f64());
+                continue;
+            }
+        };
+        println!("  {:>7.0}s  {label}", t.as_secs_f64());
+    }
+
+    // Data integrity held throughout the failovers.
+    let audit = antdt.audit.expect("DDS-backed job");
+    assert!(audit.at_least_once, "every shard reached DONE");
+    println!(
+        "\nintegrity: {}/{} shards DONE, {} requeued by failovers, at-least-once = {}",
+        audit.done_shards, audit.expected_done_shards, audit.requeued_shards, audit.at_least_once
+    );
+
+    // Which worker was the persistent straggler?
+    let straggler_idx = straggler::persistent_worker_index(&base().cluster);
+    println!(
+        "persistent straggler w{straggler_idx}: mean BPT {:.2}s (native) vs {:.2}s (AntDT-ND, post-restart)",
+        native.mean_worker_bpt(straggler_idx).unwrap_or(0.0),
+        antdt.mean_worker_bpt(straggler_idx).unwrap_or(0.0),
+    );
+}

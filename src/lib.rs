@@ -1,0 +1,39 @@
+//! # AntDT — a self-adaptive distributed training framework for leader and straggler nodes
+//!
+//! Facade crate re-exporting the whole workspace. See the crate-level docs of each
+//! member for details:
+//!
+//! * [`sim`] — discrete-event cluster simulation kernel
+//! * [`dds`] — Stateful Dynamic Data Sharding service
+//! * [`ml`] — minimal ML substrate (models, SGD, AUC, gradient accumulation)
+//! * [`workloads`] — synthetic datasets, cost profiles, cluster specs, straggler scenarios
+//! * [`monitor`] — sliding-window metrics and node events
+//! * [`controller`] — mitigation actions, min-max solvers, AntDT-ND / AntDT-DD policies
+//! * [`agent`] — per-node agent and global-action synchronization
+//! * [`core`] — Parameter Server and AllReduce training runtimes plus the job driver
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use antdt::core::{Job, JobConfig, MitigationChoice};
+//! use antdt::workloads::{cluster, straggler};
+//!
+//! // A small BSP Parameter Server job on a straggler-prone cluster, mitigated by
+//! // the AntDT-ND solution.
+//! let cluster = cluster::cluster_a_scaled(6, 3);
+//! let scenario = straggler::worker_mix(0.8);
+//! let cfg = JobConfig::ps_bsp(cluster, scenario)
+//!     .with_samples(200_000)
+//!     .with_mitigation(MitigationChoice::AntDtNd);
+//! let report = Job::run(cfg);
+//! assert!(report.jct.as_secs_f64() > 0.0);
+//! ```
+
+pub use antdt_agent as agent;
+pub use antdt_controller as controller;
+pub use antdt_core as core;
+pub use antdt_dds as dds;
+pub use antdt_ml as ml;
+pub use antdt_monitor as monitor;
+pub use antdt_sim as sim;
+pub use antdt_workloads as workloads;

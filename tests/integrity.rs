@@ -1,0 +1,90 @@
+//! Cross-crate integrity properties: real training math + DDS bookkeeping +
+//! failovers, mirroring the paper's §VII-D2 claims at test scale.
+
+use antdt::core::{ExecutionMode, Job, JobConfig, MitigationChoice};
+use antdt::sim::SimDuration;
+use antdt::workloads::{cluster, ctr, CtrConfig, Scenario};
+
+fn real_job(scenario: Scenario, seed: u64) -> JobConfig {
+    let data = ctr::generate(&CtrConfig::default().with_samples(24_000));
+    let (train, holdout) = data.split_holdout(0.2);
+    let n = train.len() as u64;
+    JobConfig::ps_bsp(cluster::cluster_a_scaled(6, 3), scenario)
+        .with_global_batch(1_536)
+        .with_samples(n)
+        .with_epochs(3)
+        .with_batches_per_shard(4)
+        .with_seed(seed)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_execution(ExecutionMode::Real { dataset: train, holdout, latent_k: 8, lr: 0.4 })
+}
+
+#[test]
+fn done_shard_count_is_exact_under_failovers() {
+    let r = Job::run(
+        real_job(Scenario::WorkerMix { intensity: 1.0 }, 1)
+            .with_mitigation(MitigationChoice::AntDtNd),
+    );
+    assert!(r.n_kills() >= 1, "the drill must actually fail over");
+    let audit = r.audit.unwrap();
+    assert_eq!(audit.done_shards, audit.expected_done_shards);
+    assert!(audit.at_least_once);
+    assert!(audit.requeued_shards >= 1);
+    assert!(!audit.at_most_once, "requeues violate at-most-once, and we say so");
+}
+
+#[test]
+fn auc_is_unaffected_by_failovers() {
+    let clean = Job::run(real_job(Scenario::None, 1));
+    let faulty = Job::run(
+        real_job(Scenario::WorkerMix { intensity: 1.0 }, 1)
+            .with_mitigation(MitigationChoice::AntDtNd),
+    );
+    let (a, b) = (clean.auc.unwrap(), faulty.auc.unwrap());
+    assert!(a > 0.68, "reference model must learn, AUC {a}");
+    assert!((a - b).abs() < 0.02, "clean {a} vs faulty {b}");
+}
+
+#[test]
+fn at_most_once_holds_with_m_equal_one_and_no_failures() {
+    let r = Job::run(real_job(Scenario::None, 2).with_batches_per_shard(1));
+    let audit = r.audit.unwrap();
+    assert!(audit.at_least_once);
+    assert!(audit.at_most_once);
+    assert_eq!(audit.duplicate_samples_upper_bound, 0);
+}
+
+#[test]
+fn backup_workers_preserve_statistical_performance() {
+    // Backup workers drop pushes; AntDT's DDS puts the samples back, so the
+    // model must still reach reference AUC (the paper's argument against naive
+    // Sync-OPT sample dropping).
+    let clean = Job::run(real_job(Scenario::None, 3));
+    let bw = Job::run(
+        real_job(Scenario::WorkerPersistent { intensity: 1.0 }, 3)
+            .with_mitigation(MitigationChoice::BackupWorkers { b: 1 }),
+    );
+    assert!(bw.rolled_back_samples > 0, "drops must actually happen");
+    let (a, b) = (clean.auc.unwrap(), bw.auc.unwrap());
+    assert!((a - b).abs() < 0.02, "clean {a} vs backup-workers {b}");
+    assert!(bw.audit.unwrap().at_least_once);
+}
+
+#[test]
+fn allreduce_real_training_reaches_reference_auc() {
+    let data = ctr::generate(&CtrConfig::default().with_samples(24_000));
+    let (train, holdout) = data.split_holdout(0.2);
+    let n = train.len() as u64;
+    let r = Job::run(
+        JobConfig::allreduce(cluster::cluster_b(), Scenario::None)
+            .with_global_batch(768)
+            .with_samples(n)
+            .with_epochs(3)
+            .with_batches_per_shard(2)
+            .with_execution(ExecutionMode::Real { dataset: train, holdout, latent_k: 8, lr: 0.4 }),
+    );
+    assert!(!r.timed_out);
+    let auc = r.auc.unwrap();
+    assert!(auc > 0.68, "AUC {auc}");
+    assert!(r.audit.unwrap().at_least_once);
+}

@@ -1,0 +1,138 @@
+//! Property tests over the whole training runtime: for random small
+//! configurations and straggler scenarios, the framework must always terminate,
+//! account for every sample, preserve at-least-once semantics, and be
+//! bit-for-bit deterministic.
+
+use antdt::core::{Consistency, DataStrategy, Job, JobConfig, MitigationChoice};
+use antdt::sim::SimDuration;
+use antdt::workloads::{cluster, ModelProfile, Scenario};
+use proptest::prelude::*;
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    prop_oneof![
+        Just(Scenario::None),
+        (0.1f64..1.0).prop_map(|intensity| Scenario::WorkerTransient { intensity }),
+        (0.1f64..1.0).prop_map(|intensity| Scenario::WorkerPersistent { intensity }),
+        (0.1f64..1.0).prop_map(|intensity| Scenario::WorkerMix { intensity }),
+        (0.1f64..1.0).prop_map(|intensity| Scenario::ServerPersistent { intensity }),
+    ]
+}
+
+fn mitigation_strategy() -> impl Strategy<Value = MitigationChoice> {
+    prop_oneof![
+        Just(MitigationChoice::None),
+        Just(MitigationChoice::AntDtNd),
+        Just(MitigationChoice::LbBsp),
+        Just(MitigationChoice::BackupWorkers { b: 1 }),
+        Just(MitigationChoice::KillRestartOnly),
+    ]
+}
+
+fn build(
+    workers: usize,
+    servers: usize,
+    samples: u64,
+    asp: bool,
+    scenario: Scenario,
+    mitigation: MitigationChoice,
+    seed: u64,
+) -> JobConfig {
+    let cl = cluster::cluster_a_scaled(workers, servers);
+    let mk = if asp { JobConfig::ps_asp } else { JobConfig::ps_bsp };
+    mk(cl, scenario)
+        .with_model(ModelProfile::xdeepfm())
+        .with_global_batch(1_024 * workers as u64)
+        .with_samples(samples)
+        .with_batches_per_shard(5)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_mitigation(mitigation)
+        .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_job_terminates_with_exact_accounting(
+        workers in 2usize..8,
+        servers in 1usize..4,
+        samples in 50_000u64..400_000,
+        asp in proptest::bool::ANY,
+        scenario in scenario_strategy(),
+        mitigation in mitigation_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        // Backup workers need b < workers; b = 1 is always fine at >= 2 workers.
+        let cfg = build(workers, servers, samples, asp, scenario, mitigation.clone(), seed);
+        let r = Job::run(cfg);
+        prop_assert!(!r.timed_out, "{mitigation:?}/{scenario:?} timed out");
+        prop_assert!(r.samples_done >= samples, "lost samples: {}", r.samples_done);
+        let audit = r.audit.expect("dds strategy");
+        prop_assert!(audit.at_least_once);
+        prop_assert_eq!(audit.done_shards, audit.expected_done_shards);
+        prop_assert!(
+            r.samples_done - samples <= audit.duplicate_samples_upper_bound,
+            "more duplicates than the audit bound"
+        );
+        prop_assert!(r.jct.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn any_job_is_deterministic(
+        workers in 2usize..6,
+        scenario in scenario_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let run = || {
+            Job::run(build(
+                workers,
+                2,
+                120_000,
+                false,
+                scenario,
+                MitigationChoice::AntDtNd,
+                seed,
+            ))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.jct, b.jct);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        prop_assert_eq!(a.kills, b.kills);
+    }
+
+    #[test]
+    fn ssp_terminates_for_any_staleness(
+        staleness in 0u32..16,
+        scenario in scenario_strategy(),
+    ) {
+        let cl = cluster::cluster_a_scaled(4, 2);
+        let cfg = JobConfig::ps_ssp(cl, scenario, staleness)
+            .with_model(ModelProfile::xdeepfm())
+            .with_global_batch(4_096)
+            .with_samples(100_000)
+            .with_batches_per_shard(5);
+        let r = Job::run(cfg);
+        prop_assert!(!r.timed_out);
+        prop_assert_eq!(r.samples_done, 100_000);
+    }
+
+    #[test]
+    fn even_partition_asp_processes_every_sample(
+        workers in 2usize..8,
+        samples in 50_000u64..300_000,
+        scenario in scenario_strategy(),
+    ) {
+        let cl = cluster::cluster_a_scaled(workers, 2);
+        let mut cfg = JobConfig::ps_asp(cl, scenario)
+            .with_global_batch(1_024 * workers as u64)
+            .with_samples(samples)
+            .with_data_strategy(DataStrategy::EvenPartition);
+        cfg.arch = antdt::core::Arch::ParameterServer { consistency: Consistency::Asp };
+        let r = Job::run(cfg);
+        prop_assert!(!r.timed_out);
+        prop_assert_eq!(r.samples_done, samples);
+        prop_assert!(r.audit.is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Scalability and overhead integration tests (paper Q4): large worker counts,
+//! solver latency, and the framework's footprint staying sub-percent.
+
+use antdt::controller::{grad_accum_allocation, minmax_batch_allocation, Eq4Class, Eq4Config};
+use antdt::controller::solve::AffineCost;
+use antdt::core::{Job, JobConfig, MitigationChoice};
+use antdt::workloads::{cluster, ClusterSize, ModelProfile, Scenario};
+
+#[test]
+fn solver_is_ms_level_at_thousand_workers() {
+    let v: Vec<f64> = (0..1000).map(|i| 800.0 + (i % 13) as f64 * 100.0).collect();
+    let t0 = std::time::Instant::now();
+    let alloc = minmax_batch_allocation(30_720, &v, 1);
+    let dt = t0.elapsed();
+    assert_eq!(alloc.iter().sum::<u64>(), 30_720);
+    // Paper §VII-E: milliseconds-level even at 1000 workers. Allow slack for
+    // debug builds and noisy CI.
+    assert!(dt.as_millis() < 500, "solver took {dt:?}");
+}
+
+#[test]
+fn eq4_solver_is_fast_with_many_classes() {
+    let classes: Vec<Eq4Class> = (0..5)
+        .map(|i| Eq4Class {
+            count: 8,
+            cost: AffineCost { c0: 0.1, per_sample: 5e-4 * (1.0 + i as f64) },
+            b_min: 8,
+            b_max: 256,
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let sol = grad_accum_allocation(Eq4Config { global_batch: 8_192, c_min: 1, c_max: 4 }, &classes);
+    let dt = t0.elapsed();
+    assert!(sol.is_some());
+    assert!(dt.as_millis() < 2_000, "Eq.4 took {dt:?}");
+}
+
+#[test]
+fn cluster_c_scale_job_completes_with_low_overhead() {
+    // Medium Cluster-C (60 workers / 24 servers) under background contention —
+    // the fig18 configuration at reduced sample count.
+    let mut cl = cluster::cluster_c(ClusterSize::Medium);
+    antdt::workloads::straggler::apply(&mut cl, Scenario::NonDedicated { mean_slowdown: 2.0 });
+    let r = Job::run(
+        JobConfig::ps_bsp(cl, Scenario::None)
+            .with_model(ModelProfile::transformer_inhouse())
+            .with_global_batch(30_720)
+            .with_samples(3_072_000) // 100 iterations
+            .with_batches_per_shard(20)
+            .with_mitigation(MitigationChoice::AntDtNd),
+    );
+    assert!(!r.timed_out);
+    assert!(r.samples_done >= 3_072_000, "lost samples: {}", r.samples_done);
+    let f = r.overhead.fraction_of(r.jct);
+    assert!(f < 0.01, "overhead fraction {f} (paper: < 0.5%)");
+    assert!(r.audit.unwrap().at_least_once);
+}
+
+#[test]
+fn ninety_worker_cluster_stays_deterministic() {
+    let run = || {
+        let cl = cluster::cluster_c(ClusterSize::Large);
+        Job::run(
+            JobConfig::ps_asp(cl, Scenario::WorkerTransient { intensity: 0.5 })
+                .with_model(ModelProfile::transformer_inhouse())
+                .with_global_batch(30_720)
+                .with_samples(1_536_000)
+                .with_batches_per_shard(10),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.jct, b.jct);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.samples_done, 1_536_000);
+}
