@@ -55,12 +55,14 @@ impl Agent {
     }
 
     /// At an iteration boundary at time `now`, drain every action whose
-    /// delivery time has passed (in delivery order).
-    pub fn take_due(&mut self, now: SimTime) -> Vec<Action> {
+    /// delivery time has passed (in delivery order). The delivery timestamp is
+    /// kept so the runtime can audit that every survivor applied the same
+    /// broadcast (chaos-drill convergence invariant).
+    pub fn take_due(&mut self, now: SimTime) -> Vec<(SimTime, Action)> {
         let mut due = Vec::new();
         while let Some(&(at, _)) = self.inbox.front() {
             if at <= now {
-                due.push(self.inbox.pop_front().unwrap().1);
+                due.push(self.inbox.pop_front().unwrap());
             } else {
                 break;
             }
@@ -101,8 +103,8 @@ mod tests {
         a.deliver(t(10.0), Action::BackupWorkers { b: 1 });
         a.deliver(t(20.0), Action::None);
         assert!(a.take_due(t(5.0)).is_empty());
-        assert_eq!(a.take_due(t(10.0)), vec![Action::BackupWorkers { b: 1 }]);
-        assert_eq!(a.take_due(t(25.0)), vec![Action::None]);
+        assert_eq!(a.take_due(t(10.0)), vec![(t(10.0), Action::BackupWorkers { b: 1 })]);
+        assert_eq!(a.take_due(t(25.0)), vec![(t(20.0), Action::None)]);
         assert_eq!(a.pending(), 0);
     }
 
@@ -114,7 +116,10 @@ mod tests {
         let due = a.take_due(t(3.0));
         assert_eq!(
             due,
-            vec![Action::BackupWorkers { b: 1 }, Action::BackupWorkers { b: 2 }]
+            vec![
+                (t(1.0), Action::BackupWorkers { b: 1 }),
+                (t(2.0), Action::BackupWorkers { b: 2 })
+            ]
         );
     }
 

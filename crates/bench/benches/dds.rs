@@ -10,9 +10,7 @@ fn bench_fetch_done_cycle(c: &mut Criterion) {
     for &k in &[100u64, 1_000, 10_000] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
-                let svc = DdsService::new(
-                    DdsConfig::new(k * 100, 10).with_batches_per_shard(10),
-                );
+                let svc = DdsService::new(DdsConfig::new(k * 100, 10).with_batches_per_shard(10));
                 let mut n = 0u64;
                 while let Some(lease) = svc.fetch(black_box(0)) {
                     svc.report_done(0, lease).unwrap();
@@ -30,8 +28,7 @@ fn bench_fail_worker(c: &mut Criterion) {
     c.bench_function("dds_fail_worker_100_doing", |b| {
         b.iter_batched(
             || {
-                let svc =
-                    DdsService::new(DdsConfig::new(100_000, 10).with_batches_per_shard(10));
+                let svc = DdsService::new(DdsConfig::new(100_000, 10).with_batches_per_shard(10));
                 for _ in 0..100 {
                     svc.fetch(7).unwrap();
                 }

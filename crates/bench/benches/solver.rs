@@ -3,7 +3,9 @@
 //! cheap for realistic device-class counts.
 
 use antdt_controller::solve::AffineCost;
-use antdt_controller::{grad_accum_allocation, lb_bsp_allocation, minmax_batch_allocation, Eq4Class, Eq4Config};
+use antdt_controller::{
+    grad_accum_allocation, lb_bsp_allocation, minmax_batch_allocation, Eq4Class, Eq4Config,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -3,8 +3,10 @@
 //! paper-vs-measured record.
 
 use crate::util::{at, header, pct, secs, series_line, sparkline, table};
-use antdt_controller::{grad_accum_allocation, minmax_batch_allocation, DeviceClassSpec, Eq4Class, Eq4Config};
 use antdt_controller::solve::AffineCost;
+use antdt_controller::{
+    grad_accum_allocation, minmax_batch_allocation, DeviceClassSpec, Eq4Class, Eq4Config,
+};
 use antdt_core::failover::fig17_curve;
 use antdt_core::fleet::{self, FleetConfig, FleetMethod};
 use antdt_core::{DataStrategy, ExecutionMode, Job, JobConfig, JobReport, MitigationChoice};
@@ -83,7 +85,8 @@ fn imagenet_job(profile: ModelProfile, membound: bool) -> JobConfig {
 // ---------------------------------------------------------------------------
 
 pub fn fig1() -> String {
-    let mut out = header("fig1", "BPT among workers and servers, non-dedicated CPU cluster (paper Fig. 1)");
+    let mut out =
+        header("fig1", "BPT among workers and servers, non-dedicated CPU cluster (paper Fig. 1)");
     let cfg = JobConfig::ps_asp(
         antdt_workloads::cluster::cluster_a_scaled(6, 4),
         Scenario::MotivationMix,
@@ -124,7 +127,8 @@ pub fn fig1() -> String {
 }
 
 pub fn fig2() -> String {
-    let mut out = header("fig2", "JCT: BSP vs ASP, dedicated vs non-dedicated CPU cluster (paper Fig. 2)");
+    let mut out =
+        header("fig2", "JCT: BSP vs ASP, dedicated vs non-dedicated CPU cluster (paper Fig. 2)");
     // Shorter workload: this figure is about the dedicated/non-dedicated ratio.
     let run = |asp: bool, nondedicated: bool| -> JobReport {
         let scenario = if nondedicated {
@@ -139,7 +143,11 @@ pub fn fig2() -> String {
                 .with_global_batch(81_920)
                 .with_samples(15_000_000)
                 .with_batches_per_shard(100)
-                .with_data_strategy(if asp { DataStrategy::EvenPartition } else { DataStrategy::Dds }),
+                .with_data_strategy(if asp {
+                    DataStrategy::EvenPartition
+                } else {
+                    DataStrategy::Dds
+                }),
         )
     };
     let bsp_d = run(false, false);
@@ -166,7 +174,8 @@ pub fn fig2() -> String {
 }
 
 pub fn fig3() -> String {
-    let mut out = header("fig3", "Data consumption & local throughput, even-partition ASP (paper Fig. 3)");
+    let mut out =
+        header("fig3", "Data consumption & local throughput, even-partition ASP (paper Fig. 3)");
     let cfg = JobConfig::ps_asp(cluster_a(), Scenario::WorkerMix { intensity: WORKER_SI })
         .with_model(ModelProfile::xdeepfm())
         .with_global_batch(81_920)
@@ -175,17 +184,10 @@ pub fn fig3() -> String {
     let n = cfg.n_workers() as u64;
     let share = 15_000_000 / n;
     let r = Job::run(cfg);
-    let mut rows = vec![vec![
-        "worker".into(),
-        "assigned".into(),
-        "throughput".into(),
-        "finish".into(),
-    ]];
+    let mut rows =
+        vec![vec!["worker".into(), "assigned".into(), "throughput".into(), "finish".into()]];
     for (i, s) in r.worker_bpt.iter().enumerate() {
-        let tp = r.worker_batch[i]
-            .mean()
-            .map(|b| b / s.mean().unwrap_or(1.0))
-            .unwrap_or(0.0);
+        let tp = r.worker_batch[i].mean().map(|b| b / s.mean().unwrap_or(1.0)).unwrap_or(0.0);
         rows.push(vec![
             format!("w{i}"),
             format!("{share}"),
@@ -207,11 +209,7 @@ pub fn fig7() -> String {
     let mut rows = vec![vec!["batch".into(), "BPT".into(), "BPT/batch (ms)".into()]];
     for b in [512u64, 1024, 2048, 4096, 8192, 16384] {
         let t = c.time(b, 1.0);
-        rows.push(vec![
-            b.to_string(),
-            format!("{t:.3}s"),
-            format!("{:.3}", t / b as f64 * 1e3),
-        ]);
+        rows.push(vec![b.to_string(), format!("{t:.3}s"), format!("{:.3}", t / b as f64 * 1e3)]);
     }
     out.push_str(&table(&rows));
     out
@@ -239,7 +237,8 @@ pub fn fig8() -> String {
 }
 
 pub fn fig9() -> String {
-    let mut out = header("fig9", "Gantt: DDP vs LB-BSP vs AntDT-DD, one sync window (paper Fig. 9)");
+    let mut out =
+        header("fig9", "Gantt: DDP vs LB-BSP vs AntDT-DD, one sync window (paper Fig. 9)");
     let run = |m: MitigationChoice| {
         let mut cfg = imagenet_job(ModelProfile::resnet101(), false)
             .with_samples(768 * 40) // 40 rounds: the policies act around round ~15
@@ -282,27 +281,18 @@ fn fig10_runs(worker_side: bool) -> Vec<(&'static str, JobReport)> {
         ("BSP", Job::run(criteo_job(scenario))),
         (
             "Backup Workers",
-            Job::run(criteo_job(scenario).with_mitigation(MitigationChoice::BackupWorkers { b: 2 })),
+            Job::run(
+                criteo_job(scenario).with_mitigation(MitigationChoice::BackupWorkers { b: 2 }),
+            ),
         ),
-        (
-            "LB-BSP",
-            Job::run(criteo_job(scenario).with_mitigation(MitigationChoice::LbBsp)),
-        ),
-        (
-            "AntDT-ND",
-            Job::run(criteo_job(scenario).with_mitigation(MitigationChoice::AntDtNd)),
-        ),
+        ("LB-BSP", Job::run(criteo_job(scenario).with_mitigation(MitigationChoice::LbBsp))),
+        ("AntDT-ND", Job::run(criteo_job(scenario).with_mitigation(MitigationChoice::AntDtNd))),
     ]
 }
 
 fn jct_table(runs: &[(&str, JobReport)]) -> String {
     let base = runs.last().expect("runs").1.jct.as_secs_f64(); // AntDT row
-    let mut rows = vec![vec![
-        "method".into(),
-        "JCT".into(),
-        "vs AntDT".into(),
-        "kills".into(),
-    ]];
+    let mut rows = vec![vec!["method".into(), "JCT".into(), "vs AntDT".into(), "kills".into()]];
     for (name, r) in runs {
         rows.push(vec![
             (*name).into(),
@@ -330,10 +320,7 @@ fn fig11_runs(worker_side: bool) -> Vec<(&'static str, JobReport)> {
         Scenario::ServerPersistent { intensity: SERVER_SI }
     };
     vec![
-        (
-            "ASP",
-            Job::run(criteo_job_asp(scenario).with_data_strategy(DataStrategy::EvenPartition)),
-        ),
+        ("ASP", Job::run(criteo_job_asp(scenario).with_data_strategy(DataStrategy::EvenPartition))),
         ("ASP-DDS", Job::run(criteo_job_asp(scenario))),
         (
             "AntDT-ND",
@@ -402,7 +389,10 @@ pub fn fig13() -> String {
 }
 
 pub fn fig14() -> String {
-    let mut out = header("fig14", "Slow-server BPT and global throughput around KILL_RESTART (paper Fig. 14)");
+    let mut out = header(
+        "fig14",
+        "Slow-server BPT and global throughput around KILL_RESTART (paper Fig. 14)",
+    );
     let cfg = criteo_job(Scenario::ServerPersistent { intensity: SERVER_SI })
         .with_mitigation(MitigationChoice::AntDtNd);
     let sj = straggler_server_index(&cfg.cluster);
@@ -436,10 +426,14 @@ pub fn fig14() -> String {
 
 pub fn fig15() -> String {
     let mut out = header("fig15", "JCT on mixed V100+P100 GPUs (paper Fig. 15)");
-    for (model, membound) in [(ModelProfile::resnet101(), false), (ModelProfile::mobilenets(), true)] {
+    for (model, membound) in
+        [(ModelProfile::resnet101(), false), (ModelProfile::mobilenets(), true)]
+    {
         let name = model.name;
         let ddp = Job::run(imagenet_job(model.clone(), membound));
-        let lb = Job::run(imagenet_job(model.clone(), membound).with_mitigation(MitigationChoice::LbBsp));
+        let lb = Job::run(
+            imagenet_job(model.clone(), membound).with_mitigation(MitigationChoice::LbBsp),
+        );
         let dd = Job::run(
             imagenet_job(model.clone(), membound)
                 .with_mitigation(MitigationChoice::AntDtDd)
@@ -482,7 +476,8 @@ pub fn fig16() -> String {
     let mut out = header("fig16", "Shards consumed vs worker throughput, ASP-DDS (paper Fig. 16)");
     let r = Job::run(criteo_job_asp(Scenario::WorkerMix { intensity: WORKER_SI }));
     let c = r.consumption.expect("dds consumption");
-    let mut rows = vec![vec!["worker".into(), "shards done".into(), "samples done".into(), "mean BPT".into()]];
+    let mut rows =
+        vec![vec!["worker".into(), "shards done".into(), "samples done".into(), "mean BPT".into()]];
     for (w, cons) in &c.per_worker {
         rows.push(vec![
             format!("w{w}"),
@@ -492,16 +487,17 @@ pub fn fig16() -> String {
         ]);
     }
     out.push_str(&table(&rows));
-    out.push_str("  (shard counts track throughput: slow workers naturally request fewer shards)\n");
+    out.push_str(
+        "  (shard counts track throughput: slow workers naturally request fewer shards)\n",
+    );
     out
 }
 
 pub fn fig17() -> String {
-    let mut out = header("fig17", "Worker failover delay: DDS-based vs checkpoint-based (paper Fig. 17)");
-    let intervals: Vec<SimDuration> = [5u64, 10, 15, 20, 30, 40, 50, 60]
-        .iter()
-        .map(|&m| SimDuration::from_minutes(m))
-        .collect();
+    let mut out =
+        header("fig17", "Worker failover delay: DDS-based vs checkpoint-based (paper Fig. 17)");
+    let intervals: Vec<SimDuration> =
+        [5u64, 10, 15, 20, 30, 40, 50, 60].iter().map(|&m| SimDuration::from_minutes(m)).collect();
     // Parameters from the Criteo job: one shard = 4096×100 samples at ~2000
     // samples/s per worker; checkpoint write ~45 s; 2 h job.
     let pts = fig17_curve(
@@ -514,11 +510,8 @@ pub fn fig17() -> String {
         4096 * 100,
         2_000.0,
     );
-    let mut rows = vec![vec![
-        "ckpt interval".into(),
-        "checkpoint-based".into(),
-        "DDS-based".into(),
-    ]];
+    let mut rows =
+        vec![vec!["ckpt interval".into(), "checkpoint-based".into(), "DDS-based".into()]];
     for p in &pts {
         rows.push(vec![
             format!("{:.0} min", p.ckpt_interval.as_secs_f64() / 60.0),
@@ -615,7 +608,10 @@ pub fn fig19() -> String {
     let mut rows = vec![vec!["method".into(), "mean JCT".into(), "vs family base".into()]];
     for a in &arms {
         let base = match a.method {
-            FleetMethod::Bsp | FleetMethod::BackupWorkers | FleetMethod::LbBsp | FleetMethod::AntDtNd => bsp,
+            FleetMethod::Bsp
+            | FleetMethod::BackupWorkers
+            | FleetMethod::LbBsp
+            | FleetMethod::AntDtNd => bsp,
             _ => asp,
         };
         rows.push(vec![
@@ -634,7 +630,10 @@ pub fn fig19() -> String {
         // contended server — the situation the paper's 27.8h -> 5.4h anecdote
         // describes.
         let mut cluster = antdt_workloads::cluster::cluster_a_scaled(46, 10);
-        antdt_workloads::straggler::apply(&mut cluster, Scenario::WorkerTransient { intensity: 1.0 });
+        antdt_workloads::straggler::apply(
+            &mut cluster,
+            Scenario::WorkerTransient { intensity: 1.0 },
+        );
         for (rank, delay) in [(45usize, 16.0f64), (30, 12.0), (15, 8.0)] {
             cluster.workers[rank].profile.phases.push(
                 antdt_sim::profile::ContentionPhase::Persistent {
@@ -644,7 +643,10 @@ pub fn fig19() -> String {
                 },
             );
         }
-        antdt_workloads::straggler::apply(&mut cluster, Scenario::ServerPersistent { intensity: 0.8 });
+        antdt_workloads::straggler::apply(
+            &mut cluster,
+            Scenario::ServerPersistent { intensity: 0.8 },
+        );
         Job::run(
             JobConfig::ps_bsp(cluster, Scenario::None)
                 .with_model(ModelProfile::xdeepfm())
@@ -671,7 +673,8 @@ pub fn fig19() -> String {
 // ---------------------------------------------------------------------------
 
 pub fn tab3() -> String {
-    let mut out = header("tab3", "JCT under AntDT-ND and BSP, varying straggler intensity (paper Table III)");
+    let mut out =
+        header("tab3", "JCT under AntDT-ND and BSP, varying straggler intensity (paper Table III)");
     let seeds = [1u64, 2, 3];
     let cell = |scenario: Scenario, m: MitigationChoice| -> (f64, f64) {
         let jcts: Vec<f64> = seeds
@@ -686,12 +689,7 @@ pub fn tab3() -> String {
     };
     for side in ["worker", "server"] {
         let _ = writeln!(out, "  {side} stragglers:");
-        let mut rows = vec![vec![
-            "SI".into(),
-            "BSP".into(),
-            "AntDT-ND".into(),
-            "speedup".into(),
-        ]];
+        let mut rows = vec![vec!["SI".into(), "BSP".into(), "AntDT-ND".into(), "speedup".into()]];
         for si in [0.1f64, 0.3, 0.5, 0.8] {
             let scenario = if side == "worker" {
                 Scenario::WorkerMix { intensity: si }
@@ -777,7 +775,8 @@ pub fn integrity() -> String {
 }
 
 pub fn solver() -> String {
-    let mut out = header("solver", "Optimization runtime at scale (paper §VII-E: ms-level at 1000 workers)");
+    let mut out =
+        header("solver", "Optimization runtime at scale (paper §VII-E: ms-level at 1000 workers)");
     let mut rows = vec![vec!["problem".into(), "size".into(), "time".into()]];
     for n in [10usize, 100, 1000] {
         let v: Vec<f64> = (0..n).map(|i| 1000.0 + (i % 7) as f64 * 300.0).collect();
@@ -800,7 +799,8 @@ pub fn solver() -> String {
         })
         .collect();
     let t0 = std::time::Instant::now();
-    let sol = grad_accum_allocation(Eq4Config { global_batch: 4_096, c_min: 1, c_max: 5 }, &classes);
+    let sol =
+        grad_accum_allocation(Eq4Config { global_batch: 4_096, c_min: 1, c_max: 5 }, &classes);
     let dt = t0.elapsed();
     assert!(sol.is_some());
     rows.push(vec![
@@ -861,19 +861,25 @@ pub fn ablate() -> String {
             ..Default::default()
         });
         let r = antdt_core_run_with(cfg, Box::new(nd));
-        rows.push(vec![
-            format!("{lambda:.1}"),
-            secs(r.jct.as_secs_f64()),
-            r.n_kills().to_string(),
-        ]);
+        rows.push(vec![format!("{lambda:.1}"), secs(r.jct.as_secs_f64()), r.n_kills().to_string()]);
     }
     out.push_str(&table(&rows));
 
     // (c) Gradient accumulation bound C_max (AntDT-DD objective).
     out.push_str("  (c) accumulation bound C_max (Eq. 4 round time, ResNet-101 classes):\n");
     let classes = vec![
-        Eq4Class { count: 4, cost: AffineCost { c0: 0.15, per_sample: 1.733e-3 }, b_min: 16, b_max: 112 },
-        Eq4Class { count: 4, cost: AffineCost { c0: 0.15, per_sample: 5.2e-3 }, b_min: 16, b_max: 96 },
+        Eq4Class {
+            count: 4,
+            cost: AffineCost { c0: 0.15, per_sample: 1.733e-3 },
+            b_min: 16,
+            b_max: 112,
+        },
+        Eq4Class {
+            count: 4,
+            cost: AffineCost { c0: 0.15, per_sample: 5.2e-3 },
+            b_min: 16,
+            b_max: 96,
+        },
     ];
     let mut rows = vec![vec!["C_max".into(), "round time".into(), "per-class (B, C)".into()]];
     for c_max in [1u32, 2, 3, 5] {
@@ -890,17 +896,9 @@ pub fn ablate() -> String {
 
     // (d) Backup worker count b.
     out.push_str("  (d) backup worker count b (worker stragglers):\n");
-    let mut rows = vec![vec![
-        "b".into(),
-        "JCT".into(),
-        "recomputed samples".into(),
-    ]];
+    let mut rows = vec![vec!["b".into(), "JCT".into(), "recomputed samples".into()]];
     for b in [0u32, 1, 2, 4] {
-        let m = if b == 0 {
-            MitigationChoice::None
-        } else {
-            MitigationChoice::BackupWorkers { b }
-        };
+        let m = if b == 0 { MitigationChoice::None } else { MitigationChoice::BackupWorkers { b } };
         let r = Job::run(
             criteo_job(Scenario::WorkerMix { intensity: WORKER_SI })
                 .with_samples(15_000_000)
@@ -940,9 +938,56 @@ fn antdt_core_run_with(
     antdt_core::ps_run_with_policy(cfg, policy)
 }
 
+/// Chaos-drill matrix (antdt-chaos): deterministic fault plans × mitigation
+/// policies with the full invariant audit, plus the loud-failure path of a
+/// wedged barrier caught by the liveness watchdog.
+pub fn chaos() -> String {
+    use antdt_chaos::{ChaosDriver, Fault, FaultPlan, NodeRef};
+
+    let mut out = header("chaos", "Fault-injection drill matrix with invariant verdicts");
+    let base = JobConfig::ps_bsp(
+        antdt_workloads::cluster::cluster_a_scaled(4, 2),
+        Scenario::WorkerMix { intensity: 0.5 },
+    )
+    .with_global_batch(4_096)
+    .with_samples(500_000)
+    .with_batches_per_shard(10)
+    .with_fast_cadence(SimDuration::from_secs(60));
+
+    let matrix = ChaosDriver::new(base.clone())
+        .with_plan(FaultPlan::new("kill-w1").at(30.0, Fault::KillNode { node: NodeRef::Worker(1) }))
+        .with_plan(FaultPlan::new("dds-outage").at(15.0, Fault::DdsOutage { window_secs: 30.0 }))
+        .with_plan(FaultPlan::new("slow-link").at(
+            20.0,
+            Fault::NetworkDegrade { node: NodeRef::Worker(3), factor: 6.0, window_secs: 60.0 },
+        ))
+        .with_policies(vec![MitigationChoice::AntDtNd, MitigationChoice::None])
+        .run();
+    for line in matrix.render().lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+
+    let wedge = ChaosDriver::new(base).with_liveness_timeout(SimDuration::from_secs(120)).run_one(
+        &FaultPlan::new("wedge").at(20.0, Fault::KillNodeNoFailover { node: NodeRef::Worker(2) }),
+        &MitigationChoice::AntDtNd,
+    );
+    let _ = writeln!(
+        out,
+        "  wedge drill (failover disabled): stalled={} detected by watchdog, liveness invariant {}",
+        wedge.stalled,
+        if wedge.invariant("liveness").map(|o| o.passed).unwrap_or(false) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
-    
 
     #[test]
     fn cheap_experiments_produce_reports() {

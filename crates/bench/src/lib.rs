@@ -3,7 +3,7 @@
 //! One function per table/figure of the paper's evaluation (§VII). Each
 //! regenerates the corresponding artifact from scratch on the simulator and
 //! returns a printable report; the `experiments` binary dispatches on ids
-//! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `all`).
+//! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `chaos`, `all`).
 //!
 //! Absolute numbers come from a simulated substrate, so they are not expected
 //! to match the paper's testbed; the *shapes* — who wins, by what factor,
@@ -37,6 +37,7 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("integrity", "Data integrity: DONE shards + AUC under failovers", exps::integrity),
         ("solver", "Optimization solver runtime at scale", exps::solver),
         ("ablate", "Ablations: M, lambda, windows, C_max, backup count", exps::ablate),
+        ("chaos", "Chaos-drill matrix: fault plans x policies + invariant audit", exps::chaos),
     ]
 }
 
@@ -50,8 +51,5 @@ pub fn run(id: &str) -> Option<String> {
         }
         return Some(out);
     }
-    registry()
-        .into_iter()
-        .find(|(eid, _, _)| *eid == id)
-        .map(|(_, _, f)| f())
+    registry().into_iter().find(|(eid, _, _)| *eid == id).map(|(_, _, f)| f())
 }

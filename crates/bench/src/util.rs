@@ -22,11 +22,8 @@ pub fn table(rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     for (i, r) in rows.iter().enumerate() {
-        let line: Vec<String> = r
-            .iter()
-            .enumerate()
-            .map(|(c, cell)| format!("{:<w$}", cell, w = widths[c]))
-            .collect();
+        let line: Vec<String> =
+            r.iter().enumerate().map(|(c, cell)| format!("{:<w$}", cell, w = widths[c])).collect();
         let _ = writeln!(out, "  {}", line.join("  "));
         if i == 0 {
             let _ = writeln!(
@@ -66,9 +63,7 @@ pub fn sparkline(s: &TimeSeries, buckets: usize) -> String {
     let lo = pts.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
     let hi = pts.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-12);
-    pts.iter()
-        .map(|&(_, v)| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
-        .collect()
+    pts.iter().map(|&(_, v)| GLYPHS[(((v - lo) / span) * 7.0).round() as usize]).collect()
 }
 
 /// Format a sim instant compactly.

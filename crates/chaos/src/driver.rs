@@ -1,0 +1,183 @@
+//! The chaos-drill driver: runs a (fault-plan × mitigation-policy) matrix,
+//! pairing every drill with a fault-free run of the same seed and policy, and
+//! emits one [`DrillReport`] per cell with the full invariant verdict.
+
+use crate::invariants::{self, InvariantOutcome};
+use crate::plan::FaultPlan;
+use antdt_core::{Arch, Consistency, InjectionRecord, Job, JobConfig, MitigationChoice};
+use antdt_sim::SimDuration;
+use serde::Serialize;
+
+/// Everything one drill produced. Deliberately `PartialEq` (and built only
+/// from deterministic simulation outputs) so bit-for-bit reproducibility can
+/// be asserted as `run_one(..) == run_one(..)` on the same seed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DrillReport {
+    pub plan: String,
+    /// Debug rendering of the [`MitigationChoice`] under drill.
+    pub policy: String,
+    pub faults_injected: usize,
+    /// Per-fault timeline: fire time, restart, first post-restart commit.
+    pub injections: Vec<InjectionRecord>,
+    pub invariants: Vec<InvariantOutcome>,
+    pub jct_clean_secs: f64,
+    pub jct_drill_secs: f64,
+    /// JCT overhead of the faults relative to the clean run
+    /// (`drill/clean - 1`); negative overhead is possible but suspicious.
+    pub overhead_frac: f64,
+    pub samples_done: u64,
+    pub stalled: bool,
+    pub timed_out: bool,
+    /// All invariants passed.
+    pub passed: bool,
+}
+
+impl DrillReport {
+    /// The invariant outcome with the given checker name, if it ran.
+    pub fn invariant(&self, name: &str) -> Option<&InvariantOutcome> {
+        self.invariants.iter().find(|o| o.name == name)
+    }
+}
+
+/// The whole matrix.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MatrixReport {
+    pub drills: Vec<DrillReport>,
+}
+
+impl MatrixReport {
+    pub fn all_passed(&self) -> bool {
+        self.drills.iter().all(|d| d.passed)
+    }
+
+    /// Plain-text table for examples and the bench harness.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:<18} {:>6} {:>11} {:>11} {:>9}  {}\n",
+            "plan", "policy", "faults", "clean JCT", "drill JCT", "overhead", "verdict"
+        ));
+        for d in &self.drills {
+            let verdict = if d.passed {
+                "PASS".to_string()
+            } else {
+                let failed: Vec<&str> =
+                    d.invariants.iter().filter(|o| !o.passed).map(|o| o.name.as_str()).collect();
+                format!("FAIL [{}]", failed.join(", "))
+            };
+            out.push_str(&format!(
+                "{:<22} {:<18} {:>6} {:>10.1}s {:>10.1}s {:>8.1}%  {}\n",
+                d.plan,
+                d.policy,
+                d.faults_injected,
+                d.jct_clean_secs,
+                d.jct_drill_secs,
+                d.overhead_frac * 100.0,
+                verdict
+            ));
+        }
+        out
+    }
+}
+
+/// Runs chaos drills: each drill executes the base job twice — once clean,
+/// once with the plan's faults injected — and audits the drill run against
+/// the invariant suite.
+pub struct ChaosDriver {
+    base: JobConfig,
+    plans: Vec<FaultPlan>,
+    policies: Vec<MitigationChoice>,
+    liveness_timeout: SimDuration,
+    auc_tolerance: f64,
+}
+
+impl ChaosDriver {
+    /// `base` should carry everything but mitigation/injections; the driver
+    /// overrides those per matrix cell.
+    pub fn new(base: JobConfig) -> Self {
+        ChaosDriver {
+            base,
+            plans: Vec::new(),
+            policies: vec![MitigationChoice::AntDtNd],
+            // Generous default: an order of magnitude above the scheduler
+            // model's worst restart (pending_busy tops out at 1500 s).
+            liveness_timeout: SimDuration::from_secs(3600),
+            auc_tolerance: 0.02,
+        }
+    }
+
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plans.push(plan);
+        self
+    }
+
+    pub fn with_policies(mut self, policies: Vec<MitigationChoice>) -> Self {
+        assert!(!policies.is_empty());
+        self.policies = policies;
+        self
+    }
+
+    pub fn with_liveness_timeout(mut self, d: SimDuration) -> Self {
+        self.liveness_timeout = d;
+        self
+    }
+
+    pub fn with_auc_tolerance(mut self, tol: f64) -> Self {
+        self.auc_tolerance = tol;
+        self
+    }
+
+    /// Drill a single (plan, policy) cell.
+    pub fn run_one(&self, plan: &FaultPlan, policy: &MitigationChoice) -> DrillReport {
+        let clean_cfg = self.base.clone().with_mitigation(policy.clone());
+        let clean = Job::run(clean_cfg);
+
+        let drill_cfg = self
+            .base
+            .clone()
+            .with_mitigation(policy.clone())
+            .with_injections(plan.compile())
+            .with_liveness_timeout(self.liveness_timeout);
+        let drill = Job::run(drill_cfg);
+
+        let synchronous =
+            !matches!(self.base.arch, Arch::ParameterServer { consistency: Consistency::Asp });
+        let invariants = invariants::check_all(
+            &drill,
+            &clean,
+            plan.has_kills(),
+            plan.expects_stall(),
+            synchronous,
+            self.auc_tolerance,
+        );
+        let jct_clean_secs = clean.jct.as_secs_f64();
+        let jct_drill_secs = drill.jct.as_secs_f64();
+        let overhead_frac =
+            if jct_clean_secs > 0.0 { jct_drill_secs / jct_clean_secs - 1.0 } else { 0.0 };
+        DrillReport {
+            plan: plan.name.clone(),
+            policy: format!("{policy:?}"),
+            faults_injected: drill.injections.len(),
+            injections: drill.injections.clone(),
+            passed: invariants.iter().all(|o| o.passed),
+            invariants,
+            jct_clean_secs,
+            jct_drill_secs,
+            overhead_frac,
+            samples_done: drill.samples_done,
+            stalled: drill.stalled,
+            timed_out: drill.timed_out,
+        }
+    }
+
+    /// Drill the full plan × policy matrix.
+    pub fn run(&self) -> MatrixReport {
+        let mut drills = Vec::new();
+        for plan in &self.plans {
+            for policy in &self.policies {
+                drills.push(self.run_one(plan, policy));
+            }
+        }
+        MatrixReport { drills }
+    }
+}

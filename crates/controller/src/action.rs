@@ -9,10 +9,7 @@ pub enum Action {
     /// Load-balancing: set every worker's local batch size for the next
     /// iteration (dead workers get 0). `grad_accum[i]` > 1 additionally splits
     /// worker `i`'s batch into sequential micro-batches (AntDT-DD).
-    AdjustBs {
-        batch_sizes: Vec<u64>,
-        grad_accum: Option<Vec<u32>>,
-    },
+    AdjustBs { batch_sizes: Vec<u64>, grad_accum: Option<Vec<u32>> },
     /// Replication: proceed after `n − b` fastest pushes each iteration; the
     /// DDS puts the dropped shards back to preserve at-least-once semantics.
     BackupWorkers { b: u32 },
@@ -67,10 +64,7 @@ mod tests {
 
     #[test]
     fn classification_matches_table_ii() {
-        assert_eq!(
-            Action::KillRestart { node: NodeId::worker(0) }.action_type(),
-            ActionType::Node
-        );
+        assert_eq!(Action::KillRestart { node: NodeId::worker(0) }.action_type(), ActionType::Node);
         assert_eq!(
             Action::AdjustBs { batch_sizes: vec![1, 2], grad_accum: None }.action_type(),
             ActionType::Global

@@ -110,9 +110,7 @@ impl KillRestartOnly {
     }
 
     fn may_kill(&self, node: NodeId, now: SimTime) -> bool {
-        self.last_kill
-            .get(&node)
-            .is_none_or(|&t| now.since(t) >= self.kill_cooldown)
+        self.last_kill.get(&node).is_none_or(|&t| now.since(t) >= self.kill_cooldown)
     }
 }
 
@@ -232,9 +230,7 @@ mod tests {
         let mut p = LbBsp::uncapped(2);
         let s = snap(vec![worker(0, 1.0, true), worker(1, 4.0, true)]);
         let a1 = p.decide(SimTime::ZERO, &s, &ctx(2));
-        let Action::AdjustBs { batch_sizes, .. } = &a1[0] else {
-            panic!("{a1:?}")
-        };
+        let Action::AdjustBs { batch_sizes, .. } = &a1[0] else { panic!("{a1:?}") };
         assert_eq!(batch_sizes.iter().sum::<u64>(), 100);
         assert!(batch_sizes[0] > batch_sizes[1]);
         // Same snapshot again: no redundant broadcast.
@@ -245,21 +241,14 @@ mod tests {
     fn backup_workers_announces_once() {
         let mut p = BackupWorkersPolicy::new(2);
         let s = snap(vec![worker(0, 1.0, true)]);
-        assert_eq!(
-            p.decide(SimTime::ZERO, &s, &ctx(1)),
-            vec![Action::BackupWorkers { b: 2 }]
-        );
+        assert_eq!(p.decide(SimTime::ZERO, &s, &ctx(1)), vec![Action::BackupWorkers { b: 2 }]);
         assert_eq!(p.decide(SimTime::ZERO, &s, &ctx(1)), vec![Action::None]);
     }
 
     #[test]
     fn kill_restart_only_targets_worst_persistent() {
         let mut p = KillRestartOnly::new(1.5);
-        let s = snap(vec![
-            worker(0, 2.0, true),
-            worker(1, 6.0, true),
-            worker(2, 8.0, true),
-        ]);
+        let s = snap(vec![worker(0, 2.0, true), worker(1, 6.0, true), worker(2, 8.0, true)]);
         let a = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx(3));
         assert_eq!(a, vec![Action::KillRestart { node: NodeId::worker(2) }]);
     }

@@ -149,10 +149,8 @@ mod tests {
 
     #[test]
     fn composite_merges_rebalance_and_kill() {
-        let mut p = Composite::new(vec![
-            Box::new(LbBsp::uncapped(3)),
-            Box::new(KillRestartOnly::new(1.5)),
-        ]);
+        let mut p =
+            Composite::new(vec![Box::new(LbBsp::uncapped(3)), Box::new(KillRestartOnly::new(1.5))]);
         let s = snap(&[1.0, 1.0, 9.0]);
         let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx(3));
         assert!(actions.iter().any(|a| matches!(a, Action::AdjustBs { .. })));
@@ -163,16 +161,11 @@ mod tests {
 
     #[test]
     fn composite_keeps_only_first_adjust_bs() {
-        let mut p = Composite::new(vec![
-            Box::new(LbBsp::uncapped(2)),
-            Box::new(LbBsp::uncapped(2)),
-        ]);
+        let mut p =
+            Composite::new(vec![Box::new(LbBsp::uncapped(2)), Box::new(LbBsp::uncapped(2))]);
         let s = snap(&[1.0, 2.0]);
         let actions = p.decide(SimTime::ZERO, &s, &ctx(2));
-        let n_adjust = actions
-            .iter()
-            .filter(|a| matches!(a, Action::AdjustBs { .. }))
-            .count();
+        let n_adjust = actions.iter().filter(|a| matches!(a, Action::AdjustBs { .. })).count();
         assert_eq!(n_adjust, 1);
     }
 
@@ -184,10 +177,7 @@ mod tests {
         ]);
         let s = snap(&[1.0, 1.0, 9.0]);
         let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx(3));
-        let kills = actions
-            .iter()
-            .filter(|a| matches!(a, Action::KillRestart { .. }))
-            .count();
+        let kills = actions.iter().filter(|a| matches!(a, Action::KillRestart { .. })).count();
         assert_eq!(kills, 1);
         // Healthy snapshot: pure None.
         let healthy = snap(&[1.0, 1.0, 1.0]);
@@ -200,10 +190,7 @@ mod tests {
         let mut p = AdaptiveBackupWorkers::new(1.5);
         // Two stragglers of eight -> b = 2.
         let s = snap(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 5.0]);
-        assert_eq!(
-            p.decide(SimTime::ZERO, &s, &ctx(8)),
-            vec![Action::BackupWorkers { b: 2 }]
-        );
+        assert_eq!(p.decide(SimTime::ZERO, &s, &ctx(8)), vec![Action::BackupWorkers { b: 2 }]);
         // Unchanged detection -> no redundant broadcast.
         assert_eq!(p.decide(SimTime::ZERO, &s, &ctx(8)), vec![Action::None]);
         // Recovered -> b drops to 0.
@@ -219,10 +206,7 @@ mod tests {
         let mut p = AdaptiveBackupWorkers::new(1.2);
         // Half the fleet straggling, but cap = 25% of 8 = 2.
         let s = snap(&[1.0, 1.0, 1.0, 1.0, 6.0, 6.0, 6.0, 6.0]);
-        assert_eq!(
-            p.decide(SimTime::ZERO, &s, &ctx(8)),
-            vec![Action::BackupWorkers { b: 2 }]
-        );
+        assert_eq!(p.decide(SimTime::ZERO, &s, &ctx(8)), vec![Action::BackupWorkers { b: 2 }]);
     }
 
     #[test]

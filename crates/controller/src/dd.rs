@@ -195,11 +195,7 @@ mod tests {
         let slow = batch_sizes[2] * accums[2] as u64;
         assert!(fast >= slow, "fast {fast} slow {slow}");
         // Total per round covers the global batch.
-        let total: u64 = batch_sizes
-            .iter()
-            .zip(accums)
-            .map(|(&b, &c)| b * c as u64)
-            .sum();
+        let total: u64 = batch_sizes.iter().zip(accums).map(|(&b, &c)| b * c as u64).sum();
         assert!(total >= 384);
         assert!(p.is_done());
         // Deterministic stragglers: never acts again.

@@ -34,4 +34,7 @@ pub use compose::{AdaptiveBackupWorkers, Composite};
 pub use dd::{AntDtDd, DdConfig, DeviceClassSpec};
 pub use nd::{AntDtNd, NdConfig};
 pub use policy::{MitigationPolicy, PolicyCtx};
-pub use solve::{grad_accum_allocation, lb_bsp_allocation, minmax_batch_allocation, AffineCost, Eq4Class, Eq4Config, Eq4Solution};
+pub use solve::{
+    grad_accum_allocation, lb_bsp_allocation, minmax_batch_allocation, AffineCost, Eq4Class,
+    Eq4Config, Eq4Solution,
+};

@@ -131,11 +131,7 @@ impl MitigationPolicy for AntDtNd {
             // Re-solve also when the alive set changed (a kill or restart must
             // redistribute the fixed global batch immediately).
             let alive_changed = match &self.last_alloc {
-                Some(prev) => snap
-                    .workers
-                    .iter()
-                    .zip(prev)
-                    .any(|(s, &b)| s.alive == (b == 0)),
+                Some(prev) => snap.workers.iter().zip(prev).any(|(s, &b)| s.alive == (b == 0)),
                 None => true,
             };
             if transient_detected || alive_changed || worker_victim.is_some() {
@@ -283,10 +279,7 @@ mod tests {
             false,
         );
         let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
-        assert!(
-            actions.contains(&Action::KillRestart { node: NodeId::worker(2) }),
-            "{actions:?}"
-        );
+        assert!(actions.contains(&Action::KillRestart { node: NodeId::worker(2) }), "{actions:?}");
         // Cooldown: the same snapshot a minute later must not re-kill.
         let again = p.decide(SimTime::from_secs_f64(660.0), &s, &ctx());
         assert!(!again.iter().any(|a| matches!(a, Action::KillRestart { .. })));
@@ -314,18 +307,12 @@ mod tests {
     fn persistent_server_straggler_is_killed() {
         let mut p = AntDtNd::new(NdConfig::default());
         let s = snap(
-            vec![
-                worker(0, 2.0, 2.0, 50.0, true),
-                worker(1, 2.0, 2.0, 50.0, true),
-            ],
+            vec![worker(0, 2.0, 2.0, 50.0, true), worker(1, 2.0, 2.0, 50.0, true)],
             vec![server(0, 0.5), server(1, 0.5), server(2, 2.5)],
             false,
         );
         let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
-        assert!(
-            actions.contains(&Action::KillRestart { node: NodeId::server(2) }),
-            "{actions:?}"
-        );
+        assert!(actions.contains(&Action::KillRestart { node: NodeId::server(2) }), "{actions:?}");
     }
 
     #[test]

@@ -30,11 +30,8 @@ pub trait MitigationPolicy: Send {
 /// missing measurements imputed with the mean of the measured ones (a fresh
 /// restarted node has no history yet but must receive work).
 pub fn worker_throughputs(stats: &[NodeStats]) -> Vec<f64> {
-    let measured: Vec<f64> = stats
-        .iter()
-        .filter(|s| s.alive)
-        .filter_map(|s| s.throughput)
-        .collect();
+    let measured: Vec<f64> =
+        stats.iter().filter(|s| s.alive).filter_map(|s| s.throughput).collect();
     let fallback = if measured.is_empty() {
         1.0
     } else {
@@ -42,13 +39,7 @@ pub fn worker_throughputs(stats: &[NodeStats]) -> Vec<f64> {
     };
     stats
         .iter()
-        .map(|s| {
-            if !s.alive {
-                0.0
-            } else {
-                s.throughput.unwrap_or(fallback).max(0.0)
-            }
-        })
+        .map(|s| if !s.alive { 0.0 } else { s.throughput.unwrap_or(fallback).max(0.0) })
         .collect()
 }
 
@@ -72,7 +63,7 @@ mod tests {
     fn throughputs_zero_dead_and_impute_missing() {
         let stats = vec![
             stat(0, Some(10.0), true),
-            stat(1, None, true),        // imputed with mean(10, 30) = 20
+            stat(1, None, true), // imputed with mean(10, 30) = 20
             stat(2, Some(30.0), true),
             stat(3, Some(99.0), false), // dead => 0
         ];

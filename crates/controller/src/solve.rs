@@ -79,10 +79,8 @@ pub fn minmax_batch_allocation(global_batch: u64, v: &[f64], b_min: u64) -> Vec<
 
     // Greedy: hand each remaining sample to the worker whose time after the
     // increment stays smallest. Heap keyed on (B_i + 1) / v_i.
-    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = live
-        .iter()
-        .map(|&i| Reverse((OrdF64((out[i] + 1) as f64 / v[i]), i)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        live.iter().map(|&i| Reverse((OrdF64((out[i] + 1) as f64 / v[i]), i))).collect();
     while remaining > 0 {
         let Reverse((_, i)) = heap.pop().expect("live workers present");
         out[i] += 1;
@@ -245,8 +243,7 @@ pub fn grad_accum_allocation(cfg: Eq4Config, classes: &[Eq4Class]) -> Option<Eq4
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    (sol.objective_secs, sol.achieved_batch)
-                        < (b.objective_secs, b.achieved_batch)
+                    (sol.objective_secs, sol.achieved_batch) < (b.objective_secs, b.achieved_batch)
                 }
             };
             if better {
@@ -281,8 +278,14 @@ fn solve_inner(global_batch: u64, classes: &[Eq4Class], c: &[u32]) -> Option<Eq4
         }
         Some(alloc)
     };
-    let total =
-        |alloc: &[u64]| -> u64 { alloc.iter().zip(classes).zip(c).map(|((&b, cl), &ci)| b * cl.count as u64 * ci as u64).sum() };
+    let total = |alloc: &[u64]| -> u64 {
+        alloc
+            .iter()
+            .zip(classes)
+            .zip(c)
+            .map(|((&b, cl), &ci)| b * cl.count as u64 * ci as u64)
+            .sum()
+    };
 
     // Upper bound: everyone at b_max.
     let z_hi_alloc: Vec<u64> = classes.iter().map(|cl| cl.b_max).collect();
@@ -500,11 +503,9 @@ mod tests {
             .map(|(i, &b)| classes[usize::from(i >= 4)].cost.time(b))
             .fold(0.0f64, f64::max);
 
-        let sol = grad_accum_allocation(
-            Eq4Config { global_batch: 768, c_min: 1, c_max: 5 },
-            &classes,
-        )
-        .unwrap();
+        let sol =
+            grad_accum_allocation(Eq4Config { global_batch: 768, c_min: 1, c_max: 5 }, &classes)
+                .unwrap();
         assert!(
             sol.objective_secs < lb_round + 1e-9,
             "eq4 {} vs lb-bsp {}",
@@ -522,10 +523,8 @@ mod tests {
             b_max: 10,
         }];
         // max possible = 2 * 5 * 10 = 100 < 101
-        let sol = grad_accum_allocation(
-            Eq4Config { global_batch: 101, c_min: 1, c_max: 5 },
-            &classes,
-        );
+        let sol =
+            grad_accum_allocation(Eq4Config { global_batch: 101, c_min: 1, c_max: 5 }, &classes);
         assert!(sol.is_none());
     }
 
@@ -541,11 +540,8 @@ mod tests {
             &gpu_classes()
         )
         .is_none());
-        assert!(grad_accum_allocation(
-            Eq4Config { global_batch: 10, c_min: 1, c_max: 5 },
-            &[]
-        )
-        .is_none());
+        assert!(grad_accum_allocation(Eq4Config { global_batch: 10, c_min: 1, c_max: 5 }, &[])
+            .is_none());
     }
 
     #[test]
@@ -556,11 +552,9 @@ mod tests {
             b_min: 8,
             b_max: 128,
         }];
-        let sol = grad_accum_allocation(
-            Eq4Config { global_batch: 512, c_min: 1, c_max: 5 },
-            &classes,
-        )
-        .unwrap();
+        let sol =
+            grad_accum_allocation(Eq4Config { global_batch: 512, c_min: 1, c_max: 5 }, &classes)
+                .unwrap();
         assert_eq!(sol.per_class[0], (64, 1));
         assert_eq!(sol.achieved_batch, 512);
     }
@@ -661,4 +655,3 @@ mod prop_tests {
         }
     }
 }
-

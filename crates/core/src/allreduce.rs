@@ -5,9 +5,9 @@
 //! model gradients closes the round. Native DDP fixes `Bᵢ = B/n, Cᵢ = 1`;
 //! LB-BSP rebalances `Bᵢ`; AntDT-DD jointly picks `(Bᵢ, Cᵢ)` (§VI-B, Fig. 9).
 
-use crate::config::{DataStrategy, ExecutionMode, JobConfig};
+use crate::config::{DataStrategy, ExecutionMode, InjectedFault, JobConfig};
 use crate::events::Ev;
-use crate::report::JobReport;
+use crate::report::{ActionApplication, InjectionRecord, JobReport};
 use antdt_agent::{Agent, OverheadLedger};
 use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
 use antdt_dds::{DdsConfig, DdsService, ShardLease};
@@ -17,6 +17,7 @@ use antdt_sim::gantt::SpanKind;
 use antdt_sim::network::ring_allreduce_secs;
 use antdt_sim::{Engine, Gantt, RngPool, SimDuration, SimTime, TimeSeries};
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 struct LeaseState {
     lease: ShardLease,
@@ -28,6 +29,10 @@ struct LeaseState {
 
 struct Rank {
     agent: Agent,
+    /// Cleared by a chaos kill. DDP has no per-rank restart: a killed rank
+    /// leaves the ring for good; with failover enabled its shards requeue and
+    /// the surviving ranks absorb them (elastic-DDP assumption).
+    alive: bool,
     quota: u64,
     accum: u32,
     lr_scale: f32,
@@ -65,6 +70,16 @@ struct ArWorld {
     timed_out: bool,
     throughput: TimeSeries,
     gantt: Option<Gantt>,
+
+    // ---- chaos-drill state (neutral unless `injections` is configured)
+    injections_log: Vec<InjectionRecord>,
+    action_log: Vec<ActionApplication>,
+    kills: Vec<(SimTime, NodeId)>,
+    chaos_droppers: Vec<(u32, f64, StdRng)>,
+    chaos_degraded: Vec<(u32, u32, f64)>,
+    chaos_outages: u32,
+    last_progress: SimTime,
+    stalled: bool,
 }
 
 pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobReport {
@@ -85,10 +100,9 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
     };
     let model = match &cfg.execution {
         ExecutionMode::Simulated => None,
-        ExecutionMode::Real { dataset, latent_k, lr, .. } => Some((
-            FactorizationMachine::new(dataset.n_features, *latent_k, 0.05),
-            Sgd::new(*lr),
-        )),
+        ExecutionMode::Real { dataset, latent_k, lr, .. } => {
+            Some((FactorizationMachine::new(dataset.n_features, *latent_k, 0.05), Sgd::new(*lr)))
+        }
     };
 
     let mut store = MetricStore::new(cfg.monitor);
@@ -98,6 +112,7 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
             store.register(NodeId::worker(i as u32));
             Rank {
                 agent: Agent::new(NodeId::worker(i as u32), cfg.agent),
+                alive: true,
                 quota: cfg.global_batch / n as u64
                     + u64::from((i as u64) < cfg.global_batch % n as u64),
                 accum: 1,
@@ -133,12 +148,26 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         timed_out: false,
         throughput: TimeSeries::new(),
         gantt,
+        injections_log: Vec::new(),
+        action_log: Vec::new(),
+        kills: Vec::new(),
+        chaos_droppers: Vec::new(),
+        chaos_degraded: Vec::new(),
+        chaos_outages: 0,
+        last_progress: SimTime::ZERO,
+        stalled: false,
         cfg,
     };
 
     let mut eng: Engine<Ev> = Engine::new();
     eng.schedule(SimTime::ZERO, Ev::RoundEnd { round: 0 }); // bootstraps round 0
     eng.schedule(SimTime::ZERO + world.cfg.monitor_tick, Ev::MonitorTick);
+    for (k, inj) in world.cfg.injections.iter().enumerate() {
+        eng.schedule(SimTime::from_secs_f64(inj.at_secs), Ev::ChaosFault { k: k as u32 });
+    }
+    if let Some(timeout) = world.cfg.liveness_timeout {
+        eng.schedule(SimTime::ZERO + timeout, Ev::LivenessCheck);
+    }
 
     let deadline = world.cfg.max_sim_time;
     let drained = eng.run_until(deadline, |eng, ev| world.handle(eng, ev));
@@ -154,13 +183,113 @@ impl ArWorld {
             return;
         }
         match ev {
-            Ev::RoundEnd { round }
-                if round == self.round => {
-                    self.close_round(eng);
-                }
+            Ev::RoundEnd { round } if round == self.round => {
+                self.close_round(eng);
+            }
             Ev::MonitorTick => self.monitor_tick(eng),
+            Ev::ChaosFault { k } => self.chaos_fault(eng, k),
+            Ev::ChaosLift { k } => self.chaos_lift(k),
+            Ev::LivenessCheck => self.liveness_check(eng),
             // AllReduce jobs have no PS-style lifecycle events.
             _ => {}
+        }
+    }
+
+    // ----------------------------------------------------------------- chaos
+
+    fn chaos_fault(&mut self, eng: &mut Engine<Ev>, k: u32) {
+        let now = eng.now();
+        let inj = self.cfg.injections[k as usize].clone();
+        self.injections_log.push(InjectionRecord {
+            index: k,
+            at: now,
+            desc: inj.fault.describe(),
+            restarted_at: None,
+            recovered_at: None,
+        });
+        match inj.fault {
+            InjectedFault::KillWorker { w } => self.kill_rank(now, w, true),
+            InjectedFault::KillWorkerNoFailover { w } => self.kill_rank(now, w, false),
+            // No per-rank restarts in DDP, so there is no restart to delay.
+            InjectedFault::RestartDelay { .. } => {}
+            InjectedFault::KillServer { .. } => unreachable!("validated out for allreduce"),
+            InjectedFault::NetworkDegrade { w, factor, window_secs } => {
+                let link = &mut self.cfg.cluster.workers[w as usize].link;
+                self.chaos_degraded.push((k, w, link.bandwidth_bps));
+                link.bandwidth_bps /= factor;
+                eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k });
+            }
+            InjectedFault::DdsOutage { window_secs } => {
+                self.chaos_outages += 1;
+                if let Some(dds) = &self.dds {
+                    dds.set_paused(true);
+                }
+                eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k });
+            }
+            InjectedFault::DropReports { prob, window_secs, seed } => {
+                self.chaos_droppers.push((k, prob, StdRng::seed_from_u64(seed)));
+                eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k });
+            }
+        }
+    }
+
+    /// Kill rank `w`. With failover its open leases requeue for the survivors;
+    /// without, they stay stuck DOING and the watchdog must catch the stall.
+    fn kill_rank(&mut self, now: SimTime, w: u32, failover: bool) {
+        let wi = w as usize;
+        if !self.ranks[wi].alive {
+            return;
+        }
+        self.ranks[wi].alive = false;
+        self.ranks[wi].leases.clear();
+        self.kills.push((now, NodeId::worker(w)));
+        if failover {
+            if let Some(dds) = &self.dds {
+                dds.fail_worker(w);
+            }
+        }
+    }
+
+    fn chaos_lift(&mut self, k: u32) {
+        match self.cfg.injections[k as usize].fault {
+            InjectedFault::NetworkDegrade { .. } => {
+                if let Some(pos) = self.chaos_degraded.iter().position(|d| d.0 == k) {
+                    let (_, w, bw) = self.chaos_degraded.swap_remove(pos);
+                    self.cfg.cluster.workers[w as usize].link.bandwidth_bps = bw;
+                }
+            }
+            InjectedFault::DdsOutage { .. } => {
+                self.chaos_outages = self.chaos_outages.saturating_sub(1);
+                if self.chaos_outages == 0 {
+                    if let Some(dds) = &self.dds {
+                        dds.set_paused(false);
+                    }
+                }
+            }
+            InjectedFault::DropReports { .. } => {
+                self.chaos_droppers.retain(|d| d.0 != k);
+            }
+            _ => {}
+        }
+    }
+
+    fn report_dropped(&mut self) -> bool {
+        let mut dropped = false;
+        for (_, prob, rng) in &mut self.chaos_droppers {
+            if rng.gen_bool(*prob) {
+                dropped = true;
+            }
+        }
+        dropped
+    }
+
+    fn liveness_check(&mut self, eng: &mut Engine<Ev>) {
+        let timeout = self.cfg.liveness_timeout.expect("liveness event without timeout");
+        if eng.now().since(self.last_progress) >= timeout {
+            self.stalled = true;
+            eng.clear();
+        } else {
+            eng.schedule(self.last_progress + timeout, Ev::LivenessCheck);
         }
     }
 
@@ -222,11 +351,7 @@ impl ArWorld {
         }
         self.ranks[w].leases.retain(|l| l.consumed < l.lease.shard.len);
         for l in finished {
-            self.dds
-                .as_ref()
-                .expect("dds")
-                .report_done(w as u32, l)
-                .expect("lease held");
+            self.dds.as_ref().expect("dds").report_done(w as u32, l).expect("lease held");
         }
     }
 
@@ -237,8 +362,20 @@ impl ArWorld {
         let mut max_end = now;
 
         for w in 0..self.ranks.len() {
+            if !self.ranks[w].alive {
+                continue;
+            }
             let due = self.ranks[w].agent.take_due(now);
-            for a in due {
+            for (delivered_at, a) in due {
+                if !self.cfg.injections.is_empty() {
+                    self.action_log.push(ActionApplication {
+                        worker: w as u32,
+                        delivered_at,
+                        applied_at: now,
+                        iter: self.round,
+                        action: format!("{a:?}"),
+                    });
+                }
                 self.apply_action(w, a);
             }
             let accum = self.ranks[w].accum.max(1);
@@ -358,17 +495,16 @@ impl ArWorld {
             let bpt = now.since(self.round_start).as_secs_f64();
             self.ranks[p.w].series_bpt.push(now, p.compute_secs.max(0.0));
             self.ranks[p.w].series_batch.push(now, p.took as f64);
-            if self.ranks[p.w].agent.on_iteration() {
+            if self.ranks[p.w].agent.on_iteration() && !self.report_dropped() {
                 // Reported BPT: the device's own compute time (what AntDT-DD
                 // estimates costs from), not the barrier-inclusive round time.
-                self.store
-                    .report_bpt(NodeId::worker(p.w as u32), now, p.compute_secs, p.took);
-                self.overhead
-                    .add_sync(SimDuration::from_secs_f64(self.cfg.broadcast.barrier_secs));
+                self.store.report_bpt(NodeId::worker(p.w as u32), now, p.compute_secs, p.took);
+                self.overhead.add_sync(SimDuration::from_secs_f64(self.cfg.broadcast.barrier_secs));
             }
             let _ = bpt;
         }
         if round_samples > 0 {
+            self.last_progress = self.last_progress.max(now);
             self.samples_done += round_samples;
             self.throughput.push(
                 now,
@@ -440,13 +576,16 @@ impl ArWorld {
             samples_done: self.samples_done,
             rolled_back_samples: 0,
             timed_out: self.timed_out,
+            stalled: self.stalled,
             worker_bpt: self.ranks.iter().map(|r| r.series_bpt.clone()).collect(),
             worker_batch: self.ranks.iter().map(|r| r.series_batch.clone()).collect(),
             server_bpt: Vec::new(),
             global_throughput: self.throughput,
             actions: self.actions,
-            kills: Vec::new(),
+            kills: self.kills,
             restarts: Vec::new(),
+            injections: self.injections_log,
+            action_log: self.action_log,
             overhead: self.overhead,
             audit: self.dds.as_ref().map(|d| d.audit()),
             consumption: self.dds.as_ref().map(|d| d.consumption()),

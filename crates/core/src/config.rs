@@ -23,7 +23,9 @@ pub enum Consistency {
 /// Training architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Arch {
-    ParameterServer { consistency: Consistency },
+    ParameterServer {
+        consistency: Consistency,
+    },
     /// Ring AllReduce (PyTorch DDP); always BSP.
     AllReduce,
 }
@@ -78,6 +80,84 @@ pub struct FaultConfig {
     pub server_mtbf: Option<SimDuration>,
 }
 
+/// One chaos fault to inject at an absolute simulated time. These are the
+/// runtime-level hooks the `antdt-chaos` crate compiles its `FaultPlan` DSL
+/// into; they are delivered as first-class DES events (`Ev::ChaosFault`) so a
+/// drill is bit-for-bit reproducible for a given config + seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosInjection {
+    /// Absolute simulated time at which the fault fires.
+    pub at_secs: f64,
+    pub fault: InjectedFault,
+}
+
+/// The fault vocabulary the runtimes understand. Node-scoped faults name the
+/// node *slot* (stable index), not a generation — the generation is resolved
+/// when the event fires, so plans survive unrelated restarts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectedFault {
+    /// Kill worker `w`; the configured failover path (DDS requeue or
+    /// checkpoint rollback) and the scheduler restart both run as usual.
+    KillWorker { w: u32 },
+    /// Kill server `s`; checkpoint restore + recompute follow as usual.
+    KillServer { s: u32 },
+    /// Kill worker `w` with the failover machinery disabled: its DOING shards
+    /// are never requeued and no replacement pod is scheduled. This is the
+    /// barrier-stall drill — the job can never complete and must be caught by
+    /// the liveness watchdog rather than hang.
+    KillWorkerNoFailover { w: u32 },
+    /// Add `extra_secs` of scheduler pending time to worker `w`'s next
+    /// restart (models a restart landing during cluster peak).
+    RestartDelay { w: u32, extra_secs: f64 },
+    /// Divide worker `w`'s link bandwidth by `factor` (> 1 degrades) for
+    /// `window_secs`, then restore it.
+    NetworkDegrade { w: u32, factor: f64, window_secs: f64 },
+    /// The DDS service is unreachable for `window_secs`: fetches return
+    /// nothing and workers fall back to their data-poll retry loop until the
+    /// outage lifts. Completion reports are client-buffered and still land.
+    DdsOutage { window_secs: f64 },
+    /// Drop each Agent→Monitor throughput report with probability `prob`
+    /// (seeded, reproducible) for `window_secs` — starves the Controller of
+    /// statistics without touching training itself.
+    DropReports { prob: f64, window_secs: f64, seed: u64 },
+}
+
+impl InjectedFault {
+    /// Compact human label used in drill reports.
+    pub fn describe(&self) -> String {
+        match self {
+            InjectedFault::KillWorker { w } => format!("kill worker {w}"),
+            InjectedFault::KillServer { s } => format!("kill server {s}"),
+            InjectedFault::KillWorkerNoFailover { w } => {
+                format!("kill worker {w} (failover disabled)")
+            }
+            InjectedFault::RestartDelay { w, extra_secs } => {
+                format!("delay worker {w} restart by {extra_secs:.0}s")
+            }
+            InjectedFault::NetworkDegrade { w, factor, window_secs } => {
+                format!("degrade worker {w} link {factor:.1}x for {window_secs:.0}s")
+            }
+            InjectedFault::DdsOutage { window_secs } => {
+                format!("dds outage for {window_secs:.0}s")
+            }
+            InjectedFault::DropReports { prob, window_secs, .. } => {
+                format!("drop {:.0}% of reports for {window_secs:.0}s", prob * 100.0)
+            }
+        }
+    }
+
+    /// Window length for faults that end with a `ChaosLift`; `None` for
+    /// instantaneous faults.
+    pub fn window_secs(&self) -> Option<f64> {
+        match self {
+            InjectedFault::NetworkDegrade { window_secs, .. }
+            | InjectedFault::DdsOutage { window_secs }
+            | InjectedFault::DropReports { window_secs, .. } => Some(*window_secs),
+            _ => None,
+        }
+    }
+}
+
 /// Whether gradient math is real or ghosted (timing only).
 #[derive(Debug, Clone)]
 pub enum ExecutionMode {
@@ -129,6 +209,12 @@ pub struct JobConfig {
     pub failover: FailoverMode,
     /// Optional background fault injection.
     pub faults: Option<FaultConfig>,
+    /// Deterministic chaos faults at fixed simulated times (chaos drills).
+    pub injections: Vec<ChaosInjection>,
+    /// Abort — reporting `stalled` — when no training progress happens for
+    /// this long while the job is incomplete. Off by default; chaos drills
+    /// turn it on so a deadlocked barrier fails loudly instead of hanging.
+    pub liveness_timeout: Option<SimDuration>,
 
     pub seed: u64,
     /// Safety cap; the run reports `timed_out` when exceeded.
@@ -162,6 +248,8 @@ impl JobConfig {
             dd_classes: None,
             failover: FailoverMode::DdsBased,
             faults: None,
+            injections: Vec::new(),
+            liveness_timeout: None,
             seed: 1,
             max_sim_time: SimTime::from_secs_f64(30.0 * 24.0 * 3600.0),
             record_gantt: false,
@@ -171,28 +259,19 @@ impl JobConfig {
     /// A BSP Parameter Server job on `cluster` with `scenario` injected.
     pub fn ps_bsp(mut cluster: ClusterSpec, scenario: Scenario) -> Self {
         antdt_workloads::straggler::apply(&mut cluster, scenario);
-        Self::base(
-            Arch::ParameterServer { consistency: Consistency::Bsp },
-            cluster,
-        )
+        Self::base(Arch::ParameterServer { consistency: Consistency::Bsp }, cluster)
     }
 
     /// An ASP Parameter Server job.
     pub fn ps_asp(mut cluster: ClusterSpec, scenario: Scenario) -> Self {
         antdt_workloads::straggler::apply(&mut cluster, scenario);
-        Self::base(
-            Arch::ParameterServer { consistency: Consistency::Asp },
-            cluster,
-        )
+        Self::base(Arch::ParameterServer { consistency: Consistency::Asp }, cluster)
     }
 
     /// An SSP Parameter Server job with the given staleness bound.
     pub fn ps_ssp(mut cluster: ClusterSpec, scenario: Scenario, staleness: u32) -> Self {
         antdt_workloads::straggler::apply(&mut cluster, scenario);
-        Self::base(
-            Arch::ParameterServer { consistency: Consistency::Ssp { staleness } },
-            cluster,
-        )
+        Self::base(Arch::ParameterServer { consistency: Consistency::Ssp { staleness } }, cluster)
     }
 
     /// An AllReduce (DDP-style) job.
@@ -273,6 +352,14 @@ impl JobConfig {
         self.faults = Some(faults);
         self
     }
+    pub fn with_injections(mut self, injections: Vec<ChaosInjection>) -> Self {
+        self.injections = injections;
+        self
+    }
+    pub fn with_liveness_timeout(mut self, d: SimDuration) -> Self {
+        self.liveness_timeout = Some(d);
+        self
+    }
 
     pub fn n_workers(&self) -> usize {
         self.cluster.n_workers()
@@ -315,6 +402,53 @@ impl JobConfig {
                 "real-math dataset smaller than total_samples"
             );
         }
+        for inj in &self.injections {
+            assert!(
+                inj.at_secs.is_finite() && inj.at_secs >= 0.0,
+                "injection time must be finite and non-negative"
+            );
+            match &inj.fault {
+                InjectedFault::KillWorker { w }
+                | InjectedFault::KillWorkerNoFailover { w }
+                | InjectedFault::RestartDelay { w, .. }
+                | InjectedFault::NetworkDegrade { w, .. } => {
+                    assert!(
+                        (*w as usize) < self.n_workers(),
+                        "injection targets worker {w} but the cluster has {} workers",
+                        self.n_workers()
+                    );
+                }
+                InjectedFault::KillServer { s } => {
+                    assert!(
+                        matches!(self.arch, Arch::ParameterServer { .. }),
+                        "KillServer injection requires a Parameter Server job"
+                    );
+                    assert!(
+                        (*s as usize) < self.n_servers(),
+                        "injection targets server {s} but the cluster has {} servers",
+                        self.n_servers()
+                    );
+                }
+                InjectedFault::DdsOutage { .. } => {
+                    assert!(
+                        self.data == DataStrategy::Dds,
+                        "DdsOutage injection requires the DDS data strategy"
+                    );
+                }
+                InjectedFault::DropReports { prob, .. } => {
+                    assert!(
+                        (0.0..=1.0).contains(prob),
+                        "DropReports probability must be in [0, 1]"
+                    );
+                }
+            }
+            if let InjectedFault::NetworkDegrade { factor, .. } = inj.fault {
+                assert!(factor.is_finite() && factor >= 1.0, "NetworkDegrade factor must be >= 1");
+            }
+            if let Some(window) = inj.fault.window_secs() {
+                assert!(window.is_finite() && window > 0.0, "fault window must be positive");
+            }
+        }
     }
 }
 
@@ -355,6 +489,45 @@ mod tests {
     fn dd_requires_classes() {
         JobConfig::allreduce(cluster_a_scaled(2, 0), Scenario::None)
             .with_mitigation(MitigationChoice::AntDtDd)
+            .validate();
+    }
+
+    #[test]
+    fn valid_injections_pass_validation() {
+        JobConfig::ps_bsp(cluster_a_scaled(4, 2), Scenario::None)
+            .with_injections(vec![
+                ChaosInjection { at_secs: 10.0, fault: InjectedFault::KillWorker { w: 3 } },
+                ChaosInjection {
+                    at_secs: 20.0,
+                    fault: InjectedFault::DdsOutage { window_secs: 30.0 },
+                },
+                ChaosInjection {
+                    at_secs: 30.0,
+                    fault: InjectedFault::DropReports { prob: 0.5, window_secs: 60.0, seed: 7 },
+                },
+            ])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "targets worker")]
+    fn injection_worker_out_of_range_rejected() {
+        JobConfig::ps_bsp(cluster_a_scaled(4, 2), Scenario::None)
+            .with_injections(vec![ChaosInjection {
+                at_secs: 10.0,
+                fault: InjectedFault::KillWorker { w: 4 },
+            }])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Parameter Server")]
+    fn injection_kill_server_rejected_for_allreduce() {
+        JobConfig::allreduce(cluster_a_scaled(4, 0), Scenario::None)
+            .with_injections(vec![ChaosInjection {
+                at_secs: 10.0,
+                fault: InjectedFault::KillServer { s: 0 },
+            }])
             .validate();
     }
 }

@@ -30,4 +30,14 @@ pub enum Ev {
     FaultServer { s: u32 },
     /// AllReduce round `round` ends (all ranks synchronized).
     RoundEnd { round: u64 },
+    /// Injected chaos fault fires; `k` indexes `JobConfig::injections`.
+    /// The target generation is resolved at fire time so a drill plan written
+    /// against node ids stays valid across restarts.
+    ChaosFault { k: u32 },
+    /// A windowed chaos fault ends: restore the degraded link, lift the DDS
+    /// outage, or stop dropping reports.
+    ChaosLift { k: u32 },
+    /// Liveness watchdog probe: abort the run (loudly, as `stalled`) when no
+    /// progress has been made for `JobConfig::liveness_timeout`.
+    LivenessCheck,
 }

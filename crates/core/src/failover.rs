@@ -45,11 +45,8 @@ pub fn dds_failover_delay_secs(
     shard_samples: u64,
     worker_throughput: f64,
 ) -> f64 {
-    let recompute = if worker_throughput > 0.0 {
-        shard_samples as f64 / worker_throughput
-    } else {
-        0.0
-    };
+    let recompute =
+        if worker_throughput > 0.0 { shard_samples as f64 / worker_throughput } else { 0.0 };
     world_rebuild_secs + recompute
 }
 
@@ -107,12 +104,8 @@ mod tests {
         // High frequency (5 min): save overhead dominates — paper reports ~17 min.
         assert!(delays[0] > 600.0, "frequent-save delay {} too small", delays[0]);
         // The minimum sits strictly inside the sweep.
-        let min_idx = delays
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let min_idx =
+            delays.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert!(min_idx > 0 && min_idx < delays.len() - 1, "delays {delays:?}");
         // Long intervals: recompute dominates and grows.
         assert!(delays[4] > delays[min_idx] * 1.5);

@@ -66,12 +66,7 @@ impl FleetMethod {
     }
 
     pub fn bsp_family() -> [FleetMethod; 4] {
-        [
-            FleetMethod::Bsp,
-            FleetMethod::BackupWorkers,
-            FleetMethod::LbBsp,
-            FleetMethod::AntDtNd,
-        ]
+        [FleetMethod::Bsp, FleetMethod::BackupWorkers, FleetMethod::LbBsp, FleetMethod::AntDtNd]
     }
 
     pub fn asp_family() -> [FleetMethod; 3] {
@@ -98,9 +93,10 @@ fn job_config(cfg: &FleetConfig, job: usize, method: FleetMethod) -> JobConfig {
     let cluster = cluster_a_scaled(cfg.n_workers, cfg.n_servers);
     let scenario = job_scenario(cfg, job);
     let base = match method {
-        FleetMethod::Bsp | FleetMethod::BackupWorkers | FleetMethod::LbBsp | FleetMethod::AntDtNd => {
-            JobConfig::ps_bsp(cluster, scenario)
-        }
+        FleetMethod::Bsp
+        | FleetMethod::BackupWorkers
+        | FleetMethod::LbBsp
+        | FleetMethod::AntDtNd => JobConfig::ps_bsp(cluster, scenario),
         _ => JobConfig::ps_asp(cluster, scenario),
     };
     let base = base
@@ -134,11 +130,7 @@ pub fn run_arm(cfg: &FleetConfig, method: FleetMethod) -> ArmResult {
         total += jct;
         worst = worst.max(jct);
     }
-    ArmResult {
-        method,
-        mean_jct_secs: total / cfg.n_jobs as f64,
-        worst_jct_secs: worst,
-    }
+    ArmResult { method, mean_jct_secs: total / cfg.n_jobs as f64, worst_jct_secs: worst }
 }
 
 #[derive(Debug, Clone, Copy, Serialize)]

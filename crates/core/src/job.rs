@@ -27,16 +27,12 @@ fn build_policy(cfg: &JobConfig) -> Box<dyn MitigationPolicy> {
         MitigationChoice::None => Box::new(NoMitigation),
         MitigationChoice::AntDtNd => Box::new(AntDtNd::new(NdConfig::default())),
         MitigationChoice::AntDtNdAsp => Box::new(AntDtNd::new(NdConfig::asp())),
-        MitigationChoice::AntDtDd => Box::new(AntDtDd::new(
-            cfg.dd_config().expect("AntDT-DD requires dd_classes"),
-        )),
+        MitigationChoice::AntDtDd => {
+            Box::new(AntDtDd::new(cfg.dd_config().expect("AntDT-DD requires dd_classes")))
+        }
         MitigationChoice::LbBsp => {
-            let caps: Vec<u64> = cfg
-                .cluster
-                .workers
-                .iter()
-                .map(|w| w.device.mem_cap_batch)
-                .collect();
+            let caps: Vec<u64> =
+                cfg.cluster.workers.iter().map(|w| w.device.mem_cap_batch).collect();
             Box::new(LbBsp::new(caps))
         }
         MitigationChoice::BackupWorkers { b } => Box::new(BackupWorkersPolicy::new(*b)),
@@ -125,7 +121,8 @@ mod tests {
     #[test]
     fn antdt_nd_beats_native_bsp_under_server_straggler() {
         // Long enough that one failover's cost amortizes (paper jobs run hours).
-        let native = Job::run(small(Scenario::ServerPersistent { intensity: 0.8 }).with_samples(2_000_000));
+        let native =
+            Job::run(small(Scenario::ServerPersistent { intensity: 0.8 }).with_samples(2_000_000));
         let nd = Job::run(
             small(Scenario::ServerPersistent { intensity: 0.8 })
                 .with_samples(2_000_000)
@@ -273,14 +270,10 @@ mod tests {
     #[test]
     fn background_faults_are_absorbed_by_failover() {
         use crate::config::FaultConfig;
-        let r = Job::run(
-            small(Scenario::None)
-                .with_samples(2_000_000)
-                .with_faults(FaultConfig {
-                    worker_mtbf: SimDuration::from_secs(200),
-                    server_mtbf: None,
-                }),
-        );
+        let r = Job::run(small(Scenario::None).with_samples(2_000_000).with_faults(FaultConfig {
+            worker_mtbf: SimDuration::from_secs(200),
+            server_mtbf: None,
+        }));
         assert!(!r.timed_out);
         assert!(r.samples_done >= 2_000_000);
         assert!(!r.kills.is_empty(), "faults must actually fire");
@@ -357,6 +350,68 @@ mod tests {
     }
 
     #[test]
+    fn injected_worker_kill_is_absorbed_and_logged() {
+        use crate::config::{ChaosInjection, InjectedFault};
+        let r = Job::run(small(Scenario::None).with_samples(1_000_000).with_injections(vec![
+            ChaosInjection { at_secs: 30.0, fault: InjectedFault::KillWorker { w: 1 } },
+        ]));
+        assert!(!r.timed_out && !r.stalled);
+        // At-least-once: the killed worker's shards replay, so the job may
+        // compute slightly more than one epoch's worth of samples.
+        assert!(r.samples_done >= 1_000_000);
+        assert_eq!(r.injections.len(), 1);
+        let rec = &r.injections[0];
+        assert_eq!(rec.at.as_secs_f64(), 30.0);
+        assert!(rec.restarted_at.is_some(), "replacement pod must come up");
+        let recovered = rec.recovered_at.expect("worker must commit work again");
+        assert!(recovered > rec.restarted_at.unwrap());
+        assert_eq!(r.kills.len(), 1);
+        let audit = r.audit.unwrap();
+        assert!(audit.at_least_once);
+        assert_eq!(audit.done_shards, audit.expected_done_shards);
+    }
+
+    #[test]
+    fn no_failover_kill_stalls_and_watchdog_catches_it() {
+        use crate::config::{ChaosInjection, InjectedFault};
+        let r = Job::run(
+            small(Scenario::None)
+                .with_injections(vec![ChaosInjection {
+                    at_secs: 20.0,
+                    fault: InjectedFault::KillWorkerNoFailover { w: 2 },
+                }])
+                .with_liveness_timeout(SimDuration::from_secs(120)),
+        );
+        // The dead worker's DOING shards are never requeued, so the job can
+        // never complete; the watchdog must end the run loudly.
+        assert!(r.stalled, "watchdog must flag the stall");
+        assert!(!r.timed_out, "stall detection, not the 30-day time cap");
+        assert!(r.samples_done < 500_000);
+        let audit = r.audit.unwrap();
+        assert!(!audit.at_least_once, "stuck shards never reached DONE");
+    }
+
+    #[test]
+    fn dds_outage_delays_but_does_not_corrupt() {
+        use crate::config::{ChaosInjection, InjectedFault};
+        let clean = Job::run(small(Scenario::None));
+        let outage = Job::run(small(Scenario::None).with_injections(vec![ChaosInjection {
+            at_secs: 10.0,
+            fault: InjectedFault::DdsOutage { window_secs: 30.0 },
+        }]));
+        assert!(!outage.timed_out && !outage.stalled);
+        assert_eq!(outage.samples_done, 500_000);
+        let audit = outage.audit.unwrap();
+        assert!(audit.at_least_once && audit.at_most_once);
+        assert!(
+            outage.jct.as_secs_f64() > clean.jct.as_secs_f64() + 5.0,
+            "outage must cost wall-clock: clean {} outage {}",
+            clean.jct,
+            outage.jct
+        );
+    }
+
+    #[test]
     fn antdt_dd_beats_ddp_and_lb_bsp_on_heterogeneous_gpus() {
         use antdt_controller::DeviceClassSpec;
         use antdt_workloads::cluster::cluster_b;
@@ -375,17 +430,7 @@ mod tests {
             DeviceClassSpec { count: 4, c0_secs: 0.15, b_min: 16, b_max: 96 },
         ]));
         assert!(!ddp.timed_out && !lb.timed_out && !dd.timed_out);
-        assert!(
-            lb.jct < ddp.jct,
-            "LB-BSP {} should beat DDP {}",
-            lb.jct,
-            ddp.jct
-        );
-        assert!(
-            dd.jct < lb.jct,
-            "AntDT-DD {} should beat LB-BSP {}",
-            dd.jct,
-            lb.jct
-        );
+        assert!(lb.jct < ddp.jct, "LB-BSP {} should beat DDP {}", lb.jct, ddp.jct);
+        assert!(dd.jct < lb.jct, "AntDT-DD {} should beat LB-BSP {}", dd.jct, lb.jct);
     }
 }

@@ -28,11 +28,11 @@ pub mod ps;
 pub mod report;
 
 pub use config::{
-    Arch, Consistency, DataStrategy, ExecutionMode, FailoverMode, FaultConfig, JobConfig,
-    MitigationChoice,
+    Arch, ChaosInjection, Consistency, DataStrategy, ExecutionMode, FailoverMode, FaultConfig,
+    InjectedFault, JobConfig, MitigationChoice,
 };
 pub use job::Job;
-pub use report::JobReport;
+pub use report::{ActionApplication, InjectionRecord, JobReport};
 
 /// Run a Parameter Server job with an explicitly constructed policy — the
 /// escape hatch for ablations that sweep policy hyper-parameters the standard

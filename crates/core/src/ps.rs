@@ -25,20 +25,23 @@
 //! restores parameters from the last checkpoint (plus a recompute penalty for
 //! the lost progress).
 
-use crate::config::{Consistency, DataStrategy, ExecutionMode, FailoverMode, JobConfig};
+use crate::config::{
+    Consistency, DataStrategy, ExecutionMode, FailoverMode, InjectedFault, JobConfig,
+};
 use crate::events::Ev;
-use crate::report::JobReport;
+use crate::report::{ActionApplication, InjectionRecord, JobReport};
 use antdt_agent::{Agent, OverheadLedger};
 use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
 use antdt_dds::{DdsConfig, DdsService, ShardLease};
 use antdt_ml::{FactorizationMachine, Model, Optimizer, PartitionPlan, Sgd};
 use antdt_monitor::{ClusterInfo, ErrorClass, MetricStore, NodeEvent, NodeId, RetryableError};
-use antdt_sim::gantt::SpanKind;
 use antdt_sim::dist::Dist;
+use antdt_sim::gantt::SpanKind;
 use antdt_sim::{Engine, Gantt, Link, NodeProfile, RngPool, SimDuration, SimTime, TimeSeries};
 use antdt_workloads::DeviceClass;
 use rand::rngs::StdRng;
-use std::collections::HashSet;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
 
 /// Extra per-iteration DDS state-synchronization stall (shard offsets, batch
 /// cursors) charged on the worker's critical path and in the overhead ledger.
@@ -168,6 +171,27 @@ pub(crate) struct PsWorld {
     /// Checkpoint-based failover stalls the whole job until the restore and
     /// global recompute finish.
     stall_until: SimTime,
+
+    // ---- chaos-drill state; all of it stays empty/neutral unless the config
+    // carries `injections` or a `liveness_timeout`.
+    injections_log: Vec<InjectionRecord>,
+    action_log: Vec<ActionApplication>,
+    /// Workers killed with failover disabled: DOING shards are not requeued
+    /// and no replacement pod is scheduled (barrier-stall drills).
+    chaos_no_failover: HashSet<u32>,
+    /// Extra scheduler delay consumed by each worker's next restart.
+    chaos_restart_extra: Vec<f64>,
+    /// Active DropReports windows: `(injection idx, prob, seeded rng)`.
+    chaos_droppers: Vec<(u32, f64, StdRng)>,
+    /// Active NetworkDegrade windows: `(injection idx, worker, original bw)`.
+    chaos_degraded: Vec<(u32, u32, f64)>,
+    /// Killed worker → injection-log index awaiting the recovery marks.
+    chaos_awaiting_recovery: HashMap<u32, usize>,
+    /// Nesting depth of overlapping DDS outage windows.
+    chaos_outages: u32,
+    /// Last instant training progress was observed (liveness watchdog).
+    last_progress: SimTime,
+    stalled: bool,
 }
 
 const THROUGHPUT_BUCKET: SimDuration = SimDuration(60_000_000);
@@ -205,7 +229,9 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         }
     };
 
-    let even_quota = |i: usize| cfg.global_batch / n as u64 + u64::from((i as u64) < cfg.global_batch % n as u64);
+    let even_quota = |i: usize| {
+        cfg.global_batch / n as u64 + u64::from((i as u64) < cfg.global_batch % n as u64)
+    };
     let per_worker_fixed = |i: usize| {
         let total = cfg.total_samples * cfg.epochs as u64;
         total / n as u64 + u64::from((i as u64) < total % n as u64)
@@ -229,7 +255,9 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
                 lr_scale: 1.0,
                 source: match cfg.data {
                     DataStrategy::Dds => DataSource::Dds,
-                    DataStrategy::EvenPartition => DataSource::Fixed { remaining: per_worker_fixed(i) },
+                    DataStrategy::EvenPartition => {
+                        DataSource::Fixed { remaining: per_worker_fixed(i) }
+                    }
                 },
                 leases: Vec::new(),
                 iter: 0,
@@ -295,6 +323,16 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         parked: Vec::new(),
         ssp_waiting: HashSet::new(),
         stall_until: SimTime::ZERO,
+        injections_log: Vec::new(),
+        action_log: Vec::new(),
+        chaos_no_failover: HashSet::new(),
+        chaos_restart_extra: vec![0.0; n],
+        chaos_droppers: Vec::new(),
+        chaos_degraded: Vec::new(),
+        chaos_awaiting_recovery: HashMap::new(),
+        chaos_outages: 0,
+        last_progress: SimTime::ZERO,
+        stalled: false,
         cfg,
     };
 
@@ -315,6 +353,12 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
                 eng.schedule(SimTime::ZERO + at, Ev::FaultServer { s });
             }
         }
+    }
+    for (k, inj) in world.cfg.injections.iter().enumerate() {
+        eng.schedule(SimTime::from_secs_f64(inj.at_secs), Ev::ChaosFault { k: k as u32 });
+    }
+    if let Some(timeout) = world.cfg.liveness_timeout {
+        eng.schedule(SimTime::ZERO + timeout, Ev::LivenessCheck);
     }
 
     let deadline = world.cfg.max_sim_time;
@@ -349,12 +393,9 @@ impl PsWorld {
                 self.worker_start(eng, w, gen)
             }
             Ev::MonitorTick => self.monitor_tick(eng),
-            Ev::WorkerKill { w, gen } => self.worker_kill(
-                eng,
-                w,
-                gen,
-                ErrorClass::Retryable(RetryableError::ProactiveKill),
-            ),
+            Ev::WorkerKill { w, gen } => {
+                self.worker_kill(eng, w, gen, ErrorClass::Retryable(RetryableError::ProactiveKill))
+            }
             Ev::WorkerRestart { w, gen } => self.worker_restart(eng, w, gen),
             Ev::ServerKill { s, gen } => self.server_kill(eng, s, gen),
             Ev::ServerRestart { s, gen } => self.server_restart(eng, s, gen),
@@ -362,6 +403,143 @@ impl PsWorld {
             Ev::FaultWorker { w } => self.fault_worker(eng, w),
             Ev::FaultServer { s } => self.fault_server(eng, s),
             Ev::RoundEnd { .. } => unreachable!("PS runtime has no rounds"),
+            Ev::ChaosFault { k } => self.chaos_fault(eng, k),
+            Ev::ChaosLift { k } => self.chaos_lift(eng, k),
+            Ev::LivenessCheck => self.liveness_check(eng),
+        }
+    }
+
+    // ----------------------------------------------------------------- chaos
+
+    /// An injected fault fires. The target generation is resolved *now*, so a
+    /// plan survives unrelated restarts; kills of already-dead nodes no-op but
+    /// are still logged.
+    fn chaos_fault(&mut self, eng: &mut Engine<Ev>, k: u32) {
+        let now = eng.now();
+        let inj = self.cfg.injections[k as usize].clone();
+        self.injections_log.push(InjectionRecord {
+            index: k,
+            at: now,
+            desc: inj.fault.describe(),
+            restarted_at: None,
+            recovered_at: None,
+        });
+        let rec_idx = self.injections_log.len() - 1;
+        match inj.fault {
+            InjectedFault::KillWorker { w } => {
+                if self.workers[w as usize].alive {
+                    let gen = self.workers[w as usize].gen;
+                    self.chaos_awaiting_recovery.insert(w, rec_idx);
+                    self.worker_kill(
+                        eng,
+                        w,
+                        gen,
+                        ErrorClass::Retryable(RetryableError::NodeFailure),
+                    );
+                }
+            }
+            InjectedFault::KillServer { s } => {
+                if self.servers[s as usize].alive {
+                    let gen = self.servers[s as usize].gen;
+                    self.server_kill(eng, s, gen);
+                }
+            }
+            InjectedFault::KillWorkerNoFailover { w } => {
+                if self.workers[w as usize].alive {
+                    let gen = self.workers[w as usize].gen;
+                    self.chaos_no_failover.insert(w);
+                    self.worker_kill(
+                        eng,
+                        w,
+                        gen,
+                        ErrorClass::Retryable(RetryableError::NodeFailure),
+                    );
+                }
+            }
+            InjectedFault::RestartDelay { w, extra_secs } => {
+                self.chaos_restart_extra[w as usize] += extra_secs;
+            }
+            InjectedFault::NetworkDegrade { w, factor, window_secs } => {
+                let link = &mut self.workers[w as usize].link;
+                self.chaos_degraded.push((k, w, link.bandwidth_bps));
+                link.bandwidth_bps /= factor;
+                eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k });
+            }
+            InjectedFault::DdsOutage { window_secs } => {
+                self.chaos_outages += 1;
+                if let Some(dds) = &self.dds {
+                    dds.set_paused(true);
+                }
+                eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k });
+            }
+            InjectedFault::DropReports { prob, window_secs, seed } => {
+                self.chaos_droppers.push((k, prob, StdRng::seed_from_u64(seed)));
+                eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k });
+            }
+        }
+    }
+
+    /// A windowed fault's window closes: undo its effect.
+    fn chaos_lift(&mut self, eng: &mut Engine<Ev>, k: u32) {
+        match self.cfg.injections[k as usize].fault {
+            InjectedFault::NetworkDegrade { .. } => {
+                if let Some(pos) = self.chaos_degraded.iter().position(|d| d.0 == k) {
+                    let (_, w, bw) = self.chaos_degraded.swap_remove(pos);
+                    self.workers[w as usize].link.bandwidth_bps = bw;
+                }
+            }
+            InjectedFault::DdsOutage { .. } => {
+                self.chaos_outages = self.chaos_outages.saturating_sub(1);
+                if self.chaos_outages == 0 {
+                    if let Some(dds) = &self.dds {
+                        dds.set_paused(false);
+                    }
+                    // Starving workers poll every DATA_POLL anyway; poke them
+                    // so recovery isn't charged the tail of a poll interval.
+                    for w in 0..self.workers.len() {
+                        if self.workers[w].alive
+                            && !self.workers[w].done
+                            && self.workers[w].inflight.is_none()
+                        {
+                            eng.schedule(
+                                eng.now(),
+                                Ev::WorkerStart { w: w as u32, gen: self.workers[w].gen },
+                            );
+                        }
+                    }
+                }
+            }
+            InjectedFault::DropReports { .. } => {
+                self.chaos_droppers.retain(|d| d.0 != k);
+            }
+            _ => {}
+        }
+    }
+
+    /// True when an active DropReports window swallows this Agent→Monitor
+    /// report. Every active window samples its own seeded stream per attempted
+    /// report, so drills stay deterministic.
+    fn report_dropped(&mut self) -> bool {
+        let mut dropped = false;
+        for (_, prob, rng) in &mut self.chaos_droppers {
+            if rng.gen_bool(*prob) {
+                dropped = true;
+            }
+        }
+        dropped
+    }
+
+    /// Liveness watchdog: abort loudly (`stalled`) when nothing has progressed
+    /// for a full timeout window; otherwise re-arm at the earliest instant the
+    /// window could next expire.
+    fn liveness_check(&mut self, eng: &mut Engine<Ev>) {
+        let timeout = self.cfg.liveness_timeout.expect("liveness event without timeout");
+        let now = eng.now();
+        if now.since(self.last_progress) >= timeout {
+            self.stalled = true;
+            eng.clear();
+        } else {
+            eng.schedule(self.last_progress + timeout, Ev::LivenessCheck);
         }
     }
 
@@ -399,9 +577,12 @@ impl PsWorld {
                                     ExecutionMode::Simulated => None,
                                 };
                                 self.overhead.add_dds(SimDuration::from_secs_f64(DDS_FETCH_SECS));
-                                self.workers[w]
-                                    .leases
-                                    .push(LeaseState { lease, order, consumed: 0, committed: 0 });
+                                self.workers[w].leases.push(LeaseState {
+                                    lease,
+                                    order,
+                                    consumed: 0,
+                                    committed: 0,
+                                });
                             }
                             None => break,
                         }
@@ -439,7 +620,15 @@ impl PsWorld {
 
     /// Commit the in-flight consumption after a successful push; fully
     /// consumed shards go DONE in the DDS, a trailing partial lease stays open.
-    fn commit(&mut self, w: usize) {
+    /// `at` is the commit instant (barrier close / push ready time); it marks
+    /// chaos-drill recovery — the first committed work after a restart means
+    /// the node is back on full duty.
+    fn commit(&mut self, w: usize, at: SimTime) {
+        if let Some(idx) = self.chaos_awaiting_recovery.remove(&(w as u32)) {
+            if self.injections_log[idx].recovered_at.is_none() {
+                self.injections_log[idx].recovered_at = Some(at);
+            }
+        }
         if let DataSource::Fixed { .. } = self.workers[w].source {
             return; // committed at take time
         }
@@ -450,9 +639,7 @@ impl PsWorld {
                 finished.push(lease.lease);
             }
         }
-        self.workers[w]
-            .leases
-            .retain(|l| l.committed < l.lease.shard.len);
+        self.workers[w].leases.retain(|l| l.committed < l.lease.shard.len);
         if !finished.is_empty() {
             let dds = self.dds.as_ref().expect("dds source");
             for l in finished {
@@ -497,9 +684,19 @@ impl PsWorld {
             return;
         }
 
-        // Apply actions that reached this agent.
+        // Apply actions that reached this agent. Under a chaos drill, log the
+        // application so the global-action convergence invariant can audit
+        // that every survivor applied the same broadcast at the same point.
+        // Logging is deferred until the worker actually takes a batch: a
+        // starving worker's data poll applies the action too, but runs no
+        // iteration, so attributing the (later) round to it would read as
+        // false divergence.
         let due = self.workers[wi].agent.take_due(now);
-        for action in due {
+        let mut applied: Vec<(SimTime, String)> = Vec::new();
+        for (delivered_at, action) in due {
+            if !self.cfg.injections.is_empty() {
+                applied.push((delivered_at, format!("{action:?}")));
+            }
             self.apply_worker_action(wi, action);
         }
 
@@ -526,15 +723,20 @@ impl PsWorld {
         let took = self.take_batch(wi, now);
         if took > 0 {
             self.workers[wi].starving = false;
+            for (delivered_at, action) in applied {
+                self.action_log.push(ActionApplication {
+                    worker: w,
+                    delivered_at,
+                    applied_at: now,
+                    iter: if self.is_bsp() { self.bsp.iter } else { self.workers[wi].iter },
+                    action,
+                });
+            }
         }
         if took == 0 {
             let dds_complete = self.dds.as_ref().map(|d| d.is_complete()).unwrap_or(true);
             let fixed_done = matches!(self.workers[wi].source, DataSource::Fixed { remaining: 0 });
-            let holds_data = self
-                .workers[wi]
-                .leases
-                .iter()
-                .any(|l| l.consumed < l.lease.shard.len);
+            let holds_data = self.workers[wi].leases.iter().any(|l| l.consumed < l.lease.shard.len);
             if (matches!(self.workers[wi].source, DataSource::Dds) && dds_complete && !holds_data)
                 || fixed_done
             {
@@ -605,9 +807,7 @@ impl PsWorld {
 
     /// Max pull transfer over all servers (parallel pulls).
     fn pull_secs(&self, now: SimTime, wi: usize) -> f64 {
-        (0..self.servers.len())
-            .map(|j| self.path_transfer(now, wi, j))
-            .fold(0.0, f64::max)
+        (0..self.servers.len()).map(|j| self.path_transfer(now, wi, j)).fold(0.0, f64::max)
     }
 
     fn compute_done(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32, iter: u64) {
@@ -638,11 +838,7 @@ impl PsWorld {
     // -------------------------------------------------------------- BSP path
 
     fn bsp_required(&self) -> usize {
-        self.bsp
-            .participants
-            .len()
-            .saturating_sub(self.bsp.backup_b as usize)
-            .max(1)
+        self.bsp.participants.len().saturating_sub(self.bsp.backup_b as usize).max(1)
     }
 
     fn try_close_bsp(&mut self, eng: &mut Engine<Ev>) {
@@ -707,8 +903,7 @@ impl PsWorld {
                 // part of the global batch (stragglers dropped, epoch tail)
                 // takes a proportionally smaller step, so the training is
                 // equivalent to fixed-B SGD regardless of mitigation actions.
-                let lr_frac =
-                    (total_weight as f32 / self.cfg.global_batch.max(1) as f32).min(1.0);
+                let lr_frac = (total_weight as f32 / self.cfg.global_batch.max(1) as f32).min(1.0);
                 let math = self.math.as_mut().expect("math mode checked above");
                 math.agg.iter_mut().for_each(|x| *x = 0.0);
                 for (took, g, scale) in grads {
@@ -733,27 +928,34 @@ impl PsWorld {
                 continue;
             };
             iteration_samples += inf.took;
-            self.commit(wi);
+            self.commit(wi, ready_max);
             let pull = self.pull_secs(ready_max, wi);
             let push_tx = p
                 .arrivals
                 .iter()
                 .map(|&a| a.since(p.compute_end).as_secs_f64())
                 .fold(0.0, f64::max);
-            let bpt =
-                inf.compute_end.since(inf.start).as_secs_f64() + push_tx + pull;
+            let bpt = inf.compute_end.since(inf.start).as_secs_f64() + push_tx + pull;
             self.workers[wi].iter += 1;
             self.workers[wi].series_bpt.push(now, bpt);
             self.workers[wi].series_batch.push(now, inf.took as f64);
-            if self.workers[wi].agent.on_iteration() {
+            if self.workers[wi].agent.on_iteration() && !self.report_dropped() {
                 self.store.report_bpt(NodeId::worker(p.w), now, bpt, inf.took);
-                self.overhead.add_sync(SimDuration::from_secs_f64(
-                    self.cfg.broadcast.barrier_secs,
-                ));
+                self.overhead.add_sync(SimDuration::from_secs_f64(self.cfg.broadcast.barrier_secs));
             }
             if let Some(g) = self.gantt.as_mut() {
-                g.record(p.w, SpanKind::Comm, inf.compute_end, inf.compute_end + SimDuration::from_secs_f64(push_tx));
-                g.record(p.w, SpanKind::Idle, inf.compute_end + SimDuration::from_secs_f64(push_tx), ready_max);
+                g.record(
+                    p.w,
+                    SpanKind::Comm,
+                    inf.compute_end,
+                    inf.compute_end + SimDuration::from_secs_f64(push_tx),
+                );
+                g.record(
+                    p.w,
+                    SpanKind::Idle,
+                    inf.compute_end + SimDuration::from_secs_f64(push_tx),
+                    ready_max,
+                );
             }
             let next = ready_max + SimDuration::from_secs_f64(pull);
             self.workers[wi].next_allowed = next;
@@ -842,22 +1044,20 @@ impl PsWorld {
                 math.opt.step(math.model.params_mut(), &scaled);
             }
         }
-        self.commit(wi);
+        self.commit(wi, ready);
         let pull = self.pull_secs(ready, wi);
         let bpt = ready.since(inf.start).as_secs_f64() + pull;
         self.workers[wi].iter += 1;
         self.workers[wi].series_bpt.push(ready, bpt);
         self.workers[wi].series_batch.push(ready, inf.took as f64);
-        if self.workers[wi].agent.on_iteration() {
+        if self.workers[wi].agent.on_iteration() && !self.report_dropped() {
             self.store.report_bpt(NodeId::worker(w), ready, bpt, inf.took);
-            self.overhead
-                .add_sync(SimDuration::from_secs_f64(self.cfg.broadcast.barrier_secs));
+            self.overhead.add_sync(SimDuration::from_secs_f64(self.cfg.broadcast.barrier_secs));
         }
         // Amortized DDS-state sync share of this push (one sync per global
         // batch worth of pushes).
-        self.overhead.add_dds(SimDuration::from_secs_f64(
-            DDS_SYNC_SECS / self.workers.len().max(1) as f64,
-        ));
+        self.overhead
+            .add_dds(SimDuration::from_secs_f64(DDS_SYNC_SECS / self.workers.len().max(1) as f64));
         self.account_samples(ready, inf.took);
         self.iterations += 1;
         self.jct_mark = self.jct_mark.max(ready);
@@ -887,11 +1087,7 @@ impl PsWorld {
         self.workers[wi].gen += 1;
         self.workers[wi].killed_at = Some(now);
         self.kills.push((now, NodeId::worker(w)));
-        self.store.report_event(NodeEvent::Killed {
-            node: NodeId::worker(w),
-            at: now,
-            class,
-        });
+        self.store.report_event(NodeEvent::Killed { node: NodeId::worker(w), at: now, class });
         // Roll back in-flight samples, requeue DOING shards.
         if let Some(inf) = self.workers[wi].inflight.take() {
             self.rollback(wi, inf.took);
@@ -899,7 +1095,12 @@ impl PsWorld {
         self.bsp.participants.remove(&w);
         self.workers[wi].leases.clear();
         if let Some(dds) = &self.dds {
-            dds.fail_worker(w);
+            // A no-failover chaos kill models the failover machinery itself
+            // being broken: the dead worker's DOING shards stay stuck, so the
+            // job can never complete — the liveness watchdog must catch it.
+            if !self.chaos_no_failover.contains(&w) {
+                dds.fail_worker(w);
+            }
         }
         self.ssp_waiting.remove(&w);
         if !self.ssp_waiting.is_empty() {
@@ -912,24 +1113,29 @@ impl PsWorld {
         // communication world (the servers still hold the parameters);
         // checkpoint-based recovery additionally restores the checkpoint and
         // recomputes all progress since it — stalling the whole job (§V-E3).
-        let mut delay = self
-            .cfg
-            .cluster
-            .scheduler
-            .sample_restart_delay(now, &mut self.sched_rng)
-            + SimDuration::from_secs_f64(self.cfg.world_rebuild_secs);
-        if self.cfg.failover == FailoverMode::CheckpointBased {
-            let rollback = self.cfg.rollback_recompute_factor
-                * now.since(self.last_ckpt)
-                    .as_secs_f64()
-                    .min(self.cfg.checkpoint_interval.as_secs_f64());
-            delay += SimDuration::from_secs_f64(self.cfg.ckpt_restore_secs + rollback);
-            self.stall_until = self.stall_until.max(now + delay);
+        // Chaos no-failover kills skip the replacement entirely.
+        if !self.chaos_no_failover.contains(&w) {
+            let mut delay =
+                self.cfg.cluster.scheduler.sample_restart_delay(now, &mut self.sched_rng)
+                    + SimDuration::from_secs_f64(self.cfg.world_rebuild_secs);
+            let extra = std::mem::take(&mut self.chaos_restart_extra[wi]);
+            if extra > 0.0 {
+                delay += SimDuration::from_secs_f64(extra);
+            }
+            if self.cfg.failover == FailoverMode::CheckpointBased {
+                let rollback = self.cfg.rollback_recompute_factor
+                    * now
+                        .since(self.last_ckpt)
+                        .as_secs_f64()
+                        .min(self.cfg.checkpoint_interval.as_secs_f64());
+                delay += SimDuration::from_secs_f64(self.cfg.ckpt_restore_secs + rollback);
+                self.stall_until = self.stall_until.max(now + delay);
+            }
+            if let Some(g) = self.gantt.as_mut() {
+                g.record(w, SpanKind::Failover, now, now + delay);
+            }
+            eng.schedule(now + delay, Ev::WorkerRestart { w, gen: self.workers[wi].gen });
         }
-        if let Some(g) = self.gantt.as_mut() {
-            g.record(w, SpanKind::Failover, now, now + delay);
-        }
-        eng.schedule(now + delay, Ev::WorkerRestart { w, gen: self.workers[wi].gen });
         if self.is_bsp() {
             self.try_close_bsp(eng);
         }
@@ -951,8 +1157,13 @@ impl PsWorld {
         self.workers[wi].agent.reset();
         self.workers[wi].next_allowed = now;
         self.restarts.push((now, NodeId::worker(w)));
-        self.store
-            .report_event(NodeEvent::Restarted { node: NodeId::worker(w), at: now });
+        self.last_progress = self.last_progress.max(now);
+        if let Some(&idx) = self.chaos_awaiting_recovery.get(&w) {
+            if self.injections_log[idx].restarted_at.is_none() {
+                self.injections_log[idx].restarted_at = Some(now);
+            }
+        }
+        self.store.report_event(NodeEvent::Restarted { node: NodeId::worker(w), at: now });
         eng.schedule(now, Ev::WorkerStart { w, gen });
     }
 
@@ -973,14 +1184,11 @@ impl PsWorld {
         // Server failover: pending + init + rebuild + checkpoint restore +
         // recompute of the progress since the last checkpoint (§V-E2).
         let rollback = self.cfg.rollback_recompute_factor
-            * now.since(self.last_ckpt).as_secs_f64().min(
-                self.cfg.checkpoint_interval.as_secs_f64(),
-            );
-        let delay = self
-            .cfg
-            .cluster
-            .scheduler
-            .sample_restart_delay(now, &mut self.sched_rng)
+            * now
+                .since(self.last_ckpt)
+                .as_secs_f64()
+                .min(self.cfg.checkpoint_interval.as_secs_f64());
+        let delay = self.cfg.cluster.scheduler.sample_restart_delay(now, &mut self.sched_rng)
             + SimDuration::from_secs_f64(
                 self.cfg.world_rebuild_secs + self.cfg.ckpt_restore_secs + rollback,
             );
@@ -1001,8 +1209,8 @@ impl PsWorld {
         self.servers[sj].link.congestion.clear();
         self.servers[sj].free_at = now;
         self.restarts.push((now, NodeId::server(s)));
-        self.store
-            .report_event(NodeEvent::Restarted { node: NodeId::server(s), at: now });
+        self.last_progress = self.last_progress.max(now);
+        self.store.report_event(NodeEvent::Restarted { node: NodeId::server(s), at: now });
 
         if self.servers.iter().all(|x| x.alive) {
             if self.bsp.close_pending {
@@ -1029,12 +1237,7 @@ impl PsWorld {
         }
         let gen = self.workers[w as usize].gen;
         if self.workers[w as usize].alive {
-            self.worker_kill(
-                eng,
-                w,
-                gen,
-                ErrorClass::Retryable(RetryableError::NodeFailure),
-            );
+            self.worker_kill(eng, w, gen, ErrorClass::Retryable(RetryableError::NodeFailure));
         }
         // Re-arm: the replacement pod is as mortal as its predecessor.
         let mtbf = self.cfg.faults.expect("fault event without config").worker_mtbf;
@@ -1130,7 +1333,10 @@ impl PsWorld {
                         // Idle workers (quota 0 / parked) need a poke to pick
                         // the action up.
                         if self.workers[w].inflight.is_none() && !self.workers[w].done {
-                            eng.schedule(at, Ev::WorkerStart { w: w as u32, gen: self.workers[w].gen });
+                            eng.schedule(
+                                at,
+                                Ev::WorkerStart { w: w as u32, gen: self.workers[w].gen },
+                            );
                         }
                     }
                 }
@@ -1165,14 +1371,14 @@ impl PsWorld {
     // --------------------------------------------------------------- closing
 
     fn account_samples(&mut self, at: SimTime, samples: u64) {
+        if samples > 0 {
+            self.last_progress = self.last_progress.max(at);
+        }
         self.samples_done += samples;
         self.bucket_samples += samples;
         while at.since(self.bucket_start) >= THROUGHPUT_BUCKET {
             let mid = self.bucket_start + THROUGHPUT_BUCKET / 2;
-            self.throughput.push(
-                mid,
-                self.bucket_samples as f64 / THROUGHPUT_BUCKET.as_secs_f64(),
-            );
+            self.throughput.push(mid, self.bucket_samples as f64 / THROUGHPUT_BUCKET.as_secs_f64());
             self.bucket_start += THROUGHPUT_BUCKET;
             self.bucket_samples = 0;
         }
@@ -1184,10 +1390,9 @@ impl PsWorld {
         }
         let data_done = match self.cfg.data {
             DataStrategy::Dds => self.dds.as_ref().unwrap().is_complete(),
-            DataStrategy::EvenPartition => self
-                .workers
-                .iter()
-                .all(|w| matches!(w.source, DataSource::Fixed { remaining: 0 })),
+            DataStrategy::EvenPartition => {
+                self.workers.iter().all(|w| matches!(w.source, DataSource::Fixed { remaining: 0 }))
+            }
         };
         let no_inflight = self.workers.iter().all(|w| w.inflight.is_none());
         if data_done && no_inflight {
@@ -1211,6 +1416,7 @@ impl PsWorld {
             samples_done: self.samples_done,
             rolled_back_samples: self.rolled_back_samples,
             timed_out: self.timed_out,
+            stalled: self.stalled,
             worker_bpt: self.workers.iter().map(|w| w.series_bpt.clone()).collect(),
             worker_batch: self.workers.iter().map(|w| w.series_batch.clone()).collect(),
             server_bpt: self.servers.iter().map(|s| s.series_bpt.clone()).collect(),
@@ -1218,6 +1424,8 @@ impl PsWorld {
             actions: self.actions,
             kills: self.kills,
             restarts: self.restarts,
+            injections: self.injections_log,
+            action_log: self.action_log,
             overhead: self.overhead,
             audit: self.dds.as_ref().map(|d| d.audit()),
             consumption: self.dds.as_ref().map(|d| d.consumption()),

@@ -7,6 +7,38 @@ use antdt_monitor::NodeId;
 use antdt_sim::{Gantt, SimDuration, SimTime, TimeSeries};
 use serde::Serialize;
 
+/// One injected chaos fault as it actually played out at runtime.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct InjectionRecord {
+    /// Index into `JobConfig::injections`.
+    pub index: u32,
+    /// When the fault fired.
+    pub at: SimTime,
+    /// Human label (`InjectedFault::describe`).
+    pub desc: String,
+    /// For kills: when the replacement pod came up (`None` if never).
+    pub restarted_at: Option<SimTime>,
+    /// For kills: when the node committed its first post-restart work —
+    /// i.e. it is back on full duty (`None` if never).
+    pub recovered_at: Option<SimTime>,
+}
+
+/// One global Controller action as applied by one worker — the raw material
+/// for the global-action convergence invariant (all survivors must apply the
+/// same action delivered at the same instant, at the same iteration).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ActionApplication {
+    pub worker: u32,
+    /// When the Agent's inbox received the action (broadcast arrival).
+    pub delivered_at: SimTime,
+    /// When the worker actually applied it (start of its next iteration).
+    pub applied_at: SimTime,
+    /// The global iteration the worker was at when it applied the action.
+    pub iter: u64,
+    /// Debug rendering of the action (stable across same-seed runs).
+    pub action: String,
+}
+
 #[derive(Debug, Clone, Serialize)]
 pub struct JobReport {
     /// Job completion time.
@@ -19,6 +51,9 @@ pub struct JobReport {
     pub rolled_back_samples: u64,
     /// `true` if the safety cap fired before the data was exhausted.
     pub timed_out: bool,
+    /// `true` if the liveness watchdog aborted the run: no training progress
+    /// for `JobConfig::liveness_timeout` while the job was incomplete.
+    pub stalled: bool,
 
     /// Reported BPT per worker over time (paper Figs. 1a, 13).
     pub worker_bpt: Vec<TimeSeries>,
@@ -33,6 +68,12 @@ pub struct JobReport {
     pub actions: Vec<(SimTime, Action)>,
     pub kills: Vec<(SimTime, NodeId)>,
     pub restarts: Vec<(SimTime, NodeId)>,
+    /// Chaos-drill timeline: each injected fault with its recovery marks.
+    /// Empty unless the job carried `injections`.
+    pub injections: Vec<InjectionRecord>,
+    /// Per-worker application log of global Controller actions (convergence
+    /// invariant input). Empty unless the job carried `injections`.
+    pub action_log: Vec<ActionApplication>,
 
     pub overhead: OverheadLedger,
     /// Data-integrity audit (§VII-D2); absent for even-partition runs.

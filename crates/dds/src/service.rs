@@ -114,6 +114,11 @@ struct Inner {
     done_total: u64,
     ever_double_served: bool,
     stats: ConsumptionStats,
+    /// Chaos-drill outage switch: while set, `fetch` serves nothing (the
+    /// service is unreachable) and callers fall back to their retry loop.
+    paused: bool,
+    /// Fetches rejected because of an outage (drill diagnostics).
+    paused_fetch_rejections: u64,
 }
 
 impl Inner {
@@ -168,6 +173,8 @@ impl DdsService {
             done_total: 0,
             ever_double_served: false,
             stats: ConsumptionStats::default(),
+            paused: false,
+            paused_fetch_rejections: 0,
         };
         inner.refill();
         DdsService { inner: Mutex::new(inner) }
@@ -186,6 +193,10 @@ impl DdsService {
     /// immediately — leaders flow into the next epoch without a barrier.
     pub fn fetch(&self, worker: WorkerId) -> Option<ShardLease> {
         let mut g = self.inner.lock();
+        if g.paused {
+            g.paused_fetch_rejections += 1;
+            return None;
+        }
         g.refill();
         let slot = g.queue.pop_front()?;
         debug_assert_eq!(g.state[slot as usize], ShardState::Todo);
@@ -208,8 +219,7 @@ impl DdsService {
     pub fn report_done(&self, worker: WorkerId, lease: ShardLease) -> Result<(), DdsError> {
         let mut g = self.inner.lock();
         let slot = g.slot(&lease);
-        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker)
-        {
+        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker) {
             return Err(DdsError::NotLeased { shard: lease.shard.id, worker });
         }
         g.state[slot] = ShardState::Done;
@@ -227,8 +237,7 @@ impl DdsService {
     pub fn report_failed(&self, worker: WorkerId, lease: ShardLease) -> Result<(), DdsError> {
         let mut g = self.inner.lock();
         let slot = g.slot(&lease);
-        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker)
-        {
+        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker) {
             return Err(DdsError::NotLeased { shard: lease.shard.id, worker });
         }
         g.state[slot] = ShardState::Todo;
@@ -258,6 +267,22 @@ impl DdsService {
             out.push(shard);
         }
         out
+    }
+
+    /// Chaos-drill outage control: while paused, `fetch` serves nothing (as if
+    /// the service were unreachable). Completion/failure reports still land —
+    /// the client library buffers them, so no integrity state is lost.
+    pub fn set_paused(&self, paused: bool) {
+        self.inner.lock().paused = paused;
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.inner.lock().paused
+    }
+
+    /// Fetches rejected while the service was paused (drill diagnostics).
+    pub fn paused_fetch_rejections(&self) -> u64 {
+        self.inner.lock().paused_fetch_rejections
     }
 
     /// Whether every epoch's every shard has reached `DONE`.
@@ -309,11 +334,7 @@ mod tests {
     use super::*;
 
     fn svc(n: u64, b: u64, m: u64, epochs: u32) -> DdsService {
-        DdsService::new(
-            DdsConfig::new(n, b)
-                .with_batches_per_shard(m)
-                .with_epochs(epochs),
-        )
+        DdsService::new(DdsConfig::new(n, b).with_batches_per_shard(m).with_epochs(epochs))
     }
 
     #[test]
@@ -354,6 +375,26 @@ mod tests {
     }
 
     #[test]
+    fn paused_service_serves_nothing_then_recovers() {
+        let s = svc(200, 10, 10, 1); // 2 shards
+        s.set_paused(true);
+        assert!(s.fetch(0).is_none(), "outage: fetch must serve nothing");
+        assert!(s.fetch(1).is_none());
+        assert_eq!(s.paused_fetch_rejections(), 2);
+        s.set_paused(false);
+        // Reports during the outage would have been buffered; after the lift
+        // the full epoch is still served exactly once.
+        let mut served = 0;
+        while let Some(l) = s.fetch(0) {
+            s.report_done(0, l).unwrap();
+            served += 1;
+        }
+        assert_eq!(served, 2);
+        assert!(s.is_complete());
+        assert!(s.audit().at_most_once);
+    }
+
+    #[test]
     fn fail_worker_requeues_at_tail() {
         let s = svc(300, 10, 10, 1); // 3 shards
         let dead = s.fetch(0).unwrap();
@@ -377,10 +418,7 @@ mod tests {
     fn report_done_requires_lease() {
         let s = svc(100, 10, 10, 1);
         let l = s.fetch(0).unwrap();
-        assert!(matches!(
-            s.report_done(1, l),
-            Err(DdsError::NotLeased { .. })
-        ));
+        assert!(matches!(s.report_done(1, l), Err(DdsError::NotLeased { .. })));
         s.report_done(0, l).unwrap();
         // Double-done is rejected.
         assert!(s.report_done(0, l).is_err());
@@ -448,7 +486,7 @@ mod tests {
     #[test]
     fn consumption_tracks_per_worker() {
         let s = svc(1000, 10, 10, 1); // 10 shards of 100
-        // Worker 0 takes 7 shards, worker 1 takes 3.
+                                      // Worker 0 takes 7 shards, worker 1 takes 3.
         for i in 0..10 {
             let w = if i < 7 { 0 } else { 1 };
             let l = s.fetch(w).unwrap();
@@ -484,7 +522,7 @@ mod tests {
     #[test]
     fn cross_epoch_failure_requeues_the_right_epoch_slot() {
         let s = svc(200, 10, 10, 2); // 2 shards x 2 epochs
-        // Drain epoch 0 fully with worker 0, start epoch 1 with worker 1.
+                                     // Drain epoch 0 fully with worker 0, start epoch 1 with worker 1.
         let a = s.fetch(0).unwrap();
         let b = s.fetch(0).unwrap();
         s.report_done(0, a).unwrap();

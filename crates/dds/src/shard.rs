@@ -51,11 +51,7 @@ pub fn plan_shards(total_samples: u64, samples_per_shard: u64) -> Vec<Shard> {
         .map(|i| {
             let offset = i * samples_per_shard;
             let len = samples_per_shard.min(total_samples - offset);
-            Shard {
-                id: i as ShardId,
-                offset,
-                len,
-            }
+            Shard { id: i as ShardId, offset, len }
         })
         .collect()
 }

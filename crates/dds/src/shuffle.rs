@@ -3,8 +3,8 @@
 //! `(seed, epoch, shard)` so any component can reproduce the order.
 
 use crate::shard::{Shard, ShardId};
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 

@@ -56,11 +56,7 @@ pub fn accuracy(scores: &[f32], labels: &[f32]) -> f64 {
     if scores.is_empty() {
         return 0.0;
     }
-    let hits = scores
-        .iter()
-        .zip(labels)
-        .filter(|&(&p, &y)| (p >= 0.5) == (y > 0.5))
-        .count();
+    let hits = scores.iter().zip(labels).filter(|&(&p, &y)| (p >= 0.5) == (y > 0.5)).count();
     hits as f64 / scores.len() as f64
 }
 
@@ -70,18 +66,10 @@ mod tests {
 
     /// O(n²) reference: P(score⁺ > score⁻) + ½ P(tie).
     fn auc_naive(scores: &[f32], labels: &[f32]) -> Option<f64> {
-        let pos: Vec<f32> = scores
-            .iter()
-            .zip(labels)
-            .filter(|&(_, &l)| l > 0.5)
-            .map(|(&s, _)| s)
-            .collect();
-        let neg: Vec<f32> = scores
-            .iter()
-            .zip(labels)
-            .filter(|&(_, &l)| l <= 0.5)
-            .map(|(&s, _)| s)
-            .collect();
+        let pos: Vec<f32> =
+            scores.iter().zip(labels).filter(|&(_, &l)| l > 0.5).map(|(&s, _)| s).collect();
+        let neg: Vec<f32> =
+            scores.iter().zip(labels).filter(|&(_, &l)| l <= 0.5).map(|(&s, _)| s).collect();
         if pos.is_empty() || neg.is_empty() {
             return None;
         }

@@ -64,10 +64,7 @@ pub struct LogisticRegression {
 
 impl LogisticRegression {
     pub fn new(n_features: u32) -> Self {
-        LogisticRegression {
-            n_features,
-            params: vec![0.0; n_features as usize + 1],
-        }
+        LogisticRegression { n_features, params: vec![0.0; n_features as usize + 1] }
     }
 
     #[inline]

@@ -38,9 +38,7 @@ impl PartitionPlan {
 
     /// Which server owns parameter `p`.
     pub fn owner(&self, p: usize) -> usize {
-        self.ranges
-            .partition_point(|&(_, end)| end <= p)
-            .min(self.ranges.len() - 1)
+        self.ranges.partition_point(|&(_, end)| end <= p).min(self.ranges.len() - 1)
     }
 
     /// Bytes of gradient payload destined for `server`, assuming f32 params.

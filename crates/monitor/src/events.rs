@@ -108,10 +108,7 @@ mod tests {
             ErrorClass::Unretryable(UnretryableError::ProgramError)
         );
         // Unknown => retryable node failure.
-        assert_eq!(
-            ErrorClass::classify("???"),
-            ErrorClass::Retryable(RetryableError::NodeFailure)
-        );
+        assert_eq!(ErrorClass::classify("???"), ErrorClass::Retryable(RetryableError::NodeFailure));
     }
 
     #[test]

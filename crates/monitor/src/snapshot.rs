@@ -46,29 +46,17 @@ impl MonitorSnapshot {
     /// Mean of the available short-window worker BPTs (`T̄ᵗʳᵃⁿˢ`), over *alive*
     /// workers only.
     pub fn mean_worker_bpt_trans(&self) -> Option<f64> {
-        mean(self
-            .workers
-            .iter()
-            .filter(|s| s.alive)
-            .filter_map(|s| s.bpt_trans))
+        mean(self.workers.iter().filter(|s| s.alive).filter_map(|s| s.bpt_trans))
     }
 
     /// Mean of the long-window worker BPTs (`T̄ᵖᵉʳ`).
     pub fn mean_worker_bpt_per(&self) -> Option<f64> {
-        mean(self
-            .workers
-            .iter()
-            .filter(|s| s.alive)
-            .filter_map(|s| s.bpt_per))
+        mean(self.workers.iter().filter(|s| s.alive).filter_map(|s| s.bpt_per))
     }
 
     /// Mean of the long-window server BPTs.
     pub fn mean_server_bpt_per(&self) -> Option<f64> {
-        mean(self
-            .servers
-            .iter()
-            .filter(|s| s.alive)
-            .filter_map(|s| s.bpt_per))
+        mean(self.servers.iter().filter(|s| s.alive).filter_map(|s| s.bpt_per))
     }
 }
 

@@ -64,10 +64,9 @@ impl MetricStore {
 
     fn entry(&mut self, node: NodeId) -> &mut NodeEntry {
         let retention = self.cfg.retention();
-        self.nodes.entry(node).or_insert_with(|| NodeEntry {
-            window: BptWindow::new(retention),
-            alive: true,
-        })
+        self.nodes
+            .entry(node)
+            .or_insert_with(|| NodeEntry { window: BptWindow::new(retention), alive: true })
     }
 
     /// Register a node up front so it appears in snapshots even before its
@@ -144,10 +143,7 @@ mod tests {
     }
 
     fn cfg() -> MonitorConfig {
-        MonitorConfig {
-            l_trans: SimDuration::from_secs(60),
-            l_per: SimDuration::from_secs(300),
-        }
+        MonitorConfig { l_trans: SimDuration::from_secs(60), l_per: SimDuration::from_secs(300) }
     }
 
     #[test]

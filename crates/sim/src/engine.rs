@@ -56,12 +56,7 @@ impl<E: Eq> Default for Engine<E> {
 
 impl<E: Eq> Engine<E> {
     pub fn new() -> Self {
-        Engine {
-            queue: BinaryHeap::new(),
-            now: SimTime::ZERO,
-            seq: 0,
-            processed: 0,
-        }
+        Engine { queue: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
     }
 
     /// Current simulated instant (the timestamp of the event being handled).
@@ -87,11 +82,7 @@ impl<E: Eq> Engine<E> {
     /// time-travelling, so the clock stays monotonic.
     pub fn schedule(&mut self, at: SimTime, ev: E) {
         let at = at.max(self.now);
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq: self.seq,
-            ev,
-        }));
+        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
         self.seq += 1;
     }
 

@@ -85,8 +85,8 @@ impl Gantt {
             let mut row = vec![' '; cols];
             for s in self.spans.iter().filter(|s| s.node == node) {
                 let a = ((s.start.as_micros() as f64 / scale) * cols as f64) as usize;
-                let b = (((s.end.as_micros() as f64 / scale) * cols as f64).ceil() as usize)
-                    .min(cols);
+                let b =
+                    (((s.end.as_micros() as f64 / scale) * cols as f64).ceil() as usize).min(cols);
                 let ch = match s.kind {
                     SpanKind::Compute => '#',
                     SpanKind::Comm => '=',

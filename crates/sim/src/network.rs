@@ -22,20 +22,12 @@ pub struct Link {
 impl Link {
     /// A typical datacenter link: 25 Gbit/s, 0.2 ms latency.
     pub fn datacenter() -> Self {
-        Link {
-            latency_secs: 2e-4,
-            bandwidth_bps: 25.0e9 / 8.0,
-            congestion: Vec::new(),
-        }
+        Link { latency_secs: 2e-4, bandwidth_bps: 25.0e9 / 8.0, congestion: Vec::new() }
     }
 
     /// The paper's Cluster-B interconnect: 100 Gbit/s.
     pub fn gpu_cluster() -> Self {
-        Link {
-            latency_secs: 1e-4,
-            bandwidth_bps: 100.0e9 / 8.0,
-            congestion: Vec::new(),
-        }
+        Link { latency_secs: 1e-4, bandwidth_bps: 100.0e9 / 8.0, congestion: Vec::new() }
     }
 
     pub fn with_congestion(mut self, from: SimTime, to: SimTime, factor: f64) -> Self {
@@ -82,11 +74,7 @@ mod tests {
 
     #[test]
     fn transfer_includes_latency_and_bandwidth() {
-        let l = Link {
-            latency_secs: 0.001,
-            bandwidth_bps: 1_000_000.0,
-            congestion: Vec::new(),
-        };
+        let l = Link { latency_secs: 0.001, bandwidth_bps: 1_000_000.0, congestion: Vec::new() };
         let t = l.transfer_secs(SimTime::ZERO, 500_000);
         assert!((t - 0.501).abs() < 1e-9);
     }
@@ -96,11 +84,7 @@ mod tests {
         let l = Link {
             latency_secs: 0.0,
             bandwidth_bps: 1_000_000.0,
-            congestion: vec![(
-                SimTime::from_secs_f64(10.0),
-                SimTime::from_secs_f64(20.0),
-                4.0,
-            )],
+            congestion: vec![(SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(20.0), 4.0)],
         };
         assert!((l.transfer_secs(SimTime::from_secs_f64(5.0), 1_000_000) - 1.0).abs() < 1e-9);
         assert!((l.transfer_secs(SimTime::from_secs_f64(15.0), 1_000_000) - 4.0).abs() < 1e-9);
@@ -116,11 +100,7 @@ mod tests {
 
     #[test]
     fn allreduce_scales_with_bytes_and_saturates_with_ranks() {
-        let l = Link {
-            latency_secs: 0.0,
-            bandwidth_bps: 1e9,
-            congestion: Vec::new(),
-        };
+        let l = Link { latency_secs: 0.0, bandwidth_bps: 1e9, congestion: Vec::new() };
         let t2 = ring_allreduce_secs(&l, SimTime::ZERO, 2, 1_000_000_000);
         let t8 = ring_allreduce_secs(&l, SimTime::ZERO, 8, 1_000_000_000);
         // 2(n-1)/n -> factor 1.0 at n=2, 1.75 at n=8; bounded by 2.

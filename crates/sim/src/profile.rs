@@ -71,20 +71,12 @@ impl TransientPattern {
 pub enum ContentionPhase {
     /// Constant extra delay per iteration over `[from, to)` — the paper's
     /// persistent straggler (`T_delay = 4 s`, start to end).
-    Persistent {
-        delay_secs: f64,
-        from: SimTime,
-        to: SimTime,
-    },
+    Persistent { delay_secs: f64, from: SimTime, to: SimTime },
     /// FlexRR-style periodic transient contention.
     Transient(TransientPattern),
     /// Multiplicative slowdown over `[from, to)` (e.g. a co-located production
     /// job stealing half the cores).
-    Slowdown {
-        factor: f64,
-        from: SimTime,
-        to: SimTime,
-    },
+    Slowdown { factor: f64, from: SimTime, to: SimTime },
 }
 
 /// Full per-node profile. See the module docs for the composition rule.
@@ -103,12 +95,7 @@ pub struct NodeProfile {
 impl NodeProfile {
     /// A clean leader node: reference speed, mild jitter, no contention.
     pub fn clean(stream: u64) -> Self {
-        NodeProfile {
-            speed_factor: 1.0,
-            jitter_sigma: 0.02,
-            phases: Vec::new(),
-            stream,
-        }
+        NodeProfile { speed_factor: 1.0, jitter_sigma: 0.02, phases: Vec::new(), stream }
     }
 
     /// A deterministic straggler: hardware `factor`× slower than reference.
@@ -240,8 +227,10 @@ mod tests {
         let mut hit = None;
         let mut miss = None;
         for e in 0..200u64 {
-            let t_active = SimTime(e * SimDuration::from_minutes(30).as_micros()
-                + SimDuration::from_minutes(5).as_micros());
+            let t_active = SimTime(
+                e * SimDuration::from_minutes(30).as_micros()
+                    + SimDuration::from_minutes(5).as_micros(),
+            );
             let d = n.extra_delay(&p, t_active);
             if d > 0.0 {
                 hit = Some((e, d));
@@ -249,8 +238,10 @@ mod tests {
                 miss = Some(e);
             }
             // Outside the active window there is never delay.
-            let t_idle = SimTime(e * SimDuration::from_minutes(30).as_micros()
-                + SimDuration::from_minutes(20).as_micros());
+            let t_idle = SimTime(
+                e * SimDuration::from_minutes(30).as_micros()
+                    + SimDuration::from_minutes(20).as_micros(),
+            );
             assert_eq!(n.extra_delay(&p, t_idle), 0.0);
         }
         let (_, d) = hit.expect("some episode should hit with p=0.3 over 200 tries");
@@ -282,13 +273,11 @@ mod tests {
 
     #[test]
     fn slowdown_phase_multiplies() {
-        let n = NodeProfile::clean(0)
-            .with_jitter(0.0)
-            .with_phase(ContentionPhase::Slowdown {
-                factor: 2.5,
-                from: SimTime::ZERO,
-                to: SimTime::MAX,
-            });
+        let n = NodeProfile::clean(0).with_jitter(0.0).with_phase(ContentionPhase::Slowdown {
+            factor: 2.5,
+            from: SimTime::ZERO,
+            to: SimTime::MAX,
+        });
         let mut rng = StdRng::seed_from_u64(0);
         let t = n.iteration_secs(&pool(), SimTime::ZERO, 2.0, &mut rng);
         assert!((t - 5.0).abs() < 1e-9);
@@ -317,10 +306,9 @@ mod tests {
         let n = NodeProfile::clean(0).with_jitter(0.1);
         let mut rng = StdRng::seed_from_u64(1);
         let k = 50_000;
-        let m: f64 = (0..k)
-            .map(|_| n.iteration_secs(&pool(), SimTime::ZERO, 1.0, &mut rng))
-            .sum::<f64>()
-            / k as f64;
+        let m: f64 =
+            (0..k).map(|_| n.iteration_secs(&pool(), SimTime::ZERO, 1.0, &mut rng)).sum::<f64>()
+                / k as f64;
         assert!((m - 1.0).abs() < 0.01, "mean {m}");
     }
 }

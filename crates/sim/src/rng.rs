@@ -99,9 +99,7 @@ mod tests {
     #[test]
     fn bernoulli_at_respects_probability() {
         let pool = RngPool::new(7);
-        let hits = (0..10_000)
-            .filter(|&i| pool.bernoulli_at(3, i, 0.3))
-            .count();
+        let hits = (0..10_000).filter(|&i| pool.bernoulli_at(3, i, 0.3)).count();
         let rate = hits as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
         // Deterministic: asking twice gives the same answer.

@@ -79,15 +79,11 @@ impl TimeSeries {
     }
 
     pub fn min(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| {
-            Some(m.map_or(v, |m: f64| m.min(v)))
-        })
+        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
     }
 
     pub fn max(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| {
-            Some(m.map_or(v, |m: f64| m.max(v)))
-        })
+        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
     }
 
     /// Downsample to at most `buckets` points by averaging consecutive runs —
@@ -149,14 +145,8 @@ mod tests {
     #[test]
     fn windowed_mean() {
         let s = series(&[(1.0, 10.0), (2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]);
-        assert_eq!(
-            s.mean_in(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(4.0)),
-            Some(25.0)
-        );
-        assert_eq!(
-            s.mean_in(SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(20.0)),
-            None
-        );
+        assert_eq!(s.mean_in(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(4.0)), Some(25.0));
+        assert_eq!(s.mean_in(SimTime::from_secs_f64(10.0), SimTime::from_secs_f64(20.0)), None);
     }
 
     #[test]

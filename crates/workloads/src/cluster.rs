@@ -87,12 +87,7 @@ pub fn cluster_a_scaled(n_workers: usize, n_servers: usize) -> ClusterSpec {
             )
         })
         .collect();
-    ClusterSpec {
-        workers,
-        servers,
-        scheduler: SchedulerModel::paper_default(),
-        dedicated: true,
-    }
+    ClusterSpec { workers, servers, scheduler: SchedulerModel::paper_default(), dedicated: true }
 }
 
 /// Cluster-B: dedicated GPU, 8 nodes — four V100s and four P100s, 100 Gb/s
@@ -165,12 +160,8 @@ mod tests {
     #[test]
     fn worker_streams_are_unique() {
         let c = cluster_c(ClusterSize::Large);
-        let mut streams: Vec<u64> = c
-            .workers
-            .iter()
-            .chain(c.servers.iter())
-            .map(|n| n.profile.stream)
-            .collect();
+        let mut streams: Vec<u64> =
+            c.workers.iter().chain(c.servers.iter()).map(|n| n.profile.stream).collect();
         streams.sort_unstable();
         let before = streams.len();
         streams.dedup();

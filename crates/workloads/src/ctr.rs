@@ -74,9 +74,7 @@ pub fn generate(cfg: &CtrConfig) -> Dataset {
 
     // Hidden ground truth: linear weights + latent factors per feature.
     let w: Vec<f32> = (0..n_feat).map(|_| rng.gen_range(-1.6f32..1.6)).collect();
-    let v: Vec<f32> = (0..n_feat * cfg.k_true)
-        .map(|_| rng.gen_range(-1.0f32..1.0))
-        .collect();
+    let v: Vec<f32> = (0..n_feat * cfg.k_true).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
 
     let mut data = Dataset::new(cfg.n_features());
     let mut sums = vec![0.0f32; cfg.k_true];

@@ -25,7 +25,7 @@ pub mod ctr;
 pub mod devices;
 pub mod straggler;
 
-pub use cluster::{ClusterSpec, ClusterSize, NodeSpec};
+pub use cluster::{ClusterSize, ClusterSpec, NodeSpec};
 pub use cost::{ComputeCost, ModelProfile};
 pub use ctr::CtrConfig;
 pub use devices::DeviceClass;

@@ -64,9 +64,9 @@ pub fn apply(spec: &mut ClusterSpec, scenario: Scenario) {
         }
         Scenario::WorkerTransient { intensity } => {
             for w in &mut spec.workers {
-                w.profile.phases.push(ContentionPhase::Transient(
-                    TransientPattern::paper_default(intensity),
-                ));
+                w.profile
+                    .phases
+                    .push(ContentionPhase::Transient(TransientPattern::paper_default(intensity)));
             }
         }
         Scenario::WorkerPersistent { intensity } => {
@@ -87,17 +87,19 @@ pub fn apply(spec: &mut ClusterSpec, scenario: Scenario) {
                     from: SimTime::ZERO,
                     to: SimTime::MAX,
                 });
-                s.link = s
-                    .link
-                    .clone()
-                    .with_congestion(SimTime::ZERO, SimTime::MAX, 1.0 + 2.0 * intensity);
+                s.link = s.link.clone().with_congestion(
+                    SimTime::ZERO,
+                    SimTime::MAX,
+                    1.0 + 2.0 * intensity,
+                );
             }
         }
         Scenario::MotivationMix => {
             if spec.workers.len() > 3 {
-                spec.workers[1].profile.phases.push(ContentionPhase::Transient(
-                    TransientPattern::paper_default(0.8),
-                ));
+                spec.workers[1]
+                    .profile
+                    .phases
+                    .push(ContentionPhase::Transient(TransientPattern::paper_default(0.8)));
                 spec.workers[2].profile.phases.push(ContentionPhase::Persistent {
                     delay_secs: 3.0,
                     from: SimTime::ZERO,
@@ -121,11 +123,8 @@ pub fn apply(spec: &mut ClusterSpec, scenario: Scenario) {
             // spread around the requested mean: factors in
             // [1, 2·mean_slowdown − 1] with uniform spacing.
             let span = (mean_slowdown - 1.0).max(0.0) * 2.0;
-            let mut all: Vec<&mut crate::cluster::NodeSpec> = spec
-                .workers
-                .iter_mut()
-                .chain(spec.servers.iter_mut())
-                .collect();
+            let mut all: Vec<&mut crate::cluster::NodeSpec> =
+                spec.workers.iter_mut().chain(spec.servers.iter_mut()).collect();
             let n = all.len().max(1) as f64;
             for (i, node) in all.iter_mut().enumerate() {
                 let frac = (i as f64 + 0.5) / n;
@@ -136,9 +135,9 @@ pub fn apply(spec: &mut ClusterSpec, scenario: Scenario) {
                     from: SimTime::ZERO,
                     to: SimTime::MAX,
                 });
-                node.profile.phases.push(ContentionPhase::Transient(
-                    TransientPattern::paper_default(0.5),
-                ));
+                node.profile
+                    .phases
+                    .push(ContentionPhase::Transient(TransientPattern::paper_default(0.5)));
                 node.profile.jitter_sigma = 0.08;
             }
         }
@@ -172,21 +171,14 @@ mod tests {
         let mut spec = cluster_a_scaled(6, 3);
         apply(&mut spec, worker_mix(0.8));
         for w in &spec.workers {
-            assert!(w
-                .profile
-                .phases
-                .iter()
-                .any(|p| matches!(p, ContentionPhase::Transient(_))));
+            assert!(w.profile.phases.iter().any(|p| matches!(p, ContentionPhase::Transient(_))));
         }
         let persistent: Vec<usize> = spec
             .workers
             .iter()
             .enumerate()
             .filter(|(_, w)| {
-                w.profile
-                    .phases
-                    .iter()
-                    .any(|p| matches!(p, ContentionPhase::Persistent { .. }))
+                w.profile.phases.iter().any(|p| matches!(p, ContentionPhase::Persistent { .. }))
             })
             .map(|(i, _)| i)
             .collect();
@@ -217,11 +209,7 @@ mod tests {
     fn non_dedicated_mean_slowdown_is_close_to_target() {
         let mut spec = cluster_a_scaled(30, 12);
         apply(&mut spec, Scenario::NonDedicated { mean_slowdown: 4.0 });
-        let mean: f64 = spec
-            .workers
-            .iter()
-            .map(|w| w.profile.slowdown(SimTime::ZERO))
-            .sum::<f64>()
+        let mean: f64 = spec.workers.iter().map(|w| w.profile.slowdown(SimTime::ZERO)).sum::<f64>()
             / spec.workers.len() as f64;
         assert!((2.5..5.5).contains(&mean), "mean slowdown {mean}");
     }

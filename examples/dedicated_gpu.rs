@@ -42,11 +42,7 @@ fn main() {
     println!("training on 4x V100 + 4x P100 (V100 is 3x faster):\n");
     let ddp = Job::run(base());
     let lb = Job::run(base().with_mitigation(MitigationChoice::LbBsp));
-    let dd = Job::run(
-        base()
-            .with_mitigation(MitigationChoice::AntDtDd)
-            .with_dd_classes(classes),
-    );
+    let dd = Job::run(base().with_mitigation(MitigationChoice::AntDtDd).with_dd_classes(classes));
 
     println!("  DDP      (B/n everywhere)           JCT {:>7.1}s", ddp.jct.as_secs_f64());
     println!(
@@ -72,11 +68,7 @@ fn main() {
                     b * *c as u64
                 );
             }
-            let total: u64 = batch_sizes
-                .iter()
-                .zip(accums)
-                .map(|(b, c)| b * *c as u64)
-                .sum();
+            let total: u64 = batch_sizes.iter().zip(accums).map(|(b, c)| b * *c as u64).sum();
             println!("  round total = {total} samples (global batch B = 768)");
         }
     }

@@ -52,13 +52,12 @@ fn main() {
     println!("\n                      reference    drill");
     println!("kill/restarts         {:>9}    {:>5}", clean.n_kills(), drill.n_kills());
     println!("DONE shards           {:>9}    {:>5}", ca.done_shards, da.done_shards);
-    println!("expected              {:>9}    {:>5}", ca.expected_done_shards, da.expected_done_shards);
-    println!("requeued shards       {:>9}    {:>5}", ca.requeued_shards, da.requeued_shards);
     println!(
-        "holdout AUC           {:>9.4}    {:>5.4}",
-        clean.auc.unwrap(),
-        drill.auc.unwrap()
+        "expected              {:>9}    {:>5}",
+        ca.expected_done_shards, da.expected_done_shards
     );
+    println!("requeued shards       {:>9}    {:>5}", ca.requeued_shards, da.requeued_shards);
+    println!("holdout AUC           {:>9.4}    {:>5.4}", clean.auc.unwrap(), drill.auc.unwrap());
     assert!(da.at_least_once, "at-least-once must survive failovers");
     assert!(
         (clean.auc.unwrap() - drill.auc.unwrap()).abs() < 0.02,

@@ -31,8 +31,14 @@ fn main() {
     let asp_even = Job::run(base(true).with_data_strategy(DataStrategy::EvenPartition));
     let asp_dds = Job::run(base(true));
     let asp_nd = Job::run(base(true).with_mitigation(MitigationChoice::AntDtNdAsp));
-    println!("  ASP  (even partition)  JCT {:>8.1}s   <- slowest worker decides", asp_even.jct.as_secs_f64());
-    println!("  ASP-DDS                JCT {:>8.1}s   <- dynamic shards rebalance data", asp_dds.jct.as_secs_f64());
+    println!(
+        "  ASP  (even partition)  JCT {:>8.1}s   <- slowest worker decides",
+        asp_even.jct.as_secs_f64()
+    );
+    println!(
+        "  ASP-DDS                JCT {:>8.1}s   <- dynamic shards rebalance data",
+        asp_dds.jct.as_secs_f64()
+    );
     println!(
         "  AntDT-ND (ASP)         JCT {:>8.1}s   <- + {} kill/restart(s)",
         asp_nd.jct.as_secs_f64(),

@@ -34,15 +34,8 @@ fn main() {
         native.jct.as_secs_f64(),
         antdt.jct.as_secs_f64()
     );
-    println!(
-        "global iterations        {:>11}   {:>9}",
-        native.iterations, antdt.iterations
-    );
-    println!(
-        "kill/restart actions     {:>11}   {:>9}",
-        native.n_kills(),
-        antdt.n_kills()
-    );
+    println!("global iterations        {:>11}   {:>9}", native.iterations, antdt.iterations);
+    println!("kill/restart actions     {:>11}   {:>9}", native.n_kills(), antdt.n_kills());
     let speedup = native.jct.as_secs_f64() / antdt.jct.as_secs_f64();
     println!("\nAntDT-ND speedup: {speedup:.2}x");
 

@@ -11,6 +11,7 @@
 //! * [`controller`] — mitigation actions, min-max solvers, AntDT-ND / AntDT-DD policies
 //! * [`agent`] — per-node agent and global-action synchronization
 //! * [`core`] — Parameter Server and AllReduce training runtimes plus the job driver
+//! * [`chaos`] — deterministic fault-injection plans, chaos-drill driver and invariant checkers
 //!
 //! ## Quickstart
 //!
@@ -30,6 +31,7 @@
 //! ```
 
 pub use antdt_agent as agent;
+pub use antdt_chaos as chaos;
 pub use antdt_controller as controller;
 pub use antdt_core as core;
 pub use antdt_dds as dds;

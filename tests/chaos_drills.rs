@@ -1,0 +1,109 @@
+//! Cross-validation of the closed-form failover model (`core::failover`)
+//! against recovery times *measured* by event-driven chaos drills — the
+//! analytic curve of Fig. 17 and the simulated DDS failover path must tell
+//! the same story when fed the same parameters.
+
+use antdt::chaos::{Fault, FaultPlan, NodeRef};
+use antdt::core::{failover, Job, JobConfig};
+use antdt::sim::SimDuration;
+use antdt::workloads::{cluster, Scenario};
+
+fn secs(micros: u64) -> f64 {
+    micros as f64 / 1e6
+}
+
+/// `dds_failover_delay_secs(world_rebuild, shard_samples, throughput)` models
+/// the application-side recovery of a worker failover: rebuild the world,
+/// then recompute one in-flight shard. Drill the same scenario with the
+/// chaos subsystem — ASP so commits are per-worker pushes with no barrier
+/// quantization, M = 1 so the in-flight shard is exactly one local batch —
+/// and the measured restart→first-commit gap must agree with the model fed
+/// the drill's own observed throughput.
+#[test]
+fn analytic_failover_model_matches_event_driven_drill() {
+    let n_workers = 4u64;
+    let global_batch = 4_096u64;
+    let local_batch = global_batch / n_workers;
+
+    let plan = FaultPlan::new("model-xval").at(60.0, Fault::KillNode { node: NodeRef::Worker(1) });
+    let r = Job::run(
+        JobConfig::ps_asp(cluster::cluster_a_scaled(n_workers as usize, 2), Scenario::None)
+            .with_global_batch(global_batch)
+            .with_samples(2_000_000)
+            .with_batches_per_shard(1)
+            .with_fast_cadence(SimDuration::from_secs(60))
+            .with_injections(plan.compile()),
+    );
+    assert!(!r.timed_out && !r.stalled);
+    let audit = r.audit.expect("dds run");
+    assert!(audit.at_least_once, "the drill must not lose data");
+
+    let rec = &r.injections[0];
+    let restarted = secs(rec.restarted_at.expect("replacement pod came up").0);
+    let recovered = secs(rec.recovered_at.expect("worker committed after restart").0);
+    let measured = recovered - restarted;
+    assert!(measured > 0.0, "recovery must take time, got {measured}");
+
+    // Feed the model the drill's own parameters: the killed worker's observed
+    // throughput (local batch over its mean reported batch-processing time)
+    // and the in-flight shard it has to recompute (M = 1 => one local batch).
+    // The simulated PS has no explicit world-rebuild cost, so that term is 0.
+    let bpt = r.mean_worker_bpt(1).expect("killed worker reported BPT");
+    let throughput = local_batch as f64 / bpt;
+    let predicted = failover::dds_failover_delay_secs(0.0, local_batch, throughput);
+
+    let rel_err = (measured - predicted).abs() / predicted;
+    assert!(
+        rel_err < 0.5,
+        "analytic model {predicted:.3}s vs drill-measured {measured:.3}s (rel err {rel_err:.2})"
+    );
+}
+
+/// The model is monotone in worker throughput: a slower worker recovers
+/// slower (`shard_samples / throughput` grows). The drill must agree — kill
+/// the same worker twice, once healthy and once behind a link degraded for
+/// the whole recovery window, and both the measured restart→commit gap and
+/// the model fed each drill's own observed throughput must rank the same way.
+#[test]
+fn recovery_grows_as_throughput_drops_as_model_predicts() {
+    let run = |extra: Option<Fault>| {
+        let mut plan =
+            FaultPlan::new("thpt-xval").at(60.0, Fault::KillNode { node: NodeRef::Worker(1) });
+        if let Some(f) = extra {
+            plan = plan.at(10.0, f);
+        }
+        let r = Job::run(
+            JobConfig::ps_asp(cluster::cluster_a_scaled(4, 2), Scenario::None)
+                .with_global_batch(4_096)
+                .with_samples(2_000_000)
+                .with_batches_per_shard(1)
+                .with_fast_cadence(SimDuration::from_secs(60))
+                .with_injections(plan.compile()),
+        );
+        let rec = r
+            .injections
+            .iter()
+            .find(|rec| rec.restarted_at.is_some())
+            .expect("the kill produced a restart");
+        let measured = secs(rec.recovered_at.unwrap().0) - secs(rec.restarted_at.unwrap().0);
+        let bpt = r.mean_worker_bpt(1).unwrap();
+        (measured, failover::dds_failover_delay_secs(0.0, 1_024, 1_024.0 / bpt))
+    };
+    // The degrade window (10 s + 400 s) covers the kill, the scheduler's
+    // restart delay (bounded by 20 s pending + 60 s init here) and the first
+    // post-restart batches.
+    let (m_clean, p_clean) = run(None);
+    let (m_slow, p_slow) = run(Some(Fault::NetworkDegrade {
+        node: NodeRef::Worker(1),
+        factor: 16.0,
+        window_secs: 400.0,
+    }));
+    assert!(
+        p_slow > p_clean,
+        "model must predict slower recovery for the degraded worker: {p_slow:.3} vs {p_clean:.3}"
+    );
+    assert!(
+        m_slow > m_clean,
+        "drill must agree with the model's monotonicity: degraded {m_slow:.3}s vs clean {m_clean:.3}s"
+    );
+}

@@ -16,8 +16,12 @@ fn job(scenario: Scenario) -> JobConfig {
 
 #[test]
 fn whole_stack_is_deterministic() {
-    let a = Job::run(job(Scenario::WorkerMix { intensity: 0.7 }).with_mitigation(MitigationChoice::AntDtNd));
-    let b = Job::run(job(Scenario::WorkerMix { intensity: 0.7 }).with_mitigation(MitigationChoice::AntDtNd));
+    let a = Job::run(
+        job(Scenario::WorkerMix { intensity: 0.7 }).with_mitigation(MitigationChoice::AntDtNd),
+    );
+    let b = Job::run(
+        job(Scenario::WorkerMix { intensity: 0.7 }).with_mitigation(MitigationChoice::AntDtNd),
+    );
     assert_eq!(a.jct, b.jct);
     assert_eq!(a.iterations, b.iterations);
     assert_eq!(a.kills, b.kills);
@@ -47,9 +51,7 @@ fn antdt_nd_flattens_the_intensity_curve() {
     // Table III's headline: BSP's JCT climbs with intensity, AntDT-ND's barely
     // moves.
     let jct = |si: f64, m: MitigationChoice| {
-        Job::run(job(Scenario::WorkerMix { intensity: si }).with_mitigation(m))
-            .jct
-            .as_secs_f64()
+        Job::run(job(Scenario::WorkerMix { intensity: si }).with_mitigation(m)).jct.as_secs_f64()
     };
     let bsp_lo = jct(0.1, MitigationChoice::None);
     let bsp_hi = jct(0.8, MitigationChoice::None);
@@ -57,10 +59,7 @@ fn antdt_nd_flattens_the_intensity_curve() {
     let nd_hi = jct(0.8, MitigationChoice::AntDtNd);
     let bsp_growth = bsp_hi / bsp_lo;
     let nd_growth = nd_hi / nd_lo;
-    assert!(
-        nd_growth < bsp_growth,
-        "ND growth {nd_growth:.2} vs BSP growth {bsp_growth:.2}"
-    );
+    assert!(nd_growth < bsp_growth, "ND growth {nd_growth:.2} vs BSP growth {bsp_growth:.2}");
     assert!(nd_hi < bsp_hi, "ND {nd_hi} must beat BSP {bsp_hi} at high SI");
 }
 
@@ -132,7 +131,9 @@ fn even_partition_reports_no_audit_and_finishes() {
 
 #[test]
 fn report_series_are_populated() {
-    let r = Job::run(job(Scenario::WorkerMix { intensity: 0.5 }).with_mitigation(MitigationChoice::AntDtNd));
+    let r = Job::run(
+        job(Scenario::WorkerMix { intensity: 0.5 }).with_mitigation(MitigationChoice::AntDtNd),
+    );
     assert_eq!(r.worker_bpt.len(), 6);
     assert_eq!(r.server_bpt.len(), 3);
     assert!(r.worker_bpt.iter().all(|s| !s.is_empty()));

@@ -7,7 +7,9 @@
 use antdt::controller::{
     AdaptiveBackupWorkers, Composite, KillRestartOnly, LbBsp, MitigationPolicy,
 };
-use antdt::core::{ps_run_with_policy, FailoverMode, FaultConfig, Job, JobConfig, MitigationChoice};
+use antdt::core::{
+    ps_run_with_policy, FailoverMode, FaultConfig, Job, JobConfig, MitigationChoice,
+};
 use antdt::sim::SimDuration;
 use antdt::workloads::{cluster, ModelProfile, Scenario};
 
@@ -42,10 +44,8 @@ fn custom_composite_solution_beats_native_bsp() {
     );
     // All three ingredients actually fired.
     assert!(custom.n_kills() >= 1, "kill-restart part engaged");
-    let used_bs = custom
-        .actions
-        .iter()
-        .any(|(_, a)| matches!(a, antdt::controller::Action::AdjustBs { .. }));
+    let used_bs =
+        custom.actions.iter().any(|(_, a)| matches!(a, antdt::controller::Action::AdjustBs { .. }));
     let used_bw = custom
         .actions
         .iter()
@@ -64,10 +64,7 @@ fn faults_failover_modes_and_custom_policy_compose() {
     let scenario = Scenario::WorkerTransient { intensity: 0.5 };
     let config = cfg(scenario)
         .with_failover_mode(FailoverMode::CheckpointBased)
-        .with_faults(FaultConfig {
-            worker_mtbf: SimDuration::from_secs(400),
-            server_mtbf: None,
-        })
+        .with_faults(FaultConfig { worker_mtbf: SimDuration::from_secs(400), server_mtbf: None })
         .with_mitigation(MitigationChoice::LbBsp);
     let r = Job::run(config);
     assert!(!r.timed_out);

@@ -1,9 +1,12 @@
 //! Cross-crate integrity properties: real training math + DDS bookkeeping +
 //! failovers, mirroring the paper's §VII-D2 claims at test scale.
 
-use antdt::core::{ExecutionMode, Job, JobConfig, MitigationChoice};
+use antdt::core::{ChaosInjection, ExecutionMode, InjectedFault, Job, JobConfig, MitigationChoice};
 use antdt::sim::SimDuration;
 use antdt::workloads::{cluster, ctr, CtrConfig, Scenario};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn real_job(scenario: Scenario, seed: u64) -> JobConfig {
     let data = ctr::generate(&CtrConfig::default().with_samples(24_000));
@@ -68,6 +71,90 @@ fn backup_workers_preserve_statistical_performance() {
     let (a, b) = (clean.auc.unwrap(), bw.auc.unwrap());
     assert!((a - b).abs() < 0.02, "clean {a} vs backup-workers {b}");
     assert!(bw.audit.unwrap().at_least_once);
+}
+
+/// A fast synthetic BSP job for the property-based fault drills below (real
+/// math is unnecessary — these assert on DDS bookkeeping, not on the model).
+fn synthetic_job() -> JobConfig {
+    JobConfig::ps_bsp(cluster::cluster_a_scaled(6, 3), Scenario::None)
+        .with_global_batch(1_536)
+        .with_samples(300_000)
+        .with_batches_per_shard(4)
+        .with_fast_cadence(SimDuration::from_secs(60))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Random kill/restart schedules — any mix of worker kills and restart
+    // delays, at any time — must leave the DONE-shard ledger exact: every
+    // shard reaches DONE, and the count matches N/(B*M) per epoch with no
+    // shard silently lost to a failover race.
+    #[test]
+    fn random_kill_schedules_keep_done_shards_exact(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut injections = Vec::new();
+        for _ in 0..rng.gen_range(1..=3) {
+            let w = rng.gen_range(0..6u32);
+            injections.push(ChaosInjection {
+                at_secs: rng.gen_range(10.0..60.0),
+                fault: InjectedFault::KillWorker { w },
+            });
+            if rng.gen_bool(0.5) {
+                injections.push(ChaosInjection {
+                    at_secs: rng.gen_range(10.0..60.0),
+                    fault: InjectedFault::RestartDelay { w, extra_secs: rng.gen_range(5.0..30.0) },
+                });
+            }
+        }
+        let r = Job::run(
+            synthetic_job()
+                .with_liveness_timeout(SimDuration::from_secs(3_600))
+                .with_injections(injections),
+        );
+        prop_assert!(!r.timed_out && !r.stalled);
+        let audit = r.audit.unwrap();
+        prop_assert!(audit.at_least_once);
+        prop_assert_eq!(audit.done_shards, audit.expected_done_shards);
+        prop_assert_eq!(audit.outstanding_shards, 0);
+    }
+
+    // With at-most-once mode on (M = 1, exact resume) and only non-lethal
+    // faults (degraded links, DDS outages, lossy reporting — no kills, hence
+    // no requeues), no sample may ever be double-counted.
+    #[test]
+    fn non_lethal_faults_never_double_count(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut injections = Vec::new();
+        for _ in 0..rng.gen_range(1..=3) {
+            let fault = match rng.gen_range(0u32..3) {
+                0 => InjectedFault::NetworkDegrade {
+                    w: rng.gen_range(0..6u32),
+                    factor: rng.gen_range(2.0..10.0),
+                    window_secs: rng.gen_range(10.0..60.0),
+                },
+                1 => InjectedFault::DdsOutage { window_secs: rng.gen_range(5.0..20.0) },
+                _ => InjectedFault::DropReports {
+                    prob: rng.gen_range(0.1..0.9),
+                    window_secs: rng.gen_range(10.0..60.0),
+                    seed,
+                },
+            };
+            injections.push(ChaosInjection { at_secs: rng.gen_range(10.0..60.0), fault });
+        }
+        let r = Job::run(
+            synthetic_job()
+                .with_batches_per_shard(1)
+                .with_liveness_timeout(SimDuration::from_secs(3_600))
+                .with_injections(injections),
+        );
+        prop_assert!(!r.timed_out && !r.stalled);
+        let audit = r.audit.unwrap();
+        prop_assert!(audit.at_least_once);
+        prop_assert!(audit.at_most_once, "non-lethal faults must not cause requeues");
+        prop_assert_eq!(audit.duplicate_samples_upper_bound, 0);
+        prop_assert_eq!(audit.done_shards, audit.expected_done_shards);
+    }
 }
 
 #[test]

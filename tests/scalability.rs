@@ -1,8 +1,8 @@
 //! Scalability and overhead integration tests (paper Q4): large worker counts,
 //! solver latency, and the framework's footprint staying sub-percent.
 
-use antdt::controller::{grad_accum_allocation, minmax_batch_allocation, Eq4Class, Eq4Config};
 use antdt::controller::solve::AffineCost;
+use antdt::controller::{grad_accum_allocation, minmax_batch_allocation, Eq4Class, Eq4Config};
 use antdt::core::{Job, JobConfig, MitigationChoice};
 use antdt::workloads::{cluster, ClusterSize, ModelProfile, Scenario};
 
@@ -29,7 +29,8 @@ fn eq4_solver_is_fast_with_many_classes() {
         })
         .collect();
     let t0 = std::time::Instant::now();
-    let sol = grad_accum_allocation(Eq4Config { global_batch: 8_192, c_min: 1, c_max: 4 }, &classes);
+    let sol =
+        grad_accum_allocation(Eq4Config { global_batch: 8_192, c_min: 1, c_max: 4 }, &classes);
     let dt = t0.elapsed();
     assert!(sol.is_some());
     assert!(dt.as_millis() < 2_000, "Eq.4 took {dt:?}");
