@@ -22,5 +22,5 @@ pub mod runtime;
 pub mod sync;
 
 pub use overhead::OverheadLedger;
-pub use runtime::{Agent, AgentConfig};
+pub use runtime::{Agent, AgentConfig, AgentCounters};
 pub use sync::{elect_primary, BroadcastModel};

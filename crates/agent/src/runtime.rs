@@ -6,8 +6,20 @@
 use antdt_controller::Action;
 use antdt_monitor::NodeId;
 use antdt_sim::SimTime;
+use antdt_telemetry::Counter;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Telemetry counters shared by every [`Agent`] of a job (broadcast/barrier
+/// visibility: deliveries fan out, applications happen at iteration
+/// boundaries).
+#[derive(Debug, Clone, Default)]
+pub struct AgentCounters {
+    /// Actions delivered into agent inboxes by the broadcast.
+    pub delivered: Counter,
+    /// Actions applied at an iteration boundary (`take_due`).
+    pub applied: Counter,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AgentConfig {
@@ -30,11 +42,17 @@ pub struct Agent {
     /// `(delivery time, action)` — delivered by the broadcast, applied when the
     /// training process crosses an iteration boundary at/after that time.
     inbox: VecDeque<(SimTime, Action)>,
+    counters: Option<AgentCounters>,
 }
 
 impl Agent {
     pub fn new(node: NodeId, cfg: AgentConfig) -> Self {
-        Agent { node, cfg, iters_since_report: 0, inbox: VecDeque::new() }
+        Agent { node, cfg, iters_since_report: 0, inbox: VecDeque::new(), counters: None }
+    }
+
+    /// Attach telemetry counters (shared across a job's agents).
+    pub fn attach_telemetry(&mut self, counters: AgentCounters) {
+        self.counters = Some(counters);
     }
 
     /// Called once per completed iteration; returns `true` when this iteration's
@@ -52,6 +70,9 @@ impl Agent {
     /// Deliver a broadcast action that becomes effective at `at`.
     pub fn deliver(&mut self, at: SimTime, action: Action) {
         self.inbox.push_back((at, action));
+        if let Some(c) = &self.counters {
+            c.delivered.inc();
+        }
     }
 
     /// At an iteration boundary at time `now`, drain every action whose
@@ -66,6 +87,9 @@ impl Agent {
             } else {
                 break;
             }
+        }
+        if let Some(c) = &self.counters {
+            c.applied.add(due.len() as u64);
         }
         due
     }
@@ -121,6 +145,22 @@ mod tests {
                 (t(2.0), Action::BackupWorkers { b: 2 })
             ]
         );
+    }
+
+    #[test]
+    fn counters_track_delivery_and_application() {
+        let c = AgentCounters::default();
+        let mut a = Agent::new(NodeId::worker(0), AgentConfig::default());
+        let mut b = Agent::new(NodeId::worker(1), AgentConfig::default());
+        a.attach_telemetry(c.clone());
+        b.attach_telemetry(c.clone());
+        a.deliver(t(1.0), Action::None);
+        b.deliver(t(1.0), Action::None);
+        b.deliver(t(9.0), Action::None);
+        assert_eq!(c.delivered.get(), 3);
+        a.take_due(t(2.0));
+        b.take_due(t(2.0));
+        assert_eq!(c.applied.get(), 2, "the t=9 delivery is not yet due");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! experiments <id>...         # fig1 fig2 fig3 fig7 fig8 fig9 fig10 fig11
 //!                             # fig12 fig13 fig14 fig15 fig16 fig17 fig18
-//!                             # fig19 tab3 integrity solver ablate
+//!                             # fig19 tab3 integrity solver ablate chaos
+//!                             # telemetry
 //! experiments all             # everything, in paper order
 //! experiments list            # show the registry
 //! experiments --out DIR <id>  # additionally write each report to DIR/<id>.txt

@@ -3,7 +3,8 @@
 //! One function per table/figure of the paper's evaluation (§VII). Each
 //! regenerates the corresponding artifact from scratch on the simulator and
 //! returns a printable report; the `experiments` binary dispatches on ids
-//! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `chaos`, `all`).
+//! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `chaos`,
+//! `telemetry`, `all`).
 //!
 //! Absolute numbers come from a simulated substrate, so they are not expected
 //! to match the paper's testbed; the *shapes* — who wins, by what factor,
@@ -38,6 +39,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("solver", "Optimization solver runtime at scale", exps::solver),
         ("ablate", "Ablations: M, lambda, windows, C_max, backup count", exps::ablate),
         ("chaos", "Chaos-drill matrix: fault plans x policies + invariant audit", exps::chaos),
+        (
+            "telemetry",
+            "Telemetry overhead: quickstart workload, instrumentation off vs on",
+            exps::telemetry,
+        ),
     ]
 }
 

@@ -6,6 +6,7 @@ use crate::invariants::{self, InvariantOutcome};
 use crate::plan::FaultPlan;
 use antdt_core::{Arch, Consistency, InjectionRecord, Job, JobConfig, MitigationChoice};
 use antdt_sim::SimDuration;
+use antdt_telemetry::FlightDump;
 use serde::Serialize;
 
 /// Everything one drill produced. Deliberately `PartialEq` (and built only
@@ -30,6 +31,10 @@ pub struct DrillReport {
     pub timed_out: bool,
     /// All invariants passed.
     pub passed: bool,
+    /// The drill run's flight-recorder dump — the last events before the end
+    /// of the run. Present only when the drill stalled or an invariant failed
+    /// (the cases where a post-mortem is wanted).
+    pub flight_dump: Option<FlightDump>,
 }
 
 impl DrillReport {
@@ -132,12 +137,15 @@ impl ChaosDriver {
         let clean_cfg = self.base.clone().with_mitigation(policy.clone());
         let clean = Job::run(clean_cfg);
 
+        // Drills run with telemetry on so a failure leaves a flight-recorder
+        // trail; telemetry never changes the simulated schedule.
         let drill_cfg = self
             .base
             .clone()
             .with_mitigation(policy.clone())
             .with_injections(plan.compile())
-            .with_liveness_timeout(self.liveness_timeout);
+            .with_liveness_timeout(self.liveness_timeout)
+            .with_telemetry();
         let drill = Job::run(drill_cfg);
 
         let synchronous =
@@ -154,12 +162,18 @@ impl ChaosDriver {
         let jct_drill_secs = drill.jct.as_secs_f64();
         let overhead_frac =
             if jct_clean_secs > 0.0 { jct_drill_secs / jct_clean_secs - 1.0 } else { 0.0 };
+        let passed = invariants.iter().all(|o| o.passed);
+        let flight_dump = if drill.stalled || !passed {
+            drill.telemetry.as_ref().map(|t| t.flight.clone())
+        } else {
+            None
+        };
         DrillReport {
             plan: plan.name.clone(),
             policy: format!("{policy:?}"),
             faults_injected: drill.injections.len(),
             injections: drill.injections.clone(),
-            passed: invariants.iter().all(|o| o.passed),
+            passed,
             invariants,
             jct_clean_secs,
             jct_drill_secs,
@@ -167,6 +181,7 @@ impl ChaosDriver {
             samples_done: drill.samples_done,
             stalled: drill.stalled,
             timed_out: drill.timed_out,
+            flight_dump,
         }
     }
 

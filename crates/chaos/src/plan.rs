@@ -1,6 +1,6 @@
 //! The fault-plan DSL: a serializable, timestamped list of faults that a
 //! chaos drill injects into a job. Plans are cluster-shape-agnostic until
-//! [`FaultPlan::compile`] lowers them onto a concrete [`JobConfig`]'s
+//! [`FaultPlan::compile`] lowers them onto a concrete [`antdt_core::JobConfig`]'s
 //! injection hooks; `JobConfig::validate` then checks every target against the
 //! actual cluster, so a plan written for the wrong topology fails loudly
 //! before the simulation starts.

@@ -13,8 +13,9 @@ use crate::policy::{worker_throughputs, MitigationPolicy, PolicyCtx};
 use crate::solve::minmax_batch_allocation;
 use antdt_monitor::{MonitorSnapshot, NodeId};
 use antdt_sim::{SimDuration, SimTime};
+use antdt_telemetry::{DecisionRecord, SolverTrace};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NdConfig {
@@ -64,11 +65,18 @@ pub struct AntDtNd {
     last_alloc: Option<Vec<u64>>,
     last_kill: HashMap<NodeId, SimTime>,
     kills_issued: u64,
+    audit: Vec<DecisionRecord>,
 }
 
 impl AntDtNd {
     pub fn new(cfg: NdConfig) -> Self {
-        AntDtNd { cfg, last_alloc: None, last_kill: HashMap::new(), kills_issued: 0 }
+        AntDtNd {
+            cfg,
+            last_alloc: None,
+            last_kill: HashMap::new(),
+            kills_issued: 0,
+            audit: Vec::new(),
+        }
     }
 
     pub fn kills_issued(&self) -> u64 {
@@ -114,7 +122,20 @@ impl MitigationPolicy for AntDtNd {
                     self.last_kill.insert(victim.node, now);
                     self.kills_issued += 1;
                     worker_victim = Some(victim.node.idx);
-                    actions.push(Action::KillRestart { node: victim.node });
+                    let action = Action::KillRestart { node: victim.node };
+                    self.audit.push(DecisionRecord {
+                        at_us: now.as_micros(),
+                        rule: "worker-persistent-kill".into(),
+                        node: victim.node.to_string(),
+                        window: BTreeMap::from([
+                            ("lambda".into(), lambda),
+                            ("mean_bpt_per".into(), mean),
+                            ("victim_bpt_per".into(), victim.bpt_per.unwrap_or(f64::NAN)),
+                        ]),
+                        solver: None,
+                        actions: vec![format!("{action:?}")],
+                    });
+                    actions.push(action);
                 }
             }
         }
@@ -144,7 +165,31 @@ impl MitigationPolicy for AntDtNd {
                 let alloc = minmax_batch_allocation(ctx.global_batch, &v, self.cfg.b_min);
                 if self.last_alloc.as_ref() != Some(&alloc) {
                     self.last_alloc = Some(alloc.clone());
-                    actions.push(Action::AdjustBs { batch_sizes: alloc, grad_accum: None });
+                    let mut window = BTreeMap::from([
+                        ("lambda".into(), lambda),
+                        ("transient_detected".into(), f64::from(u8::from(transient_detected))),
+                        ("alive_changed".into(), f64::from(u8::from(alive_changed))),
+                    ]);
+                    if let Some(mean) = snap.mean_worker_bpt_trans() {
+                        window.insert("mean_bpt_trans".into(), mean);
+                    }
+                    let action = Action::AdjustBs { batch_sizes: alloc.clone(), grad_accum: None };
+                    self.audit.push(DecisionRecord {
+                        at_us: now.as_micros(),
+                        rule: "transient-adjust-bs".into(),
+                        node: worker_victim
+                            .map(|w| NodeId::worker(w).to_string())
+                            .unwrap_or_default(),
+                        window,
+                        solver: Some(SolverTrace {
+                            global_batch: ctx.global_batch,
+                            throughputs: v,
+                            b_min: self.cfg.b_min,
+                            allocation: alloc,
+                        }),
+                        actions: vec![format!("{action:?}")],
+                    });
+                    actions.push(action);
                 }
             }
         }
@@ -164,7 +209,20 @@ impl MitigationPolicy for AntDtNd {
                 {
                     self.last_kill.insert(victim.node, now);
                     self.kills_issued += 1;
-                    actions.push(Action::KillRestart { node: victim.node });
+                    let action = Action::KillRestart { node: victim.node };
+                    self.audit.push(DecisionRecord {
+                        at_us: now.as_micros(),
+                        rule: "server-persistent-kill".into(),
+                        node: victim.node.to_string(),
+                        window: BTreeMap::from([
+                            ("lambda".into(), lambda),
+                            ("mean_bpt_per".into(), mean),
+                            ("victim_bpt_per".into(), victim.bpt_per.unwrap_or(f64::NAN)),
+                        ]),
+                        solver: None,
+                        actions: vec![format!("{action:?}")],
+                    });
+                    actions.push(action);
                 }
             }
         }
@@ -173,6 +231,10 @@ impl MitigationPolicy for AntDtNd {
             actions.push(Action::None); // step 5: explicit no-op
         }
         actions
+    }
+
+    fn drain_audit(&mut self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.audit)
     }
 }
 
@@ -328,6 +390,42 @@ mod tests {
         );
         let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
         assert_eq!(actions, vec![Action::None]);
+    }
+
+    #[test]
+    fn audit_records_each_fired_rule_and_drains() {
+        let mut p = AntDtNd::new(NdConfig::default());
+        let s = snap(
+            vec![
+                worker(0, 2.0, 2.0, 50.0, true),
+                worker(1, 2.0, 2.0, 50.0, true),
+                worker(2, 7.0, 7.0, 14.0, true),
+            ],
+            vec![server(0, 0.5), server(1, 0.5), server(2, 2.5)],
+            false,
+        );
+        let actions = p.decide(SimTime::from_secs_f64(600.0), &s, &ctx());
+        let audit = p.drain_audit();
+        assert_eq!(audit.len(), actions.len(), "one record per emitted action");
+        let rules: Vec<&str> = audit.iter().map(|r| r.rule.as_str()).collect();
+        assert_eq!(
+            rules,
+            vec!["worker-persistent-kill", "transient-adjust-bs", "server-persistent-kill"]
+        );
+        assert_eq!(audit[0].node, "w2");
+        assert_eq!(audit[0].window["lambda"], 1.5);
+        let solver = audit[1].solver.as_ref().expect("adjust-bs traces the solver");
+        assert_eq!(solver.global_batch, 300);
+        assert_eq!(solver.allocation.iter().sum::<u64>(), 300);
+        assert_eq!(solver.throughputs[2], 0.0, "victim zeroed before the solve");
+        assert_eq!(audit[2].node, "ps-2");
+        // Drained: a second call returns nothing.
+        assert!(p.drain_audit().is_empty());
+        // A quiet tick (cooldown + unchanged alloc) records nothing.
+        p.decide(SimTime::from_secs_f64(660.0), &s, &ctx());
+        let quiet: Vec<_> =
+            p.drain_audit().into_iter().filter(|r| r.rule != "transient-adjust-bs").collect();
+        assert!(quiet.is_empty(), "{quiet:?}");
     }
 
     #[test]

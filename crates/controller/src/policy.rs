@@ -6,6 +6,7 @@
 use crate::action::Action;
 use antdt_monitor::{MonitorSnapshot, NodeStats};
 use antdt_sim::SimTime;
+use antdt_telemetry::DecisionRecord;
 
 /// Static job facts a policy may need besides the live snapshot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,13 @@ pub trait MitigationPolicy: Send {
     /// Returns the actions to execute; `[Action::None]` means "no straggler
     /// detected this round" (§VI-A5).
     fn decide(&mut self, now: SimTime, snap: &MonitorSnapshot, ctx: &PolicyCtx) -> Vec<Action>;
+
+    /// Take the decision audit records buffered since the previous drain. The
+    /// runtime calls this after every `decide` and attaches the records to the
+    /// `JobReport`. Policies that don't audit return nothing (the default).
+    fn drain_audit(&mut self) -> Vec<DecisionRecord> {
+        Vec::new()
+    }
 }
 
 /// Shared helper: per-worker throughputs `vᵢ` with dead workers zeroed and

@@ -7,6 +7,7 @@
 
 use crate::config::{DataStrategy, ExecutionMode, InjectedFault, JobConfig};
 use crate::events::Ev;
+use crate::obs::RtTele;
 use crate::report::{ActionApplication, InjectionRecord, JobReport};
 use antdt_agent::{Agent, OverheadLedger};
 use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
@@ -16,6 +17,7 @@ use antdt_monitor::{ClusterInfo, MetricStore, NodeId};
 use antdt_sim::gantt::SpanKind;
 use antdt_sim::network::ring_allreduce_secs;
 use antdt_sim::{Engine, Gantt, RngPool, SimDuration, SimTime, TimeSeries};
+use antdt_telemetry::DecisionRecord;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -80,10 +82,17 @@ struct ArWorld {
     chaos_outages: u32,
     last_progress: SimTime,
     stalled: bool,
+
+    /// Telemetry bundle; present iff `JobConfig::telemetry`. Never affects the
+    /// simulated schedule.
+    tele: Option<RtTele>,
+    /// Controller decision audit drained from the policy after every tick.
+    decision_log: Vec<DecisionRecord>,
 }
 
 pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobReport {
     cfg.validate();
+    let rt = cfg.telemetry.then(|| RtTele::new("allreduce"));
     let pool = RngPool::new(cfg.seed);
     let n = cfg.n_workers();
 
@@ -98,6 +107,9 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         )),
         DataStrategy::EvenPartition => None,
     };
+    if let (Some(rt), Some(dds)) = (&rt, &dds) {
+        dds.attach_telemetry(rt.dds.clone());
+    }
     let model = match &cfg.execution {
         ExecutionMode::Simulated => None,
         ExecutionMode::Real { dataset, latent_k, lr, .. } => {
@@ -106,8 +118,11 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
     };
 
     let mut store = MetricStore::new(cfg.monitor);
+    if let Some(rt) = &rt {
+        store.attach_telemetry(rt.monitor.clone());
+    }
     let total_fixed = cfg.total_samples * cfg.epochs as u64;
-    let ranks: Vec<Rank> = (0..n)
+    let mut ranks: Vec<Rank> = (0..n)
         .map(|i| {
             store.register(NodeId::worker(i as u32));
             Rank {
@@ -126,9 +141,15 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
             }
         })
         .collect();
+    if let Some(rt) = &rt {
+        for r in &mut ranks {
+            r.agent.attach_telemetry(rt.agents.clone());
+        }
+    }
 
     let ctx = PolicyCtx { global_batch: cfg.global_batch, n_workers: n, n_servers: 0 };
-    let gantt = cfg.record_gantt.then(Gantt::new);
+    // Telemetry implies Gantt recording (the spans feed the Chrome trace).
+    let gantt = (cfg.record_gantt || cfg.telemetry).then(Gantt::new);
     let mut world = ArWorld {
         pool,
         ranks,
@@ -156,10 +177,15 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         chaos_outages: 0,
         last_progress: SimTime::ZERO,
         stalled: false,
+        tele: rt,
+        decision_log: Vec::new(),
         cfg,
     };
 
     let mut eng: Engine<Ev> = Engine::new();
+    if let Some(rt) = &world.tele {
+        eng.attach_telemetry(rt.events_scheduled.clone(), rt.events_processed.clone());
+    }
     eng.schedule(SimTime::ZERO, Ev::RoundEnd { round: 0 }); // bootstraps round 0
     eng.schedule(SimTime::ZERO + world.cfg.monitor_tick, Ev::MonitorTick);
     for (k, inj) in world.cfg.injections.iter().enumerate() {
@@ -181,6 +207,9 @@ impl ArWorld {
     fn handle(&mut self, eng: &mut Engine<Ev>, ev: Ev) {
         if self.finished {
             return;
+        }
+        if let Some(rt) = &self.tele {
+            rt.tele.flight.record(eng.now().as_micros(), "event", format!("{ev:?}"));
         }
         match ev {
             Ev::RoundEnd { round } if round == self.round => {
@@ -207,6 +236,15 @@ impl ArWorld {
             restarted_at: None,
             recovered_at: None,
         });
+        if let Some(rt) = &self.tele {
+            rt.tele.tracer.instant(
+                "chaos-fault",
+                "chaos",
+                now.as_micros(),
+                0,
+                &[("fault", &inj.fault.describe())],
+            );
+        }
         match inj.fault {
             InjectedFault::KillWorker { w } => self.kill_rank(now, w, true),
             InjectedFault::KillWorkerNoFailover { w } => self.kill_rank(now, w, false),
@@ -243,6 +281,10 @@ impl ArWorld {
         self.ranks[wi].alive = false;
         self.ranks[wi].leases.clear();
         self.kills.push((now, NodeId::worker(w)));
+        if let Some(rt) = &self.tele {
+            rt.kills.inc();
+            rt.tele.tracer.instant("rank-kill", "lifecycle", now.as_micros(), w, &[]);
+        }
         if failover {
             if let Some(dds) = &self.dds {
                 dds.fail_worker(w);
@@ -287,6 +329,14 @@ impl ArWorld {
         let timeout = self.cfg.liveness_timeout.expect("liveness event without timeout");
         if eng.now().since(self.last_progress) >= timeout {
             self.stalled = true;
+            if let Some(rt) = &self.tele {
+                rt.tele.tracer.instant("stalled", "chaos", eng.now().as_micros(), 0, &[]);
+                rt.tele.flight.record(
+                    eng.now().as_micros(),
+                    "liveness",
+                    format!("stalled: no progress since {}us", self.last_progress.as_micros()),
+                );
+            }
             eng.clear();
         } else {
             eng.schedule(self.last_progress + timeout, Ev::LivenessCheck);
@@ -512,6 +562,9 @@ impl ArWorld {
             );
             self.jct_mark = now;
             self.round += 1;
+            if let Some(rt) = &self.tele {
+                rt.iterations.inc();
+            }
         }
         self.start_round(eng);
     }
@@ -546,11 +599,22 @@ impl ArWorld {
         });
         let snap = self.store.snapshot(now);
         let actions = self.policy.decide(now, &snap, &self.ctx);
+        self.decision_log.extend(self.policy.drain_audit());
         for action in actions {
             if matches!(action, Action::None | Action::KillRestart { .. }) {
                 continue; // kill-restart is a PS-side action in this build
             }
             self.actions.push((now, action.clone()));
+            if let Some(rt) = &self.tele {
+                rt.actions_dispatched.inc();
+                rt.tele.tracer.instant(
+                    "controller-action",
+                    "controller",
+                    now.as_micros(),
+                    0,
+                    &[("action", &format!("{action:?}"))],
+                );
+            }
             let delay = self.cfg.broadcast.full_broadcast_delay(action.payload_bytes());
             self.overhead.add_sync(delay);
             let at = now + delay;
@@ -561,7 +625,20 @@ impl ArWorld {
         eng.schedule(now + self.cfg.monitor_tick, Ev::MonitorTick);
     }
 
-    fn into_report(self, events_processed: u64) -> JobReport {
+    fn into_report(mut self, events_processed: u64) -> JobReport {
+        let telemetry = self.tele.take().map(|rt| {
+            if let Some(g) = &self.gantt {
+                rt.tele.tracer.extend(g.to_trace_events());
+            }
+            let reason = if self.stalled {
+                "stalled"
+            } else if self.timed_out {
+                "timed-out"
+            } else {
+                "completed"
+            };
+            rt.tele.report(reason)
+        });
         let auc = match (&self.model, &self.cfg.execution) {
             (Some((model, _)), ExecutionMode::Real { holdout, .. }) if !holdout.is_empty() => {
                 let scores = model.scores(holdout);
@@ -592,6 +669,8 @@ impl ArWorld {
             auc,
             gantt: self.gantt,
             events_processed,
+            decision_log: self.decision_log,
+            telemetry,
         }
     }
 }

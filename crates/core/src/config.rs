@@ -221,6 +221,12 @@ pub struct JobConfig {
     pub max_sim_time: SimTime,
     /// Record a Gantt chart (costly on long runs).
     pub record_gantt: bool,
+    /// Collect full telemetry (metrics registry, span trace, flight recorder)
+    /// and attach a `TelemetryReport` to the `JobReport`. Implies Gantt
+    /// recording, whose spans feed the Chrome trace export. Telemetry never
+    /// participates in event scheduling or RNG draws, so enabling it cannot
+    /// change a run's simulated results.
+    pub telemetry: bool,
 }
 
 impl JobConfig {
@@ -253,6 +259,7 @@ impl JobConfig {
             seed: 1,
             max_sim_time: SimTime::from_secs_f64(30.0 * 24.0 * 3600.0),
             record_gantt: false,
+            telemetry: false,
         }
     }
 
@@ -338,6 +345,10 @@ impl JobConfig {
     }
     pub fn with_gantt(mut self) -> Self {
         self.record_gantt = true;
+        self
+    }
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
     pub fn with_checkpoint_interval(mut self, d: SimDuration) -> Self {

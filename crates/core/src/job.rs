@@ -412,6 +412,65 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_does_not_change_simulated_results() {
+        let base = || {
+            small(Scenario::WorkerMix { intensity: 0.8 }).with_mitigation(MitigationChoice::AntDtNd)
+        };
+        let plain = Job::run(base());
+        let instrumented = Job::run(base().with_telemetry());
+        assert_eq!(plain.jct, instrumented.jct);
+        assert_eq!(plain.iterations, instrumented.iterations);
+        assert_eq!(plain.samples_done, instrumented.samples_done);
+        assert_eq!(plain.kills, instrumented.kills);
+        assert!(plain.telemetry.is_none());
+        assert!(instrumented.telemetry.is_some());
+    }
+
+    #[test]
+    fn telemetry_exports_are_byte_identical_across_same_seed_runs() {
+        let base = || {
+            small(Scenario::WorkerMix { intensity: 0.8 })
+                .with_mitigation(MitigationChoice::AntDtNd)
+                .with_telemetry()
+        };
+        let a = Job::run(base());
+        let b = Job::run(base());
+        let (ta, tb) = (a.telemetry.expect("telemetry on"), b.telemetry.expect("telemetry on"));
+        // Pre-rendered strings: equality here is byte-for-byte identity of the
+        // Prometheus text, metrics JSON, Chrome trace JSON and flight dump.
+        assert_eq!(ta, tb);
+        assert!(ta.prometheus.contains("antdt_worker_iterations_total"));
+        assert!(ta.prometheus.contains("antdt_monitor_bpt_reports_total"));
+        assert_eq!(a.decision_log, b.decision_log);
+        assert!(!a.decision_log.is_empty(), "AntDT-ND must audit its decisions");
+    }
+
+    #[test]
+    fn stalled_run_dumps_flight_recorder_and_exports_valid_chrome_trace() {
+        use crate::config::{ChaosInjection, InjectedFault};
+        let r = Job::run(
+            small(Scenario::None)
+                .with_injections(vec![ChaosInjection {
+                    at_secs: 20.0,
+                    fault: InjectedFault::KillWorkerNoFailover { w: 2 },
+                }])
+                .with_liveness_timeout(SimDuration::from_secs(120))
+                .with_telemetry(),
+        );
+        assert!(r.stalled);
+        let t = r.telemetry.expect("telemetry on");
+        assert_eq!(t.flight.reason, "stalled");
+        assert!(!t.flight.events.is_empty(), "flight recorder must hold the last events");
+        assert!(t.flight.events.iter().any(|e| e.category == "liveness"));
+        // The Chrome trace round-trips through the schema (Perfetto-loadable).
+        let parsed = antdt_telemetry::ChromeTrace::from_json(&t.chrome_trace)
+            .expect("valid Chrome trace JSON");
+        assert!(!parsed.trace_events.is_empty());
+        assert!(parsed.trace_events.iter().any(|e| e.name == "stalled"));
+        assert!(parsed.trace_events.iter().any(|e| e.cat == "gantt"));
+    }
+
+    #[test]
     fn antdt_dd_beats_ddp_and_lb_bsp_on_heterogeneous_gpus() {
         use antdt_controller::DeviceClassSpec;
         use antdt_workloads::cluster::cluster_b;

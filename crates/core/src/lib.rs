@@ -24,6 +24,7 @@ pub mod events;
 pub mod failover;
 pub mod fleet;
 pub mod job;
+pub(crate) mod obs;
 pub mod ps;
 pub mod report;
 

@@ -1,0 +1,71 @@
+//! Runtime-side telemetry wiring shared by the PS and AllReduce runtimes: one
+//! [`Telemetry`] bundle per job plus the pre-registered handles the hot paths
+//! update without touching the registry again.
+
+use antdt_agent::AgentCounters;
+use antdt_dds::DdsCounters;
+use antdt_monitor::MonitorCounters;
+use antdt_telemetry::{Counter, Histogram, Telemetry};
+use std::sync::Arc;
+
+/// Histogram bucket bounds for restart delays, in microseconds: 15 s / 1 min /
+/// 5 min / 15 min / 30 min (+Inf implied). Chosen around the scheduler model's
+/// idle (~1 min) and busy (~20 min) regimes.
+const RESTART_DELAY_BOUNDS_US: [u64; 5] =
+    [15_000_000, 60_000_000, 300_000_000, 900_000_000, 1_800_000_000];
+
+/// The per-job telemetry bundle with every pre-registered handle the runtimes
+/// update. Built once in `run()` when `JobConfig::telemetry` is set; absent
+/// otherwise so the telemetry-off hot path pays nothing.
+#[derive(Debug, Clone)]
+pub(crate) struct RtTele {
+    pub tele: Arc<Telemetry>,
+    /// Engine-level counters (attached via `Engine::attach_telemetry`).
+    pub events_scheduled: Counter,
+    pub events_processed: Counter,
+    /// Worker iterations completed.
+    pub iterations: Counter,
+    /// Controller actions dispatched by monitor ticks.
+    pub actions_dispatched: Counter,
+    /// Node kills and restarts.
+    pub kills: Counter,
+    pub restarts: Counter,
+    /// Scheduler restart-delay samples.
+    pub restart_delay_us: Histogram,
+    /// Component counters handed to the DDS / Monitor / Agents.
+    pub dds: DdsCounters,
+    pub monitor: MonitorCounters,
+    pub agents: AgentCounters,
+}
+
+impl RtTele {
+    pub fn new(runtime: &'static str) -> Self {
+        let tele = Telemetry::new();
+        let m = &tele.metrics;
+        let rt: &[(&str, &str)] = &[("runtime", runtime)];
+        RtTele {
+            events_scheduled: m.counter("antdt_engine_events_scheduled_total", rt),
+            events_processed: m.counter("antdt_engine_events_processed_total", rt),
+            iterations: m.counter("antdt_worker_iterations_total", rt),
+            actions_dispatched: m.counter("antdt_controller_actions_dispatched_total", rt),
+            kills: m.counter("antdt_node_kills_total", rt),
+            restarts: m.counter("antdt_node_restarts_total", rt),
+            restart_delay_us: m.histogram("antdt_restart_delay_us", rt, &RESTART_DELAY_BOUNDS_US),
+            dds: DdsCounters {
+                fetch_served: m.counter("antdt_dds_fetch_served_total", rt),
+                fetch_empty: m.counter("antdt_dds_fetch_empty_total", rt),
+                done: m.counter("antdt_dds_shards_done_total", rt),
+                requeued: m.counter("antdt_dds_shards_requeued_total", rt),
+            },
+            monitor: MonitorCounters {
+                bpt_reports: m.counter("antdt_monitor_bpt_reports_total", rt),
+                node_events: m.counter("antdt_monitor_node_events_total", rt),
+            },
+            agents: AgentCounters {
+                delivered: m.counter("antdt_agent_actions_delivered_total", rt),
+                applied: m.counter("antdt_agent_actions_applied_total", rt),
+            },
+            tele,
+        }
+    }
+}

@@ -29,6 +29,7 @@ use crate::config::{
     Consistency, DataStrategy, ExecutionMode, FailoverMode, InjectedFault, JobConfig,
 };
 use crate::events::Ev;
+use crate::obs::RtTele;
 use crate::report::{ActionApplication, InjectionRecord, JobReport};
 use antdt_agent::{Agent, OverheadLedger};
 use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
@@ -38,6 +39,7 @@ use antdt_monitor::{ClusterInfo, ErrorClass, MetricStore, NodeEvent, NodeId, Ret
 use antdt_sim::dist::Dist;
 use antdt_sim::gantt::SpanKind;
 use antdt_sim::{Engine, Gantt, Link, NodeProfile, RngPool, SimDuration, SimTime, TimeSeries};
+use antdt_telemetry::DecisionRecord;
 use antdt_workloads::DeviceClass;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,12 +194,20 @@ pub(crate) struct PsWorld {
     /// Last instant training progress was observed (liveness watchdog).
     last_progress: SimTime,
     stalled: bool,
+
+    /// Telemetry bundle; present iff `JobConfig::telemetry`. Counting and
+    /// tracing never touch the event order or any RNG stream, so a run's
+    /// simulated results are identical with telemetry on or off.
+    tele: Option<RtTele>,
+    /// Controller decision audit drained from the policy after every tick.
+    decision_log: Vec<DecisionRecord>,
 }
 
 const THROUGHPUT_BUCKET: SimDuration = SimDuration(60_000_000);
 
 pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobReport {
     cfg.validate();
+    let rt = cfg.telemetry.then(|| RtTele::new("ps"));
     let pool = RngPool::new(cfg.seed);
     let n = cfg.n_workers();
     let m = cfg.n_servers();
@@ -214,6 +224,9 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         )),
         DataStrategy::EvenPartition => None,
     };
+    if let (Some(rt), Some(dds)) = (&rt, &dds) {
+        dds.attach_telemetry(rt.dds.clone());
+    }
 
     let math = match &cfg.execution {
         ExecutionMode::Simulated => None,
@@ -238,7 +251,10 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
     };
 
     let mut store = MetricStore::new(cfg.monitor);
-    let workers: Vec<WorkerState> = (0..n)
+    if let Some(rt) = &rt {
+        store.attach_telemetry(rt.monitor.clone());
+    }
+    let mut workers: Vec<WorkerState> = (0..n)
         .map(|i| {
             store.register(NodeId::worker(i as u32));
             let spec = &cfg.cluster.workers[i];
@@ -271,6 +287,11 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
             }
         })
         .collect();
+    if let Some(rt) = &rt {
+        for w in &mut workers {
+            w.agent.attach_telemetry(rt.agents.clone());
+        }
+    }
     let servers: Vec<ServerState> = (0..m)
         .map(|j| {
             store.register(NodeId::server(j as u32));
@@ -287,7 +308,9 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         .collect();
 
     let ctx = PolicyCtx { global_batch: cfg.global_batch, n_workers: n, n_servers: m };
-    let gantt = cfg.record_gantt.then(Gantt::new);
+    // Telemetry implies Gantt recording: the recorded spans become the bulk of
+    // the exported Chrome trace.
+    let gantt = (cfg.record_gantt || cfg.telemetry).then(Gantt::new);
     let mut world = PsWorld {
         sched_rng: pool.stream(7),
         pool,
@@ -333,10 +356,15 @@ pub(crate) fn run(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobRepor
         chaos_outages: 0,
         last_progress: SimTime::ZERO,
         stalled: false,
+        tele: rt,
+        decision_log: Vec::new(),
         cfg,
     };
 
     let mut eng: Engine<Ev> = Engine::new();
+    if let Some(rt) = &world.tele {
+        eng.attach_telemetry(rt.events_scheduled.clone(), rt.events_processed.clone());
+    }
     for w in 0..n as u32 {
         eng.schedule(SimTime::ZERO, Ev::WorkerStart { w, gen: 0 });
     }
@@ -385,6 +413,9 @@ impl PsWorld {
         if self.finished {
             return;
         }
+        if let Some(rt) = &self.tele {
+            rt.tele.flight.record(eng.now().as_micros(), "event", format!("{ev:?}"));
+        }
         match ev {
             Ev::WorkerStart { w, gen } => self.worker_start(eng, w, gen),
             Ev::WorkerComputeDone { w, gen, iter } => self.compute_done(eng, w, gen, iter),
@@ -425,6 +456,15 @@ impl PsWorld {
             recovered_at: None,
         });
         let rec_idx = self.injections_log.len() - 1;
+        if let Some(rt) = &self.tele {
+            rt.tele.tracer.instant(
+                "chaos-fault",
+                "chaos",
+                now.as_micros(),
+                0,
+                &[("fault", &inj.fault.describe())],
+            );
+        }
         match inj.fault {
             InjectedFault::KillWorker { w } => {
                 if self.workers[w as usize].alive {
@@ -537,6 +577,14 @@ impl PsWorld {
         let now = eng.now();
         if now.since(self.last_progress) >= timeout {
             self.stalled = true;
+            if let Some(rt) = &self.tele {
+                rt.tele.tracer.instant("stalled", "chaos", now.as_micros(), 0, &[]);
+                rt.tele.flight.record(
+                    now.as_micros(),
+                    "liveness",
+                    format!("stalled: no progress since {}us", self.last_progress.as_micros()),
+                );
+            }
             eng.clear();
         } else {
             eng.schedule(self.last_progress + timeout, Ev::LivenessCheck);
@@ -967,6 +1015,9 @@ impl PsWorld {
         self.overhead.add_dds(SimDuration::from_secs_f64(DDS_SYNC_SECS));
         self.account_samples(ready_max, iteration_samples);
         self.iterations += 1;
+        if let Some(rt) = &self.tele {
+            rt.iterations.inc();
+        }
         self.jct_mark = self.jct_mark.max(ready_max);
         self.bsp.iter += 1;
         // Freeze the next iteration's participant set: everyone currently able
@@ -1060,6 +1111,9 @@ impl PsWorld {
             .add_dds(SimDuration::from_secs_f64(DDS_SYNC_SECS / self.workers.len().max(1) as f64));
         self.account_samples(ready, inf.took);
         self.iterations += 1;
+        if let Some(rt) = &self.tele {
+            rt.iterations.inc();
+        }
         self.jct_mark = self.jct_mark.max(ready);
         let next = ready + SimDuration::from_secs_f64(pull);
         self.workers[wi].next_allowed = next;
@@ -1087,6 +1141,16 @@ impl PsWorld {
         self.workers[wi].gen += 1;
         self.workers[wi].killed_at = Some(now);
         self.kills.push((now, NodeId::worker(w)));
+        if let Some(rt) = &self.tele {
+            rt.kills.inc();
+            rt.tele.tracer.instant(
+                "worker-kill",
+                "lifecycle",
+                now.as_micros(),
+                w,
+                &[("class", &format!("{class:?}"))],
+            );
+        }
         self.store.report_event(NodeEvent::Killed { node: NodeId::worker(w), at: now, class });
         // Roll back in-flight samples, requeue DOING shards.
         if let Some(inf) = self.workers[wi].inflight.take() {
@@ -1115,9 +1179,14 @@ impl PsWorld {
         // recomputes all progress since it — stalling the whole job (§V-E3).
         // Chaos no-failover kills skip the replacement entirely.
         if !self.chaos_no_failover.contains(&w) {
-            let mut delay =
-                self.cfg.cluster.scheduler.sample_restart_delay(now, &mut self.sched_rng)
-                    + SimDuration::from_secs_f64(self.cfg.world_rebuild_secs);
+            let mut delay = match &self.tele {
+                Some(rt) => self.cfg.cluster.scheduler.sample_restart_delay_observed(
+                    now,
+                    &mut self.sched_rng,
+                    &rt.restart_delay_us,
+                ),
+                None => self.cfg.cluster.scheduler.sample_restart_delay(now, &mut self.sched_rng),
+            } + SimDuration::from_secs_f64(self.cfg.world_rebuild_secs);
             let extra = std::mem::take(&mut self.chaos_restart_extra[wi]);
             if extra > 0.0 {
                 delay += SimDuration::from_secs_f64(extra);
@@ -1157,6 +1226,10 @@ impl PsWorld {
         self.workers[wi].agent.reset();
         self.workers[wi].next_allowed = now;
         self.restarts.push((now, NodeId::worker(w)));
+        if let Some(rt) = &self.tele {
+            rt.restarts.inc();
+            rt.tele.tracer.instant("worker-restart", "lifecycle", now.as_micros(), w, &[]);
+        }
         self.last_progress = self.last_progress.max(now);
         if let Some(&idx) = self.chaos_awaiting_recovery.get(&w) {
             if self.injections_log[idx].restarted_at.is_none() {
@@ -1176,6 +1249,11 @@ impl PsWorld {
         self.servers[sj].alive = false;
         self.servers[sj].gen += 1;
         self.kills.push((now, NodeId::server(s)));
+        if let Some(rt) = &self.tele {
+            rt.kills.inc();
+            // Server lanes sit above the worker lanes in the trace viewer.
+            rt.tele.tracer.instant("server-kill", "lifecycle", now.as_micros(), 1000 + s, &[]);
+        }
         self.store.report_event(NodeEvent::Killed {
             node: NodeId::server(s),
             at: now,
@@ -1188,10 +1266,16 @@ impl PsWorld {
                 .since(self.last_ckpt)
                 .as_secs_f64()
                 .min(self.cfg.checkpoint_interval.as_secs_f64());
-        let delay = self.cfg.cluster.scheduler.sample_restart_delay(now, &mut self.sched_rng)
-            + SimDuration::from_secs_f64(
-                self.cfg.world_rebuild_secs + self.cfg.ckpt_restore_secs + rollback,
-            );
+        let delay = match &self.tele {
+            Some(rt) => self.cfg.cluster.scheduler.sample_restart_delay_observed(
+                now,
+                &mut self.sched_rng,
+                &rt.restart_delay_us,
+            ),
+            None => self.cfg.cluster.scheduler.sample_restart_delay(now, &mut self.sched_rng),
+        } + SimDuration::from_secs_f64(
+            self.cfg.world_rebuild_secs + self.cfg.ckpt_restore_secs + rollback,
+        );
         eng.schedule(now + delay, Ev::ServerRestart { s, gen: self.servers[sj].gen });
     }
 
@@ -1209,6 +1293,10 @@ impl PsWorld {
         self.servers[sj].link.congestion.clear();
         self.servers[sj].free_at = now;
         self.restarts.push((now, NodeId::server(s)));
+        if let Some(rt) = &self.tele {
+            rt.restarts.inc();
+            rt.tele.tracer.instant("server-restart", "lifecycle", now.as_micros(), 1000 + s, &[]);
+        }
         self.last_progress = self.last_progress.max(now);
         self.store.report_event(NodeEvent::Restarted { node: NodeId::server(s), at: now });
 
@@ -1269,6 +1357,9 @@ impl PsWorld {
         }
         let now = eng.now();
         self.last_ckpt = now;
+        if let Some(rt) = &self.tele {
+            rt.tele.tracer.instant("checkpoint", "lifecycle", now.as_micros(), 0, &[]);
+        }
         // Saving blocks the servers briefly.
         for srv in &mut self.servers {
             if srv.alive {
@@ -1293,9 +1384,20 @@ impl PsWorld {
         });
         let snap = self.store.snapshot(now);
         let actions = self.policy.decide(now, &snap, &self.ctx);
+        self.decision_log.extend(self.policy.drain_audit());
         for action in actions {
             if !matches!(action, Action::None) {
                 self.actions.push((now, action.clone()));
+                if let Some(rt) = &self.tele {
+                    rt.actions_dispatched.inc();
+                    rt.tele.tracer.instant(
+                        "controller-action",
+                        "controller",
+                        now.as_micros(),
+                        0,
+                        &[("action", &format!("{action:?}"))],
+                    );
+                }
             }
             self.dispatch(eng, action, now);
         }
@@ -1401,7 +1503,23 @@ impl PsWorld {
         }
     }
 
-    fn into_report(self, events_processed: u64) -> JobReport {
+    fn into_report(mut self, events_processed: u64) -> JobReport {
+        let telemetry = self.tele.take().map(|rt| {
+            // Merge the Gantt spans into the trace before rendering: they are
+            // the bulk of the Perfetto timeline (compute/comm/idle/failover
+            // lanes per node).
+            if let Some(g) = &self.gantt {
+                rt.tele.tracer.extend(g.to_trace_events());
+            }
+            let reason = if self.stalled {
+                "stalled"
+            } else if self.timed_out {
+                "timed-out"
+            } else {
+                "completed"
+            };
+            rt.tele.report(reason)
+        });
         let auc = match (&self.math, &self.cfg.execution) {
             (Some(math), ExecutionMode::Real { holdout, .. }) if !holdout.is_empty() => {
                 let scores = math.model.scores(holdout);
@@ -1432,6 +1550,8 @@ impl PsWorld {
             auc,
             gantt: self.gantt,
             events_processed,
+            decision_log: self.decision_log,
+            telemetry,
         }
     }
 }

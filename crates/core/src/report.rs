@@ -5,6 +5,7 @@ use antdt_controller::Action;
 use antdt_dds::{ConsumptionStats, IntegrityAudit};
 use antdt_monitor::NodeId;
 use antdt_sim::{Gantt, SimDuration, SimTime, TimeSeries};
+use antdt_telemetry::{DecisionRecord, TelemetryReport};
 use serde::Serialize;
 
 /// One injected chaos fault as it actually played out at runtime.
@@ -83,6 +84,13 @@ pub struct JobReport {
     pub auc: Option<f64>,
     pub gantt: Option<Gantt>,
     pub events_processed: u64,
+    /// Controller decision audit: per emitted action, the window stats, solver
+    /// inputs/outputs and the rule that fired. Populated by auditing policies
+    /// (AntDT-ND); empty for baselines that don't audit.
+    pub decision_log: Vec<DecisionRecord>,
+    /// Rendered telemetry artifacts; present when `JobConfig::telemetry` was
+    /// set.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl JobReport {

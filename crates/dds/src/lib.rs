@@ -28,7 +28,7 @@ pub mod shard;
 pub mod shuffle;
 pub mod stats;
 
-pub use service::{DdsConfig, DdsError, DdsService, ShardLease};
+pub use service::{DdsConfig, DdsCounters, DdsError, DdsService, ShardLease};
 pub use shard::{Shard, ShardId, ShardState, WorkerId};
 pub use shuffle::ShardShuffler;
 pub use stats::{ConsumptionStats, IntegrityAudit, WorkerConsumption};

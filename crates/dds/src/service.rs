@@ -10,9 +10,25 @@
 use crate::shard::{plan_shards, Shard, ShardId, ShardState, WorkerId};
 use crate::shuffle::ShardShuffler;
 use crate::stats::{ConsumptionStats, IntegrityAudit};
+use antdt_telemetry::Counter;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Telemetry counters a runtime can attach to a [`DdsService`]. The service's
+/// API is deliberately clock-free, so it counts state transitions itself and
+/// leaves timestamped tracing to its callers.
+#[derive(Debug, Clone, Default)]
+pub struct DdsCounters {
+    /// `fetch` calls that handed out a lease.
+    pub fetch_served: Counter,
+    /// `fetch` calls that served nothing (drained, all-DOING, or outage).
+    pub fetch_empty: Counter,
+    /// Shards reported `DONE`.
+    pub done: Counter,
+    /// Shards requeued `DOING → TODO` (explicit failure or worker death).
+    pub requeued: Counter,
+}
 
 /// Static configuration of the sharding service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -119,6 +135,7 @@ struct Inner {
     paused: bool,
     /// Fetches rejected because of an outage (drill diagnostics).
     paused_fetch_rejections: u64,
+    counters: Option<DdsCounters>,
 }
 
 impl Inner {
@@ -175,6 +192,7 @@ impl DdsService {
             stats: ConsumptionStats::default(),
             paused: false,
             paused_fetch_rejections: 0,
+            counters: None,
         };
         inner.refill();
         DdsService { inner: Mutex::new(inner) }
@@ -182,6 +200,11 @@ impl DdsService {
 
     pub fn config(&self) -> DdsConfig {
         self.inner.lock().cfg
+    }
+
+    /// Attach telemetry counters; subsequent operations update them.
+    pub fn attach_telemetry(&self, counters: DdsCounters) {
+        self.inner.lock().counters = Some(counters);
     }
 
     /// Fetch the next `TODO` shard for `worker`, marking it `DOING`.
@@ -195,10 +218,21 @@ impl DdsService {
         let mut g = self.inner.lock();
         if g.paused {
             g.paused_fetch_rejections += 1;
+            if let Some(c) = &g.counters {
+                c.fetch_empty.inc();
+            }
             return None;
         }
         g.refill();
-        let slot = g.queue.pop_front()?;
+        let Some(slot) = g.queue.pop_front() else {
+            if let Some(c) = &g.counters {
+                c.fetch_empty.inc();
+            }
+            return None;
+        };
+        if let Some(c) = &g.counters {
+            c.fetch_served.inc();
+        }
         debug_assert_eq!(g.state[slot as usize], ShardState::Todo);
         g.state[slot as usize] = ShardState::Doing;
         g.owner[slot as usize] = Some(worker);
@@ -225,6 +259,9 @@ impl DdsService {
         g.state[slot] = ShardState::Done;
         g.owner[slot] = None;
         g.done_total += 1;
+        if let Some(c) = &g.counters {
+            c.done.inc();
+        }
         let len = lease.shard.len;
         let w = g.stats.worker(worker);
         w.shards_done += 1;
@@ -245,6 +282,9 @@ impl DdsService {
         g.queue.push_back(slot as u64);
         g.stats.requeued_shards += 1;
         g.stats.requeued_samples += lease.shard.len;
+        if let Some(c) = &g.counters {
+            c.requeued.inc();
+        }
         Ok(())
     }
 
@@ -265,6 +305,9 @@ impl DdsService {
             g.stats.requeued_shards += 1;
             g.stats.requeued_samples += shard.len;
             out.push(shard);
+        }
+        if let Some(c) = &g.counters {
+            c.requeued.add(out.len() as u64);
         }
         out
     }
@@ -497,6 +540,28 @@ mod tests {
         assert_eq!(c.per_worker[&0].samples_done, 700);
         assert_eq!(c.per_worker[&1].shards_done, 3);
         assert_eq!(c.total_samples_done(), 1000);
+    }
+
+    #[test]
+    fn attached_counters_track_transitions() {
+        let s = svc(300, 10, 10, 1); // 3 shards
+        let c = DdsCounters::default();
+        s.attach_telemetry(c.clone());
+        let l = s.fetch(0).unwrap();
+        s.report_failed(0, l).unwrap();
+        let l = s.fetch(0).unwrap();
+        s.report_done(0, l).unwrap();
+        let held = s.fetch(1).unwrap();
+        s.fail_worker(1);
+        let _ = held;
+        while let Some(l) = s.fetch(2) {
+            s.report_done(2, l).unwrap();
+        }
+        assert!(s.is_complete());
+        assert_eq!(c.done.get(), 3);
+        assert_eq!(c.requeued.get(), 2);
+        assert_eq!(c.fetch_served.get(), 3 + 2); // 3 DONE serves + 2 requeue-causing serves
+        assert_eq!(c.fetch_empty.get(), 1); // the drained final fetch
     }
 
     #[test]

@@ -112,6 +112,54 @@ mod tests {
     }
 
     #[test]
+    fn classification_is_case_insensitive() {
+        assert_eq!(
+            ErrorClass::classify("NETWORK unreachable"),
+            ErrorClass::Retryable(RetryableError::NetworkError)
+        );
+        assert_eq!(
+            ErrorClass::classify("Pod EVICTED"),
+            ErrorClass::Retryable(RetryableError::JobEviction)
+        );
+        assert_eq!(
+            ErrorClass::classify("InvalidImageName"),
+            ErrorClass::Unretryable(UnretryableError::ConfigError)
+        );
+        assert_eq!(
+            ErrorClass::classify("PANIC in worker"),
+            ErrorClass::Unretryable(UnretryableError::ProgramError)
+        );
+    }
+
+    #[test]
+    fn config_substring_outranks_conn() {
+        // "config"/"invalid" are checked before "conn": a connection error whose
+        // reason also mentions configuration must fail the job, not retry.
+        assert_eq!(
+            ErrorClass::classify("conn refused due to invalid config"),
+            ErrorClass::Unretryable(UnretryableError::ConfigError)
+        );
+        assert_eq!(
+            ErrorClass::classify("config server connection lost"),
+            ErrorClass::Unretryable(UnretryableError::ConfigError)
+        );
+        // Plain "conn" with no config hint stays retryable.
+        assert_eq!(
+            ErrorClass::classify("conn refused"),
+            ErrorClass::Retryable(RetryableError::NetworkError)
+        );
+    }
+
+    #[test]
+    fn unknown_reasons_default_to_retryable_node_failure() {
+        for reason in ["", "exit code 137", "oom", "disk pressure", "unknown"] {
+            let c = ErrorClass::classify(reason);
+            assert_eq!(c, ErrorClass::Retryable(RetryableError::NodeFailure), "reason {reason:?}");
+            assert!(c.is_retryable());
+        }
+    }
+
+    #[test]
     fn retryability_flag() {
         assert!(ErrorClass::Retryable(RetryableError::NetworkError).is_retryable());
         assert!(!ErrorClass::Unretryable(UnretryableError::ProgramError).is_retryable());

@@ -24,7 +24,7 @@ pub mod window;
 
 pub use events::{ErrorClass, NodeEvent, RetryableError, UnretryableError};
 pub use snapshot::{ClusterInfo, MonitorSnapshot, NodeStats};
-pub use store::{MetricStore, MonitorConfig};
+pub use store::{MetricStore, MonitorConfig, MonitorCounters};
 pub use window::BptWindow;
 
 use serde::{Deserialize, Serialize};

@@ -6,6 +6,7 @@ use crate::snapshot::{ClusterInfo, MonitorSnapshot, NodeStats};
 use crate::window::BptWindow;
 use crate::{NodeId, Role};
 use antdt_sim::{SimDuration, SimTime};
+use antdt_telemetry::Counter;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -39,6 +40,15 @@ struct NodeEntry {
     alive: bool,
 }
 
+/// Telemetry counters for Monitor ingestion.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorCounters {
+    /// BPT reports ingested.
+    pub bpt_reports: Counter,
+    /// Node lifecycle events ingested.
+    pub node_events: Counter,
+}
+
 /// The Monitor's metric store.
 #[derive(Debug, Clone)]
 pub struct MetricStore {
@@ -46,6 +56,7 @@ pub struct MetricStore {
     nodes: BTreeMap<NodeId, NodeEntry>,
     events: Vec<NodeEvent>,
     cluster: ClusterInfo,
+    counters: Option<MonitorCounters>,
 }
 
 impl MetricStore {
@@ -55,7 +66,13 @@ impl MetricStore {
             nodes: BTreeMap::new(),
             events: Vec::new(),
             cluster: ClusterInfo::default(),
+            counters: None,
         }
+    }
+
+    /// Attach telemetry counters; subsequent ingestion updates them.
+    pub fn attach_telemetry(&mut self, counters: MonitorCounters) {
+        self.counters = Some(counters);
     }
 
     pub fn config(&self) -> MonitorConfig {
@@ -78,6 +95,9 @@ impl MetricStore {
     /// Application-state report from an Agent: one iteration's BPT + batch.
     pub fn report_bpt(&mut self, node: NodeId, t: SimTime, bpt_secs: f64, batch: u64) {
         self.entry(node).window.push(t, bpt_secs, batch);
+        if let Some(c) = &self.counters {
+            c.bpt_reports.inc();
+        }
     }
 
     /// Node-state notification.
@@ -96,6 +116,9 @@ impl MetricStore {
             }
         }
         self.events.push(event);
+        if let Some(c) = &self.counters {
+            c.node_events.inc();
+        }
     }
 
     /// Third-party information update.
@@ -201,6 +224,22 @@ mod tests {
         assert_eq!(snap.servers.len(), 1);
         assert_eq!(snap.workers[0].bpt_trans, None);
         assert!(snap.workers[0].alive);
+    }
+
+    #[test]
+    fn ingestion_counters_track_reports_and_events() {
+        let mut m = MetricStore::new(cfg());
+        let c = MonitorCounters::default();
+        m.attach_telemetry(c.clone());
+        m.report_bpt(NodeId::worker(0), t(1.0), 1.0, 100);
+        m.report_bpt(NodeId::worker(1), t(2.0), 1.0, 100);
+        m.report_event(NodeEvent::Killed {
+            node: NodeId::worker(0),
+            at: t(3.0),
+            class: ErrorClass::Retryable(RetryableError::ProactiveKill),
+        });
+        assert_eq!(c.bpt_reports.get(), 2);
+        assert_eq!(c.node_events.get(), 1);
     }
 
     #[test]

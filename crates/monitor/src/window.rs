@@ -156,6 +156,60 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_answers_none() {
+        let w = BptWindow::new(SimDuration::from_minutes(5));
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.mean_bpt(t(100.0), SimDuration::from_minutes(5)), None);
+        assert_eq!(w.mean_throughput(t(100.0), SimDuration::from_minutes(5)), None);
+        assert_eq!(w.last_batch(), None);
+        assert_eq!(w.last_time(), None);
+    }
+
+    #[test]
+    fn single_sample_window() {
+        let mut w = BptWindow::new(SimDuration::from_minutes(10));
+        w.push(t(30.0), 2.5, 500);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.mean_bpt(t(30.0), SimDuration::from_minutes(5)), Some(2.5));
+        let v = w.mean_throughput(t(30.0), SimDuration::from_minutes(5)).unwrap();
+        assert!((v - 200.0).abs() < 1e-9);
+        assert_eq!(w.last_batch(), Some(500));
+        assert_eq!(w.last_time(), Some(t(30.0)));
+        // A query window that ends before the sample sees nothing.
+        assert_eq!(w.mean_bpt(t(20.0), SimDuration::from_minutes(5)), None);
+    }
+
+    #[test]
+    fn sample_exactly_at_the_eviction_boundary_is_retained() {
+        // Retention eviction drops samples with `t < now - span` strictly: a
+        // sample exactly `span` old (the L_per boundary) must survive.
+        let span = SimDuration::from_minutes(10);
+        let mut w = BptWindow::new(span);
+        w.push(t(0.0), 1.0, 100);
+        w.push(t(600.0), 3.0, 100); // t(0) is exactly at the cutoff: retained
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.mean_bpt(t(600.0), span), Some(2.0));
+        // One microsecond past the boundary: evicted.
+        w.push(t(600.0) + SimDuration::from_micros(1), 5.0, 100);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.samples.front().unwrap().t, t(600.0));
+    }
+
+    #[test]
+    fn query_window_boundary_is_inclusive() {
+        // `mean_bpt` keeps samples with `t >= now - span` (the L_trans boundary
+        // sample participates) and ignores samples after `now`.
+        let mut w = BptWindow::new(SimDuration::from_minutes(10));
+        w.push(t(100.0), 2.0, 100);
+        w.push(t(400.0), 4.0, 100);
+        // L_trans = 5 min ending at 400: from = 100, boundary sample included.
+        assert_eq!(w.mean_bpt(t(400.0), SimDuration::from_minutes(5)), Some(3.0));
+        // Querying as of t=250 ignores the later sample.
+        assert_eq!(w.mean_bpt(t(250.0), SimDuration::from_minutes(5)), Some(2.0));
+    }
+
+    #[test]
     fn clear_resets_state() {
         let mut w = BptWindow::new(SimDuration::from_secs(10));
         w.push(t(1.0), 1.0, 1);

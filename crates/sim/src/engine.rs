@@ -3,6 +3,7 @@
 //! they were scheduled. This makes every run fully deterministic.
 
 use crate::time::{SimDuration, SimTime};
+use antdt_telemetry::Counter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -46,6 +47,8 @@ pub struct Engine<E: Eq> {
     now: SimTime,
     seq: u64,
     processed: u64,
+    /// Optional telemetry counters: (events scheduled, events processed).
+    counters: Option<(Counter, Counter)>,
 }
 
 impl<E: Eq> Default for Engine<E> {
@@ -56,7 +59,21 @@ impl<E: Eq> Default for Engine<E> {
 
 impl<E: Eq> Engine<E> {
     pub fn new() -> Self {
-        Engine { queue: BinaryHeap::new(), now: SimTime::ZERO, seq: 0, processed: 0 }
+        Engine {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            counters: None,
+        }
+    }
+
+    /// Attach telemetry counters: `scheduled` increments on every
+    /// [`Engine::schedule`], `processed` on every [`Engine::step`]. Counting
+    /// never affects event ordering, so attaching telemetry cannot perturb a
+    /// deterministic run.
+    pub fn attach_telemetry(&mut self, scheduled: Counter, processed: Counter) {
+        self.counters = Some((scheduled, processed));
     }
 
     /// Current simulated instant (the timestamp of the event being handled).
@@ -84,6 +101,9 @@ impl<E: Eq> Engine<E> {
         let at = at.max(self.now);
         self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
         self.seq += 1;
+        if let Some((scheduled, _)) = &self.counters {
+            scheduled.inc();
+        }
     }
 
     /// Schedule `ev` to fire `delay` after the current instant.
@@ -97,6 +117,9 @@ impl<E: Eq> Engine<E> {
         debug_assert!(s.at >= self.now, "event queue produced non-monotonic time");
         self.now = s.at;
         self.processed += 1;
+        if let Some((_, processed)) = &self.counters {
+            processed.inc();
+        }
         Some(s.ev)
     }
 
@@ -188,6 +211,22 @@ mod tests {
         assert_eq!(count, 10);
         assert_eq!(eng.now(), SimTime::from_secs_f64(10.0));
         assert_eq!(eng.processed(), 10);
+    }
+
+    #[test]
+    fn attached_counters_track_scheduled_and_processed() {
+        use antdt_telemetry::MetricsRegistry;
+        let reg = MetricsRegistry::new();
+        let mut eng = Engine::new();
+        eng.attach_telemetry(reg.counter("sched", &[]), reg.counter("proc", &[]));
+        for i in 0..4u32 {
+            eng.schedule(SimTime::from_secs_f64(i as f64), Ev::Tick(i));
+        }
+        eng.run_until(SimTime::from_secs_f64(1.0), |_, _| {});
+        assert_eq!(reg.counter("sched", &[]).get(), 4);
+        assert_eq!(reg.counter("proc", &[]).get(), 2);
+        eng.run(|_, _| {});
+        assert_eq!(reg.counter("proc", &[]).get(), eng.processed());
     }
 
     #[test]

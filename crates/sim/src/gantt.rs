@@ -3,6 +3,7 @@
 //! overhead-decomposition experiment (Fig. 18).
 
 use crate::time::{SimDuration, SimTime};
+use antdt_telemetry::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -73,6 +74,35 @@ impl Gantt {
         ns
     }
 
+    /// Convert every span into a Chrome trace-event (`ph = "X"`) so the chart
+    /// can be merged into a [`antdt_telemetry::SpanTracer`] export and loaded
+    /// in Perfetto. One lane (`tid`) per node; the span kind becomes both the
+    /// event name and its category.
+    pub fn to_trace_events(&self) -> Vec<TraceEvent> {
+        self.spans
+            .iter()
+            .map(|s| {
+                let name = match s.kind {
+                    SpanKind::Compute => "compute",
+                    SpanKind::Comm => "comm",
+                    SpanKind::Idle => "idle",
+                    SpanKind::Failover => "failover",
+                    SpanKind::Overhead => "overhead",
+                };
+                TraceEvent {
+                    name: name.to_string(),
+                    cat: "gantt".to_string(),
+                    ph: "X".to_string(),
+                    ts: s.start.as_micros(),
+                    dur: Some(s.duration().as_micros()),
+                    pid: 0,
+                    tid: s.node,
+                    args: Default::default(),
+                }
+            })
+            .collect()
+    }
+
     /// Render a coarse ASCII chart (one row per node, `cols` columns) — handy for
     /// the `experiments fig9` output.
     pub fn ascii(&self, cols: usize) -> String {
@@ -125,6 +155,19 @@ mod tests {
         let mut g = Gantt::new();
         g.record(0, SpanKind::Idle, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(1.0));
         assert!(g.spans.is_empty());
+    }
+
+    #[test]
+    fn spans_convert_to_chrome_trace_events() {
+        let mut g = Gantt::new();
+        g.record(2, SpanKind::Comm, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(3.0));
+        let evs = g.to_trace_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "comm");
+        assert_eq!(evs[0].ph, "X");
+        assert_eq!(evs[0].ts, 1_000_000);
+        assert_eq!(evs[0].dur, Some(2_000_000));
+        assert_eq!(evs[0].tid, 2);
     }
 
     #[test]

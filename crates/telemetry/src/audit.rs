@@ -1,0 +1,67 @@
+//! The Controller decision audit log: for every action a mitigation policy
+//! emits, record what the Monitor window showed, what the solver was asked and
+//! answered, and which rule fired. Attached to `JobReport` so a mitigation can
+//! be explained after the fact.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Inputs and outputs of one min-max batch-allocation solve (paper Eq. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverTrace {
+    pub global_batch: u64,
+    /// Per-worker throughput estimates fed to the solver (index = worker id).
+    pub throughputs: Vec<f64>,
+    pub b_min: u64,
+    /// The batch allocation the solver returned (index = worker id).
+    pub allocation: Vec<u64>,
+}
+
+/// One audited Controller decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Virtual time of the monitor tick, in microseconds.
+    pub at_us: u64,
+    /// The rule that fired, e.g. `worker-persistent-kill`,
+    /// `transient-adjust-bs`, `server-persistent-kill`.
+    pub rule: String,
+    /// The node the rule singled out (empty for cluster-wide rules).
+    pub node: String,
+    /// The window statistics the rule keyed on (name → value).
+    pub window: BTreeMap<String, f64>,
+    /// Present when the rule invoked the batch-allocation solver.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub solver: Option<SolverTrace>,
+    /// Debug renderings of the emitted actions.
+    pub actions: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_record_carries_solver_trace_and_sorted_window() {
+        let rec = DecisionRecord {
+            at_us: 600_000_000,
+            rule: "transient-adjust-bs".into(),
+            node: "w2".into(),
+            window: [("mean_bpt_per".to_string(), 1.5), ("lambda".to_string(), 1.5)]
+                .into_iter()
+                .collect(),
+            solver: Some(SolverTrace {
+                global_batch: 4096,
+                throughputs: vec![1.0, 0.5],
+                b_min: 1,
+                allocation: vec![2731, 1365],
+            }),
+            actions: vec!["AdjustBatch".into()],
+        };
+        // The solver allocation covers the global batch.
+        assert_eq!(rec.solver.as_ref().unwrap().allocation.iter().sum::<u64>(), 4096);
+        // BTreeMap window stats iterate in sorted (deterministic) key order.
+        let keys: Vec<&str> = rec.window.keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["lambda", "mean_bpt_per"]);
+        assert_eq!(rec.clone(), rec);
+    }
+}

@@ -1,0 +1,180 @@
+//! The flight recorder: a bounded ring buffer of the most recent runtime
+//! events, dumped when something goes wrong (the liveness watchdog declares
+//! `stalled`, or a chaos invariant fails) so a bad verdict comes with the
+//! event history that led up to it.
+
+use crate::json;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One recorded event. `seq` is a global record index, so a dump makes clear
+/// how many events preceded the retained window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    pub seq: u64,
+    /// Virtual time in microseconds.
+    pub at_us: u64,
+    /// Source layer: `event`, `lifecycle`, `chaos`, `controller`, …
+    pub category: String,
+    pub detail: String,
+}
+
+/// A snapshot of the ring at dump time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Why the dump was taken: `stalled`, `invariant-failed`, `completed`.
+    pub reason: String,
+    /// Events evicted before the dump (total recorded − retained).
+    pub dropped: u64,
+    pub events: Vec<FlightEvent>,
+}
+
+impl FlightDump {
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "flight recorder dump — reason: {}, {} events retained, {} dropped\n",
+            self.reason,
+            self.events.len(),
+            self.dropped
+        );
+        for e in &self.events {
+            out.push_str(&format!(
+                "  #{:<6} t={:>12.3}s [{}] {}\n",
+                e.seq,
+                e.at_us as f64 / 1e6,
+                e.category,
+                e.detail
+            ));
+        }
+        out
+    }
+
+    /// The dump as a JSON document (deterministic field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"reason\":");
+        json::write_str(&mut out, &self.reason);
+        out.push_str(&format!(",\"dropped\":{},\"events\":[", self.dropped));
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"seq\":{},\"at_us\":{},\"category\":", e.seq, e.at_us));
+            json::write_str(&mut out, &e.category);
+            out.push_str(",\"detail\":");
+            json::write_str(&mut out, &e.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    ring: VecDeque<FlightEvent>,
+}
+
+/// Capacity-bounded recorder; `record` is O(1) and old events are evicted
+/// silently (counted in [`FlightDump::dropped`]).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Mutex::new(FlightInner {
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+                ring: VecDeque::new(),
+            }),
+        }
+    }
+
+    pub fn record(&self, at_us: u64, category: &str, detail: String) {
+        let mut g = self.inner.lock();
+        if g.ring.len() == g.capacity {
+            g.ring.pop_front();
+            g.dropped += 1;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.ring.push_back(FlightEvent { seq, at_us, category: category.to_string(), detail });
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().ring.is_empty()
+    }
+
+    /// Snapshot the ring without consuming it.
+    pub fn dump(&self, reason: &str) -> FlightDump {
+        let g = self.inner.lock();
+        FlightDump {
+            reason: reason.to_string(),
+            dropped: g.dropped,
+            events: g.ring.iter().cloned().collect(),
+        }
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            fr.record(i * 10, "event", format!("ev{i}"));
+        }
+        let d = fr.dump("stalled");
+        assert_eq!(d.reason, "stalled");
+        assert_eq!(d.dropped, 2);
+        assert_eq!(d.events.len(), 3);
+        assert_eq!(d.events[0].seq, 2);
+        assert_eq!(d.events[2].detail, "ev4");
+        assert!(d.render().contains("ev4"));
+    }
+
+    #[test]
+    fn dump_serializes_to_parseable_json() {
+        use crate::json::{self as js, Json};
+        let fr = FlightRecorder::new(8);
+        fr.record(1, "lifecycle", "worker \"w0\" start".into());
+        let d = fr.dump("completed");
+        let v = js::parse(&d.to_json()).expect("flight dump JSON parses");
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("completed"));
+        assert_eq!(v.get("dropped").and_then(Json::as_u64), Some(0));
+        let evs = v.get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].get("detail").and_then(Json::as_str), Some("worker \"w0\" start"));
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let fr = FlightRecorder::new(0);
+        fr.record(0, "event", "a".into());
+        fr.record(1, "event", "b".into());
+        let d = fr.dump("x");
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].detail, "b");
+    }
+}

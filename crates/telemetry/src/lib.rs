@@ -1,0 +1,107 @@
+//! # antdt-telemetry — observability for the AntDT control plane
+//!
+//! The paper's Monitor is deliberately minute-level (§V-A): right for control
+//! decisions, useless for diagnosing *why* a drill stalled or which rule
+//! killed a node. This crate is the diagnostic layer underneath it:
+//!
+//! * [`MetricsRegistry`] — counters / gauges / fixed-bucket histograms keyed
+//!   by node and component, with a Prometheus text renderer and a JSON
+//!   snapshot. Hot-path updates are single relaxed atomics (no allocation).
+//! * [`SpanTracer`] — structured spans and instants exported as Chrome
+//!   trace-event JSON, loadable in Perfetto.
+//! * [`DecisionRecord`] — the Controller decision audit log (window stats,
+//!   solver inputs/outputs, the rule that fired).
+//! * [`FlightRecorder`] — a bounded ring of recent events, dumped when the
+//!   liveness watchdog declares `stalled` or an invariant checker fails.
+//!
+//! The crate sits below the simulator in the dependency graph: timestamps are
+//! raw virtual microseconds (`u64`), never wall clock, so every export is
+//! bit-for-bit reproducible across same-seed runs.
+
+pub mod audit;
+pub mod flight;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use audit::{DecisionRecord, SolverTrace};
+pub use flight::{FlightDump, FlightEvent, FlightRecorder};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, SeriesSnapshot};
+pub use trace::{ChromeTrace, SpanTracer, TraceEvent};
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The telemetry bundle a runtime threads through its components. Shared as
+/// `Arc<Telemetry>`; all parts are internally synchronized.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    pub metrics: MetricsRegistry,
+    pub tracer: SpanTracer,
+    pub flight: FlightRecorder,
+}
+
+impl Telemetry {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn with_flight_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(Telemetry {
+            metrics: MetricsRegistry::new(),
+            tracer: SpanTracer::new(),
+            flight: FlightRecorder::new(capacity),
+        })
+    }
+
+    /// Freeze the current state into a [`TelemetryReport`]. The strings are
+    /// pre-rendered so byte-identity across runs can be asserted directly.
+    pub fn report(&self, flight_reason: &str) -> TelemetryReport {
+        TelemetryReport {
+            prometheus: self.metrics.render_prometheus(),
+            metrics_json: self.metrics.snapshot_json(),
+            chrome_trace: self.tracer.export_json(),
+            flight: self.flight.dump(flight_reason),
+        }
+    }
+}
+
+/// Rendered telemetry artifacts for one run, attached to `JobReport`.
+///
+/// All fields are deterministic functions of the seeded simulation, so two
+/// same-seed runs produce `==` (byte-identical) reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Prometheus text-exposition rendering of the metrics registry.
+    pub prometheus: String,
+    /// JSON snapshot of the metrics registry.
+    pub metrics_json: String,
+    /// Chrome trace-event JSON (`{"traceEvents": [...]}`), Perfetto-loadable.
+    pub chrome_trace: String,
+    /// Final flight-recorder ring (`reason` is `stalled` or `completed`).
+    pub flight: FlightDump,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_deterministic_for_identical_activity() {
+        let run = || {
+            let t = Telemetry::new();
+            t.metrics.counter("antdt_events_handled_total", &[("runtime", "ps")]).add(12);
+            t.metrics
+                .histogram("antdt_restart_delay_us", &[], &[1_000_000, 60_000_000])
+                .observe(45_000_000);
+            t.tracer.complete("compute", "gantt", 0, 2_000_000, 0);
+            t.flight.record(2_000_000, "event", "WorkerComputeDone { w: 0 }".into());
+            t.report("completed")
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert!(!a.prometheus.is_empty());
+        let parsed = ChromeTrace::from_json(&a.chrome_trace).unwrap();
+        assert_eq!(parsed.trace_events.len(), 1);
+    }
+}

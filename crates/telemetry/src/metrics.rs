@@ -1,0 +1,445 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms keyed by
+//! `(name, labels)`, with a Prometheus text-exposition renderer and a JSON
+//! snapshot.
+//!
+//! Registration (name/label lookup) takes a lock and may allocate; the handles
+//! it returns are `Arc<AtomicU64>` cells, so the hot path — `inc` / `add` /
+//! `set` / `observe` on an already-registered handle — is a single relaxed
+//! atomic op with no allocation and no lock. Runtimes register once at job
+//! start and update through the cached handles.
+
+use crate::json;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter. Clones share the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a point-in-time value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Inclusive upper bounds in ascending order; an implicit `+Inf` bucket
+    /// follows the last bound.
+    bounds: Vec<u64>,
+    /// Per-bucket observation counts, `bounds.len() + 1` entries.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` observations (conventionally
+/// microseconds). Clones share the underlying cells.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    fn new(mut bounds: Vec<u64>) -> Self {
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                buckets,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation. Lock-free and allocation-free.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let idx = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-cumulative per-bucket counts (last entry is the `+Inf` bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// Label set for a metric series, kept sorted by key so that identical label
+/// sets written in any order resolve to the same series and render identically.
+type Labels = Vec<(String, String)>;
+
+fn labels_of(pairs: &[(&str, &str)]) -> Labels {
+    let mut ls: Labels = pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    ls.sort();
+    ls
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One series in a [`MetricsRegistry::snapshot`], serialized to JSON in a
+/// stable, fully sorted order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    pub name: String,
+    pub labels: BTreeMap<String, String>,
+    pub kind: String,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub value: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub sum: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub count: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub buckets: Option<Vec<(String, u64)>>,
+}
+
+/// The registry. Series are keyed `(name, sorted labels)`; iteration order is
+/// therefore deterministic regardless of registration order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<String, BTreeMap<Labels, Metric>>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let mut s = self.series.lock();
+        let m = s
+            .entry(name.to_string())
+            .or_default()
+            .entry(labels_of(labels))
+            .or_insert_with(|| Metric::Counter(Counter::default()));
+        match m {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let mut s = self.series.lock();
+        let m = s
+            .entry(name.to_string())
+            .or_default()
+            .entry(labels_of(labels))
+            .or_insert_with(|| Metric::Gauge(Gauge::default()));
+        match m {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Get or register the histogram `name{labels}` with the given inclusive
+    /// upper bucket bounds (an implicit `+Inf` bucket is appended).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let mut s = self.series.lock();
+        let m = s
+            .entry(name.to_string())
+            .or_default()
+            .entry(labels_of(labels))
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds.to_vec())));
+        match m {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Render the registry in the Prometheus text exposition format. Output is
+    /// byte-identical across runs that registered and updated the same series.
+    pub fn render_prometheus(&self) -> String {
+        fn label_str(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+            let mut parts: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        }
+
+        let s = self.series.lock();
+        let mut out = String::new();
+        for (name, by_labels) in s.iter() {
+            let kind = match by_labels.values().next() {
+                Some(Metric::Counter(_)) => "counter",
+                Some(Metric::Gauge(_)) => "gauge",
+                Some(Metric::Histogram(_)) => "histogram",
+                None => continue,
+            };
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (labels, metric) in by_labels.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", label_str(labels, None), c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", label_str(labels, None), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cum = 0u64;
+                        for (i, &b) in h.inner.bounds.iter().enumerate() {
+                            cum += counts[i];
+                            let le = b.to_string();
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                label_str(labels, Some(("le", &le)))
+                            );
+                        }
+                        cum += counts[h.inner.bounds.len()];
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            label_str(labels, Some(("le", "+Inf")))
+                        );
+                        let _ = writeln!(out, "{name}_sum{} {}", label_str(labels, None), h.sum());
+                        let _ =
+                            writeln!(out, "{name}_count{} {}", label_str(labels, None), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A structured snapshot of every series, sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> Vec<SeriesSnapshot> {
+        let s = self.series.lock();
+        let mut out = Vec::new();
+        for (name, by_labels) in s.iter() {
+            for (labels, metric) in by_labels.iter() {
+                let labels: BTreeMap<String, String> = labels.iter().cloned().collect();
+                let snap = match metric {
+                    Metric::Counter(c) => SeriesSnapshot {
+                        name: name.clone(),
+                        labels,
+                        kind: "counter".into(),
+                        value: Some(c.get()),
+                        sum: None,
+                        count: None,
+                        buckets: None,
+                    },
+                    Metric::Gauge(g) => SeriesSnapshot {
+                        name: name.clone(),
+                        labels,
+                        kind: "gauge".into(),
+                        value: Some(g.get()),
+                        sum: None,
+                        count: None,
+                        buckets: None,
+                    },
+                    Metric::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut buckets: Vec<(String, u64)> = h
+                            .inner
+                            .bounds
+                            .iter()
+                            .enumerate()
+                            .map(|(i, b)| (b.to_string(), counts[i]))
+                            .collect();
+                        buckets.push(("+Inf".into(), counts[h.inner.bounds.len()]));
+                        SeriesSnapshot {
+                            name: name.clone(),
+                            labels,
+                            kind: "histogram".into(),
+                            value: None,
+                            sum: Some(h.sum()),
+                            count: Some(h.count()),
+                            buckets: Some(buckets),
+                        }
+                    }
+                };
+                out.push(snap);
+            }
+        }
+        out
+    }
+
+    /// [`MetricsRegistry::snapshot`] serialized as JSON (deterministic order).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_str(&mut out, &s.name);
+            out.push_str(",\"labels\":{");
+            for (j, (k, v)) in s.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::write_str(&mut out, k);
+                out.push(':');
+                json::write_str(&mut out, v);
+            }
+            out.push_str("},\"kind\":");
+            json::write_str(&mut out, &s.kind);
+            if let Some(v) = s.value {
+                out.push_str(&format!(",\"value\":{v}"));
+            }
+            if let Some(v) = s.sum {
+                out.push_str(&format!(",\"sum\":{v}"));
+            }
+            if let Some(v) = s.count {
+                out.push_str(&format!(",\"count\":{v}"));
+            }
+            if let Some(buckets) = &s.buckets {
+                out.push_str(",\"buckets\":[");
+                for (j, (le, n)) in buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    json::write_str(&mut out, le);
+                    out.push_str(&format!(",{n}]"));
+                }
+                out.push(']');
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("antdt_events_total", &[("runtime", "ps")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registering the same series returns the same cell.
+        let c2 = reg.counter("antdt_events_total", &[("runtime", "ps")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+
+        let g = reg.gauge("antdt_pending", &[]);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("m", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_count_cumulatively_in_prometheus() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_us", &[], &[10, 100, 1000]);
+        for v in [5, 10, 11, 500, 5000] {
+            h.observe(v);
+        }
+        // Bounds are inclusive: 10 lands in the `le="10"` bucket.
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5 + 10 + 11 + 500 + 5000);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE lat_us histogram"));
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 2"));
+        assert!(text.contains("lat_us_bucket{le=\"100\"} 3"));
+        assert!(text.contains("lat_us_bucket{le=\"1000\"} 4"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("lat_us_count 5"));
+    }
+
+    #[test]
+    fn render_is_deterministic_across_registration_order() {
+        let build = |flip: bool| {
+            let reg = MetricsRegistry::new();
+            let names = if flip { ["b_metric", "a_metric"] } else { ["a_metric", "b_metric"] };
+            for n in names {
+                reg.counter(n, &[("node", "w0")]).add(7);
+            }
+            (reg.render_prometheus(), reg.snapshot_json())
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn snapshot_json_parses_back() {
+        use crate::json::{self, Json};
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("k", "v")]).inc();
+        reg.histogram("h", &[], &[1]).observe(3);
+        let parsed = json::parse(&reg.snapshot_json()).expect("snapshot JSON parses");
+        let series = parsed.as_array().expect("array of series");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].get("name").and_then(Json::as_str), Some("c"));
+        assert_eq!(series[0].get("value").and_then(Json::as_u64), Some(1));
+        assert_eq!(series[0].get("labels").unwrap().get("k").and_then(Json::as_str), Some("v"));
+        assert_eq!(series[1].get("kind").and_then(Json::as_str), Some("histogram"));
+        assert_eq!(series[1].get("sum").and_then(Json::as_u64), Some(3));
+        let buckets = series[1].get("buckets").and_then(Json::as_array).unwrap();
+        assert_eq!(buckets.len(), 2, "one bound plus +Inf");
+        assert_eq!(buckets[1].as_array().unwrap()[0].as_str(), Some("+Inf"));
+    }
+}

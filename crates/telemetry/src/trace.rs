@@ -1,0 +1,238 @@
+//! Structured span tracing, exported in the Chrome trace-event JSON format so
+//! that a run's timeline can be loaded directly into Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Timestamps are the simulator's virtual microseconds, which keeps exports
+//! bit-for-bit reproducible across same-seed runs.
+
+use crate::json::{self, Json};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One event in the Chrome trace-event format. Only the fields the viewers
+/// actually consume are modelled: `ph = "X"` (complete span, with `dur`) and
+/// `ph = "i"` (instant).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Category — the layer that emitted the event (`engine`, `dds`,
+    /// `controller`, `chaos`, …). Viewers use it for filtering.
+    pub cat: String,
+    /// Phase: `"X"` for complete spans, `"i"` for instants.
+    pub ph: String,
+    /// Start timestamp in microseconds of virtual time.
+    pub ts: u64,
+    /// Duration in microseconds; present only on `"X"` events.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub dur: Option<u64>,
+    /// Process id; the whole job is one process.
+    pub pid: u32,
+    /// Thread id; one lane per node.
+    pub tid: u32,
+    /// Free-form arguments shown in the viewer's detail pane.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub args: BTreeMap<String, String>,
+}
+
+/// Top-level Chrome trace document: `{"traceEvents": [...]}`. Parseable back
+/// via [`ChromeTrace::from_json`] so tests can round-trip an export and
+/// validate the schema.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChromeTrace {
+    #[serde(rename = "traceEvents")]
+    pub trace_events: Vec<TraceEvent>,
+}
+
+impl TraceEvent {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        json::write_str(out, &self.name);
+        out.push_str(",\"cat\":");
+        json::write_str(out, &self.cat);
+        out.push_str(",\"ph\":");
+        json::write_str(out, &self.ph);
+        out.push_str(&format!(",\"ts\":{}", self.ts));
+        if let Some(d) = self.dur {
+            out.push_str(&format!(",\"dur\":{d}"));
+        }
+        out.push_str(&format!(",\"pid\":{},\"tid\":{}", self.pid, self.tid));
+        if !self.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(out, k);
+                out.push(':');
+                json::write_str(out, v);
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+
+    fn from_json(v: &Json) -> Result<TraceEvent, String> {
+        let field_str = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("trace event missing string field `{key}`"))
+        };
+        let field_u64 = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace event missing integer field `{key}`"))
+        };
+        let dur = match v.get("dur") {
+            Some(d) => Some(d.as_u64().ok_or("`dur` must be a non-negative integer")?),
+            None => None,
+        };
+        let args = match v.get("args") {
+            Some(a) => {
+                let obj = a.as_object().ok_or("`args` must be an object")?;
+                obj.iter()
+                    .map(|(k, val)| {
+                        val.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("arg `{k}` must be a string"))
+                    })
+                    .collect::<Result<BTreeMap<_, _>, _>>()?
+            }
+            None => BTreeMap::new(),
+        };
+        Ok(TraceEvent {
+            name: field_str("name")?,
+            cat: field_str("cat")?,
+            ph: field_str("ph")?,
+            ts: field_u64("ts")?,
+            dur,
+            pid: field_u64("pid")? as u32,
+            tid: field_u64("tid")? as u32,
+            args,
+        })
+    }
+}
+
+impl ChromeTrace {
+    /// Serialize to Chrome trace-event JSON (deterministic field order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, e) in self.trace_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a Chrome trace-event JSON document — the schema-validation half
+    /// of the round-trip tests.
+    pub fn from_json(s: &str) -> Result<ChromeTrace, String> {
+        let v = json::parse(s)?;
+        let evs = v
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or("document must carry a `traceEvents` array")?;
+        let trace_events = evs.iter().map(TraceEvent::from_json).collect::<Result<Vec<_>, _>>()?;
+        Ok(ChromeTrace { trace_events })
+    }
+}
+
+/// Collects [`TraceEvent`]s during a run.
+#[derive(Debug, Default)]
+pub struct SpanTracer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl SpanTracer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a complete span (`ph = "X"`).
+    pub fn complete(&self, name: &str, cat: &str, ts: u64, dur: u64, tid: u32) {
+        self.events.lock().push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: "X".into(),
+            ts,
+            dur: Some(dur),
+            pid: 0,
+            tid,
+            args: BTreeMap::new(),
+        });
+    }
+
+    /// Record an instant event (`ph = "i"`) with optional arguments.
+    pub fn instant(&self, name: &str, cat: &str, ts: u64, tid: u32, args: &[(&str, &str)]) {
+        self.events.lock().push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: "i".into(),
+            ts,
+            dur: None,
+            pid: 0,
+            tid,
+            args: args.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+    }
+
+    /// Append externally produced events (e.g. a converted Gantt chart).
+    pub fn extend(&self, events: Vec<TraceEvent>) {
+        self.events.lock().extend(events);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// The collected events, stably sorted by timestamp (insertion order breaks
+    /// ties, so same-seed runs export identical sequences).
+    pub fn export(&self) -> ChromeTrace {
+        let mut evs = self.events.lock().clone();
+        evs.sort_by_key(|e| e.ts);
+        ChromeTrace { trace_events: evs }
+    }
+
+    /// [`SpanTracer::export`] serialized as Chrome trace JSON.
+    pub fn export_json(&self) -> String {
+        self.export().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_round_trips_through_chrome_schema() {
+        let t = SpanTracer::new();
+        t.complete("compute", "gantt", 100, 50, 3);
+        t.instant("kill", "lifecycle", 120, 1, &[("node", "w1")]);
+        let json = t.export_json();
+        let parsed = ChromeTrace::from_json(&json).expect("valid trace JSON");
+        assert_eq!(parsed, t.export());
+        assert_eq!(parsed.trace_events.len(), 2);
+        assert_eq!(parsed.trace_events[0].ph, "X");
+        assert_eq!(parsed.trace_events[0].dur, Some(50));
+        assert_eq!(parsed.trace_events[1].args["node"], "w1");
+    }
+
+    #[test]
+    fn export_sorts_by_timestamp_with_stable_ties() {
+        let t = SpanTracer::new();
+        t.instant("b", "x", 200, 0, &[]);
+        t.instant("a1", "x", 100, 0, &[]);
+        t.instant("a2", "x", 100, 0, &[]);
+        let exported = t.export();
+        let names: Vec<&str> = exported.trace_events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a1", "a2", "b"]);
+    }
+}

@@ -12,6 +12,7 @@
 //! * [`agent`] — per-node agent and global-action synchronization
 //! * [`core`] — Parameter Server and AllReduce training runtimes plus the job driver
 //! * [`chaos`] — deterministic fault-injection plans, chaos-drill driver and invariant checkers
+//! * [`telemetry`] — metrics registry, span tracing, decision audit log and flight recorder
 //!
 //! ## Quickstart
 //!
@@ -38,4 +39,5 @@ pub use antdt_dds as dds;
 pub use antdt_ml as ml;
 pub use antdt_monitor as monitor;
 pub use antdt_sim as sim;
+pub use antdt_telemetry as telemetry;
 pub use antdt_workloads as workloads;
