@@ -1,0 +1,200 @@
+//! The runtime-kernel refactor benchmark: JCT/event parity against the
+//! pre-refactor monolithic runtimes, event-loop throughput, and the Local-SGD
+//! strategy that the `SyncStrategy` seam made a one-file addition.
+
+use crate::util::{header, secs, table};
+use antdt_core::{Job, JobConfig, JobReport, MitigationChoice};
+use antdt_sim::SimDuration;
+use antdt_workloads::cluster::{cluster_a_scaled, cluster_b};
+use antdt_workloads::{ModelProfile, Scenario};
+use std::fmt::Write;
+
+/// Pre-refactor reference traces, captured from the monolithic
+/// `ps.rs`/`allreduce.rs` runtimes (PR 2) on the exact fixture configs of
+/// `tests/refactor_equivalence.rs`. The kernel refactor is trace-preserving,
+/// so the post-refactor runs must reproduce these numbers bit-for-bit.
+const PRE_REFACTOR: [(&str, u64, u64); 4] = [
+    // (fixture, jct_micros, events_processed)
+    ("bsp", 203_051_583, 354),
+    ("asp", 193_935_979, 1_590),
+    ("ssp", 370_020_358, 2_133),
+    ("allreduce", 306_971_446, 456),
+];
+
+fn ps_base(cfg: JobConfig) -> JobConfig {
+    cfg.with_model(ModelProfile::xdeepfm())
+        .with_global_batch(4_096)
+        .with_samples(200_000)
+        .with_batches_per_shard(10)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_seed(11)
+}
+
+/// The fixture configs, byte-for-byte the ones behind `tests/golden/*_clean`.
+fn fixture(name: &str) -> JobConfig {
+    match name {
+        "bsp" => ps_base(JobConfig::ps_bsp(
+            cluster_a_scaled(4, 2),
+            Scenario::WorkerMix { intensity: 1.0 },
+        ))
+        .with_mitigation(MitigationChoice::AntDtNd),
+        "asp" => ps_base(JobConfig::ps_asp(
+            cluster_a_scaled(4, 2),
+            Scenario::WorkerPersistent { intensity: 0.8 },
+        ))
+        .with_samples(800_000),
+        "ssp" => ps_base(JobConfig::ps_ssp(
+            cluster_a_scaled(4, 2),
+            Scenario::WorkerTransient { intensity: 0.8 },
+            3,
+        ))
+        .with_samples(800_000),
+        "allreduce" => ar_fixture(),
+        _ => unreachable!("unknown fixture"),
+    }
+}
+
+fn ar_fixture() -> JobConfig {
+    JobConfig::allreduce(cluster_b(), Scenario::None)
+        .with_model(ModelProfile::resnet101())
+        .with_global_batch(768)
+        .with_samples(345_600)
+        .with_batches_per_shard(2)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_seed(23)
+}
+
+/// Same cluster/workload as the AllReduce fixture, but under the Local-SGD
+/// strategy with H = 4 local steps per ring sync.
+fn local_sgd_fixture(sync_every: u32) -> JobConfig {
+    JobConfig::local_sgd(cluster_b(), Scenario::None, sync_every)
+        .with_model(ModelProfile::resnet101())
+        .with_global_batch(768)
+        .with_samples(345_600)
+        .with_batches_per_shard(2)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_seed(23)
+}
+
+/// Best-of-`reps` wall time plus the (deterministic) report.
+fn timed(reps: usize, mk: impl Fn() -> JobConfig) -> (f64, JobReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let r = Job::run(mk());
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+pub fn kernel() -> String {
+    let mut out = header(
+        "kernel",
+        "Runtime-kernel refactor: JCT/event parity vs the pre-refactor monoliths + throughput",
+    );
+    const REPS: usize = 3;
+
+    let mut rows = vec![vec![
+        "fixture".into(),
+        "JCT (sim)".into(),
+        "events".into(),
+        "pre-refactor".into(),
+        "parity".into(),
+        "wall".into(),
+        "events/s".into(),
+    ]];
+    let mut json_rows = String::new();
+    let mut all_match = true;
+    for (name, pre_jct_us, pre_events) in PRE_REFACTOR {
+        let (wall, r) = timed(REPS, || fixture(name));
+        let jct_us = r.jct.as_micros();
+        let events = r.events_processed;
+        let parity = jct_us == pre_jct_us && events == pre_events;
+        all_match &= parity;
+        rows.push(vec![
+            name.into(),
+            secs(r.jct.as_secs_f64()),
+            events.to_string(),
+            format!("{:.3}s / {pre_events}", pre_jct_us as f64 / 1e6),
+            if parity { "MATCH".into() } else { "DIVERGED".into() },
+            format!("{:.4}s", wall),
+            format!("{:.0}", events as f64 / wall.max(1e-9)),
+        ]);
+        let _ = write!(
+            json_rows,
+            concat!(
+                "{{\"fixture\":\"{}\",\"jct_micros\":{},\"events\":{},",
+                "\"pre_jct_micros\":{},\"pre_events\":{},\"parity\":{},",
+                "\"wall_secs\":{:.6},\"events_per_sec\":{:.1}}},"
+            ),
+            name,
+            jct_us,
+            events,
+            pre_jct_us,
+            pre_events,
+            parity,
+            wall,
+            events as f64 / wall.max(1e-9),
+        );
+    }
+    out.push_str(&table(&rows));
+    let _ = writeln!(
+        out,
+        "  parity: {} (fixed-seed JCT and event counts vs the pre-refactor ps.rs/allreduce.rs)",
+        if all_match { "all fixtures MATCH" } else { "DIVERGENCE — see table" }
+    );
+
+    // The seam payoff: Local SGD (H local steps per ring sync) on the same
+    // workload as the AllReduce fixture. H x fewer communication rounds.
+    const H: u32 = 4;
+    let (ar_wall, ar) = timed(REPS, ar_fixture);
+    let (ls_wall, ls) = timed(REPS, || local_sgd_fixture(H));
+    let _ = writeln!(
+        out,
+        "  local-sgd (H={H}): {} rounds vs allreduce {} rounds, JCT {} vs {}, events {} vs {}",
+        ls.iterations,
+        ar.iterations,
+        secs(ls.jct.as_secs_f64()),
+        secs(ar.jct.as_secs_f64()),
+        ls.events_processed,
+        ar.events_processed,
+    );
+    assert_eq!(ls.samples_done, ar.samples_done, "both must train the full dataset");
+    assert!(
+        ls.iterations < ar.iterations,
+        "H local steps per sync must need fewer communication rounds"
+    );
+
+    // Machine-readable artifact (hand-rendered: the offline serde_json is a stub).
+    let json = format!(
+        concat!(
+            "{{\"experiment\":\"kernel\",\"reps\":{},\"parity\":{},\"fixtures\":[{}],",
+            "\"local_sgd\":{{\"sync_every\":{},\"rounds\":{},\"allreduce_rounds\":{},",
+            "\"jct_micros\":{},\"allreduce_jct_micros\":{},\"wall_secs\":{:.6},",
+            "\"allreduce_wall_secs\":{:.6}}}}}\n"
+        ),
+        REPS,
+        all_match,
+        json_rows.trim_end_matches(','),
+        H,
+        ls.iterations,
+        ar.iterations,
+        ls.jct.as_micros(),
+        ar.jct.as_micros(),
+        ls_wall,
+        ar_wall,
+    );
+    let _ = std::fs::create_dir_all("target");
+    let path = std::path::Path::new("target").join("BENCH_kernel.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "  wrote {}", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  could not write {}: {e}", path.display());
+        }
+    }
+    out
+}

@@ -4,7 +4,7 @@
 //! regenerates the corresponding artifact from scratch on the simulator and
 //! returns a printable report; the `experiments` binary dispatches on ids
 //! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `chaos`,
-//! `telemetry`, `all`).
+//! `telemetry`, `kernel`, `all`).
 //!
 //! Absolute numbers come from a simulated substrate, so they are not expected
 //! to match the paper's testbed; the *shapes* — who wins, by what factor,
@@ -43,6 +43,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "telemetry",
             "Telemetry overhead: quickstart workload, instrumentation off vs on",
             exps::telemetry,
+        ),
+        (
+            "kernel",
+            "Runtime-kernel refactor parity (fixed seeds) + event throughput + local-sgd",
+            exps::kernel,
         ),
     ]
 }

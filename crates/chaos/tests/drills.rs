@@ -4,7 +4,7 @@
 use antdt_chaos::{ChaosDriver, Fault, FaultPlan, NodeRef, PlanBounds};
 use antdt_core::{JobConfig, MitigationChoice};
 use antdt_sim::SimDuration;
-use antdt_workloads::cluster::cluster_a_scaled;
+use antdt_workloads::cluster::{cluster_a_scaled, cluster_b};
 use antdt_workloads::{ModelProfile, Scenario};
 use proptest::prelude::*;
 
@@ -78,6 +78,34 @@ fn barrier_stall_is_detected_not_hung() {
     // For a stall plan the liveness invariant asserts the watchdog DID fire.
     assert!(report.invariant("liveness").unwrap().passed);
     assert!(report.samples_done < 500_000, "the wedged job cannot have finished");
+}
+
+/// The runtime kernel routes chaos through the same seam for every strategy:
+/// a rank kill during a Local-SGD job (H local steps per ring sync) drills
+/// through the identical driver path as PS. Rings drop the dead rank
+/// permanently (no scheduler restart), so the survivors must absorb its
+/// requeued shards and every invariant must still hold.
+#[test]
+fn rank_kill_under_local_sgd_completes_with_integrity() {
+    let base = JobConfig::local_sgd(cluster_b(), Scenario::None, 4)
+        .with_model(ModelProfile::resnet101())
+        .with_global_batch(768)
+        .with_samples(115_200)
+        .with_batches_per_shard(2)
+        .with_fast_cadence(SimDuration::from_secs(60));
+    let plan = FaultPlan::new("kill-rank1-localsgd")
+        .at(45.0, Fault::KillNode { node: NodeRef::Worker(1) });
+    let report = ChaosDriver::new(base)
+        .with_liveness_timeout(SimDuration::from_secs(3600))
+        .run_one(&plan, &MitigationChoice::None);
+
+    assert!(!report.stalled && !report.timed_out, "{report:?}");
+    assert!(report.passed, "invariants failed: {:?}", report.invariants);
+    let alo = report.invariant("at-least-once").expect("checker ran");
+    assert!(alo.passed, "{alo:?}");
+    assert_eq!(report.faults_injected, 1);
+    // Losing a rank costs wall-clock: three survivors train the full dataset.
+    assert!(report.overhead_frac > 0.0, "overhead {}", report.overhead_frac);
 }
 
 /// The drill matrix runs every (plan × policy) cell and renders a table.

@@ -1,9 +1,9 @@
 //! The job driver: builds the mitigation policy from the configuration and
 //! dispatches to the right runtime.
 
-use crate::config::{Arch, JobConfig, MitigationChoice};
+use crate::config::{JobConfig, MitigationChoice};
 use crate::report::JobReport;
-use crate::{allreduce, ps};
+use crate::runtime;
 use antdt_controller::{
     AdjustLrPolicy, AntDtDd, AntDtNd, BackupWorkersPolicy, KillRestartOnly, LbBsp,
     MitigationPolicy, NdConfig, NoMitigation,
@@ -15,10 +15,7 @@ pub struct Job;
 impl Job {
     pub fn run(cfg: JobConfig) -> JobReport {
         let policy = build_policy(&cfg);
-        match cfg.arch {
-            Arch::ParameterServer { .. } => ps::run(cfg, policy),
-            Arch::AllReduce => allreduce::run(cfg, policy),
-        }
+        runtime::run_with_policy(cfg, policy)
     }
 }
 
@@ -44,7 +41,7 @@ fn build_policy(cfg: &JobConfig) -> Box<dyn MitigationPolicy> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Consistency, DataStrategy, ExecutionMode};
+    use crate::config::{Arch, Consistency, DataStrategy, ExecutionMode};
     use antdt_sim::SimDuration;
     use antdt_workloads::cluster::cluster_a_scaled;
     use antdt_workloads::{ctr, CtrConfig, ModelProfile, Scenario};

@@ -1,13 +1,17 @@
 //! # antdt-core — the AntDT framework runtime
 //!
 //! Wires the four AntDT components (Stateful DDS, Monitor, Controller, Agent)
-//! around two data-parallel training runtimes built on the discrete-event
-//! simulator:
+//! around a single shared [`runtime`] kernel built on the discrete-event
+//! simulator. Consistency models plug in behind the
+//! [`runtime::SyncStrategy`] seam:
 //!
-//! * [`ps`] — a Parameter Server runtime with BSP / ASP / SSP consistency,
-//!   per-server gradient queues, checkpointing and kill/restart failover;
-//! * [`allreduce`] — a ring-AllReduce (PyTorch-DDP-style) runtime with
-//!   per-device batch sizes and gradient accumulation.
+//! * [`runtime::bsp`] / [`runtime::asp`] / [`runtime::ssp`] — the Parameter
+//!   Server flavors (per-server gradient queues, checkpointing, kill/restart
+//!   failover);
+//! * [`runtime::ring`] — the ring-AllReduce (PyTorch-DDP-style) runtime with
+//!   per-device batch sizes and gradient accumulation;
+//! * [`runtime::local_sgd`] — Local SGD (`H` local steps per ring sync), the
+//!   worked example of adding a strategy (see the README how-to).
 //!
 //! [`job::Job`] is the entry point: it takes a [`JobConfig`], runs the
 //! simulated job to completion and returns a [`JobReport`] with everything the
@@ -18,15 +22,14 @@
 //! [`fleet`] emulates the production A/B test of §VII-F across a population of
 //! jobs.
 
-pub mod allreduce;
 pub mod config;
 pub mod events;
 pub mod failover;
 pub mod fleet;
 pub mod job;
 pub(crate) mod obs;
-pub mod ps;
 pub mod report;
+pub mod runtime;
 
 pub use config::{
     Arch, ChaosInjection, Consistency, DataStrategy, ExecutionMode, FailoverMode, FaultConfig,
@@ -35,12 +38,13 @@ pub use config::{
 pub use job::Job;
 pub use report::{ActionApplication, InjectionRecord, JobReport};
 
-/// Run a Parameter Server job with an explicitly constructed policy — the
-/// escape hatch for ablations that sweep policy hyper-parameters the standard
-/// [`MitigationChoice`] doesn't expose.
+/// Run a job with an explicitly constructed policy — the escape hatch for
+/// ablations that sweep policy hyper-parameters the standard
+/// [`MitigationChoice`] doesn't expose. Dispatches on `cfg.arch` like
+/// [`Job::run`].
 pub fn ps_run_with_policy(
     cfg: JobConfig,
     policy: Box<dyn antdt_controller::MitigationPolicy>,
 ) -> JobReport {
-    ps::run(cfg, policy)
+    runtime::run_with_policy(cfg, policy)
 }

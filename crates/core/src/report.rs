@@ -94,6 +94,63 @@ pub struct JobReport {
 }
 
 impl JobReport {
+    /// Deterministic line-oriented rendering of every simulated quantity in the
+    /// report — the golden-fixture format of `tests/refactor_equivalence.rs`.
+    ///
+    /// Two same-seed runs must produce byte-identical dumps, so everything
+    /// rendered here is derived purely from the simulated schedule (ordered
+    /// `Vec`s, `BTreeMap`s, virtual timestamps — never wall clock or hash
+    /// iteration order). Telemetry and Gantt artifacts are reduced to presence
+    /// flags: they are render-format concerns, not simulation results, and have
+    /// their own byte-identity tests in `job.rs`.
+    pub fn golden_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let w = &mut s;
+        let _ = writeln!(w, "jct_us: {}", self.jct.as_micros());
+        let _ = writeln!(w, "iterations: {}", self.iterations);
+        let _ = writeln!(w, "samples_done: {}", self.samples_done);
+        let _ = writeln!(w, "rolled_back_samples: {}", self.rolled_back_samples);
+        let _ = writeln!(w, "timed_out: {}", self.timed_out);
+        let _ = writeln!(w, "stalled: {}", self.stalled);
+        let series = |w: &mut String, tag: &str, list: &[TimeSeries]| {
+            for (i, ts) in list.iter().enumerate() {
+                let _ = writeln!(w, "{tag}[{i}]: {ts:?}");
+            }
+        };
+        series(w, "worker_bpt", &self.worker_bpt);
+        series(w, "worker_batch", &self.worker_batch);
+        series(w, "server_bpt", &self.server_bpt);
+        let _ = writeln!(w, "global_throughput: {:?}", self.global_throughput);
+        for (t, a) in &self.actions {
+            let _ = writeln!(w, "action: {} {a:?}", t.as_micros());
+        }
+        for (t, n) in &self.kills {
+            let _ = writeln!(w, "kill: {} {n}", t.as_micros());
+        }
+        for (t, n) in &self.restarts {
+            let _ = writeln!(w, "restart: {} {n}", t.as_micros());
+        }
+        for r in &self.injections {
+            let _ = writeln!(w, "injection: {r:?}");
+        }
+        for a in &self.action_log {
+            let _ = writeln!(w, "applied: {a:?}");
+        }
+        let _ = writeln!(w, "overhead_dds_us: {}", self.overhead.dds.as_micros());
+        let _ = writeln!(w, "overhead_sync_us: {}", self.overhead.sync.as_micros());
+        let _ = writeln!(w, "audit: {:?}", self.audit);
+        let _ = writeln!(w, "consumption: {:?}", self.consumption);
+        let _ = writeln!(w, "auc: {:?}", self.auc);
+        let _ = writeln!(w, "gantt_recorded: {}", self.gantt.is_some());
+        let _ = writeln!(w, "events_processed: {}", self.events_processed);
+        for d in &self.decision_log {
+            let _ = writeln!(w, "decision: {d:?}");
+        }
+        let _ = writeln!(w, "telemetry_recorded: {}", self.telemetry.is_some());
+        s
+    }
+
     /// Mean reported BPT of one worker (for summary tables).
     pub fn mean_worker_bpt(&self, w: usize) -> Option<f64> {
         self.worker_bpt.get(w).and_then(|s| s.mean())

@@ -1,0 +1,253 @@
+//! BSP flavor: global barrier per iteration with backup-workers support.
+//!
+//! The barrier tracks a frozen participant set per iteration; the close
+//! threshold is `participants − backup_b` (§V-D backup workers), so up to
+//! `b` stragglers may be dropped — their late pushes roll back and rejoin
+//! the next iteration.
+
+use super::kernel::Kernel;
+use super::ml_bridge;
+use super::ps_common::{PsFlavor, PsStrategy};
+use crate::events::Ev;
+use antdt_monitor::NodeId;
+use antdt_sim::gantt::SpanKind;
+use antdt_sim::{Engine, SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// One worker's arrived push awaiting the barrier close.
+struct Push {
+    w: u32,
+    compute_end: SimTime,
+    /// Per-server gradient-piece arrival instants.
+    arrivals: Vec<SimTime>,
+}
+
+/// The BSP flavor over the shared PS driver.
+pub struct BspFlavor {
+    /// Global barrier iteration counter.
+    iter: u64,
+    /// Workers the current barrier waits for (frozen at the last close).
+    participants: HashSet<u32>,
+    pushes: Vec<Push>,
+    /// Backup-workers knob: how many stragglers the barrier may drop.
+    backup_b: u32,
+    /// A close was attempted while a server was down; retry on recovery.
+    close_pending: bool,
+}
+
+/// The BSP parameter-server runtime.
+pub type BspPs = PsStrategy<BspFlavor>;
+
+impl BspPs {
+    pub fn new(n: usize) -> Self {
+        PsStrategy {
+            flavor: BspFlavor {
+                iter: 0,
+                participants: (0..n as u32).collect(),
+                pushes: Vec::new(),
+                backup_b: 0,
+                close_pending: false,
+            },
+        }
+    }
+}
+
+impl BspFlavor {
+    fn required(&self) -> usize {
+        self.participants.len().saturating_sub(self.backup_b as usize).max(1)
+    }
+
+    /// Close the barrier if enough pushes arrived: run the per-server FIFO
+    /// pass, one aggregated optimizer apply, commit every pushed worker and
+    /// release the next iteration.
+    fn try_close(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+        if self.pushes.len() < self.required().min(self.participants.len().max(1)) {
+            return;
+        }
+        if self.pushes.is_empty() {
+            return;
+        }
+        if k.servers.iter().any(|s| !s.alive) {
+            self.close_pending = true;
+            return;
+        }
+        self.close_pending = false;
+        let now = eng.now();
+
+        // ---- Server pass: per-server FIFO over the arrived pieces, then one
+        // optimizer apply per iteration.
+        let mut ready_max = SimTime::ZERO;
+        for j in 0..k.servers.len() {
+            let mut arrivals: Vec<SimTime> = self.pushes.iter().map(|p| p.arrivals[j]).collect();
+            arrivals.sort_unstable();
+            let mut t = k.servers[j].free_at;
+            let mut busy = 0.0;
+            for a in arrivals {
+                let start = t.max(a);
+                let svc = k.cfg.model.server_agg_secs * k.servers[j].profile.slowdown(start);
+                t = start + SimDuration::from_secs_f64(svc);
+                busy += svc;
+            }
+            let apply = k.cfg.model.server_apply_secs * k.servers[j].profile.slowdown(t);
+            t += SimDuration::from_secs_f64(apply);
+            busy += apply;
+            k.servers[j].free_at = t;
+            k.servers[j].series_bpt.push(t, busy);
+            k.store.report_bpt(NodeId::server(j as u32), t, busy, 0);
+            ready_max = ready_max.max(t);
+        }
+
+        // ---- Drop the stragglers beyond the backup threshold (their late
+        // ComputeDone events will roll back & rejoin).
+        let pushed: HashSet<u32> = self.pushes.iter().map(|p| p.w).collect();
+
+        // ---- Math: aggregate pushed gradients, one apply.
+        {
+            let contribs: Vec<(u64, &[f32], f32)> = self
+                .pushes
+                .iter()
+                .filter_map(|p| {
+                    let inf = k.workers[p.w as usize].inflight.as_ref()?;
+                    let g = inf.grad.as_deref()?;
+                    Some((inf.took, g, k.workers[p.w as usize].lr_scale))
+                })
+                .collect();
+            ml_bridge::weighted_step(&mut k.math, &contribs, k.cfg.global_batch);
+        }
+
+        // ---- Commit pushed workers; record their BPT and schedule the next
+        // iteration start after the pull.
+        let pushes = std::mem::take(&mut self.pushes);
+        let mut iteration_samples = 0u64;
+        for p in &pushes {
+            let wi = p.w as usize;
+            let Some(inf) = k.workers[wi].inflight.take() else {
+                continue;
+            };
+            iteration_samples += inf.took;
+            k.commit(wi, ready_max);
+            let pull = k.pull_secs(ready_max, wi);
+            let push_tx = p
+                .arrivals
+                .iter()
+                .map(|&a| a.since(p.compute_end).as_secs_f64())
+                .fold(0.0, f64::max);
+            let bpt = inf.compute_end.since(inf.start).as_secs_f64() + push_tx + pull;
+            k.workers[wi].iter += 1;
+            k.workers[wi].series_bpt.push(now, bpt);
+            k.workers[wi].series_batch.push(now, inf.took as f64);
+            if k.workers[wi].agent.on_iteration() && !k.report_dropped() {
+                k.store.report_bpt(NodeId::worker(p.w), now, bpt, inf.took);
+                k.overhead.add_sync(SimDuration::from_secs_f64(k.cfg.broadcast.barrier_secs));
+            }
+            if let Some(g) = k.gantt.as_mut() {
+                g.record(
+                    p.w,
+                    SpanKind::Comm,
+                    inf.compute_end,
+                    inf.compute_end + SimDuration::from_secs_f64(push_tx),
+                );
+                g.record(
+                    p.w,
+                    SpanKind::Idle,
+                    inf.compute_end + SimDuration::from_secs_f64(push_tx),
+                    ready_max,
+                );
+            }
+            let next = ready_max + SimDuration::from_secs_f64(pull);
+            k.workers[wi].next_allowed = next;
+            eng.schedule(next, Ev::WorkerStart { w: p.w, gen: k.workers[wi].gen });
+        }
+
+        // DDS shard-state synchronization sits on the iteration's critical
+        // path once per global iteration (Fig. 18 accounting).
+        k.overhead.add_dds(SimDuration::from_secs_f64(super::data::DDS_SYNC_SECS));
+        k.account_samples(ready_max, iteration_samples);
+        k.bump_iteration();
+        k.jct_mark = k.jct_mark.max(ready_max);
+        self.iter += 1;
+        // Freeze the next iteration's participant set: everyone currently able
+        // to contribute a push.
+        self.participants = k
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| x.alive && !x.done && !x.starving && x.quota > 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        // Workers still computing past the barrier belong to the *old* iter;
+        // nothing to do — their ComputeDone rolls them into the new one. Idle
+        // alive workers that never joined (quota 0 at the time) get poked so a
+        // fresh AdjustBs can pick them up.
+        for w in 0..k.workers.len() {
+            if k.workers[w].alive
+                && !k.workers[w].done
+                && k.workers[w].inflight.is_none()
+                && !pushed.contains(&(w as u32))
+            {
+                eng.schedule(ready_max, Ev::WorkerStart { w: w as u32, gen: k.workers[w].gen });
+            }
+        }
+        k.check_finished(eng);
+    }
+}
+
+impl PsFlavor for BspFlavor {
+    fn iter_tag(&self, _k: &Kernel, _wi: usize) -> u64 {
+        self.iter
+    }
+
+    fn on_quota_zero(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+        if self.participants.remove(&w) {
+            self.try_close(k, eng);
+        }
+    }
+
+    fn on_data_wait(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+        if self.participants.remove(&w) {
+            self.try_close(k, eng);
+        }
+    }
+
+    fn on_worker_done(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+        if self.participants.remove(&w) {
+            self.try_close(k, eng);
+        }
+    }
+
+    fn on_push(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32, iter: u64) {
+        let wi = w as usize;
+        let now = eng.now();
+        if iter < self.iter {
+            // This worker was dropped by backup-workers while computing:
+            // roll back its samples and let it join the current iteration.
+            let took = k.workers[wi].inflight.take().map(|i| i.took).unwrap_or(0);
+            k.rollback(wi, took);
+            eng.schedule(now, Ev::WorkerStart { w, gen });
+            return;
+        }
+        let arrivals: Vec<SimTime> = (0..k.servers.len())
+            .map(|j| now + SimDuration::from_secs_f64(k.path_transfer(now, wi, j)))
+            .collect();
+        self.pushes.push(Push { w, compute_end: now, arrivals });
+        self.try_close(k, eng);
+    }
+
+    fn on_worker_killed(&mut self, _k: &mut Kernel, _eng: &mut Engine<Ev>, w: u32) {
+        self.participants.remove(&w);
+    }
+
+    fn after_failover(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+        self.try_close(k, eng);
+    }
+
+    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, _now: SimTime) {
+        if self.close_pending {
+            self.try_close(k, eng);
+        }
+    }
+
+    fn set_backup_workers(&mut self, b: u32) {
+        self.backup_b = b;
+    }
+}

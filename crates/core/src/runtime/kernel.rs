@@ -1,0 +1,359 @@
+//! The runtime kernel: the world state and bookkeeping that every training
+//! runtime shares, regardless of synchronization strategy.
+//!
+//! A [`Kernel`] owns the nodes (workers and, for PS topologies, servers), the
+//! DDS handle, the Monitor/Controller/Agent wiring, the ML math state, the
+//! chaos-drill ledgers and the report accumulators. Everything
+//! consistency-specific — barriers, async pushes, staleness gates, ring
+//! rounds — lives behind [`super::strategy::SyncStrategy`] and only borrows
+//! the kernel.
+
+use super::data::{DataSource, LeaseState};
+use super::ml_bridge::MathState;
+use crate::config::{DataStrategy, ExecutionMode, JobConfig};
+use crate::obs::RtTele;
+use crate::report::{ActionApplication, InjectionRecord};
+use antdt_agent::{Agent, OverheadLedger};
+use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
+use antdt_dds::{DdsConfig, DdsService};
+use antdt_ml::{FactorizationMachine, Model, PartitionPlan, Sgd};
+use antdt_monitor::{MetricStore, NodeId};
+use antdt_sim::{Gantt, Link, NodeProfile, RngPool, SimDuration, SimTime, TimeSeries};
+use antdt_telemetry::DecisionRecord;
+use antdt_workloads::DeviceClass;
+use rand::rngs::StdRng;
+use std::collections::{HashMap, HashSet};
+
+/// A worker's in-flight iteration (compute scheduled, push not yet landed).
+pub struct Inflight {
+    pub(crate) took: u64,
+    pub(crate) start: SimTime,
+    pub(crate) compute_end: SimTime,
+    pub(crate) grad: Option<Vec<f32>>,
+}
+
+/// One worker (PS) or rank (AllReduce). The kernel keeps the superset of
+/// per-node state; strategies that don't use a field (e.g. AllReduce never
+/// restarts a rank, so `gen` stays 0) simply leave it at its initial value.
+pub struct WorkerState {
+    pub(crate) gen: u32,
+    pub(crate) alive: bool,
+    pub(crate) done: bool,
+    pub(crate) profile: NodeProfile,
+    pub(crate) device: DeviceClass,
+    pub(crate) link: Link,
+    pub(crate) agent: Agent,
+    pub(crate) quota: u64,
+    pub(crate) accum: u32,
+    pub(crate) lr_scale: f32,
+    pub(crate) source: DataSource,
+    pub(crate) leases: Vec<LeaseState>,
+    pub(crate) iter: u64,
+    pub(crate) inflight: Option<Inflight>,
+    pub(crate) rng: StdRng,
+    pub(crate) series_bpt: TimeSeries,
+    pub(crate) series_batch: TimeSeries,
+    pub(crate) killed_at: Option<SimTime>,
+    /// Wants data but the shard queue is momentarily empty; excluded from the
+    /// SSP minimum so leaders holding leases are not gated on a worker that
+    /// cannot progress anyway (liveness guard).
+    pub(crate) starving: bool,
+    /// Earliest instant the worker may begin its next iteration — the barrier
+    /// release + pull time. Guards against stray wake-ups (action-delivery
+    /// pokes, duplicate events) starting an iteration before the release,
+    /// which would illegally pipeline the synchronous schedule.
+    pub(crate) next_allowed: SimTime,
+}
+
+/// One parameter server (PS topologies only; empty for AllReduce).
+pub struct ServerState {
+    pub(crate) gen: u32,
+    pub(crate) alive: bool,
+    pub(crate) profile: NodeProfile,
+    pub(crate) link: Link,
+    pub(crate) free_at: SimTime,
+    pub(crate) series_bpt: TimeSeries,
+}
+
+/// The shared runtime world. See the module docs for the kernel/strategy
+/// split; field groups mirror the report sections they eventually feed.
+pub struct Kernel {
+    pub(crate) cfg: JobConfig,
+    pub(crate) pool: RngPool,
+    pub(crate) sched_rng: StdRng,
+    pub(crate) workers: Vec<WorkerState>,
+    pub(crate) servers: Vec<ServerState>,
+    pub(crate) dds: Option<DdsService>,
+    pub(crate) store: MetricStore,
+    pub(crate) policy: Box<dyn MitigationPolicy>,
+    pub(crate) ctx: PolicyCtx,
+    pub(crate) math: Option<MathState>,
+    pub(crate) overhead: OverheadLedger,
+    pub(crate) actions: Vec<(SimTime, Action)>,
+    pub(crate) kills: Vec<(SimTime, NodeId)>,
+    pub(crate) restarts: Vec<(SimTime, NodeId)>,
+    pub(crate) last_ckpt: SimTime,
+    pub(crate) samples_done: u64,
+    pub(crate) rolled_back_samples: u64,
+    pub(crate) iterations: u64,
+    pub(crate) jct_mark: SimTime,
+    pub(crate) finished: bool,
+    pub(crate) timed_out: bool,
+    pub(crate) throughput: TimeSeries,
+    pub(crate) bucket_start: SimTime,
+    pub(crate) bucket_samples: u64,
+    pub(crate) gantt: Option<Gantt>,
+    /// Checkpoint-based failover stalls the whole job until the restore and
+    /// global recompute finish.
+    pub(crate) stall_until: SimTime,
+    /// Whether `commit` charges a DDS fetch round-trip per `report_done`
+    /// (the PS runtimes do; the round-driven runtimes fold it into the round).
+    pub(crate) charge_report_fetch: bool,
+
+    // ---- chaos-drill state; all of it stays empty/neutral unless the config
+    // carries `injections` or a `liveness_timeout`.
+    pub(crate) injections_log: Vec<InjectionRecord>,
+    pub(crate) action_log: Vec<ActionApplication>,
+    /// Workers killed with failover disabled: DOING shards are not requeued
+    /// and no replacement pod is scheduled (barrier-stall drills).
+    pub(crate) chaos_no_failover: HashSet<u32>,
+    /// Extra scheduler delay consumed by each worker's next restart.
+    pub(crate) chaos_restart_extra: Vec<f64>,
+    /// Active DropReports windows: `(injection idx, prob, seeded rng)`.
+    pub(crate) chaos_droppers: Vec<(u32, f64, StdRng)>,
+    /// Active NetworkDegrade windows: `(injection idx, worker, original bw)`.
+    pub(crate) chaos_degraded: Vec<(u32, u32, f64)>,
+    /// Killed worker → injection-log index awaiting the recovery marks.
+    pub(crate) chaos_awaiting_recovery: HashMap<u32, usize>,
+    /// Nesting depth of overlapping DDS outage windows.
+    pub(crate) chaos_outages: u32,
+    /// Last instant training progress was observed (liveness watchdog).
+    pub(crate) last_progress: SimTime,
+    pub(crate) stalled: bool,
+
+    /// Telemetry bundle; present iff `JobConfig::telemetry`. Counting and
+    /// tracing never touch the event order or any RNG stream, so a run's
+    /// simulated results are identical with telemetry on or off.
+    pub(crate) tele: Option<RtTele>,
+    /// Controller decision audit drained from the policy after every tick.
+    pub(crate) decision_log: Vec<DecisionRecord>,
+}
+
+impl Kernel {
+    /// Build the world from a validated config. `worker_stream_family` keys
+    /// the per-worker jitter RNG streams (`RngPool::stream2(family, i)`) so
+    /// each runtime family keeps its historical stream assignment.
+    pub(crate) fn new(
+        cfg: JobConfig,
+        policy: Box<dyn MitigationPolicy>,
+        tele: Option<RtTele>,
+        worker_stream_family: u64,
+        charge_report_fetch: bool,
+        uses_servers: bool,
+    ) -> Self {
+        let pool = RngPool::new(cfg.seed);
+        let n = cfg.n_workers();
+        let m = if uses_servers { cfg.n_servers() } else { 0 };
+
+        // Shards are sized in *local* batches: a shard is consumed by one
+        // worker, so `M` counts that worker's batches (K = N / ((B/n)·M)).
+        let local_batch = (cfg.global_batch / n.max(1) as u64).max(1);
+        let dds = match cfg.data {
+            DataStrategy::Dds => Some(DdsService::new(
+                DdsConfig::new(cfg.total_samples, local_batch)
+                    .with_batches_per_shard(cfg.batches_per_shard)
+                    .with_epochs(cfg.epochs)
+                    .with_shuffle(Some(cfg.seed)),
+            )),
+            DataStrategy::EvenPartition => None,
+        };
+        if let (Some(rt), Some(dds)) = (&tele, &dds) {
+            dds.attach_telemetry(rt.dds.clone());
+        }
+
+        let math = match &cfg.execution {
+            ExecutionMode::Simulated => None,
+            ExecutionMode::Real { dataset, latent_k, lr, .. } => {
+                let model = FactorizationMachine::new(dataset.n_features, *latent_k, 0.05);
+                let n_params = model.n_params();
+                Some(MathState {
+                    model,
+                    opt: Sgd::new(*lr),
+                    plan: PartitionPlan::even(n_params, m.max(1)),
+                    agg: vec![0.0; n_params],
+                })
+            }
+        };
+
+        let even_quota = |i: usize| {
+            cfg.global_batch / n as u64 + u64::from((i as u64) < cfg.global_batch % n as u64)
+        };
+        let per_worker_fixed = |i: usize| {
+            let total = cfg.total_samples * cfg.epochs as u64;
+            total / n as u64 + u64::from((i as u64) < total % n as u64)
+        };
+
+        let mut store = MetricStore::new(cfg.monitor);
+        if let Some(rt) = &tele {
+            store.attach_telemetry(rt.monitor.clone());
+        }
+        let mut workers: Vec<WorkerState> = (0..n)
+            .map(|i| {
+                store.register(NodeId::worker(i as u32));
+                let spec = &cfg.cluster.workers[i];
+                WorkerState {
+                    gen: 0,
+                    alive: true,
+                    done: false,
+                    profile: spec.profile.clone(),
+                    device: spec.device,
+                    link: spec.link.clone(),
+                    agent: Agent::new(NodeId::worker(i as u32), cfg.agent),
+                    quota: even_quota(i),
+                    accum: 1,
+                    lr_scale: 1.0,
+                    source: match cfg.data {
+                        DataStrategy::Dds => DataSource::Dds,
+                        DataStrategy::EvenPartition => {
+                            DataSource::Fixed { remaining: per_worker_fixed(i) }
+                        }
+                    },
+                    leases: Vec::new(),
+                    iter: 0,
+                    inflight: None,
+                    rng: pool.stream2(worker_stream_family, i as u64),
+                    series_bpt: TimeSeries::new(),
+                    series_batch: TimeSeries::new(),
+                    killed_at: None,
+                    starving: false,
+                    next_allowed: SimTime::ZERO,
+                }
+            })
+            .collect();
+        if let Some(rt) = &tele {
+            for w in &mut workers {
+                w.agent.attach_telemetry(rt.agents.clone());
+            }
+        }
+        let servers: Vec<ServerState> = (0..m)
+            .map(|j| {
+                store.register(NodeId::server(j as u32));
+                let spec = &cfg.cluster.servers[j];
+                ServerState {
+                    gen: 0,
+                    alive: true,
+                    profile: spec.profile.clone(),
+                    link: spec.link.clone(),
+                    free_at: SimTime::ZERO,
+                    series_bpt: TimeSeries::new(),
+                }
+            })
+            .collect();
+
+        let ctx = PolicyCtx { global_batch: cfg.global_batch, n_workers: n, n_servers: m };
+        // Telemetry implies Gantt recording: the recorded spans become the
+        // bulk of the exported Chrome trace.
+        let gantt = (cfg.record_gantt || cfg.telemetry).then(Gantt::new);
+        Kernel {
+            sched_rng: pool.stream(7),
+            pool,
+            workers,
+            servers,
+            dds,
+            store,
+            policy,
+            ctx,
+            math,
+            overhead: OverheadLedger::new(),
+            actions: Vec::new(),
+            kills: Vec::new(),
+            restarts: Vec::new(),
+            last_ckpt: SimTime::ZERO,
+            samples_done: 0,
+            rolled_back_samples: 0,
+            iterations: 0,
+            jct_mark: SimTime::ZERO,
+            finished: false,
+            timed_out: false,
+            throughput: TimeSeries::new(),
+            bucket_start: SimTime::ZERO,
+            bucket_samples: 0,
+            gantt,
+            stall_until: SimTime::ZERO,
+            charge_report_fetch,
+            injections_log: Vec::new(),
+            action_log: Vec::new(),
+            chaos_no_failover: HashSet::new(),
+            chaos_restart_extra: vec![0.0; n],
+            chaos_droppers: Vec::new(),
+            chaos_degraded: Vec::new(),
+            chaos_awaiting_recovery: HashMap::new(),
+            chaos_outages: 0,
+            last_progress: SimTime::ZERO,
+            stalled: false,
+            tele,
+            decision_log: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Record a non-trivial Controller action in the report timeline and the
+    /// telemetry trace (shared by every strategy's monitor hook).
+    pub(crate) fn record_action(&mut self, now: SimTime, action: &Action) {
+        self.actions.push((now, action.clone()));
+        if let Some(rt) = &self.tele {
+            rt.actions_dispatched.inc();
+            rt.tele.tracer.instant(
+                "controller-action",
+                "controller",
+                now.as_micros(),
+                0,
+                &[("action", &format!("{action:?}"))],
+            );
+        }
+    }
+
+    /// Count one completed global iteration (BSP barrier close, ASP push,
+    /// AllReduce round).
+    pub(crate) fn bump_iteration(&mut self) {
+        self.iterations += 1;
+        if let Some(rt) = &self.tele {
+            rt.iterations.inc();
+        }
+    }
+
+    /// Sample the scheduler's restart delay, routing the draw through the
+    /// telemetry histogram when observability is on (same RNG either way).
+    pub(crate) fn sched_restart_delay(&mut self, now: SimTime) -> SimDuration {
+        match &self.tele {
+            Some(rt) => self.cfg.cluster.scheduler.sample_restart_delay_observed(
+                now,
+                &mut self.sched_rng,
+                &rt.restart_delay_us,
+            ),
+            None => self.cfg.cluster.scheduler.sample_restart_delay(now, &mut self.sched_rng),
+        }
+    }
+
+    // ---- PS-topology cost helpers (no-ops for serverless strategies).
+
+    pub(crate) fn piece_bytes(&self) -> u64 {
+        (self.cfg.model.param_bytes / self.servers.len().max(1) as u64).max(1)
+    }
+
+    /// Worker→server transfer time of one gradient piece along both links.
+    pub(crate) fn path_transfer(&self, now: SimTime, wi: usize, sj: usize) -> f64 {
+        let bytes = self.piece_bytes();
+        let wl = &self.workers[wi].link;
+        let sl = &self.servers[sj].link;
+        let bw = wl.bandwidth_bps.min(sl.bandwidth_bps);
+        wl.latency_secs
+            + sl.latency_secs
+            + bytes as f64 / bw * wl.congestion_at(now) * sl.congestion_at(now)
+    }
+
+    /// Max pull transfer over all servers (parallel pulls).
+    pub(crate) fn pull_secs(&self, now: SimTime, wi: usize) -> f64 {
+        (0..self.servers.len()).map(|j| self.path_transfer(now, wi, j)).fold(0.0, f64::max)
+    }
+}

@@ -1,0 +1,242 @@
+//! Kernel lifecycle: node kill/restart state machines with generation
+//! counters, failover scheduling, checkpoints and background fault arrivals.
+//!
+//! Everything here is PS-family machinery (ranks in round-driven strategies
+//! never restart — a killed rank leaves for good, handled in the strategy),
+//! but it is kernel code: every PS consistency flavour shares it verbatim,
+//! parameterized only by the [`PsFlavor`] hooks for barrier membership.
+
+use super::kernel::Kernel;
+use super::ps_common::PsFlavor;
+use crate::config::FailoverMode;
+use crate::events::Ev;
+use antdt_monitor::{ErrorClass, NodeEvent, NodeId, RetryableError};
+use antdt_sim::dist::Dist;
+use antdt_sim::gantt::SpanKind;
+use antdt_sim::{Engine, NodeProfile, SimDuration};
+
+/// Kill worker `w` (generation-checked): roll back its in-flight samples,
+/// requeue its DOING shards, drop it from the consistency layer and schedule
+/// the replacement pod.
+pub(crate) fn worker_kill<F: PsFlavor>(
+    k: &mut Kernel,
+    f: &mut F,
+    eng: &mut Engine<Ev>,
+    w: u32,
+    gen: u32,
+    class: ErrorClass,
+) {
+    let wi = w as usize;
+    if !k.workers[wi].alive || k.workers[wi].gen != gen {
+        return;
+    }
+    let now = eng.now();
+    k.workers[wi].alive = false;
+    k.workers[wi].gen += 1;
+    k.workers[wi].killed_at = Some(now);
+    k.kills.push((now, NodeId::worker(w)));
+    if let Some(rt) = &k.tele {
+        rt.kills.inc();
+        rt.tele.tracer.instant(
+            "worker-kill",
+            "lifecycle",
+            now.as_micros(),
+            w,
+            &[("class", &format!("{class:?}"))],
+        );
+    }
+    k.store.report_event(NodeEvent::Killed { node: NodeId::worker(w), at: now, class });
+    // Roll back in-flight samples, requeue DOING shards.
+    if let Some(inf) = k.workers[wi].inflight.take() {
+        k.rollback(wi, inf.took);
+    }
+    k.workers[wi].leases.clear();
+    if let Some(dds) = &k.dds {
+        // A no-failover chaos kill models the failover machinery itself
+        // being broken: the dead worker's DOING shards stay stuck, so the
+        // job can never complete — the liveness watchdog must catch it.
+        if !k.chaos_no_failover.contains(&w) {
+            dds.fail_worker(w);
+        }
+    }
+    f.on_worker_killed(k, eng, w);
+    // Schedule the replacement pod. DDS-based recovery only rebuilds the
+    // communication world (the servers still hold the parameters);
+    // checkpoint-based recovery additionally restores the checkpoint and
+    // recomputes all progress since it — stalling the whole job (§V-E3).
+    // Chaos no-failover kills skip the replacement entirely.
+    if !k.chaos_no_failover.contains(&w) {
+        let mut delay =
+            k.sched_restart_delay(now) + SimDuration::from_secs_f64(k.cfg.world_rebuild_secs);
+        let extra = std::mem::take(&mut k.chaos_restart_extra[wi]);
+        if extra > 0.0 {
+            delay += SimDuration::from_secs_f64(extra);
+        }
+        if k.cfg.failover == FailoverMode::CheckpointBased {
+            let rollback = k.cfg.rollback_recompute_factor
+                * now.since(k.last_ckpt).as_secs_f64().min(k.cfg.checkpoint_interval.as_secs_f64());
+            delay += SimDuration::from_secs_f64(k.cfg.ckpt_restore_secs + rollback);
+            k.stall_until = k.stall_until.max(now + delay);
+        }
+        if let Some(g) = k.gantt.as_mut() {
+            g.record(w, SpanKind::Failover, now, now + delay);
+        }
+        eng.schedule(now + delay, Ev::WorkerRestart { w, gen: k.workers[wi].gen });
+    }
+    f.after_failover(k, eng);
+    k.check_finished(eng);
+}
+
+/// The replacement server came up: clean node, everyone stalled on it resumes.
+pub(crate) fn server_restart<F: PsFlavor>(
+    k: &mut Kernel,
+    f: &mut F,
+    eng: &mut Engine<Ev>,
+    s: u32,
+    gen: u32,
+) {
+    let sj = s as usize;
+    if k.servers[sj].alive || k.servers[sj].gen != gen || k.finished {
+        return;
+    }
+    let now = eng.now();
+    k.servers[sj].alive = true;
+    // Replacement server: clean profile and link (the congestion followed
+    // the contended host, not the pod identity).
+    let stream = k.servers[sj].profile.stream + 100_000 * gen as u64;
+    k.servers[sj].profile = NodeProfile::clean(stream);
+    k.servers[sj].link.congestion.clear();
+    k.servers[sj].free_at = now;
+    k.restarts.push((now, NodeId::server(s)));
+    if let Some(rt) = &k.tele {
+        rt.restarts.inc();
+        rt.tele.tracer.instant("server-restart", "lifecycle", now.as_micros(), 1000 + s, &[]);
+    }
+    k.last_progress = k.last_progress.max(now);
+    k.store.report_event(NodeEvent::Restarted { node: NodeId::server(s), at: now });
+
+    if k.servers.iter().all(|x| x.alive) {
+        f.on_servers_recovered(k, eng, now);
+    }
+}
+
+/// A background fault arrival for worker `w`: kill (if alive) and re-arm —
+/// the replacement pod is as mortal as its predecessor.
+pub(crate) fn fault_worker<F: PsFlavor>(k: &mut Kernel, f: &mut F, eng: &mut Engine<Ev>, w: u32) {
+    let gen = k.workers[w as usize].gen;
+    if k.workers[w as usize].alive {
+        worker_kill(k, f, eng, w, gen, ErrorClass::Retryable(RetryableError::NodeFailure));
+    }
+    let mtbf = k.cfg.faults.expect("fault event without config").worker_mtbf;
+    let next = k.sample_fault_delay(mtbf);
+    eng.schedule_after(next, Ev::FaultWorker { w });
+}
+
+impl Kernel {
+    /// The replacement worker pod came up on healthy hardware.
+    pub(crate) fn worker_restart(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32) {
+        let wi = w as usize;
+        if self.workers[wi].alive || self.workers[wi].gen != gen || self.finished {
+            return;
+        }
+        let now = eng.now();
+        self.workers[wi].alive = true;
+        self.workers[wi].done = false;
+        // The replacement lands on healthy hardware: clean profile, fresh
+        // stream so its jitter doesn't replay the old node's.
+        let stream = self.workers[wi].profile.stream + 100_000 * gen as u64;
+        self.workers[wi].profile = NodeProfile::clean(stream);
+        self.workers[wi].agent.reset();
+        self.workers[wi].next_allowed = now;
+        self.restarts.push((now, NodeId::worker(w)));
+        if let Some(rt) = &self.tele {
+            rt.restarts.inc();
+            rt.tele.tracer.instant("worker-restart", "lifecycle", now.as_micros(), w, &[]);
+        }
+        self.last_progress = self.last_progress.max(now);
+        if let Some(&idx) = self.chaos_awaiting_recovery.get(&w) {
+            if self.injections_log[idx].restarted_at.is_none() {
+                self.injections_log[idx].restarted_at = Some(now);
+            }
+        }
+        self.store.report_event(NodeEvent::Restarted { node: NodeId::worker(w), at: now });
+        eng.schedule(now, Ev::WorkerStart { w, gen });
+    }
+
+    /// Kill server `s` (generation-checked) and schedule its checkpoint-based
+    /// failover: pending + init + rebuild + checkpoint restore + recompute of
+    /// the progress since the last checkpoint (§V-E2).
+    pub(crate) fn server_kill(&mut self, eng: &mut Engine<Ev>, s: u32, gen: u32) {
+        let sj = s as usize;
+        if !self.servers[sj].alive || self.servers[sj].gen != gen {
+            return;
+        }
+        let now = eng.now();
+        self.servers[sj].alive = false;
+        self.servers[sj].gen += 1;
+        self.kills.push((now, NodeId::server(s)));
+        if let Some(rt) = &self.tele {
+            rt.kills.inc();
+            // Server lanes sit above the worker lanes in the trace viewer.
+            rt.tele.tracer.instant("server-kill", "lifecycle", now.as_micros(), 1000 + s, &[]);
+        }
+        self.store.report_event(NodeEvent::Killed {
+            node: NodeId::server(s),
+            at: now,
+            class: ErrorClass::Retryable(RetryableError::ProactiveKill),
+        });
+        let rollback = self.cfg.rollback_recompute_factor
+            * now
+                .since(self.last_ckpt)
+                .as_secs_f64()
+                .min(self.cfg.checkpoint_interval.as_secs_f64());
+        let delay = self.sched_restart_delay(now)
+            + SimDuration::from_secs_f64(
+                self.cfg.world_rebuild_secs + self.cfg.ckpt_restore_secs + rollback,
+            );
+        eng.schedule(now + delay, Ev::ServerRestart { s, gen: self.servers[sj].gen });
+    }
+
+    /// Exponential inter-arrival draw for background faults.
+    pub(crate) fn sample_fault_delay(&mut self, mtbf: SimDuration) -> SimDuration {
+        let d = Dist::Exponential { mean: mtbf.as_secs_f64() };
+        SimDuration::from_secs_f64(d.sample(&mut self.sched_rng).max(1.0))
+    }
+
+    /// A background fault arrival for server `s`: kill (if alive) and re-arm.
+    pub(crate) fn fault_server(&mut self, eng: &mut Engine<Ev>, s: u32) {
+        let gen = self.servers[s as usize].gen;
+        if self.servers[s as usize].alive {
+            self.server_kill(eng, s, gen);
+        }
+        let mtbf = self
+            .cfg
+            .faults
+            .expect("fault event without config")
+            .server_mtbf
+            .expect("server fault without server mtbf");
+        let next = self.sample_fault_delay(mtbf);
+        eng.schedule_after(next, Ev::FaultServer { s });
+    }
+
+    /// Periodic checkpoint: stamp the rollback watermark, stall the servers
+    /// for the save, re-arm.
+    pub(crate) fn checkpoint(&mut self, eng: &mut Engine<Ev>) {
+        if self.finished {
+            return;
+        }
+        let now = eng.now();
+        self.last_ckpt = now;
+        if let Some(rt) = &self.tele {
+            rt.tele.tracer.instant("checkpoint", "lifecycle", now.as_micros(), 0, &[]);
+        }
+        // Saving blocks the servers briefly.
+        for srv in &mut self.servers {
+            if srv.alive {
+                srv.free_at =
+                    srv.free_at.max(now) + SimDuration::from_secs_f64(self.cfg.ckpt_save_secs);
+            }
+        }
+        eng.schedule(now + self.cfg.checkpoint_interval, Ev::Checkpoint);
+    }
+}

@@ -1,0 +1,206 @@
+//! Kernel ML bridge: the one real-math path shared by every strategy.
+//!
+//! Previously `real_grad` and the linear-LR-scaling optimizer step were
+//! copied between the PS and AllReduce monoliths; this module is the single
+//! implementation. Strategies differ only in *when* they call it: BSP and
+//! ring strategies aggregate a sample-weighted mean at the barrier/round
+//! close ([`weighted_step`]), ASP/SSP apply each push immediately
+//! ([`asp_step`]).
+
+use super::kernel::Kernel;
+use crate::config::ExecutionMode;
+use antdt_ml::{FactorizationMachine, Model, Optimizer, PartitionPlan, Sgd};
+
+/// Real-math state: the model, its optimizer, the parameter partition over
+/// the servers and a persistent aggregation buffer (avoids a fresh
+/// `n_params` allocation per iteration).
+pub struct MathState {
+    pub(crate) model: FactorizationMachine,
+    pub(crate) opt: Sgd,
+    #[allow(dead_code)]
+    pub(crate) plan: PartitionPlan,
+    pub(crate) agg: Vec<f32>,
+}
+
+impl Kernel {
+    /// Compute the real gradient for the samples worker `w` just took (math
+    /// mode): the consumed-but-uncommitted indices across its open leases.
+    pub(crate) fn real_grad(&self, w: usize, took: u64) -> Option<Vec<f32>> {
+        let math = self.math.as_ref()?;
+        let ExecutionMode::Real { dataset, .. } = &self.cfg.execution else {
+            return None;
+        };
+        let mut idx = Vec::with_capacity(took as usize);
+        for lease in &self.workers[w].leases {
+            if lease.consumed > lease.committed {
+                let order = lease.order.as_ref()?;
+                idx.extend_from_slice(&order[lease.committed as usize..lease.consumed as usize]);
+            }
+        }
+        debug_assert_eq!(idx.len() as u64, took);
+        let mut grad = vec![0.0f32; math.model.n_params()];
+        math.model.grad_batch(dataset, &idx, &mut grad);
+        Some(grad)
+    }
+}
+
+/// One synchronous-close optimizer step over the contributed gradients:
+/// `(samples, gradient, per-worker LR scale)` triples, sample-weighted mean,
+/// then **linear learning-rate scaling** — an iteration that realized only
+/// part of the global batch (stragglers dropped, epoch tail) takes a
+/// proportionally smaller step, so the training is equivalent to fixed-B SGD
+/// regardless of mitigation actions.
+pub(crate) fn weighted_step(
+    math: &mut Option<MathState>,
+    contribs: &[(u64, &[f32], f32)],
+    global_batch: u64,
+) {
+    let Some(math) = math.as_mut() else { return };
+    let total: u64 = contribs.iter().map(|c| c.0).sum();
+    if total == 0 {
+        return;
+    }
+    let lr_frac = (total as f32 / global_batch.max(1) as f32).min(1.0);
+    math.agg.iter_mut().for_each(|x| *x = 0.0);
+    for (took, g, scale) in contribs {
+        let wgt = *took as f32 / total as f32 * scale * lr_frac;
+        for (a, b) in math.agg.iter_mut().zip(*g) {
+            *a += b * wgt;
+        }
+    }
+    let agg = std::mem::take(&mut math.agg);
+    math.opt.step(math.model.params_mut(), &agg);
+    math.agg = agg;
+}
+
+/// One asynchronous optimizer step: the push applies immediately, scaled by
+/// the worker's LR scale and its share of the global batch (ASP linear
+/// scaling — each push steps in proportion to its share, so slow/partial
+/// batches don't overstep).
+pub(crate) fn asp_step(
+    math: &mut Option<MathState>,
+    grad: &[f32],
+    took: u64,
+    n_workers: usize,
+    global_batch: u64,
+    lr_scale: f32,
+) {
+    let n = n_workers.max(1) as f32;
+    let lr_frac = (took as f32 * n / global_batch.max(1) as f32).min(1.0);
+    let scale = lr_scale * lr_frac;
+    let math = math.as_mut().unwrap();
+    if scale == 1.0 {
+        math.opt.step(math.model.params_mut(), grad);
+    } else {
+        let scaled: Vec<f32> = grad.iter().map(|x| x * scale).collect();
+        math.opt.step(math.model.params_mut(), &scaled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2-param toy model; `params_mut` starts at zero and SGD applies
+    /// `p -= lr * g`, so a step's magnitude reads the effective LR directly.
+    fn toy_math(lr: f32) -> Option<MathState> {
+        let model = FactorizationMachine::new(1, 0, 0.0);
+        let n = model.n_params();
+        Some(MathState {
+            model,
+            opt: Sgd::new(lr),
+            plan: PartitionPlan::even(n, 1),
+            agg: vec![0.0; n],
+        })
+    }
+
+    fn params(math: &Option<MathState>) -> Vec<f32> {
+        math.as_ref().unwrap().model.params().to_vec()
+    }
+
+    #[test]
+    fn weighted_step_full_batch_is_sample_weighted_mean() {
+        let mut math = toy_math(1.0);
+        let n = params(&math).len();
+        let g1 = vec![1.0f32; n];
+        let g2 = vec![4.0f32; n];
+        // 3:1 sample weighting at exactly the global batch → no LR shrink.
+        weighted_step(&mut math, &[(300, &g1, 1.0), (100, &g2, 1.0)], 400);
+        let p = params(&math);
+        // mean = 0.75·1 + 0.25·4 = 1.75; step = -lr·mean.
+        for x in p {
+            assert!((x + 1.75).abs() < 1e-6, "got {x}");
+        }
+    }
+
+    #[test]
+    fn weighted_step_partial_batch_scales_linearly() {
+        // Epoch tail: only half the global batch materialized. The step must
+        // shrink by exactly took/global_batch (linear LR scaling).
+        let mut full = toy_math(1.0);
+        let mut tail = toy_math(1.0);
+        let n = params(&full).len();
+        let g = vec![2.0f32; n];
+        weighted_step(&mut full, &[(400, &g, 1.0)], 400);
+        weighted_step(&mut tail, &[(200, &g, 1.0)], 400);
+        let (pf, pt) = (params(&full), params(&tail));
+        for (f, t) in pf.iter().zip(&pt) {
+            assert!((t - 0.5 * f).abs() < 1e-6, "tail step {t} != half of full {f}");
+        }
+    }
+
+    #[test]
+    fn weighted_step_overfull_batch_clamps_lr_frac() {
+        // Backup-worker race: more samples than the global batch arrived.
+        // lr_frac clamps at 1.0 — the step must not overshoot the full-batch
+        // step magnitude.
+        let mut exact = toy_math(1.0);
+        let mut over = toy_math(1.0);
+        let n = params(&exact).len();
+        let g = vec![1.0f32; n];
+        weighted_step(&mut exact, &[(400, &g, 1.0)], 400);
+        weighted_step(&mut over, &[(600, &g, 1.0)], 400);
+        assert_eq!(params(&exact), params(&over));
+    }
+
+    #[test]
+    fn weighted_step_ignores_empty_contributions() {
+        let mut math = toy_math(1.0);
+        let before = params(&math);
+        weighted_step(&mut math, &[], 400);
+        assert_eq!(params(&math), before);
+        let mut none: Option<MathState> = None;
+        weighted_step(&mut none, &[], 400); // simulated mode: no-op, no panic
+    }
+
+    #[test]
+    fn asp_step_partial_share_scales_linearly() {
+        // 4 workers, global batch 400 → a full per-worker share is 100.
+        // A 50-sample push (epoch tail) must step at exactly half strength.
+        let mut full = toy_math(1.0);
+        let mut tail = toy_math(1.0);
+        let n = params(&full).len();
+        let g = vec![3.0f32; n];
+        asp_step(&mut full, &g, 100, 4, 400, 1.0);
+        asp_step(&mut tail, &g, 50, 4, 400, 1.0);
+        let (pf, pt) = (params(&full), params(&tail));
+        for (f, t) in pf.iter().zip(&pt) {
+            assert!((t - 0.5 * f).abs() < 1e-6, "tail step {t} != half of full {f}");
+        }
+    }
+
+    #[test]
+    fn asp_step_full_share_hits_fast_path() {
+        // scale == 1.0 must behave identically to an explicitly scaled copy.
+        let mut fast = toy_math(0.5);
+        let mut slow = toy_math(0.5);
+        let n = params(&fast).len();
+        let g: Vec<f32> = (0..n).map(|i| (i % 7) as f32 - 3.0).collect();
+        asp_step(&mut fast, &g, 100, 4, 400, 1.0);
+        // Same math through the scaled branch (scale = 2.0 · 0.5-clamped...):
+        // use lr_scale ≠ 1 with half the share so scale = 1.0 numerically is
+        // avoided and both branches are exercised on equal effective scale.
+        asp_step(&mut slow, &g, 50, 4, 400, 2.0);
+        assert_eq!(params(&fast), params(&slow));
+    }
+}

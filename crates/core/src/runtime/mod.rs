@@ -1,0 +1,36 @@
+//! The shared runtime kernel: everything every synchronization strategy
+//! needs, factored out of the former `ps.rs` / `allreduce.rs` monoliths.
+//!
+//! Module map:
+//!
+//! | module        | owns                                                        |
+//! |---------------|-------------------------------------------------------------|
+//! | `kernel`      | world state: workers, servers, policy ctx, accumulators     |
+//! | `data`        | data plane: DDS leases, fixed partitions, commit/rollback   |
+//! | `ml_bridge`   | real-gradient computation + weighted optimizer steps        |
+//! | `lifecycle`   | kill / restart / failover / checkpoint state machines       |
+//! | `chaos_hooks` | windowed chaos faults, lifts, report-drop, liveness         |
+//! | `reporting`   | sample accounting, finish detection, `JobReport` assembly   |
+//! | [`strategy`]  | the [`SyncStrategy`] trait + generic event-loop driver      |
+//! | [`ps_common`] | the PS driver: `PsFlavor` sub-seam shared by BSP/ASP/SSP    |
+//! | [`bsp`], [`asp`], [`ssp`] | PS consistency flavors                          |
+//! | [`ring`]      | round-driven driver + ring-AllReduce strategy               |
+//! | [`local_sgd`] | Local SGD (`H` local steps per ring sync) — the seam proof  |
+//!
+//! [`SyncStrategy`]: strategy::SyncStrategy
+
+pub mod asp;
+pub mod bsp;
+pub(crate) mod chaos_hooks;
+pub(crate) mod data;
+pub(crate) mod kernel;
+pub(crate) mod lifecycle;
+pub mod local_sgd;
+pub(crate) mod ml_bridge;
+pub mod ps_common;
+pub(crate) mod reporting;
+pub mod ring;
+pub mod ssp;
+pub mod strategy;
+
+pub use strategy::{run, run_with_policy, SyncStrategy};

@@ -1,0 +1,103 @@
+//! Kernel reporting: sample accounting, the finish check and the final
+//! [`JobReport`] assembly — identical for every strategy, so the report shape
+//! can never drift between runtime families again.
+
+use super::data::DataSource;
+use super::kernel::Kernel;
+use crate::config::{DataStrategy, ExecutionMode};
+use crate::events::Ev;
+use crate::report::JobReport;
+use antdt_ml::Model;
+use antdt_sim::{Engine, SimDuration, SimTime};
+
+/// Bucket width of the global-throughput series (samples/sec, Fig. 14).
+pub(crate) const THROUGHPUT_BUCKET: SimDuration = SimDuration(60_000_000);
+
+impl Kernel {
+    /// Account `samples` completed at `at` into the progress watermark and the
+    /// bucketed global-throughput series.
+    pub(crate) fn account_samples(&mut self, at: SimTime, samples: u64) {
+        if samples > 0 {
+            self.last_progress = self.last_progress.max(at);
+        }
+        self.samples_done += samples;
+        self.bucket_samples += samples;
+        while at.since(self.bucket_start) >= THROUGHPUT_BUCKET {
+            let mid = self.bucket_start + THROUGHPUT_BUCKET / 2;
+            self.throughput.push(mid, self.bucket_samples as f64 / THROUGHPUT_BUCKET.as_secs_f64());
+            self.bucket_start += THROUGHPUT_BUCKET;
+            self.bucket_samples = 0;
+        }
+    }
+
+    /// Finish when the data plane is drained and nothing is in flight.
+    pub(crate) fn check_finished(&mut self, eng: &mut Engine<Ev>) {
+        if self.finished {
+            return;
+        }
+        let data_done = match self.cfg.data {
+            DataStrategy::Dds => self.dds.as_ref().unwrap().is_complete(),
+            DataStrategy::EvenPartition => {
+                self.workers.iter().all(|w| matches!(w.source, DataSource::Fixed { remaining: 0 }))
+            }
+        };
+        let no_inflight = self.workers.iter().all(|w| w.inflight.is_none());
+        if data_done && no_inflight {
+            self.finished = true;
+            eng.clear();
+        }
+    }
+
+    /// Consume the world into the final report.
+    pub(crate) fn into_report(mut self, events_processed: u64) -> JobReport {
+        let telemetry = self.tele.take().map(|rt| {
+            // Merge the Gantt spans into the trace before rendering: they are
+            // the bulk of the Perfetto timeline (compute/comm/idle/failover
+            // lanes per node).
+            if let Some(g) = &self.gantt {
+                rt.tele.tracer.extend(g.to_trace_events());
+            }
+            let reason = if self.stalled {
+                "stalled"
+            } else if self.timed_out {
+                "timed-out"
+            } else {
+                "completed"
+            };
+            rt.tele.report(reason)
+        });
+        let auc = match (&self.math, &self.cfg.execution) {
+            (Some(math), ExecutionMode::Real { holdout, .. }) if !holdout.is_empty() => {
+                let scores = math.model.scores(holdout);
+                let labels: Vec<f32> = holdout.examples.iter().map(|e| e.label).collect();
+                antdt_ml::auc(&scores, &labels)
+            }
+            _ => None,
+        };
+        JobReport {
+            jct: self.jct_mark.since(SimTime::ZERO),
+            iterations: self.iterations,
+            samples_done: self.samples_done,
+            rolled_back_samples: self.rolled_back_samples,
+            timed_out: self.timed_out,
+            stalled: self.stalled,
+            worker_bpt: self.workers.iter().map(|w| w.series_bpt.clone()).collect(),
+            worker_batch: self.workers.iter().map(|w| w.series_batch.clone()).collect(),
+            server_bpt: self.servers.iter().map(|s| s.series_bpt.clone()).collect(),
+            global_throughput: self.throughput,
+            actions: self.actions,
+            kills: self.kills,
+            restarts: self.restarts,
+            injections: self.injections_log,
+            action_log: self.action_log,
+            overhead: self.overhead,
+            audit: self.dds.as_ref().map(|d| d.audit()),
+            consumption: self.dds.as_ref().map(|d| d.consumption()),
+            auc,
+            gantt: self.gantt,
+            events_processed,
+            decision_log: self.decision_log,
+            telemetry,
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The round-driven ring runtime: AllReduce (PyTorch-DDP-style) rounds over
+//! the shared kernel.
+//!
+//! All ranks synchronize every round (BSP only): each device computes `Cᵢ`
+//! sequential micro-batches of `Bᵢ` samples, then a ring AllReduce of the
+//! model gradients closes the round. Native DDP fixes `Bᵢ = B/n, Cᵢ = 1`;
+//! LB-BSP rebalances `Bᵢ`; AntDT-DD jointly picks `(Bᵢ, Cᵢ)` (§VI-B, Fig. 9).
+//!
+//! `RoundDriver` is shared with the Local-SGD strategy
+//! (`runtime/local_sgd.rs`), which simply runs `sync_every` local steps per
+//! communication round; plain ring AllReduce is `sync_every == 1`.
+
+use super::data::DataSource;
+use super::kernel::Kernel;
+use super::ml_bridge;
+use super::strategy::SyncStrategy;
+use crate::config::{DataStrategy, InjectedFault};
+use crate::events::Ev;
+use crate::report::ActionApplication;
+use antdt_controller::Action;
+use antdt_monitor::NodeId;
+use antdt_sim::gantt::SpanKind;
+use antdt_sim::network::ring_allreduce_secs;
+use antdt_sim::{Engine, SimDuration, SimTime};
+
+/// One rank's contribution to the open round.
+struct Part {
+    w: usize,
+    took: u64,
+    compute_secs: f64,
+    grad: Option<Vec<f32>>,
+}
+
+/// The round state machine shared by the ring strategies. A killed rank
+/// leaves the ring for good (no per-rank restart in DDP); with failover its
+/// shards requeue and the surviving ranks absorb them (elastic-DDP
+/// assumption).
+pub(crate) struct RoundDriver {
+    /// Local optimizer steps per communication round (1 = plain AllReduce).
+    sync_every: u32,
+    round: u64,
+    round_start: SimTime,
+    parts: Vec<Part>,
+}
+
+impl RoundDriver {
+    pub(crate) fn new(sync_every: u32) -> Self {
+        RoundDriver { sync_every, round: 0, round_start: SimTime::ZERO, parts: Vec::new() }
+    }
+
+    pub(crate) fn bootstrap_head(&mut self, eng: &mut Engine<Ev>) {
+        eng.schedule(SimTime::ZERO, Ev::RoundEnd { round: 0 }); // bootstraps round 0
+    }
+
+    pub(crate) fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
+        if let Ev::RoundEnd { round } = ev {
+            if round == self.round {
+                self.close_round(k, eng);
+            }
+        }
+        // Round-driven jobs have no PS-style lifecycle events.
+    }
+
+    /// Open a round: every live rank applies its delivered actions, computes
+    /// its micro-batches, and the slowest participant sets the ring start.
+    fn start_round(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+        let now = eng.now();
+        self.round_start = now;
+        self.parts.clear();
+        let mut max_end = now;
+
+        for w in 0..k.workers.len() {
+            if !k.workers[w].alive {
+                continue;
+            }
+            let due = k.workers[w].agent.take_due(now);
+            for (delivered_at, a) in due {
+                if !k.cfg.injections.is_empty() {
+                    k.action_log.push(ActionApplication {
+                        worker: w as u32,
+                        delivered_at,
+                        applied_at: now,
+                        iter: self.round,
+                        action: format!("{a:?}"),
+                    });
+                }
+                apply_rank_action(k, w, a);
+            }
+            let accum = k.workers[w].accum.max(1);
+            let quota = k.workers[w].quota;
+            let steps = accum as u64 * self.sync_every as u64;
+            let mut took = 0u64;
+            let mut compute = 0.0f64;
+            for _ in 0..steps {
+                let got = k.take_batch(w, quota);
+                if got == 0 {
+                    break;
+                }
+                took += got;
+                let base = k.cfg.model.compute.time(got, k.workers[w].device.speed);
+                let worker = &mut k.workers[w];
+                let (profile, rng) = (&worker.profile, &mut worker.rng);
+                compute += profile.iteration_secs(&k.pool, now, base, rng);
+            }
+            if took == 0 {
+                continue;
+            }
+            let grad = k.real_grad(w, took);
+            if let Some(g) = k.gantt.as_mut() {
+                g.record(
+                    w as u32,
+                    SpanKind::Compute,
+                    now,
+                    now + SimDuration::from_secs_f64(compute),
+                );
+            }
+            max_end = max_end.max(now + SimDuration::from_secs_f64(compute));
+            self.parts.push(Part { w, took, compute_secs: compute, grad });
+        }
+
+        if self.parts.is_empty() {
+            let complete = k.dds.as_ref().map(|d| d.is_complete()).unwrap_or(true)
+                && match k.cfg.data {
+                    DataStrategy::EvenPartition => k
+                        .workers
+                        .iter()
+                        .all(|r| matches!(r.source, DataSource::Fixed { remaining: 0 })),
+                    DataStrategy::Dds => true,
+                };
+            if complete {
+                k.finished = true;
+                eng.clear();
+            } else {
+                // Shard queue momentarily empty: retry shortly.
+                let round = self.round;
+                eng.schedule_after(SimDuration::from_secs(1), Ev::RoundEnd { round });
+            }
+            return;
+        }
+
+        // Ring AllReduce over the participating ranks.
+        let link = &k.workers[0].link;
+        let ar = ring_allreduce_secs(link, max_end, self.parts.len(), k.cfg.model.param_bytes);
+        let end = max_end + SimDuration::from_secs_f64(ar);
+        if let Some(g) = k.gantt.as_mut() {
+            for p in &self.parts {
+                g.record(
+                    p.w as u32,
+                    SpanKind::Idle,
+                    self.round_start + SimDuration::from_secs_f64(p.compute_secs),
+                    max_end,
+                );
+                g.record(p.w as u32, SpanKind::Comm, max_end, end);
+            }
+        }
+        eng.schedule(end, Ev::RoundEnd { round: self.round });
+    }
+
+    /// Close the round: sample-weighted optimizer step, commit every
+    /// contribution, account the round's throughput, open the next round.
+    fn close_round(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+        let now = eng.now();
+        if self.round == 0 && self.parts.is_empty() && self.round_start == SimTime::ZERO {
+            // Bootstrap event.
+            self.start_round(k, eng);
+            return;
+        }
+        let parts = std::mem::take(&mut self.parts);
+        // Math: sample-weighted mean of the per-rank accumulated gradients.
+        {
+            let contribs: Vec<(u64, &[f32], f32)> = parts
+                .iter()
+                .filter_map(|p| {
+                    let g = p.grad.as_deref()?;
+                    Some((p.took, g, k.workers[p.w].lr_scale))
+                })
+                .collect();
+            ml_bridge::weighted_step(&mut k.math, &contribs, k.cfg.global_batch);
+        }
+        let mut round_samples = 0u64;
+        for p in &parts {
+            k.commit(p.w, now);
+            round_samples += p.took;
+            k.workers[p.w].series_bpt.push(now, p.compute_secs.max(0.0));
+            k.workers[p.w].series_batch.push(now, p.took as f64);
+            if k.workers[p.w].agent.on_iteration() && !k.report_dropped() {
+                // Reported BPT: the device's own compute time (what AntDT-DD
+                // estimates costs from), not the barrier-inclusive round time.
+                k.store.report_bpt(NodeId::worker(p.w as u32), now, p.compute_secs, p.took);
+                k.overhead.add_sync(SimDuration::from_secs_f64(k.cfg.broadcast.barrier_secs));
+            }
+        }
+        if round_samples > 0 {
+            k.last_progress = k.last_progress.max(now);
+            k.samples_done += round_samples;
+            // Rounds are long; report the instantaneous rate directly rather
+            // than through the kernel's bucketed accumulator.
+            k.throughput.push(
+                now,
+                round_samples as f64 / now.since(self.round_start).as_secs_f64().max(1e-9),
+            );
+            k.jct_mark = now;
+            self.round += 1;
+            k.bump_iteration();
+        }
+        self.start_round(k, eng);
+    }
+
+    pub(crate) fn on_controller_action(&mut self, k: &mut Kernel, now: SimTime, action: Action) {
+        if matches!(action, Action::None | Action::KillRestart { .. }) {
+            return; // kill-restart is a PS-side action in this build
+        }
+        k.record_action(now, &action);
+        let delay = k.cfg.broadcast.full_broadcast_delay(action.payload_bytes());
+        k.overhead.add_sync(delay);
+        let at = now + delay;
+        for r in &mut k.workers {
+            r.agent.deliver(at, action.clone());
+        }
+    }
+
+    pub(crate) fn inject_kill(&mut self, k: &mut Kernel, now: SimTime, fault: &InjectedFault) {
+        match *fault {
+            InjectedFault::KillWorker { w } => self.kill_rank(k, now, w, true),
+            InjectedFault::KillWorkerNoFailover { w } => self.kill_rank(k, now, w, false),
+            // No per-rank restarts in DDP, so there is no restart to delay.
+            InjectedFault::RestartDelay { .. } => {}
+            InjectedFault::KillServer { .. } => unreachable!("validated out for ring runtimes"),
+            _ => unreachable!("windowed faults are kernel-handled"),
+        }
+    }
+
+    /// Kill rank `w`. With failover its open leases requeue for the survivors;
+    /// without, they stay stuck DOING and the watchdog must catch the stall.
+    fn kill_rank(&mut self, k: &mut Kernel, now: SimTime, w: u32, failover: bool) {
+        let wi = w as usize;
+        if !k.workers[wi].alive {
+            return;
+        }
+        k.workers[wi].alive = false;
+        k.workers[wi].leases.clear();
+        k.kills.push((now, NodeId::worker(w)));
+        if let Some(rt) = &k.tele {
+            rt.kills.inc();
+            rt.tele.tracer.instant("rank-kill", "lifecycle", now.as_micros(), w, &[]);
+        }
+        if failover {
+            if let Some(dds) = &k.dds {
+                dds.fail_worker(w);
+            }
+        }
+    }
+}
+
+/// Apply one delivered Controller action at a rank's round boundary.
+fn apply_rank_action(k: &mut Kernel, w: usize, action: Action) {
+    match action {
+        Action::AdjustBs { batch_sizes, grad_accum } => {
+            if let Some(&b) = batch_sizes.get(w) {
+                k.workers[w].quota = b;
+            }
+            if let Some(acc) = grad_accum {
+                if let Some(&c) = acc.get(w) {
+                    k.workers[w].accum = c.max(1);
+                }
+            }
+        }
+        Action::AdjustLr { scales } => {
+            if let Some(&s) = scales.get(w) {
+                k.workers[w].lr_scale = s;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The ring-AllReduce runtime: one optimizer step per communication round.
+pub struct RingAllReduce {
+    driver: RoundDriver,
+}
+
+impl RingAllReduce {
+    pub fn new() -> Self {
+        RingAllReduce { driver: RoundDriver::new(1) }
+    }
+}
+
+impl Default for RingAllReduce {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SyncStrategy for RingAllReduce {
+    const LABEL: &'static str = "allreduce";
+    const WORKER_STREAM_FAMILY: u64 = 21;
+    const CHARGE_REPORT_FETCH: bool = false;
+    const USES_SERVERS: bool = false;
+
+    fn bootstrap_head(&mut self, _k: &mut Kernel, eng: &mut Engine<Ev>) {
+        self.driver.bootstrap_head(eng);
+    }
+
+    fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
+        self.driver.on_event(k, eng, ev);
+    }
+
+    fn on_controller_action(
+        &mut self,
+        k: &mut Kernel,
+        _eng: &mut Engine<Ev>,
+        now: SimTime,
+        action: Action,
+    ) {
+        self.driver.on_controller_action(k, now, action);
+    }
+
+    fn inject_kill(
+        &mut self,
+        k: &mut Kernel,
+        eng: &mut Engine<Ev>,
+        fault: &InjectedFault,
+        _rec_idx: usize,
+    ) {
+        self.driver.inject_kill(k, eng.now(), fault);
+    }
+}

@@ -1,0 +1,166 @@
+//! SSP flavor: asynchronous pushes behind a bounded-staleness gate.
+//!
+//! A worker may run at most `staleness` iterations ahead of the slowest
+//! alive, non-starving worker; workers at the bound park in `waiting` and are
+//! re-admitted whenever the minimum advances (a push commits), the laggard
+//! dies, or a starving worker needs the parked leases drained.
+
+use super::kernel::Kernel;
+use super::ps_common::{self, PsFlavor, PsStrategy};
+use crate::events::Ev;
+use antdt_sim::{Engine, SimTime};
+use std::collections::HashSet;
+
+/// The SSP flavor over the shared PS driver.
+pub struct SspFlavor {
+    staleness: u32,
+    /// Pushes that arrived while a server was down: `(worker, gen, at)`.
+    parked: Vec<(u32, u32, SimTime)>,
+    /// Workers parked at the staleness bound.
+    waiting: HashSet<u32>,
+}
+
+/// The SSP parameter-server runtime.
+pub type SspPs = PsStrategy<SspFlavor>;
+
+impl SspPs {
+    pub fn new(staleness: u32) -> Self {
+        PsStrategy { flavor: SspFlavor { staleness, parked: Vec::new(), waiting: HashSet::new() } }
+    }
+}
+
+impl SspFlavor {
+    /// Wake every parked waiter at `at` (their own gate re-checks the bound).
+    fn drain_waiting(&mut self, k: &Kernel, eng: &mut Engine<Ev>, at: SimTime) {
+        if self.waiting.is_empty() {
+            return;
+        }
+        let waiting: Vec<u32> = self.waiting.drain().collect();
+        for v in waiting {
+            eng.schedule(at, Ev::WorkerStart { w: v, gen: k.workers[v as usize].gen });
+        }
+    }
+}
+
+impl PsFlavor for SspFlavor {
+    fn gate(&mut self, k: &Kernel, w: u32) -> bool {
+        // SSP gate: don't run ahead of the slowest alive worker.
+        let min_iter = k
+            .workers
+            .iter()
+            .filter(|x| x.alive && !x.done && !x.starving)
+            .map(|x| x.iter)
+            .min()
+            .unwrap_or(u64::MAX);
+        if k.workers[w as usize].iter > min_iter.saturating_add(self.staleness as u64) {
+            self.waiting.insert(w);
+            return true;
+        }
+        false
+    }
+
+    fn before_data_wait(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+        // A starving worker holds the minimum iteration count while parked
+        // workers hold the DOING shards: drain them or nobody progresses.
+        self.drain_waiting(k, eng, eng.now());
+    }
+
+    fn on_push(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32, _iter: u64) {
+        let now = eng.now();
+        if k.servers.iter().any(|s| !s.alive) {
+            self.parked.push((w, gen, now));
+            return;
+        }
+        ps_common::finish_asp_push(k, self, eng, w, gen, now);
+    }
+
+    fn on_worker_killed(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+        // The dead worker may have been the laggard pinning the bound.
+        self.waiting.remove(&w);
+        self.drain_waiting(k, eng, eng.now());
+    }
+
+    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime) {
+        let parked = std::mem::take(&mut self.parked);
+        for (w, g, _computed_at) in parked {
+            // The push resumes now: the gradient transfer restarts against
+            // the fresh server.
+            ps_common::finish_asp_push(k, self, eng, w, g, now);
+        }
+    }
+
+    fn after_async_commit(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, next: SimTime) {
+        // This worker's progress may unblock waiters at the bound.
+        self.drain_waiting(k, eng, next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JobConfig;
+    use antdt_controller::NoMitigation;
+    use antdt_sim::SimTime;
+    use antdt_workloads::cluster::cluster_a_scaled;
+    use antdt_workloads::Scenario;
+
+    fn mk_kernel() -> Kernel {
+        let cfg = JobConfig::ps_ssp(cluster_a_scaled(4, 2), Scenario::None, 3);
+        Kernel::new(cfg, Box::new(NoMitigation), None, 11, true, true)
+    }
+
+    fn mk_flavor(staleness: u32) -> SspFlavor {
+        SspFlavor { staleness, parked: Vec::new(), waiting: HashSet::new() }
+    }
+
+    /// The bound is inclusive: a worker exactly `staleness` iterations ahead
+    /// of the slowest may still run; one more parks it.
+    #[test]
+    fn gate_admits_exactly_at_bound_and_parks_one_beyond() {
+        let mut k = mk_kernel();
+        let mut f = mk_flavor(3);
+        // Other workers sit at iter 0, so min = 0 and the bound is iter 3.
+        k.workers[2].iter = 3;
+        assert!(!f.gate(&k, 2), "iter == min + staleness must pass the gate");
+        assert!(f.waiting.is_empty());
+
+        k.workers[2].iter = 4;
+        assert!(f.gate(&k, 2), "iter == min + staleness + 1 must park");
+        assert!(f.waiting.contains(&2));
+    }
+
+    /// Dead, finished and starving workers hold stale iteration counts; none
+    /// of them may pin the bound, or the survivors would park forever.
+    #[test]
+    fn dead_done_and_starving_workers_do_not_pin_the_bound() {
+        let mut k = mk_kernel();
+        let mut f = mk_flavor(3);
+        k.workers[0].alive = false; // killed at iter 0
+        k.workers[1].starving = true; // out of shards at iter 0
+        k.workers[3].done = true; // finished at iter 0
+        k.workers[2].iter = 10;
+        // The only eligible worker is w2 itself: min = 10, never gated.
+        assert!(!f.gate(&k, 2));
+        assert!(f.waiting.is_empty());
+    }
+
+    /// Killing a parked laggard removes it from the wait set and wakes the
+    /// remaining waiters (the minimum may have advanced past their bound).
+    #[test]
+    fn killed_laggard_is_dropped_and_remaining_waiters_wake() {
+        let mut k = mk_kernel();
+        let mut eng: Engine<Ev> = Engine::new();
+        let mut f = mk_flavor(3);
+        f.waiting.insert(1);
+        f.waiting.insert(2);
+        f.on_worker_killed(&mut k, &mut eng, 2);
+        assert!(f.waiting.is_empty(), "kill must clear the killed worker and drain the rest");
+        let mut woken = Vec::new();
+        eng.run_until(SimTime::from_secs_f64(1.0), |_, ev| {
+            if let Ev::WorkerStart { w, .. } = ev {
+                woken.push(w);
+            }
+        });
+        assert_eq!(woken, vec![1], "only the surviving waiter reschedules");
+    }
+}

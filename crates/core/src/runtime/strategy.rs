@@ -1,0 +1,175 @@
+//! The `SyncStrategy` seam: the pluggable consistency layer over the runtime
+//! kernel, plus the generic event-loop driver shared by every strategy.
+//!
+//! A strategy owns *only* consistency-specific state (barrier membership,
+//! staleness gates, ring-round bookkeeping) and implements a handful of
+//! hooks; the kernel owns the world (nodes, data plane, chaos, telemetry,
+//! report accumulators). Adding a new synchronization scheme is one strategy
+//! file — see `runtime/local_sgd.rs` and the README how-to.
+
+use super::chaos_hooks;
+use super::kernel::Kernel;
+use crate::config::{Arch, Consistency, InjectedFault, JobConfig};
+use crate::events::Ev;
+use crate::obs::RtTele;
+use crate::report::JobReport;
+use antdt_controller::{Action, MitigationPolicy};
+use antdt_monitor::ClusterInfo;
+use antdt_sim::{Engine, SimTime};
+
+/// One synchronization strategy over the shared `Kernel`.
+///
+/// The kernel drives the event loop and handles everything
+/// strategy-agnostic (monitor ticks, windowed chaos faults, the liveness
+/// watchdog); a strategy supplies the consistency-specific behaviour through
+/// these hooks. Hooks receive the kernel and the engine as separate borrows,
+/// so strategy state and world state compose without aliasing.
+pub trait SyncStrategy {
+    /// Telemetry label for this runtime family (`("runtime", LABEL)` on every
+    /// metric).
+    const LABEL: &'static str;
+    /// `RngPool::stream2(FAMILY, i)` keys the per-worker jitter streams; each
+    /// runtime family keeps its historical assignment so same-seed runs
+    /// reproduce pre-kernel traces.
+    const WORKER_STREAM_FAMILY: u64;
+    /// Whether a lease commit charges the DDS fetch round-trip per
+    /// `report_done` on the overhead ledger (PS true, round-driven false).
+    const CHARGE_REPORT_FETCH: bool;
+    /// Whether this strategy books work on parameter servers. Serverless
+    /// strategies get an empty server list even if the cluster spec carries
+    /// servers (they are simply not part of the job).
+    const USES_SERVERS: bool;
+
+    /// Schedule the strategy's initial events (worker starts / round zero).
+    /// Runs before the kernel arms the monitor tick.
+    fn bootstrap_head(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>);
+
+    /// Schedule trailing bootstrap events (checkpoints, background faults).
+    /// Runs after the monitor tick, before chaos injections.
+    fn bootstrap_tail(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+        let _ = (k, eng);
+    }
+
+    /// Handle a strategy-routed event (anything the kernel doesn't own:
+    /// worker/server lifecycle, compute completions, round ends).
+    fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev);
+
+    /// Deliver one Controller action decided at a monitor tick.
+    fn on_controller_action(
+        &mut self,
+        k: &mut Kernel,
+        eng: &mut Engine<Ev>,
+        now: SimTime,
+        action: Action,
+    );
+
+    /// Execute a kill-class chaos injection (worker/server kill, restart
+    /// delay). `rec_idx` indexes the already-appended injection record so the
+    /// strategy can wire up recovery marks.
+    fn inject_kill(
+        &mut self,
+        k: &mut Kernel,
+        eng: &mut Engine<Ev>,
+        fault: &InjectedFault,
+        rec_idx: usize,
+    );
+
+    /// The last overlapping DDS outage window lifted; data is flowing again.
+    fn on_dds_restored(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+        let _ = (k, eng);
+    }
+}
+
+/// Run a job under strategy `S`: build the kernel, bootstrap, drive the event
+/// loop to completion and assemble the report.
+pub fn run<S: SyncStrategy>(
+    cfg: JobConfig,
+    policy: Box<dyn MitigationPolicy>,
+    mut strat: S,
+) -> JobReport {
+    cfg.validate();
+    let rt = cfg.telemetry.then(|| RtTele::new(S::LABEL));
+    let mut k = Kernel::new(
+        cfg,
+        policy,
+        rt,
+        S::WORKER_STREAM_FAMILY,
+        S::CHARGE_REPORT_FETCH,
+        S::USES_SERVERS,
+    );
+    let mut eng: Engine<Ev> = Engine::new();
+    if let Some(rt) = &k.tele {
+        eng.attach_telemetry(rt.events_scheduled.clone(), rt.events_processed.clone());
+    }
+    strat.bootstrap_head(&mut k, &mut eng);
+    eng.schedule(SimTime::ZERO + k.cfg.monitor_tick, Ev::MonitorTick);
+    strat.bootstrap_tail(&mut k, &mut eng);
+    for (i, inj) in k.cfg.injections.iter().enumerate() {
+        eng.schedule(SimTime::from_secs_f64(inj.at_secs), Ev::ChaosFault { k: i as u32 });
+    }
+    if let Some(timeout) = k.cfg.liveness_timeout {
+        eng.schedule(SimTime::ZERO + timeout, Ev::LivenessCheck);
+    }
+
+    let deadline = k.cfg.max_sim_time;
+    let drained = eng.run_until(deadline, |eng, ev| handle(&mut k, &mut strat, eng, ev));
+    if !drained && !k.finished {
+        k.timed_out = true;
+    }
+    k.into_report(eng.processed())
+}
+
+/// Route one event: kernel-owned events are handled here, everything else
+/// goes to the strategy.
+fn handle<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine<Ev>, ev: Ev) {
+    if k.finished {
+        return;
+    }
+    if let Some(rt) = &k.tele {
+        rt.tele.flight.record(eng.now().as_micros(), "event", format!("{ev:?}"));
+    }
+    match ev {
+        Ev::MonitorTick => monitor_tick(k, strat, eng),
+        Ev::ChaosFault { k: idx } => chaos_hooks::chaos_fault(k, strat, eng, idx),
+        Ev::ChaosLift { k: idx } => chaos_hooks::chaos_lift(k, strat, eng, idx),
+        Ev::LivenessCheck => k.liveness_check(eng),
+        other => strat.on_event(k, eng, other),
+    }
+}
+
+/// One Monitor→Controller tick: snapshot, decide, audit, dispatch each action
+/// through the strategy, re-arm.
+fn monitor_tick<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine<Ev>) {
+    let now = eng.now();
+    let sched = &k.cfg.cluster.scheduler;
+    let info = ClusterInfo {
+        busy: sched.is_busy(now),
+        expected_pending_secs: sched.expected_pending_secs(now),
+    };
+    k.store.set_cluster_info(info);
+    let snap = k.store.snapshot(now);
+    let actions = k.policy.decide(now, &snap, &k.ctx);
+    k.decision_log.extend(k.policy.drain_audit());
+    for action in actions {
+        strat.on_controller_action(k, eng, now, action);
+    }
+    eng.schedule(now + k.cfg.monitor_tick, Ev::MonitorTick);
+}
+
+/// Arch-dispatching entry point: pick the strategy for `cfg.arch` and run.
+pub fn run_with_policy(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobReport {
+    match cfg.arch {
+        Arch::ParameterServer { consistency } => match consistency {
+            Consistency::Bsp => {
+                let n = cfg.n_workers();
+                run(cfg, policy, super::bsp::BspPs::new(n))
+            }
+            Consistency::Asp => run(cfg, policy, super::asp::AspPs::new()),
+            Consistency::Ssp { staleness } => run(cfg, policy, super::ssp::SspPs::new(staleness)),
+        },
+        Arch::AllReduce => run(cfg, policy, super::ring::RingAllReduce::new()),
+        Arch::LocalSgd { sync_every } => {
+            run(cfg, policy, super::local_sgd::LocalSgd::new(sync_every))
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Module-size ratchet: no Rust source file under crates/ may exceed the cap.
+#
+# The runtime-kernel refactor broke the two monoliths (ps.rs at 1557 lines,
+# allreduce.rs at 676) into focused modules; this check keeps them from
+# growing back. Grow a module past the cap and the fix is to split it, not
+# to raise the cap. Override only for local experiments:
+#
+#   MODULE_SIZE_CAP=1200 scripts/check-module-size.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CAP="${MODULE_SIZE_CAP:-900}"
+
+status=0
+while IFS= read -r file; do
+    lines=$(wc -l < "$file")
+    if [ "$lines" -gt "$CAP" ]; then
+        echo "FAIL  $file: $lines lines (cap $CAP) — split it into focused modules" >&2
+        status=1
+    fi
+done < <(find crates -name '*.rs' -not -path '*/target/*' | sort)
+
+if [ "$status" -ne 0 ]; then
+    echo "module-size ratchet failed: see files above (cap $CAP lines)" >&2
+    exit "$status"
+fi
+echo "module-size ratchet OK: no .rs file under crates/ exceeds $CAP lines"

@@ -1,0 +1,88 @@
+//! SSP staleness-bound edge semantics at the job level, complementing the
+//! gate unit tests in `runtime/ssp.rs`: a persistent straggler really pins
+//! the fleet at the bound, and the bound composes with Controller-driven
+//! `ADJUST_BS` mitigation.
+
+use antdt::controller::Action;
+use antdt::core::{Job, JobConfig, MitigationChoice};
+use antdt::sim::SimDuration;
+use antdt::workloads::cluster::cluster_a_scaled;
+use antdt::workloads::{ModelProfile, Scenario};
+
+fn ssp(staleness: u32, scenario: Scenario) -> JobConfig {
+    JobConfig::ps_ssp(cluster_a_scaled(4, 2), scenario, staleness)
+        .with_model(ModelProfile::xdeepfm())
+        .with_global_batch(4_096)
+        .with_samples(400_000)
+        .with_batches_per_shard(10)
+        .with_fast_cadence(SimDuration::from_secs(60))
+}
+
+/// With a persistent straggler, a tight bound pins the fast workers to the
+/// straggler's pace; a loose bound lets them run ahead (ASP-like). Both must
+/// finish the exact dataset, and tightening the bound can only cost JCT.
+#[test]
+fn straggler_pinned_at_bound_slows_the_fleet() {
+    let scenario = || Scenario::WorkerPersistent { intensity: 0.8 };
+    let tight = Job::run(ssp(0, scenario()));
+    let loose = Job::run(ssp(64, scenario()));
+    assert!(!tight.timed_out && !loose.timed_out);
+    assert_eq!(tight.samples_done, 400_000);
+    assert_eq!(loose.samples_done, 400_000);
+    assert!(
+        tight.jct >= loose.jct,
+        "staleness 0 (lockstep with the straggler) must not beat staleness 64: {} vs {}",
+        tight.jct,
+        loose.jct
+    );
+    // The tight bound must actually bind: a real gap, not measurement noise.
+    assert!(
+        tight.jct.as_secs_f64() > loose.jct.as_secs_f64() * 1.05,
+        "the bound never pinned anyone: tight {} loose {}",
+        tight.jct,
+        loose.jct
+    );
+}
+
+/// `ADJUST_BS` rebalancing under SSP: the Controller shrinks the straggler's
+/// quota and grows the leaders', which shifts per-iteration durations while
+/// the staleness gate keeps admitting exactly-at-bound workers. The job must
+/// complete the full dataset with data-integrity intact and the actions must
+/// actually have been delivered and applied.
+#[test]
+fn adjust_bs_composes_with_the_staleness_gate() {
+    let r = Job::run(
+        ssp(2, Scenario::WorkerMix { intensity: 0.8 })
+            .with_samples(800_000)
+            .with_mitigation(MitigationChoice::LbBsp),
+    );
+    assert!(!r.timed_out && !r.stalled);
+    assert_eq!(r.samples_done, 800_000, "LB-BSP never kills, so exactly one epoch");
+    let adjust = r.actions.iter().filter(|(_, a)| matches!(a, Action::AdjustBs { .. })).count();
+    assert!(adjust >= 1, "the straggler mix must trigger at least one ADJUST_BS");
+    let audit = r.audit.expect("dds audit");
+    assert!(audit.at_least_once && audit.at_most_once);
+    // The rebalance reached the workers: some worker's local batch series
+    // moved away from the initial even split (4096 / 4 = 1024).
+    let moved = r.worker_batch.iter().any(|s| {
+        s.min().is_some_and(|b| (b - 1_024.0).abs() > 0.5)
+            || s.max().is_some_and(|b| (b - 1_024.0).abs() > 0.5)
+    });
+    assert!(moved, "ADJUST_BS must change at least one worker's local batch");
+}
+
+/// Kill-restart mitigation under SSP: AntDT-ND may kill the persistent
+/// straggler mid-run; the gate must re-admit the fleet (the dead laggard no
+/// longer pins the minimum) and the job completes with at-least-once data.
+#[test]
+fn kill_restart_under_ssp_unpins_the_bound() {
+    let r = Job::run(
+        ssp(2, Scenario::WorkerPersistent { intensity: 1.0 })
+            .with_samples(800_000)
+            .with_mitigation(MitigationChoice::AntDtNd),
+    );
+    assert!(!r.timed_out && !r.stalled);
+    assert!(r.samples_done >= 800_000, "at-least-once despite failovers");
+    let audit = r.audit.expect("dds audit");
+    assert!(audit.at_least_once);
+}
