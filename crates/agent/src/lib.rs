@@ -17,10 +17,12 @@
 //! latency, not bandwidth — the ledger in [`overhead`] quantifies it (paper
 //! Fig. 18 reports < 0.5% of JCT).
 
+pub mod bus;
 pub mod overhead;
 pub mod runtime;
 pub mod sync;
 
+pub use bus::{ControlMsg, DeliveryOutcome, Directive};
 pub use overhead::OverheadLedger;
 pub use runtime::{Agent, AgentConfig, AgentCounters};
 pub use sync::{elect_primary, BroadcastModel};

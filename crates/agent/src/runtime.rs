@@ -2,13 +2,26 @@
 //! take effect at the next iteration boundary (the "local barrier" end of
 //! Fig. 6 — the training process picks the action up between iterations, never
 //! mid-batch).
+//!
+//! The agent is the bus endpoint for [`crate::bus::Directive`]s: deliveries
+//! are generation-fenced (a restarted pod runs a fresh incarnation and
+//! rejects directives fenced to the dead one) and idempotent under
+//! redelivery (a bus-unique `seq` dedups). The inbox is kept ordered by
+//! `(delivery time, seq)`, so reordered redeliveries apply in a canonical
+//! order no matter how the channel scrambled them.
 
+use crate::bus::{DeliveryOutcome, Directive};
 use antdt_controller::Action;
 use antdt_monitor::NodeId;
 use antdt_sim::SimTime;
 use antdt_telemetry::Counter;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::BTreeSet;
+
+/// Directly-delivered (non-bus) actions draw seqs from a disjoint namespace
+/// so tests and embedders of the bare `deliver` API never collide with
+/// bus-assigned sequence numbers.
+const LOCAL_SEQ_BASE: u64 = 1 << 63;
 
 /// Telemetry counters shared by every [`Agent`] of a job (broadcast/barrier
 /// visibility: deliveries fan out, applications happen at iteration
@@ -19,6 +32,10 @@ pub struct AgentCounters {
     pub delivered: Counter,
     /// Actions applied at an iteration boundary (`take_due`).
     pub applied: Counter,
+    /// Directives rejected by the generation fence (stale after a restart).
+    pub rejected: Counter,
+    /// Redelivered directives idempotently dropped by the seq dedup.
+    pub deduped: Counter,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,20 +56,40 @@ pub struct Agent {
     pub node: NodeId,
     cfg: AgentConfig,
     iters_since_report: u32,
-    /// `(delivery time, action)` — delivered by the broadcast, applied when the
-    /// training process crosses an iteration boundary at/after that time.
-    inbox: VecDeque<(SimTime, Action)>,
+    /// This agent's incarnation. Bumped by [`Agent::reset`] (pod restart);
+    /// the fence every directive must match.
+    gen: u32,
+    /// `(delivery time, seq, action)` — kept sorted by `(at, seq)`; applied
+    /// when the training process crosses an iteration boundary at/after `at`.
+    inbox: Vec<(SimTime, u64, Action)>,
+    /// Seqs accepted by this incarnation (dedup under redelivery).
+    seen: BTreeSet<u64>,
+    next_local_seq: u64,
     counters: Option<AgentCounters>,
 }
 
 impl Agent {
     pub fn new(node: NodeId, cfg: AgentConfig) -> Self {
-        Agent { node, cfg, iters_since_report: 0, inbox: VecDeque::new(), counters: None }
+        Agent {
+            node,
+            cfg,
+            iters_since_report: 0,
+            gen: 0,
+            inbox: Vec::new(),
+            seen: BTreeSet::new(),
+            next_local_seq: LOCAL_SEQ_BASE,
+            counters: None,
+        }
     }
 
     /// Attach telemetry counters (shared across a job's agents).
     pub fn attach_telemetry(&mut self, counters: AgentCounters) {
         self.counters = Some(counters);
+    }
+
+    /// This agent's current incarnation (the fence new directives must carry).
+    pub fn incarnation(&self) -> u32 {
+        self.gen
     }
 
     /// Called once per completed iteration; returns `true` when this iteration's
@@ -67,38 +104,69 @@ impl Agent {
         }
     }
 
-    /// Deliver a broadcast action that becomes effective at `at`.
-    pub fn deliver(&mut self, at: SimTime, action: Action) {
-        self.inbox.push_back((at, action));
+    /// Deliver a fenced directive that becomes effective at `at`. Rejects a
+    /// stale fence, dedups a redelivered seq, otherwise queues in `(at, seq)`
+    /// order.
+    pub fn deliver_directive(&mut self, at: SimTime, d: &Directive) -> DeliveryOutcome {
+        if d.fence_gen != self.gen {
+            if let Some(c) = &self.counters {
+                c.rejected.inc();
+            }
+            return DeliveryOutcome::RejectedStale { agent_gen: self.gen };
+        }
+        if !self.seen.insert(d.seq) {
+            if let Some(c) = &self.counters {
+                c.deduped.inc();
+            }
+            return DeliveryOutcome::Duplicate;
+        }
+        let pos = self
+            .inbox
+            .iter()
+            .position(|&(t, s, _)| (t, s) > (at, d.seq))
+            .unwrap_or(self.inbox.len());
+        self.inbox.insert(pos, (at, d.seq, d.action.clone()));
         if let Some(c) = &self.counters {
             c.delivered.inc();
         }
+        DeliveryOutcome::Accepted
+    }
+
+    /// Deliver a broadcast action that becomes effective at `at` without bus
+    /// framing: the action is wrapped in a directive fenced to the current
+    /// incarnation with a locally-drawn seq (disjoint from bus seqs).
+    pub fn deliver(&mut self, at: SimTime, action: Action) {
+        let seq = self.next_local_seq;
+        self.next_local_seq += 1;
+        let d = Directive { seq, decided_at: at, fence_gen: self.gen, action };
+        let outcome = self.deliver_directive(at, &d);
+        debug_assert_eq!(outcome, DeliveryOutcome::Accepted);
     }
 
     /// At an iteration boundary at time `now`, drain every action whose
-    /// delivery time has passed (in delivery order). The delivery timestamp is
-    /// kept so the runtime can audit that every survivor applied the same
-    /// broadcast (chaos-drill convergence invariant).
-    pub fn take_due(&mut self, now: SimTime) -> Vec<(SimTime, Action)> {
-        let mut due = Vec::new();
-        while let Some(&(at, _)) = self.inbox.front() {
-            if at <= now {
-                due.push(self.inbox.pop_front().unwrap());
-            } else {
-                break;
-            }
-        }
+    /// delivery time has passed, in `(delivery time, seq)` order. The delivery
+    /// timestamp and seq are kept so the runtime can audit that every survivor
+    /// applied the same broadcast (chaos-drill convergence invariant) and mark
+    /// the directive's fate.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<(SimTime, u64, Action)> {
+        let n = self.inbox.iter().take_while(|&&(at, _, _)| at <= now).count();
+        let due: Vec<(SimTime, u64, Action)> = self.inbox.drain(..n).collect();
         if let Some(c) = &self.counters {
             c.applied.add(due.len() as u64);
         }
         due
     }
 
-    /// Reset after a restart: a fresh pod starts a fresh agent (pending
-    /// deliveries addressed to the dead process are dropped).
-    pub fn reset(&mut self) {
+    /// Reset after a restart: a fresh pod starts a fresh *incarnation* —
+    /// cadence restarts, pending deliveries addressed to the dead process are
+    /// dropped (their seqs are returned so the bus can audit them as wiped),
+    /// and the fence moves so in-flight directives for the old incarnation
+    /// will be rejected on arrival.
+    pub fn reset(&mut self) -> Vec<u64> {
         self.iters_since_report = 0;
-        self.inbox.clear();
+        self.gen += 1;
+        self.seen.clear();
+        self.inbox.drain(..).map(|(_, seq, _)| seq).collect()
     }
 
     pub fn pending(&self) -> usize {
@@ -109,9 +177,14 @@ impl Agent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn t(secs: f64) -> SimTime {
         SimTime::from_secs_f64(secs)
+    }
+
+    fn dir(seq: u64, fence_gen: u32, action: Action) -> Directive {
+        Directive { seq, decided_at: t(0.0), fence_gen, action }
     }
 
     #[test]
@@ -127,8 +200,12 @@ mod tests {
         a.deliver(t(10.0), Action::BackupWorkers { b: 1 });
         a.deliver(t(20.0), Action::None);
         assert!(a.take_due(t(5.0)).is_empty());
-        assert_eq!(a.take_due(t(10.0)), vec![(t(10.0), Action::BackupWorkers { b: 1 })]);
-        assert_eq!(a.take_due(t(25.0)), vec![(t(20.0), Action::None)]);
+        let first = a.take_due(t(10.0));
+        assert_eq!(first.len(), 1);
+        assert_eq!((first[0].0, &first[0].2), (t(10.0), &Action::BackupWorkers { b: 1 }));
+        let second = a.take_due(t(25.0));
+        assert_eq!(second.len(), 1);
+        assert_eq!((second[0].0, &second[0].2), (t(20.0), &Action::None));
         assert_eq!(a.pending(), 0);
     }
 
@@ -137,7 +214,8 @@ mod tests {
         let mut a = Agent::new(NodeId::worker(1), AgentConfig::default());
         a.deliver(t(1.0), Action::BackupWorkers { b: 1 });
         a.deliver(t(2.0), Action::BackupWorkers { b: 2 });
-        let due = a.take_due(t(3.0));
+        let due: Vec<(SimTime, Action)> =
+            a.take_due(t(3.0)).into_iter().map(|(at, _, x)| (at, x)).collect();
         assert_eq!(
             due,
             vec![
@@ -147,8 +225,54 @@ mod tests {
         );
     }
 
+    /// Two directives delivered for the same instant apply in seq order —
+    /// i.e. decision order — regardless of the order the channel handed them
+    /// over.
     #[test]
-    fn counters_track_delivery_and_application() {
+    fn same_timestamp_deliveries_apply_in_seq_order() {
+        let mut a = Agent::new(NodeId::worker(0), AgentConfig::default());
+        a.deliver_directive(t(5.0), &dir(9, 0, Action::BackupWorkers { b: 9 }));
+        a.deliver_directive(t(5.0), &dir(3, 0, Action::BackupWorkers { b: 3 }));
+        a.deliver_directive(t(5.0), &dir(7, 0, Action::BackupWorkers { b: 7 }));
+        let seqs: Vec<u64> = a.take_due(t(5.0)).into_iter().map(|(_, s, _)| s).collect();
+        assert_eq!(seqs, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut a = Agent::new(NodeId::worker(0), AgentConfig::default());
+        let d = dir(42, 0, Action::BackupWorkers { b: 1 });
+        assert_eq!(a.deliver_directive(t(1.0), &d), DeliveryOutcome::Accepted);
+        assert_eq!(a.deliver_directive(t(1.0), &d), DeliveryOutcome::Duplicate);
+        assert_eq!(a.deliver_directive(t(2.0), &d), DeliveryOutcome::Duplicate);
+        assert_eq!(a.take_due(t(10.0)).len(), 1, "one application despite three deliveries");
+    }
+
+    #[test]
+    fn stale_fence_is_rejected_after_reset() {
+        let mut a = Agent::new(NodeId::worker(0), AgentConfig::default());
+        let stale = dir(1, 0, Action::BackupWorkers { b: 1 });
+        a.reset(); // incarnation 0 → 1
+        assert_eq!(
+            a.deliver_directive(t(1.0), &stale),
+            DeliveryOutcome::RejectedStale { agent_gen: 1 }
+        );
+        assert_eq!(a.pending(), 0);
+        let fresh = dir(2, 1, Action::BackupWorkers { b: 2 });
+        assert_eq!(a.deliver_directive(t(1.0), &fresh), DeliveryOutcome::Accepted);
+    }
+
+    #[test]
+    fn reset_returns_wiped_seqs() {
+        let mut a = Agent::new(NodeId::worker(0), AgentConfig::default());
+        a.deliver_directive(t(1.0), &dir(5, 0, Action::None));
+        a.deliver_directive(t(2.0), &dir(6, 0, Action::None));
+        assert_eq!(a.reset(), vec![5, 6]);
+        assert_eq!(a.pending(), 0);
+    }
+
+    #[test]
+    fn counters_track_delivery_application_and_rejection() {
         let c = AgentCounters::default();
         let mut a = Agent::new(NodeId::worker(0), AgentConfig::default());
         let mut b = Agent::new(NodeId::worker(1), AgentConfig::default());
@@ -161,6 +285,13 @@ mod tests {
         a.take_due(t(2.0));
         b.take_due(t(2.0));
         assert_eq!(c.applied.get(), 2, "the t=9 delivery is not yet due");
+        let d = dir(1, 0, Action::None);
+        a.deliver_directive(t(3.0), &d);
+        a.deliver_directive(t(3.0), &d);
+        assert_eq!(c.deduped.get(), 1);
+        a.reset();
+        a.deliver_directive(t(4.0), &dir(2, 0, Action::None));
+        assert_eq!(c.rejected.get(), 1);
     }
 
     #[test]
@@ -173,5 +304,40 @@ mod tests {
         // Cadence restarts from zero.
         assert!(!a.on_iteration());
         assert!(a.on_iteration());
+    }
+
+    // Idempotence + canonical ordering under the channel's worst case:
+    // whatever subset of directives the channel redelivers, in whatever
+    // order, the applied sequence is exactly one copy of each unique seq
+    // sorted by (delivery time, seq).
+    proptest! {
+        #[test]
+        fn redelivered_and_reordered_directives_are_idempotent(
+            // (seq in a small range to force collisions, delivery time)
+            deliveries in proptest::collection::vec((0u64..12, 0u32..20), 1..60),
+        ) {
+            let mut a = Agent::new(NodeId::worker(0), AgentConfig::default());
+            let mut expected: Vec<(u32, u64)> = Vec::new();
+            for &(seq, at) in &deliveries {
+                let d = dir(seq, 0, Action::BackupWorkers { b: seq as u32 });
+                let outcome = a.deliver_directive(t(at as f64), &d);
+                match outcome {
+                    DeliveryOutcome::Accepted => expected.push((at, seq)),
+                    DeliveryOutcome::Duplicate => {}
+                    DeliveryOutcome::RejectedStale { .. } => {
+                        prop_assert!(false, "no resets in this scenario")
+                    }
+                }
+            }
+            expected.sort_unstable();
+            let applied: Vec<(u32, u64)> = a
+                .take_due(t(1e9))
+                .into_iter()
+                .map(|(at, seq, _)| (at.as_micros() as u32 / 1_000_000, seq))
+                .collect();
+            // Each unique seq applied exactly once, in (at, seq) order.
+            prop_assert_eq!(applied, expected);
+            prop_assert_eq!(a.pending(), 0);
+        }
     }
 }

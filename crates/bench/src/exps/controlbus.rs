@@ -1,0 +1,164 @@
+//! The control-bus refactor benchmark: Ideal-channel JCT/event parity
+//! against the pre-bus direct-call loop, plus the cost of control-plane
+//! latency — JCT as a function of the modeled Monitor→Controller→Agent
+//! channel delay on a non-dedicated PS job.
+
+use super::kernel::{fixture, timed, PRE_REFACTOR};
+use crate::util::{header, secs, table};
+use antdt_core::{DirectiveFate, JobConfig, MitigationChoice};
+use antdt_sim::{ControlChannel, SimDuration};
+use antdt_workloads::cluster::cluster_a_scaled;
+use antdt_workloads::{ModelProfile, Scenario};
+use std::fmt::Write;
+
+/// A scaled-down version of the non-dedicated PS example (10 workers, 4
+/// servers, heavy worker mix): enough control traffic for channel delay to
+/// matter, small enough sample count to keep the sweep cheap.
+fn non_dedicated(ch: ControlChannel) -> JobConfig {
+    JobConfig::ps_bsp(cluster_a_scaled(10, 4), Scenario::WorkerMix { intensity: 0.8 })
+        .with_model(ModelProfile::xdeepfm())
+        .with_global_batch(20_480)
+        .with_samples(2_000_000)
+        .with_batches_per_shard(20)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_seed(17)
+        .with_mitigation(MitigationChoice::AntDtNd)
+        .with_control_channel(ch)
+}
+
+/// The sweep points: control-plane one-way latency in seconds. 0 is the
+/// `Ideal` channel (inline delivery at the classic broadcast instants); the
+/// rest are lossless `Modeled` channels with fixed latency and no jitter.
+const LATENCIES: [f64; 4] = [0.0, 1.0, 10.0, 60.0];
+
+fn channel_for(latency_secs: f64) -> ControlChannel {
+    if latency_secs == 0.0 {
+        ControlChannel::Ideal
+    } else {
+        ControlChannel::Modeled { latency_secs, jitter_secs: 0.0, loss_prob: 0.0, seed: 7 }
+    }
+}
+
+pub fn controlbus() -> String {
+    let mut out = header(
+        "controlbus",
+        "Control bus: Ideal-channel parity vs the pre-bus loop + JCT vs control latency",
+    );
+    const REPS: usize = 2;
+
+    // -- 1. Parity: the bus in Ideal mode must reproduce the pre-bus traces
+    //    bit-for-bit on the golden fixture configs (same ratchet as `kernel`,
+    //    with the channel made explicit).
+    let mut rows = vec![vec![
+        "fixture".into(),
+        "JCT (sim)".into(),
+        "events".into(),
+        "pre-bus".into(),
+        "parity".into(),
+        "wall".into(),
+    ]];
+    let mut json_parity = String::new();
+    let mut all_match = true;
+    for (name, pre_jct_us, pre_events) in PRE_REFACTOR {
+        let (wall, r) = timed(REPS, || fixture(name).with_control_channel(ControlChannel::Ideal));
+        let parity = r.jct.as_micros() == pre_jct_us && r.events_processed == pre_events;
+        all_match &= parity;
+        rows.push(vec![
+            name.into(),
+            secs(r.jct.as_secs_f64()),
+            r.events_processed.to_string(),
+            format!("{:.3}s / {pre_events}", pre_jct_us as f64 / 1e6),
+            if parity { "MATCH".into() } else { "DIVERGED".into() },
+            format!("{:.4}s", wall),
+        ]);
+        let _ = write!(
+            json_parity,
+            concat!(
+                "{{\"fixture\":\"{}\",\"jct_micros\":{},\"events\":{},",
+                "\"pre_jct_micros\":{},\"pre_events\":{},\"parity\":{}}},"
+            ),
+            name,
+            r.jct.as_micros(),
+            r.events_processed,
+            pre_jct_us,
+            pre_events,
+            parity,
+        );
+    }
+    out.push_str(&table(&rows));
+    let _ = writeln!(
+        out,
+        "  parity: {} (Ideal channel reproduces the pre-bus direct-call traces)",
+        if all_match { "all fixtures MATCH" } else { "DIVERGENCE — see table" }
+    );
+
+    // -- 2. JCT vs control latency on the non-dedicated PS job: how much a
+    //    slow control plane erodes the mitigation win. The directive audit
+    //    shows the traffic the channel carried.
+    let mut rows = vec![vec![
+        "latency".into(),
+        "JCT (sim)".into(),
+        "events".into(),
+        "directives".into(),
+        "applied".into(),
+        "wall".into(),
+    ]];
+    let mut json_sweep = String::new();
+    let mut baseline_jct = 0.0_f64;
+    for latency in LATENCIES {
+        let (wall, r) = timed(REPS, || non_dedicated(channel_for(latency)));
+        let jct = r.jct.as_secs_f64();
+        if latency == 0.0 {
+            baseline_jct = jct;
+        }
+        let applied =
+            r.directives.iter().filter(|d| matches!(d.fate, DirectiveFate::Applied { .. })).count();
+        rows.push(vec![
+            format!("{latency}s"),
+            format!("{} ({:+.1}%)", secs(jct), (jct / baseline_jct.max(1e-9) - 1.0) * 100.0),
+            r.events_processed.to_string(),
+            r.directives.len().to_string(),
+            applied.to_string(),
+            format!("{:.4}s", wall),
+        ]);
+        let _ = write!(
+            json_sweep,
+            concat!(
+                "{{\"latency_secs\":{},\"jct_micros\":{},\"events\":{},",
+                "\"directives\":{},\"applied\":{}}},"
+            ),
+            latency,
+            r.jct.as_micros(),
+            r.events_processed,
+            r.directives.len(),
+            applied,
+        );
+    }
+    out.push_str(&table(&rows));
+    let _ = writeln!(
+        out,
+        "  sweep: non-dedicated PS (10 workers / 4 servers, WorkerMix 0.8), \
+         one-way control latency 0→60 s"
+    );
+
+    // Machine-readable artifact (hand-rendered: the offline serde_json is a stub).
+    let json = format!(
+        "{{\"experiment\":\"controlbus\",\"reps\":{},\"parity\":{},\
+         \"fixtures\":[{}],\"latency_sweep\":[{}]}}\n",
+        REPS,
+        all_match,
+        json_parity.trim_end_matches(','),
+        json_sweep.trim_end_matches(','),
+    );
+    let _ = std::fs::create_dir_all("target");
+    let path = std::path::Path::new("target").join("BENCH_controlbus.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "  wrote {}", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  could not write {}: {e}", path.display());
+        }
+    }
+    out
+}

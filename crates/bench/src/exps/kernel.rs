@@ -13,7 +13,7 @@ use std::fmt::Write;
 /// `ps.rs`/`allreduce.rs` runtimes (PR 2) on the exact fixture configs of
 /// `tests/refactor_equivalence.rs`. The kernel refactor is trace-preserving,
 /// so the post-refactor runs must reproduce these numbers bit-for-bit.
-const PRE_REFACTOR: [(&str, u64, u64); 4] = [
+pub(crate) const PRE_REFACTOR: [(&str, u64, u64); 4] = [
     // (fixture, jct_micros, events_processed)
     ("bsp", 203_051_583, 354),
     ("asp", 193_935_979, 1_590),
@@ -31,7 +31,7 @@ fn ps_base(cfg: JobConfig) -> JobConfig {
 }
 
 /// The fixture configs, byte-for-byte the ones behind `tests/golden/*_clean`.
-fn fixture(name: &str) -> JobConfig {
+pub(crate) fn fixture(name: &str) -> JobConfig {
     match name {
         "bsp" => ps_base(JobConfig::ps_bsp(
             cluster_a_scaled(4, 2),
@@ -77,7 +77,7 @@ fn local_sgd_fixture(sync_every: u32) -> JobConfig {
 }
 
 /// Best-of-`reps` wall time plus the (deterministic) report.
-fn timed(reps: usize, mk: impl Fn() -> JobConfig) -> (f64, JobReport) {
+pub(crate) fn timed(reps: usize, mk: impl Fn() -> JobConfig) -> (f64, JobReport) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps {

@@ -7,12 +7,14 @@
 //! Figs. 15–19 and Table III), `ops` (integrity, solver, ablations, chaos,
 //! telemetry) and `kernel` (runtime-kernel refactor parity + throughput).
 
+mod controlbus;
 mod framework;
 mod kernel;
 mod motivation;
 mod nd;
 mod ops;
 
+pub use controlbus::controlbus;
 pub use framework::{fig15, fig16, fig17, fig18, fig19, tab3};
 pub use kernel::kernel;
 pub use motivation::{fig1, fig2, fig3, fig7, fig8, fig9};

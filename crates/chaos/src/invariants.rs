@@ -166,6 +166,52 @@ pub fn action_convergence(report: &JobReport) -> InvariantOutcome {
     )
 }
 
+/// No stale directive: no directive fenced to a dead incarnation was ever
+/// applied. For every directive in the bus audit, either its fence matched
+/// the incarnation that applied it, or it ended rejected / deduped / wiped /
+/// expired / still pending — a directive decided before a kill must never
+/// take effect on the replacement pod. `Fired` kill signals are excluded:
+/// that path is fenced downstream by the kill event's generation guard.
+/// Vacuous pass when the run carried no directives.
+pub fn no_stale_directive(report: &JobReport) -> InvariantOutcome {
+    use antdt_core::DirectiveFate;
+    let mut applied = 0usize;
+    let mut rejected = 0usize;
+    let mut violations = 0usize;
+    let mut example = String::new();
+    for d in &report.directives {
+        match d.fate {
+            DirectiveFate::Applied { gen, .. } => {
+                applied += 1;
+                if gen != d.fence_gen {
+                    violations += 1;
+                    if example.is_empty() {
+                        example = format!(
+                            " e.g. seq={} {} fence_gen={} applied by gen={}",
+                            d.seq, d.target, d.fence_gen, gen
+                        );
+                    }
+                }
+            }
+            DirectiveFate::RejectedStale { .. } => rejected += 1,
+            DirectiveFate::Pending
+            | DirectiveFate::Deduped { .. }
+            | DirectiveFate::Wiped { .. }
+            | DirectiveFate::Expired { .. }
+            | DirectiveFate::Fired { .. } => {}
+        }
+    }
+    InvariantOutcome::new(
+        "no-stale-directive",
+        violations == 0,
+        format!(
+            "{} directive(s), {applied} applied, {rejected} fence-rejected, \
+             {violations} stale application(s){example}",
+            report.directives.len()
+        ),
+    )
+}
+
 /// AUC parity: the model trained under faults must match the fault-free run
 /// of the same seed within `tolerance`. Vacuous pass when either run did not
 /// train a real model (synthetic execution mode).
@@ -209,13 +255,14 @@ pub fn check_all(
     if expect_stall {
         // A wedged job cannot satisfy data-completeness invariants; the only
         // question is whether the watchdog turned the hang into a loud fail.
-        return vec![liveness(drill, true), convergence];
+        return vec![liveness(drill, true), convergence, no_stale_directive(drill)];
     }
     vec![
         at_least_once(drill),
         at_most_once(drill, expect_kills),
         liveness(drill, false),
         convergence,
+        no_stale_directive(drill),
         auc_parity(drill, clean, auc_tolerance),
     ]
 }

@@ -48,6 +48,12 @@ pub enum Fault {
     /// Drop each Agent→Monitor report with probability `prob` (seeded) for
     /// `window_secs`.
     DropReports { prob: f64, window_secs: f64, seed: u64 },
+    /// Degrade the control bus for `window_secs`: every control message
+    /// (report, directive, ack) rides a lossy delayed channel instead of the
+    /// job's configured one. The drill for the no-stale-directive invariant:
+    /// directives delayed past a kill must be fence-rejected, never applied
+    /// by the wrong incarnation.
+    ControlDegrade { latency_secs: f64, loss_prob: f64, window_secs: f64, seed: u64 },
 }
 
 /// A fault scheduled at an absolute simulated time.
@@ -117,6 +123,9 @@ impl FaultPlan {
                     Fault::DdsOutage { window_secs } => InjectedFault::DdsOutage { window_secs },
                     Fault::DropReports { prob, window_secs, seed } => {
                         InjectedFault::DropReports { prob, window_secs, seed }
+                    }
+                    Fault::ControlDegrade { latency_secs, loss_prob, window_secs, seed } => {
+                        InjectedFault::ControlDegrade { latency_secs, loss_prob, window_secs, seed }
                     }
                 },
             })

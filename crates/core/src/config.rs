@@ -5,7 +5,7 @@ use antdt_agent::{AgentConfig, BroadcastModel};
 use antdt_controller::{DdConfig, DeviceClassSpec};
 use antdt_ml::Dataset;
 use antdt_monitor::MonitorConfig;
-use antdt_sim::{SimDuration, SimTime};
+use antdt_sim::{ControlChannel, SimDuration, SimTime};
 use antdt_workloads::{ClusterSpec, ModelProfile, Scenario};
 
 /// Consistency model of the Parameter Server (§I).
@@ -125,6 +125,12 @@ pub enum InjectedFault {
     /// (seeded, reproducible) for `window_secs` — starves the Controller of
     /// statistics without touching training itself.
     DropReports { prob: f64, window_secs: f64, seed: u64 },
+    /// Degrade the control bus for `window_secs`: every control message pays
+    /// `latency_secs` and is lost with probability `loss_prob` per attempt
+    /// (seeded, reproducible). Overrides the job's `control_channel` for the
+    /// window — directives crawl, reports go missing, and the fencing /
+    /// idempotence machinery has to hold the line.
+    ControlDegrade { latency_secs: f64, loss_prob: f64, window_secs: f64, seed: u64 },
 }
 
 impl InjectedFault {
@@ -148,6 +154,12 @@ impl InjectedFault {
             InjectedFault::DropReports { prob, window_secs, .. } => {
                 format!("drop {:.0}% of reports for {window_secs:.0}s", prob * 100.0)
             }
+            InjectedFault::ControlDegrade { latency_secs, loss_prob, window_secs, .. } => {
+                format!(
+                    "degrade control bus ({latency_secs:.0}s latency, {:.0}% loss) for {window_secs:.0}s",
+                    loss_prob * 100.0
+                )
+            }
         }
     }
 
@@ -157,7 +169,8 @@ impl InjectedFault {
         match self {
             InjectedFault::NetworkDegrade { window_secs, .. }
             | InjectedFault::DdsOutage { window_secs }
-            | InjectedFault::DropReports { window_secs, .. } => Some(*window_secs),
+            | InjectedFault::DropReports { window_secs, .. }
+            | InjectedFault::ControlDegrade { window_secs, .. } => Some(*window_secs),
             _ => None,
         }
     }
@@ -197,6 +210,11 @@ pub struct JobConfig {
     pub monitor_tick: SimDuration,
     pub agent: AgentConfig,
     pub broadcast: BroadcastModel,
+    /// Delivery model of the Monitor/Controller/Agent control plane.
+    /// `Ideal` (the default) delivers inline at the classic broadcast-model
+    /// instants — trace-preserving; `Modeled` routes every control message
+    /// through the event queue with latency/jitter/loss.
+    pub control_channel: ControlChannel,
 
     /// Checkpoint cadence and cost knobs (failover model, Fig. 17).
     pub checkpoint_interval: SimDuration,
@@ -251,6 +269,7 @@ impl JobConfig {
             monitor_tick: SimDuration::from_minutes(5),
             agent: AgentConfig::default(),
             broadcast: BroadcastModel::default(),
+            control_channel: ControlChannel::Ideal,
             checkpoint_interval: SimDuration::from_minutes(10),
             ckpt_save_secs: 15.0,
             ckpt_restore_secs: 60.0,
@@ -350,6 +369,11 @@ impl JobConfig {
         self.monitor = m;
         self
     }
+    /// Set the control-plane delivery model (see [`ControlChannel`]).
+    pub fn with_control_channel(mut self, ch: ControlChannel) -> Self {
+        self.control_channel = ch;
+        self
+    }
     pub fn with_dd_classes(mut self, classes: Vec<DeviceClassSpec>) -> Self {
         self.dd_classes = Some(classes);
         self
@@ -427,6 +451,7 @@ impl JobConfig {
                 "real-math dataset smaller than total_samples"
             );
         }
+        self.control_channel.validate();
         for inj in &self.injections {
             assert!(
                 inj.at_secs.is_finite() && inj.at_secs >= 0.0,
@@ -464,6 +489,16 @@ impl JobConfig {
                     assert!(
                         (0.0..=1.0).contains(prob),
                         "DropReports probability must be in [0, 1]"
+                    );
+                }
+                InjectedFault::ControlDegrade { latency_secs, loss_prob, .. } => {
+                    assert!(
+                        latency_secs.is_finite() && *latency_secs >= 0.0,
+                        "ControlDegrade latency must be finite and non-negative"
+                    );
+                    assert!(
+                        (0.0..1.0).contains(loss_prob),
+                        "ControlDegrade loss probability must be in [0, 1)"
                     );
                 }
             }

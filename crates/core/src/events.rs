@@ -40,4 +40,8 @@ pub enum Ev {
     /// Liveness watchdog probe: abort the run (loudly, as `stalled`) when no
     /// progress has been made for `JobConfig::liveness_timeout`.
     LivenessCheck,
+    /// A control-bus message (report, directive, ack) arrives or retries;
+    /// `seq` keys the bus's in-flight envelope table. Only scheduled under a
+    /// `Modeled` control channel — the `Ideal` channel delivers inline.
+    BusMsg { seq: u64 },
 }

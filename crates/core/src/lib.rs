@@ -36,7 +36,7 @@ pub use config::{
     InjectedFault, JobConfig, MitigationChoice,
 };
 pub use job::Job;
-pub use report::{ActionApplication, InjectionRecord, JobReport};
+pub use report::{ActionApplication, DirectiveFate, DirectiveRecord, InjectionRecord, JobReport};
 
 /// Run a job with an explicitly constructed policy — the escape hatch for
 /// ablations that sweep policy hyper-parameters the standard

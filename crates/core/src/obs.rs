@@ -14,6 +14,16 @@ use std::sync::Arc;
 const RESTART_DELAY_BOUNDS_US: [u64; 5] =
     [15_000_000, 60_000_000, 300_000_000, 900_000_000, 1_800_000_000];
 
+/// Control-bus transport counters (message sends, deliveries, channel drops,
+/// retransmissions).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BusCounters {
+    pub sent: Counter,
+    pub delivered: Counter,
+    pub dropped: Counter,
+    pub retried: Counter,
+}
+
 /// The per-job telemetry bundle with every pre-registered handle the runtimes
 /// update. Built once in `run()` when `JobConfig::telemetry` is set; absent
 /// otherwise so the telemetry-off hot path pays nothing.
@@ -36,6 +46,8 @@ pub(crate) struct RtTele {
     pub dds: DdsCounters,
     pub monitor: MonitorCounters,
     pub agents: AgentCounters,
+    /// Control-bus transport counters.
+    pub bus: BusCounters,
 }
 
 impl RtTele {
@@ -64,6 +76,14 @@ impl RtTele {
             agents: AgentCounters {
                 delivered: m.counter("antdt_agent_actions_delivered_total", rt),
                 applied: m.counter("antdt_agent_actions_applied_total", rt),
+                rejected: m.counter("antdt_agent_actions_rejected_total", rt),
+                deduped: m.counter("antdt_agent_actions_deduped_total", rt),
+            },
+            bus: BusCounters {
+                sent: m.counter("antdt_bus_msgs_sent_total", rt),
+                delivered: m.counter("antdt_bus_msgs_delivered_total", rt),
+                dropped: m.counter("antdt_bus_msgs_dropped_total", rt),
+                retried: m.counter("antdt_bus_msgs_retried_total", rt),
             },
             tele,
         }

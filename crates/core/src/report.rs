@@ -24,6 +24,41 @@ pub struct InjectionRecord {
     pub recovered_at: Option<SimTime>,
 }
 
+/// What finally became of one fenced directive on the control bus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum DirectiveFate {
+    /// Still in flight (or queued in an inbox) when the job ended.
+    Pending,
+    /// Applied by the target at an iteration boundary.
+    Applied { gen: u32, at: SimTime },
+    /// Rejected at delivery: the fence named a dead incarnation
+    /// (`agent_gen` is the incarnation that rejected it).
+    RejectedStale { agent_gen: u32, at: SimTime },
+    /// Redelivery of an already-seen seq; idempotently dropped.
+    Deduped { at: SimTime },
+    /// Wiped from a dead incarnation's inbox at restart, never applied.
+    Wiped { at: SimTime },
+    /// Dropped by the channel until the retry budget ran out.
+    Expired { at: SimTime },
+    /// A `KILL_RESTART` signal handed to the event scheduler (the kill path
+    /// is fenced downstream by the event's generation guard, not the agent).
+    Fired { at: SimTime },
+}
+
+/// The audited life of one Controller directive carried by the control bus —
+/// the raw material for the no-stale-directive invariant.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DirectiveRecord {
+    pub seq: u64,
+    pub target: NodeId,
+    /// The target's incarnation at decision time (the fence).
+    pub fence_gen: u32,
+    pub decided_at: SimTime,
+    /// Debug rendering of the action (stable across same-seed runs).
+    pub action: String,
+    pub fate: DirectiveFate,
+}
+
 /// One global Controller action as applied by one worker — the raw material
 /// for the global-action convergence invariant (all survivors must apply the
 /// same action delivered at the same instant, at the same iteration).
@@ -75,6 +110,9 @@ pub struct JobReport {
     /// Per-worker application log of global Controller actions (convergence
     /// invariant input). Empty unless the job carried `injections`.
     pub action_log: Vec<ActionApplication>,
+    /// Control-bus directive audit: every fenced directive with its final
+    /// fate (applied / rejected-stale / deduped / wiped / expired).
+    pub directives: Vec<DirectiveRecord>,
 
     pub overhead: OverheadLedger,
     /// Data-integrity audit (§VII-D2); absent for even-partition runs.
@@ -136,6 +174,15 @@ impl JobReport {
         }
         for a in &self.action_log {
             let _ = writeln!(w, "applied: {a:?}");
+        }
+        // Only fence rejections are rendered: they are a simulation result
+        // (a stale action provably not applied); the rest of the directive
+        // audit is bus bookkeeping, and rendering it would force a re-bless
+        // of every pre-bus fixture.
+        for d in &self.directives {
+            if matches!(d.fate, DirectiveFate::RejectedStale { .. }) {
+                let _ = writeln!(w, "rejection: {d:?}");
+            }
         }
         let _ = writeln!(w, "overhead_dds_us: {}", self.overhead.dds.as_micros());
         let _ = writeln!(w, "overhead_sync_us: {}", self.overhead.sync.as_micros());

@@ -93,7 +93,7 @@ impl BspFlavor {
             busy += apply;
             k.servers[j].free_at = t;
             k.servers[j].series_bpt.push(t, busy);
-            k.store.report_bpt(NodeId::server(j as u32), t, busy, 0);
+            super::bus::send_report(k, eng, NodeId::server(j as u32), t, busy, 0);
             ready_max = ready_max.max(t);
         }
 
@@ -136,8 +136,8 @@ impl BspFlavor {
             k.workers[wi].iter += 1;
             k.workers[wi].series_bpt.push(now, bpt);
             k.workers[wi].series_batch.push(now, inf.took as f64);
-            if k.workers[wi].agent.on_iteration() && !k.report_dropped() {
-                k.store.report_bpt(NodeId::worker(p.w), now, bpt, inf.took);
+            if k.bus.report_due(wi) && !k.report_dropped() {
+                super::bus::send_report(k, eng, NodeId::worker(p.w), now, bpt, inf.took);
                 k.overhead.add_sync(SimDuration::from_secs_f64(k.cfg.broadcast.barrier_secs));
             }
             if let Some(g) = k.gantt.as_mut() {

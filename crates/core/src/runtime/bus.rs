@@ -1,0 +1,600 @@
+//! The control bus: the single seam through which the runtime talks to the
+//! Monitor, the Controller and the Agents (paper Fig. 6, made explicit).
+//!
+//! Every hop of the control loop is a typed [`ControlMsg`]:
+//!
+//! | hop                  | message     | carried by                          |
+//! |----------------------|-------------|-------------------------------------|
+//! | Agent → Monitor      | `Report`    | bus (channel-modeled)               |
+//! | Monitor → Controller | `Snapshot`  | inline (colocated on the master)    |
+//! | Controller → Agent   | `Directive` | bus (channel-modeled, fenced)       |
+//! | Agent → Controller   | `Ack`       | bus (channel-modeled)               |
+//!
+//! Under [`ControlChannel::Ideal`] (the default) every message is delivered
+//! *inline* at the classic broadcast-model instants: zero extra events, zero
+//! extra RNG draws, so same-seed traces are byte-identical to the pre-bus
+//! golden fixtures. Under [`ControlChannel::Modeled`] — or while a chaos
+//! `ControlDegrade` window overlays the channel — messages become first-class
+//! [`Ev::BusMsg`] events with latency, jitter, loss and capped
+//! retransmission, all drawn from the channel's dedicated RNG stream (never
+//! the simulation's [`antdt_sim::RngPool`] streams).
+//!
+//! Directives are generation-fenced: stamped with the target agent's
+//! incarnation at decision time, rejected at delivery by any other
+//! incarnation, and idempotent under redelivery (bus-unique seq, deduped at
+//! the agent). Every directive's life is audited in a [`DirectiveRecord`];
+//! fence rejections additionally land in the Controller decision audit and
+//! the telemetry trace.
+
+use super::kernel::Kernel;
+use crate::events::Ev;
+use crate::obs::RtTele;
+use crate::report::{DirectiveFate, DirectiveRecord};
+use antdt_agent::bus::{ControlMsg, DeliveryOutcome, Directive};
+use antdt_agent::{Agent, AgentConfig};
+use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
+use antdt_monitor::{ClusterInfo, MetricStore, MonitorConfig, NodeEvent, NodeId, Role};
+use antdt_sim::{ChannelVerdict, ControlChannel, Engine, SimDuration, SimTime};
+use antdt_telemetry::DecisionRecord;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashMap};
+
+/// Retransmission budget per message; a directive that cannot be delivered in
+/// this many attempts expires (audited, never silently lost).
+const MAX_ATTEMPTS: u32 = 64;
+
+/// Who a global directive broadcast addresses — mirrors the two pre-bus
+/// broadcast shapes exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BroadcastScope {
+    /// PS runtimes: alive workers only; idle workers get a wake-up poke at
+    /// the delivery instant so a fresh `AdjustBs` can pick them up.
+    PsAlive,
+    /// Round-driven runtimes: every rank, dead or alive, no pokes — the
+    /// round open applies whatever has arrived.
+    RingAll,
+}
+
+/// Transport state of one in-flight message.
+enum EnvState {
+    /// Scheduled to arrive at its `BusMsg` instant.
+    Deliver,
+    /// Lost (or target dead); the `BusMsg` instant is a retransmission.
+    Retry,
+}
+
+/// One message in flight on a modeled channel.
+struct Envelope {
+    msg: ControlMsg,
+    state: EnvState,
+    attempts: u32,
+    sent_at: SimTime,
+    retryable: bool,
+    poke: bool,
+}
+
+/// The control-plane endpoint bundle owned by the kernel: Monitor store,
+/// Controller policy, per-node Agents, and the channel that connects them.
+/// All Monitor/Controller/Agent traffic in `runtime/` flows through here.
+pub(crate) struct ControlBus {
+    channel: ControlChannel,
+    /// The base channel's dedicated RNG (`None` for `Ideal`).
+    rng: Option<StdRng>,
+    /// Active `ControlDegrade` windows: `(injection idx, channel, rng)`.
+    /// The innermost (last) window wins while any are active.
+    overlays: Vec<(u32, ControlChannel, StdRng)>,
+    store: MetricStore,
+    policy: Box<dyn MitigationPolicy>,
+    ctx: PolicyCtx,
+    agents: Vec<Agent>,
+    next_seq: u64,
+    pending: BTreeMap<u64, Envelope>,
+    directives: Vec<DirectiveRecord>,
+    seq_to_rec: HashMap<u64, usize>,
+    /// Fence rejections awaiting the next decision-audit drain.
+    rejections: Vec<DecisionRecord>,
+    tele: Option<RtTele>,
+}
+
+/// Telemetry lane for a node: workers on their own lanes, servers above 1000
+/// (the trace-viewer convention used by the lifecycle spans).
+fn lane(node: NodeId) -> u32 {
+    match node.role {
+        Role::Worker => node.idx,
+        Role::Server => 1000 + node.idx,
+    }
+}
+
+impl ControlBus {
+    /// Build the control plane: the Monitor store with every node registered,
+    /// one Agent per worker, the Controller policy, and the channel. The bus
+    /// is the only place in `runtime/` that constructs or touches these
+    /// endpoints — `scripts/check-layering.sh` enforces it.
+    pub(crate) fn new(
+        channel: ControlChannel,
+        monitor_cfg: MonitorConfig,
+        agent_cfg: AgentConfig,
+        policy: Box<dyn MitigationPolicy>,
+        ctx: PolicyCtx,
+        tele: Option<RtTele>,
+    ) -> Self {
+        let mut store = MetricStore::new(monitor_cfg);
+        if let Some(rt) = &tele {
+            store.attach_telemetry(rt.monitor.clone());
+        }
+        let mut agents: Vec<Agent> = Vec::with_capacity(ctx.n_workers);
+        for i in 0..ctx.n_workers {
+            store.register(NodeId::worker(i as u32));
+            let mut agent = Agent::new(NodeId::worker(i as u32), agent_cfg);
+            if let Some(rt) = &tele {
+                agent.attach_telemetry(rt.agents.clone());
+            }
+            agents.push(agent);
+        }
+        for j in 0..ctx.n_servers {
+            store.register(NodeId::server(j as u32));
+        }
+        ControlBus {
+            rng: channel.rng(),
+            channel,
+            overlays: Vec::new(),
+            store,
+            policy,
+            ctx,
+            agents,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            directives: Vec::new(),
+            seq_to_rec: HashMap::new(),
+            rejections: Vec::new(),
+            tele,
+        }
+    }
+
+    /// The channel currently in effect: the innermost `ControlDegrade`
+    /// overlay, or the job's configured channel.
+    fn effective_channel(&self) -> ControlChannel {
+        self.overlays.last().map(|(_, ch, _)| *ch).unwrap_or(self.channel)
+    }
+
+    /// Whether messages are currently delivered inline (no events, no draws).
+    fn inline_mode(&self) -> bool {
+        self.effective_channel().is_ideal()
+    }
+
+    /// Sample one transmission attempt on the effective channel.
+    fn sample(&mut self) -> ChannelVerdict {
+        if let Some((_, ch, rng)) = self.overlays.last_mut() {
+            return ch.sample(rng);
+        }
+        match (&self.channel, &mut self.rng) {
+            (ch @ ControlChannel::Modeled { .. }, Some(rng)) => ch.sample(rng),
+            _ => ChannelVerdict::Deliver(0.0),
+        }
+    }
+
+    /// A `ControlDegrade` chaos window opens.
+    pub(crate) fn push_degrade(&mut self, idx: u32, latency_secs: f64, loss_prob: f64, seed: u64) {
+        let ch = ControlChannel::Modeled { latency_secs, jitter_secs: 0.0, loss_prob, seed };
+        self.overlays.push((idx, ch, StdRng::seed_from_u64(seed)));
+    }
+
+    /// A `ControlDegrade` window closes. In-flight envelopes keep their
+    /// scheduled instants; retries resample on whatever channel is then in
+    /// effect.
+    pub(crate) fn pop_degrade(&mut self, idx: u32) {
+        self.overlays.retain(|(i, _, _)| *i != idx);
+    }
+
+    /// Whether worker `wi`'s agent wants to push a report this iteration
+    /// (the `report_every_iters` cadence).
+    pub(crate) fn report_due(&mut self, wi: usize) -> bool {
+        self.agents[wi].on_iteration()
+    }
+
+    /// Worker `wi`'s current agent incarnation (the fence for new directives).
+    pub(crate) fn incarnation(&self, wi: usize) -> u32 {
+        self.agents[wi].incarnation()
+    }
+
+    /// Worker `wi` restarted: fresh incarnation; queued deliveries addressed
+    /// to the dead process are wiped and audited as such.
+    pub(crate) fn agent_reset(&mut self, wi: usize, at: SimTime) {
+        for seq in self.agents[wi].reset() {
+            self.mark(seq, DirectiveFate::Wiped { at });
+        }
+    }
+
+    /// A lifecycle event (kill/restart) reaches the Monitor. Lifecycle
+    /// signals ride the scheduler path, not the agent bus — the master
+    /// observes them directly.
+    pub(crate) fn node_event(&mut self, ev: NodeEvent) {
+        self.store.report_event(ev);
+    }
+
+    /// One Monitor→Controller tick: aggregate, snapshot, decide. The
+    /// `Snapshot` message is constructed and consumed in place — Monitor and
+    /// Controller are colocated on the AntDT master, so this hop is always
+    /// inline.
+    pub(crate) fn tick_decide(&mut self, now: SimTime, info: ClusterInfo) -> Vec<Action> {
+        self.store.set_cluster_info(info);
+        let snap = self.store.snapshot(now);
+        let snapshot =
+            ControlMsg::Snapshot { at: now, nodes: self.agents.len() + self.ctx.n_servers };
+        if let (Some(rt), ControlMsg::Snapshot { nodes, .. }) = (&self.tele, &snapshot) {
+            rt.tele.tracer.instant(
+                "bus-snapshot",
+                "bus",
+                now.as_micros(),
+                0,
+                &[("nodes", &nodes.to_string())],
+            );
+        }
+        self.policy.decide(now, &snap, &self.ctx)
+    }
+
+    /// Drain the Controller decision audit: the policy's own records plus any
+    /// fence rejections the bus audited since the last drain.
+    pub(crate) fn drain_decision_audit(&mut self) -> Vec<DecisionRecord> {
+        let mut out = self.policy.drain_audit();
+        out.append(&mut self.rejections);
+        out
+    }
+
+    /// At worker `wi`'s iteration boundary, drain every due action in
+    /// canonical `(delivery time, seq)` order, marking each directive
+    /// applied.
+    pub(crate) fn drain_actions(&mut self, wi: usize, now: SimTime) -> Vec<(SimTime, Action)> {
+        let gen = self.agents[wi].incarnation();
+        self.agents[wi]
+            .take_due(now)
+            .into_iter()
+            .map(|(at, seq, action)| {
+                self.mark(seq, DirectiveFate::Applied { gen, at: now });
+                (at, action)
+            })
+            .collect()
+    }
+
+    /// Consume the directive audit for the final report.
+    pub(crate) fn take_directives(&mut self) -> Vec<DirectiveRecord> {
+        std::mem::take(&mut self.directives)
+    }
+
+    /// Append a new directive record and return its seq.
+    fn record(
+        &mut self,
+        target: NodeId,
+        fence_gen: u32,
+        decided_at: SimTime,
+        action: &Action,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seq_to_rec.insert(seq, self.directives.len());
+        self.directives.push(DirectiveRecord {
+            seq,
+            target,
+            fence_gen,
+            decided_at,
+            action: format!("{action:?}"),
+            fate: DirectiveFate::Pending,
+        });
+        seq
+    }
+
+    /// Advance a directive's fate. Terminal fates never regress (a duplicate
+    /// delivery of an already-applied directive stays `Applied`).
+    fn mark(&mut self, seq: u64, fate: DirectiveFate) {
+        if let Some(&i) = self.seq_to_rec.get(&seq) {
+            if matches!(self.directives[i].fate, DirectiveFate::Pending) {
+                self.directives[i].fate = fate;
+            }
+        }
+    }
+
+    /// One span per delivered message hop: `sent_at → delivered_at` on the
+    /// target's telemetry lane.
+    fn hop_span(&self, name: &'static str, sent_at: SimTime, delivered_at: SimTime, node: NodeId) {
+        if let Some(rt) = &self.tele {
+            rt.bus.delivered.inc();
+            rt.tele.tracer.complete(
+                name,
+                "bus",
+                sent_at.as_micros(),
+                delivered_at.since(sent_at).as_micros(),
+                lane(node),
+            );
+        }
+    }
+
+    /// Audit a fence rejection: decision-audit record + telemetry instant.
+    fn audit_rejection(&mut self, now: SimTime, target: NodeId, d: &Directive, agent_gen: u32) {
+        self.mark(d.seq, DirectiveFate::RejectedStale { agent_gen, at: now });
+        self.rejections.push(DecisionRecord {
+            at_us: now.as_micros(),
+            rule: "stale-directive-rejected".to_string(),
+            node: target.to_string(),
+            window: BTreeMap::new(),
+            solver: None,
+            actions: vec![format!(
+                "seq={} fence_gen={} agent_gen={} {}",
+                d.seq,
+                d.fence_gen,
+                agent_gen,
+                self.directive_action(d.seq),
+            )],
+        });
+        if let Some(rt) = &self.tele {
+            rt.tele.tracer.instant(
+                "bus-reject",
+                "bus",
+                now.as_micros(),
+                lane(target),
+                &[
+                    ("seq", &d.seq.to_string()),
+                    ("fence_gen", &d.fence_gen.to_string()),
+                    ("agent_gen", &agent_gen.to_string()),
+                ],
+            );
+        }
+    }
+
+    fn directive_action(&self, seq: u64) -> String {
+        self.seq_to_rec.get(&seq).map(|&i| self.directives[i].action.clone()).unwrap_or_default()
+    }
+
+    /// Enqueue one message on the modeled channel: first transmission attempt
+    /// now, arrival (or retry) as a `BusMsg` event.
+    fn enqueue(
+        &mut self,
+        eng: &mut Engine<Ev>,
+        seq: u64,
+        msg: ControlMsg,
+        base_at: SimTime,
+        retryable: bool,
+        poke: bool,
+    ) {
+        if let Some(rt) = &self.tele {
+            rt.bus.sent.inc();
+        }
+        let env = Envelope {
+            msg,
+            state: EnvState::Deliver,
+            attempts: 0,
+            sent_at: base_at,
+            retryable,
+            poke,
+        };
+        self.transmit(eng, seq, env, base_at);
+    }
+
+    /// One transmission attempt of `env`, starting from `base_at`.
+    fn transmit(&mut self, eng: &mut Engine<Ev>, seq: u64, mut env: Envelope, base_at: SimTime) {
+        env.attempts += 1;
+        match self.sample() {
+            ChannelVerdict::Deliver(d) => {
+                env.state = EnvState::Deliver;
+                eng.schedule(base_at + SimDuration::from_secs_f64(d), Ev::BusMsg { seq });
+                self.pending.insert(seq, env);
+            }
+            ChannelVerdict::Drop => {
+                if let Some(rt) = &self.tele {
+                    rt.bus.dropped.inc();
+                }
+                self.schedule_retry(eng, seq, env, base_at);
+            }
+        }
+    }
+
+    /// Schedule a retransmission of `env` (lost attempt or dead target), or
+    /// expire it once the budget runs out.
+    fn schedule_retry(
+        &mut self,
+        eng: &mut Engine<Ev>,
+        seq: u64,
+        mut env: Envelope,
+        base_at: SimTime,
+    ) {
+        if env.retryable && env.attempts < MAX_ATTEMPTS {
+            if let Some(rt) = &self.tele {
+                rt.bus.retried.inc();
+            }
+            env.state = EnvState::Retry;
+            let backoff = SimDuration::from_secs_f64(self.effective_channel().retry_secs());
+            eng.schedule(base_at + backoff, Ev::BusMsg { seq });
+            self.pending.insert(seq, env);
+        } else if let ControlMsg::Directive { directive, .. } = &env.msg {
+            self.mark(directive.seq, DirectiveFate::Expired { at: base_at });
+        }
+    }
+}
+
+/// Agent → Monitor: one iteration statistic. `at` is the measurement instant;
+/// a delayed channel shifts when the Monitor *sees* it, not what was
+/// measured.
+pub(crate) fn send_report(
+    k: &mut Kernel,
+    eng: &mut Engine<Ev>,
+    node: NodeId,
+    at: SimTime,
+    bpt_secs: f64,
+    batch: u64,
+) {
+    if k.bus.inline_mode() {
+        k.bus.store.report_bpt(node, at, bpt_secs, batch);
+        k.bus.hop_span("bus-report", at, at, node);
+        return;
+    }
+    let seq = k.bus.next_seq;
+    k.bus.next_seq += 1;
+    let base = at.max(eng.now());
+    let msg = ControlMsg::Report { node, at, bpt_secs, batch };
+    // Reports are not retried: the next report supersedes a lost one (the
+    // Monitor's windows tolerate gaps — that is what DropReports drills).
+    k.bus.enqueue(eng, seq, msg, base, false, false);
+}
+
+/// Controller → Agents: broadcast one global action, fenced per target. The
+/// ideal path reproduces the pre-bus Fig. 6 broadcast exactly (same delays,
+/// same pokes, same event order).
+pub(crate) fn broadcast(
+    k: &mut Kernel,
+    eng: &mut Engine<Ev>,
+    now: SimTime,
+    action: Action,
+    scope: BroadcastScope,
+) {
+    if k.bus.inline_mode() {
+        let payload = action.payload_bytes();
+        let delay = k.cfg.broadcast.full_broadcast_delay(payload);
+        k.overhead.add_sync(delay);
+        let at = now + delay;
+        for w in 0..k.workers.len() {
+            if scope == BroadcastScope::PsAlive && !k.workers[w].alive {
+                continue;
+            }
+            let target = NodeId::worker(w as u32);
+            let fence = k.bus.incarnation(w);
+            let seq = k.bus.record(target, fence, now, &action);
+            let d = Directive { seq, decided_at: now, fence_gen: fence, action: action.clone() };
+            let outcome = k.bus.agents[w].deliver_directive(at, &d);
+            debug_assert_eq!(outcome, DeliveryOutcome::Accepted);
+            k.bus.hop_span("bus-directive", now, at, target);
+            if scope == BroadcastScope::PsAlive
+                && k.workers[w].inflight.is_none()
+                && !k.workers[w].done
+            {
+                // Idle workers (quota 0 / parked) need a poke to pick the
+                // action up.
+                eng.schedule(at, Ev::WorkerStart { w: w as u32, gen: k.workers[w].gen });
+            }
+        }
+        return;
+    }
+    for w in 0..k.workers.len() {
+        if scope == BroadcastScope::PsAlive && !k.workers[w].alive {
+            continue;
+        }
+        let target = NodeId::worker(w as u32);
+        let fence = k.bus.incarnation(w);
+        let seq = k.bus.record(target, fence, now, &action);
+        let d = Directive { seq, decided_at: now, fence_gen: fence, action: action.clone() };
+        let msg = ControlMsg::Directive { target, directive: d };
+        k.bus.enqueue(eng, seq, msg, now, true, scope == BroadcastScope::PsAlive);
+    }
+}
+
+/// Controller → node: a `KILL_RESTART` signal. The target generation is
+/// resolved at decision time; the scheduled kill event's generation guard is
+/// the fence on this path (a restarted node ignores a stale kill).
+pub(crate) fn send_kill(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, node: NodeId) {
+    let action = Action::KillRestart { node };
+    let gen = match node.role {
+        Role::Worker => k.workers[node.idx as usize].gen,
+        Role::Server => k.servers[node.idx as usize].gen,
+    };
+    if k.bus.inline_mode() {
+        let delay = k.cfg.broadcast.direct_delay(16);
+        let at = now + delay;
+        let seq = k.bus.record(node, gen, now, &action);
+        k.bus.mark(seq, DirectiveFate::Fired { at });
+        k.bus.hop_span("bus-directive", now, at, node);
+        match node.role {
+            Role::Worker => eng.schedule(at, Ev::WorkerKill { w: node.idx, gen }),
+            Role::Server => eng.schedule(at, Ev::ServerKill { s: node.idx, gen }),
+        }
+        return;
+    }
+    let seq = k.bus.record(node, gen, now, &action);
+    let d = Directive { seq, decided_at: now, fence_gen: gen, action };
+    let msg = ControlMsg::Directive { target: node, directive: d };
+    // A lost kill signal is a lost signal: the Controller re-decides at a
+    // later tick rather than the transport replaying an old intent.
+    k.bus.enqueue(eng, seq, msg, now, false, false);
+}
+
+/// An `Ev::BusMsg` instant fired: a scheduled arrival or retransmission.
+pub(crate) fn on_bus_msg(k: &mut Kernel, eng: &mut Engine<Ev>, seq: u64) {
+    let Some(env) = k.bus.pending.remove(&seq) else {
+        return;
+    };
+    let now = eng.now();
+    match env.state {
+        EnvState::Retry => k.bus.transmit(eng, seq, env, now),
+        EnvState::Deliver => deliver(k, eng, seq, env, now),
+    }
+}
+
+/// A message arrived at its endpoint.
+fn deliver(k: &mut Kernel, eng: &mut Engine<Ev>, seq: u64, env: Envelope, now: SimTime) {
+    match env.msg.clone() {
+        ControlMsg::Report { node, at, bpt_secs, batch } => {
+            k.bus.store.report_bpt(node, at, bpt_secs, batch);
+            k.bus.hop_span("bus-report", env.sent_at, now, node);
+        }
+        ControlMsg::Snapshot { .. } => unreachable!("snapshot hops are always inline"),
+        ControlMsg::Directive { target, directive } => {
+            deliver_directive(k, eng, seq, env, target, directive, now);
+        }
+        ControlMsg::Ack { from, .. } => {
+            k.bus.hop_span("bus-ack", env.sent_at, now, from);
+        }
+    }
+}
+
+/// A fenced directive arrived at its target node.
+fn deliver_directive(
+    k: &mut Kernel,
+    eng: &mut Engine<Ev>,
+    seq: u64,
+    env: Envelope,
+    target: NodeId,
+    d: Directive,
+    now: SimTime,
+) {
+    // KILL_RESTART bypasses the agent inbox: the signal goes to the node's
+    // runtime, and the kill event's generation guard fences staleness.
+    if matches!(d.action, Action::KillRestart { .. }) {
+        k.bus.mark(seq, DirectiveFate::Fired { at: now });
+        k.bus.hop_span("bus-directive", env.sent_at, now, target);
+        match target.role {
+            Role::Worker => eng.schedule(now, Ev::WorkerKill { w: target.idx, gen: d.fence_gen }),
+            Role::Server => eng.schedule(now, Ev::ServerKill { s: target.idx, gen: d.fence_gen }),
+        }
+        return;
+    }
+    let wi = target.idx as usize;
+    if !k.workers[wi].alive {
+        // The pod is down; the transport keeps trying so the directive
+        // reliably reaches whatever incarnation comes up — where the fence,
+        // not luck, decides its fate.
+        k.bus.schedule_retry(eng, seq, env, now);
+        return;
+    }
+    let outcome = k.bus.agents[wi].deliver_directive(now, &d);
+    k.bus.hop_span("bus-directive", env.sent_at, now, target);
+    let accepted = match outcome {
+        DeliveryOutcome::Accepted => {
+            if env.poke && k.workers[wi].inflight.is_none() && !k.workers[wi].done {
+                eng.schedule(now, Ev::WorkerStart { w: target.idx, gen: k.workers[wi].gen });
+            }
+            true
+        }
+        DeliveryOutcome::Duplicate => {
+            k.bus.mark(seq, DirectiveFate::Deduped { at: now });
+            true
+        }
+        DeliveryOutcome::RejectedStale { agent_gen } => {
+            k.bus.audit_rejection(now, target, &d, agent_gen);
+            false
+        }
+    };
+    // Agent → Controller receipt; audited but otherwise inert (the
+    // Controller's ground truth is the directive audit).
+    let ack_seq = k.bus.next_seq;
+    k.bus.next_seq += 1;
+    let ack = ControlMsg::Ack { from: target, seq: d.seq, accepted };
+    k.bus.enqueue(eng, ack_seq, ack, now, true, false);
+}

@@ -66,6 +66,10 @@ pub(crate) fn chaos_fault<S: SyncStrategy>(
             k.chaos_droppers.push((idx, prob, StdRng::seed_from_u64(seed)));
             eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k: idx });
         }
+        InjectedFault::ControlDegrade { latency_secs, loss_prob, window_secs, seed } => {
+            k.bus.push_degrade(idx, latency_secs, loss_prob, seed);
+            eng.schedule(now + SimDuration::from_secs_f64(window_secs), Ev::ChaosLift { k: idx });
+        }
     }
 }
 
@@ -95,6 +99,7 @@ pub(crate) fn chaos_lift<S: SyncStrategy>(
         InjectedFault::DropReports { .. } => {
             k.chaos_droppers.retain(|d| d.0 != idx);
         }
+        InjectedFault::ControlDegrade { .. } => k.bus.pop_degrade(idx),
         _ => {}
     }
 }

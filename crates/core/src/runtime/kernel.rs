@@ -2,22 +2,24 @@
 //! runtime shares, regardless of synchronization strategy.
 //!
 //! A [`Kernel`] owns the nodes (workers and, for PS topologies, servers), the
-//! DDS handle, the Monitor/Controller/Agent wiring, the ML math state, the
-//! chaos-drill ledgers and the report accumulators. Everything
+//! DDS handle, the control bus (the Monitor/Controller/Agent wiring — see
+//! [`super::bus`]), the ML math state, the chaos-drill ledgers and the report
+//! accumulators. Everything
 //! consistency-specific — barriers, async pushes, staleness gates, ring
 //! rounds — lives behind [`super::strategy::SyncStrategy`] and only borrows
 //! the kernel.
 
+use super::bus::ControlBus;
 use super::data::{DataSource, LeaseState};
 use super::ml_bridge::MathState;
 use crate::config::{DataStrategy, ExecutionMode, JobConfig};
 use crate::obs::RtTele;
 use crate::report::{ActionApplication, InjectionRecord};
-use antdt_agent::{Agent, OverheadLedger};
+use antdt_agent::OverheadLedger;
 use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
 use antdt_dds::{DdsConfig, DdsService};
 use antdt_ml::{FactorizationMachine, Model, PartitionPlan, Sgd};
-use antdt_monitor::{MetricStore, NodeId};
+use antdt_monitor::NodeId;
 use antdt_sim::{Gantt, Link, NodeProfile, RngPool, SimDuration, SimTime, TimeSeries};
 use antdt_telemetry::DecisionRecord;
 use antdt_workloads::DeviceClass;
@@ -42,7 +44,6 @@ pub struct WorkerState {
     pub(crate) profile: NodeProfile,
     pub(crate) device: DeviceClass,
     pub(crate) link: Link,
-    pub(crate) agent: Agent,
     pub(crate) quota: u64,
     pub(crate) accum: u32,
     pub(crate) lr_scale: f32,
@@ -84,9 +85,10 @@ pub struct Kernel {
     pub(crate) workers: Vec<WorkerState>,
     pub(crate) servers: Vec<ServerState>,
     pub(crate) dds: Option<DdsService>,
-    pub(crate) store: MetricStore,
-    pub(crate) policy: Box<dyn MitigationPolicy>,
-    pub(crate) ctx: PolicyCtx,
+    /// The control plane: Monitor store, Controller policy, per-node Agents
+    /// and the channel connecting them. Every Monitor/Controller/Agent
+    /// interaction in `runtime/` goes through this bus.
+    pub(crate) bus: ControlBus,
     pub(crate) math: Option<MathState>,
     pub(crate) overhead: OverheadLedger,
     pub(crate) actions: Vec<(SimTime, Action)>,
@@ -193,13 +195,8 @@ impl Kernel {
             total / n as u64 + u64::from((i as u64) < total % n as u64)
         };
 
-        let mut store = MetricStore::new(cfg.monitor);
-        if let Some(rt) = &tele {
-            store.attach_telemetry(rt.monitor.clone());
-        }
-        let mut workers: Vec<WorkerState> = (0..n)
+        let workers: Vec<WorkerState> = (0..n)
             .map(|i| {
-                store.register(NodeId::worker(i as u32));
                 let spec = &cfg.cluster.workers[i];
                 WorkerState {
                     gen: 0,
@@ -208,7 +205,6 @@ impl Kernel {
                     profile: spec.profile.clone(),
                     device: spec.device,
                     link: spec.link.clone(),
-                    agent: Agent::new(NodeId::worker(i as u32), cfg.agent),
                     quota: even_quota(i),
                     accum: 1,
                     lr_scale: 1.0,
@@ -230,14 +226,8 @@ impl Kernel {
                 }
             })
             .collect();
-        if let Some(rt) = &tele {
-            for w in &mut workers {
-                w.agent.attach_telemetry(rt.agents.clone());
-            }
-        }
         let servers: Vec<ServerState> = (0..m)
             .map(|j| {
-                store.register(NodeId::server(j as u32));
                 let spec = &cfg.cluster.servers[j];
                 ServerState {
                     gen: 0,
@@ -251,6 +241,8 @@ impl Kernel {
             .collect();
 
         let ctx = PolicyCtx { global_batch: cfg.global_batch, n_workers: n, n_servers: m };
+        let bus =
+            ControlBus::new(cfg.control_channel, cfg.monitor, cfg.agent, policy, ctx, tele.clone());
         // Telemetry implies Gantt recording: the recorded spans become the
         // bulk of the exported Chrome trace.
         let gantt = (cfg.record_gantt || cfg.telemetry).then(Gantt::new);
@@ -260,9 +252,7 @@ impl Kernel {
             workers,
             servers,
             dds,
-            store,
-            policy,
-            ctx,
+            bus,
             math,
             overhead: OverheadLedger::new(),
             actions: Vec::new(),

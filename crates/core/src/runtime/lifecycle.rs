@@ -45,7 +45,7 @@ pub(crate) fn worker_kill<F: PsFlavor>(
             &[("class", &format!("{class:?}"))],
         );
     }
-    k.store.report_event(NodeEvent::Killed { node: NodeId::worker(w), at: now, class });
+    k.bus.node_event(NodeEvent::Killed { node: NodeId::worker(w), at: now, class });
     // Roll back in-flight samples, requeue DOING shards.
     if let Some(inf) = k.workers[wi].inflight.take() {
         k.rollback(wi, inf.took);
@@ -113,7 +113,7 @@ pub(crate) fn server_restart<F: PsFlavor>(
         rt.tele.tracer.instant("server-restart", "lifecycle", now.as_micros(), 1000 + s, &[]);
     }
     k.last_progress = k.last_progress.max(now);
-    k.store.report_event(NodeEvent::Restarted { node: NodeId::server(s), at: now });
+    k.bus.node_event(NodeEvent::Restarted { node: NodeId::server(s), at: now });
 
     if k.servers.iter().all(|x| x.alive) {
         f.on_servers_recovered(k, eng, now);
@@ -146,7 +146,7 @@ impl Kernel {
         // stream so its jitter doesn't replay the old node's.
         let stream = self.workers[wi].profile.stream + 100_000 * gen as u64;
         self.workers[wi].profile = NodeProfile::clean(stream);
-        self.workers[wi].agent.reset();
+        self.bus.agent_reset(wi, now);
         self.workers[wi].next_allowed = now;
         self.restarts.push((now, NodeId::worker(w)));
         if let Some(rt) = &self.tele {
@@ -159,7 +159,7 @@ impl Kernel {
                 self.injections_log[idx].restarted_at = Some(now);
             }
         }
-        self.store.report_event(NodeEvent::Restarted { node: NodeId::worker(w), at: now });
+        self.bus.node_event(NodeEvent::Restarted { node: NodeId::worker(w), at: now });
         eng.schedule(now, Ev::WorkerStart { w, gen });
     }
 
@@ -180,7 +180,7 @@ impl Kernel {
             // Server lanes sit above the worker lanes in the trace viewer.
             rt.tele.tracer.instant("server-kill", "lifecycle", now.as_micros(), 1000 + s, &[]);
         }
-        self.store.report_event(NodeEvent::Killed {
+        self.bus.node_event(NodeEvent::Killed {
             node: NodeId::server(s),
             at: now,
             class: ErrorClass::Retryable(RetryableError::ProactiveKill),

@@ -63,11 +63,11 @@ impl SyncStrategy for LocalSgd {
     fn on_controller_action(
         &mut self,
         k: &mut Kernel,
-        _eng: &mut Engine<Ev>,
+        eng: &mut Engine<Ev>,
         now: SimTime,
         action: Action,
     ) {
-        self.driver.on_controller_action(k, now, action);
+        self.driver.on_controller_action(k, eng, now, action);
     }
 
     fn inject_kill(

@@ -21,6 +21,7 @@
 
 pub mod asp;
 pub mod bsp;
+pub(crate) mod bus;
 pub(crate) mod chaos_hooks;
 pub(crate) mod data;
 pub(crate) mod kernel;

@@ -14,7 +14,7 @@ use crate::config::InjectedFault;
 use crate::events::Ev;
 use crate::report::ActionApplication;
 use antdt_controller::Action;
-use antdt_monitor::{ErrorClass, NodeId, RetryableError, Role};
+use antdt_monitor::{ErrorClass, NodeId, RetryableError};
 use antdt_sim::gantt::SpanKind;
 use antdt_sim::{Engine, SimDuration, SimTime};
 
@@ -122,7 +122,7 @@ pub(crate) fn worker_start<F: PsFlavor>(
     // starving worker's data poll applies the action too, but runs no
     // iteration, so attributing the (later) round to it would read as
     // false divergence.
-    let due = k.workers[wi].agent.take_due(now);
+    let due = k.bus.drain_actions(wi, now);
     let mut applied: Vec<(SimTime, String)> = Vec::new();
     for (delivered_at, action) in due {
         if !k.cfg.injections.is_empty() {
@@ -249,7 +249,7 @@ pub(crate) fn finish_asp_push<F: PsFlavor>(
         let end = start + SimDuration::from_secs_f64(svc);
         k.servers[j].free_at = end;
         k.servers[j].series_bpt.push(end, svc);
-        k.store.report_bpt(NodeId::server(j as u32), end, svc, 0);
+        super::bus::send_report(k, eng, NodeId::server(j as u32), end, svc, 0);
         ready = ready.max(end);
     }
     // Math: apply this worker's gradient immediately (arrival order is the
@@ -270,8 +270,8 @@ pub(crate) fn finish_asp_push<F: PsFlavor>(
     k.workers[wi].iter += 1;
     k.workers[wi].series_bpt.push(ready, bpt);
     k.workers[wi].series_batch.push(ready, inf.took as f64);
-    if k.workers[wi].agent.on_iteration() && !k.report_dropped() {
-        k.store.report_bpt(NodeId::worker(w), ready, bpt, inf.took);
+    if k.bus.report_due(wi) && !k.report_dropped() {
+        super::bus::send_report(k, eng, NodeId::worker(w), ready, bpt, inf.took);
         k.overhead.add_sync(SimDuration::from_secs_f64(k.cfg.broadcast.barrier_secs));
     }
     // Amortized DDS-state sync share of this push (one sync per global
@@ -312,44 +312,15 @@ fn apply_worker_action<F: PsFlavor>(k: &mut Kernel, f: &mut F, wi: usize, action
     }
 }
 
-/// Route one decided Controller action: targeted kills go straight to the
-/// event queue; global actions broadcast to every live agent.
+/// Route one decided Controller action onto the bus: targeted kills as fenced
+/// direct sends, global actions as a fenced broadcast (Fig. 6: controller →
+/// primary agent → broadcast → local barrier; every worker applies at its
+/// next iteration boundary).
 fn dispatch(k: &mut Kernel, eng: &mut Engine<Ev>, action: Action, now: SimTime) {
     match action {
         Action::None => {}
-        Action::KillRestart { node } => {
-            let delay = k.cfg.broadcast.direct_delay(16);
-            match node.role {
-                Role::Worker => {
-                    let w = node.idx;
-                    let gen = k.workers[w as usize].gen;
-                    eng.schedule(now + delay, Ev::WorkerKill { w, gen });
-                }
-                Role::Server => {
-                    let s = node.idx;
-                    let gen = k.servers[s as usize].gen;
-                    eng.schedule(now + delay, Ev::ServerKill { s, gen });
-                }
-            }
-        }
-        global => {
-            // Fig. 6: controller -> primary agent -> broadcast -> local
-            // barrier; every worker applies at its next iteration boundary.
-            let payload = global.payload_bytes();
-            let delay = k.cfg.broadcast.full_broadcast_delay(payload);
-            k.overhead.add_sync(delay);
-            let at = now + delay;
-            for w in 0..k.workers.len() {
-                if k.workers[w].alive {
-                    k.workers[w].agent.deliver(at, global.clone());
-                    // Idle workers (quota 0 / parked) need a poke to pick
-                    // the action up.
-                    if k.workers[w].inflight.is_none() && !k.workers[w].done {
-                        eng.schedule(at, Ev::WorkerStart { w: w as u32, gen: k.workers[w].gen });
-                    }
-                }
-            }
-        }
+        Action::KillRestart { node } => super::bus::send_kill(k, eng, now, node),
+        global => super::bus::broadcast(k, eng, now, global, super::bus::BroadcastScope::PsAlive),
     }
 }
 
@@ -412,7 +383,11 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
             Ev::FaultWorker { w } => lifecycle::fault_worker(k, &mut self.flavor, eng, w),
             Ev::FaultServer { s } => k.fault_server(eng, s),
             Ev::RoundEnd { .. } => unreachable!("PS runtime has no rounds"),
-            Ev::MonitorTick | Ev::ChaosFault { .. } | Ev::ChaosLift { .. } | Ev::LivenessCheck => {
+            Ev::MonitorTick
+            | Ev::ChaosFault { .. }
+            | Ev::ChaosLift { .. }
+            | Ev::LivenessCheck
+            | Ev::BusMsg { .. } => {
                 unreachable!("kernel-routed event reached the strategy")
             }
         }

@@ -50,6 +50,11 @@ impl Kernel {
 
     /// Consume the world into the final report.
     pub(crate) fn into_report(mut self, events_processed: u64) -> JobReport {
+        // Fence rejections audited after the last monitor tick still belong
+        // in the decision log.
+        let mut late_audit = self.bus.drain_decision_audit();
+        self.decision_log.append(&mut late_audit);
+        let directives = self.bus.take_directives();
         let telemetry = self.tele.take().map(|rt| {
             // Merge the Gantt spans into the trace before rendering: they are
             // the bulk of the Perfetto timeline (compute/comm/idle/failover
@@ -90,6 +95,7 @@ impl Kernel {
             restarts: self.restarts,
             injections: self.injections_log,
             action_log: self.action_log,
+            directives,
             overhead: self.overhead,
             audit: self.dds.as_ref().map(|d| d.audit()),
             consumption: self.dds.as_ref().map(|d| d.consumption()),

@@ -73,7 +73,7 @@ impl RoundDriver {
             if !k.workers[w].alive {
                 continue;
             }
-            let due = k.workers[w].agent.take_due(now);
+            let due = k.bus.drain_actions(w, now);
             for (delivered_at, a) in due {
                 if !k.cfg.injections.is_empty() {
                     k.action_log.push(ActionApplication {
@@ -183,10 +183,17 @@ impl RoundDriver {
             round_samples += p.took;
             k.workers[p.w].series_bpt.push(now, p.compute_secs.max(0.0));
             k.workers[p.w].series_batch.push(now, p.took as f64);
-            if k.workers[p.w].agent.on_iteration() && !k.report_dropped() {
+            if k.bus.report_due(p.w) && !k.report_dropped() {
                 // Reported BPT: the device's own compute time (what AntDT-DD
                 // estimates costs from), not the barrier-inclusive round time.
-                k.store.report_bpt(NodeId::worker(p.w as u32), now, p.compute_secs, p.took);
+                super::bus::send_report(
+                    k,
+                    eng,
+                    NodeId::worker(p.w as u32),
+                    now,
+                    p.compute_secs,
+                    p.took,
+                );
                 k.overhead.add_sync(SimDuration::from_secs_f64(k.cfg.broadcast.barrier_secs));
             }
         }
@@ -206,17 +213,20 @@ impl RoundDriver {
         self.start_round(k, eng);
     }
 
-    pub(crate) fn on_controller_action(&mut self, k: &mut Kernel, now: SimTime, action: Action) {
+    pub(crate) fn on_controller_action(
+        &mut self,
+        k: &mut Kernel,
+        eng: &mut Engine<Ev>,
+        now: SimTime,
+        action: Action,
+    ) {
         if matches!(action, Action::None | Action::KillRestart { .. }) {
             return; // kill-restart is a PS-side action in this build
         }
         k.record_action(now, &action);
-        let delay = k.cfg.broadcast.full_broadcast_delay(action.payload_bytes());
-        k.overhead.add_sync(delay);
-        let at = now + delay;
-        for r in &mut k.workers {
-            r.agent.deliver(at, action.clone());
-        }
+        // Every rank, dead or alive: the round open applies whatever arrived,
+        // and dead ranks never rejoin a DDP ring anyway.
+        super::bus::broadcast(k, eng, now, action, super::bus::BroadcastScope::RingAll);
     }
 
     pub(crate) fn inject_kill(&mut self, k: &mut Kernel, now: SimTime, fault: &InjectedFault) {
@@ -308,11 +318,11 @@ impl SyncStrategy for RingAllReduce {
     fn on_controller_action(
         &mut self,
         k: &mut Kernel,
-        _eng: &mut Engine<Ev>,
+        eng: &mut Engine<Ev>,
         now: SimTime,
         action: Action,
     ) {
-        self.driver.on_controller_action(k, now, action);
+        self.driver.on_controller_action(k, eng, now, action);
     }
 
     fn inject_kill(

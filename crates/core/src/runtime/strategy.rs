@@ -133,6 +133,7 @@ fn handle<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine<Ev>, 
         Ev::ChaosFault { k: idx } => chaos_hooks::chaos_fault(k, strat, eng, idx),
         Ev::ChaosLift { k: idx } => chaos_hooks::chaos_lift(k, strat, eng, idx),
         Ev::LivenessCheck => k.liveness_check(eng),
+        Ev::BusMsg { seq } => super::bus::on_bus_msg(k, eng, seq),
         other => strat.on_event(k, eng, other),
     }
 }
@@ -146,10 +147,9 @@ fn monitor_tick<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine
         busy: sched.is_busy(now),
         expected_pending_secs: sched.expected_pending_secs(now),
     };
-    k.store.set_cluster_info(info);
-    let snap = k.store.snapshot(now);
-    let actions = k.policy.decide(now, &snap, &k.ctx);
-    k.decision_log.extend(k.policy.drain_audit());
+    let actions = k.bus.tick_decide(now, info);
+    let audit = k.bus.drain_decision_audit();
+    k.decision_log.extend(audit);
     for action in actions {
         strat.on_controller_action(k, eng, now, action);
     }

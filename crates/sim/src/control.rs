@@ -1,0 +1,161 @@
+//! The control-channel model: how Monitor/Controller/Agent messages travel.
+//!
+//! The paper's Fig. 6 loop (Agent reports → Monitor aggregation → Controller
+//! decision → broadcast → local barrier) is wired through a *control bus* in
+//! `antdt-core`. This module is the transport model that bus samples from:
+//! [`ControlChannel::Ideal`] delivers every message inline with the classic
+//! broadcast-model delays (trace-preserving — the default), while
+//! [`ControlChannel::Modeled`] carries messages as first-class DES events with
+//! configurable latency, jitter and loss, so delayed `ADJUST_BS` broadcasts
+//! and stale-directive races after `KILL_RESTART` become simulable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-job delivery model of the control plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum ControlChannel {
+    /// Inline delivery at the broadcast-model instants, exactly as the
+    /// pre-bus runtimes behaved. Zero extra events, zero extra RNG draws:
+    /// same-seed traces are byte-identical to the pre-bus golden fixtures.
+    #[default]
+    Ideal,
+    /// Event-routed delivery: every message pays `latency_secs` plus a
+    /// uniform `[0, jitter_secs)` draw, and is lost with probability
+    /// `loss_prob` per transmission attempt (lost control messages are
+    /// retried by the bus; lost reports are gone — the next report
+    /// supersedes them). All draws come from a dedicated stream seeded by
+    /// `seed`, so two same-seed runs stay byte-identical to each other.
+    Modeled { latency_secs: f64, jitter_secs: f64, loss_prob: f64, seed: u64 },
+}
+
+/// One sampled transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelVerdict {
+    /// The message arrives after this many seconds.
+    Deliver(f64),
+    /// The message is lost on this attempt.
+    Drop,
+}
+
+impl ControlChannel {
+    pub fn is_ideal(&self) -> bool {
+        matches!(self, ControlChannel::Ideal)
+    }
+
+    /// The channel's dedicated RNG stream (`None` for `Ideal`, which never
+    /// draws).
+    pub fn rng(&self) -> Option<StdRng> {
+        match self {
+            ControlChannel::Ideal => None,
+            ControlChannel::Modeled { seed, .. } => Some(StdRng::seed_from_u64(*seed)),
+        }
+    }
+
+    /// Sample one transmission attempt. Both draws (loss, jitter) happen on
+    /// every call so the per-message draw count is constant regardless of
+    /// outcome — reordering-resistant determinism.
+    pub fn sample(&self, rng: &mut StdRng) -> ChannelVerdict {
+        match *self {
+            ControlChannel::Ideal => ChannelVerdict::Deliver(0.0),
+            ControlChannel::Modeled { latency_secs, jitter_secs, loss_prob, .. } => {
+                let lost = rng.gen::<f64>() < loss_prob;
+                let jitter = rng.gen::<f64>() * jitter_secs;
+                if lost {
+                    ChannelVerdict::Drop
+                } else {
+                    ChannelVerdict::Deliver(latency_secs + jitter)
+                }
+            }
+        }
+    }
+
+    /// Retransmission backoff after a lost attempt (the bus retries control
+    /// messages; see `antdt-core`'s bus for the attempt cap).
+    pub fn retry_secs(&self) -> f64 {
+        match *self {
+            ControlChannel::Ideal => 0.25,
+            ControlChannel::Modeled { latency_secs, jitter_secs, .. } => {
+                (latency_secs + jitter_secs).max(0.25)
+            }
+        }
+    }
+
+    /// Panic on non-physical parameters (mirrors `JobConfig::validate`).
+    pub fn validate(&self) {
+        if let ControlChannel::Modeled { latency_secs, jitter_secs, loss_prob, .. } = self {
+            assert!(
+                latency_secs.is_finite() && *latency_secs >= 0.0,
+                "control-channel latency must be finite and non-negative"
+            );
+            assert!(
+                jitter_secs.is_finite() && *jitter_secs >= 0.0,
+                "control-channel jitter must be finite and non-negative"
+            );
+            assert!(
+                (0.0..1.0).contains(loss_prob),
+                "control-channel loss probability must be in [0, 1)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_the_default_and_never_needs_an_rng() {
+        let ch = ControlChannel::default();
+        assert!(ch.is_ideal());
+        assert!(ch.rng().is_none());
+    }
+
+    #[test]
+    fn modeled_sampling_is_deterministic_per_seed() {
+        let ch = ControlChannel::Modeled {
+            latency_secs: 2.0,
+            jitter_secs: 1.0,
+            loss_prob: 0.3,
+            seed: 42,
+        };
+        let mut a = ch.rng().unwrap();
+        let mut b = ch.rng().unwrap();
+        let va: Vec<ChannelVerdict> = (0..64).map(|_| ch.sample(&mut a)).collect();
+        let vb: Vec<ChannelVerdict> = (0..64).map(|_| ch.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().any(|v| matches!(v, ChannelVerdict::Drop)), "30% loss over 64 draws");
+        for v in &va {
+            if let ChannelVerdict::Deliver(d) = v {
+                assert!((2.0..3.0).contains(d), "latency + [0,1) jitter, got {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_channel_always_delivers() {
+        let ch = ControlChannel::Modeled {
+            latency_secs: 5.0,
+            jitter_secs: 0.0,
+            loss_prob: 0.0,
+            seed: 1,
+        };
+        let mut rng = ch.rng().unwrap();
+        for _ in 0..32 {
+            assert_eq!(ch.sample(&mut rng), ChannelVerdict::Deliver(5.0));
+        }
+    }
+
+    #[test]
+    fn retry_backoff_scales_with_latency() {
+        assert_eq!(ControlChannel::Ideal.retry_secs(), 0.25);
+        let slow = ControlChannel::Modeled {
+            latency_secs: 10.0,
+            jitter_secs: 2.0,
+            loss_prob: 0.5,
+            seed: 0,
+        };
+        assert_eq!(slow.retry_secs(), 12.0);
+    }
+}

@@ -14,6 +14,7 @@
 //! servers or AllReduce; the training runtimes in `antdt-core` drive it with their
 //! own event types.
 
+pub mod control;
 pub mod dist;
 pub mod engine;
 pub mod gantt;
@@ -24,6 +25,7 @@ pub mod sched;
 pub mod series;
 pub mod time;
 
+pub use control::{ChannelVerdict, ControlChannel};
 pub use engine::Engine;
 pub use gantt::{Gantt, Span, SpanKind};
 pub use network::Link;

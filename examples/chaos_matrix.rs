@@ -45,6 +45,23 @@ fn main() {
                 )
                 .at(20.0, Fault::DropReports { prob: 0.4, window_secs: 60.0, seed: 7 }),
         )
+        .with_plan(
+            // The no-stale-directive drill: the control bus is degraded to
+            // 240 s of one-way latency, so directives decided at the t=60 s
+            // Controller tick land long after worker 1's replacement pod is
+            // up — the fence must reject them at the new incarnation.
+            FaultPlan::new("stale-directive")
+                .at(
+                    5.0,
+                    Fault::ControlDegrade {
+                        latency_secs: 240.0,
+                        loss_prob: 0.0,
+                        window_secs: 300.0,
+                        seed: 3,
+                    },
+                )
+                .at(70.0, Fault::KillNode { node: NodeRef::Worker(1) }),
+        )
         .with_plan(FaultPlan::random(
             42,
             &PlanBounds { n_workers: 4, horizon_secs: 90.0, max_events: 3 },
@@ -58,6 +75,19 @@ fn main() {
 
     println!("{}", matrix.render());
     assert!(matrix.all_passed(), "a drill broke an invariant");
+
+    // Generation fencing holds across the whole matrix: every drill carries a
+    // no-stale-directive verdict, and no cell ever applied a directive fenced
+    // to a dead incarnation — including the drill built to provoke exactly
+    // that.
+    println!("no-stale-directive across the matrix:");
+    for d in &matrix.drills {
+        let inv = d.invariant("no-stale-directive").expect("checker runs on every drill");
+        assert!(inv.passed, "{}/{}: {}", d.plan, d.policy, inv.detail);
+        if d.plan == "stale-directive" {
+            println!("  {:<18} {}", d.policy, inv.detail);
+        }
+    }
 
     // Recovery timelines for the first kill drill.
     println!("recovery timeline (kill-w1 under AntDT-ND):");

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Control-plane layering lint: the crate DAG and the bus seam.
+#
+# Two properties, both load-bearing for the control-bus refactor:
+#
+#  1. Crate DAG — the component crates (monitor, controller, agent) are
+#     leaves the runtime composes; none of them may depend on antdt-core,
+#     and only antdt-core and antdt-agent may use the bus message types
+#     (antdt_agent::bus) — every other crate talks to the runtime through
+#     JobConfig/JobReport.
+#
+#  2. Bus seam — inside crates/core/src/runtime/, every Monitor, Controller
+#     and Agent interaction goes through the ControlBus (runtime/bus.rs).
+#     Direct calls on MetricStore / MitigationPolicy / Agent endpoints
+#     anywhere else in runtime/ are forbidden, including constructing them.
+#
+# Grow the bus API rather than poking endpoints directly; the grep patterns
+# below name the endpoint methods, so a new direct call fails loudly here.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+status=0
+
+fail() {
+    echo "FAIL  $1" >&2
+    status=1
+}
+
+# ---- 1. Crate DAG ----------------------------------------------------------
+
+for crate in monitor controller agent; do
+    if grep -En 'antdt-core' "crates/$crate/Cargo.toml" >/dev/null; then
+        fail "crates/$crate depends on antdt-core (component crates are leaves)"
+    fi
+done
+# The bus endpoint types live in antdt-agent; only the runtime (antdt-core)
+# and the agent crate itself may import them.
+offenders=$(grep -Rln 'antdt_agent::bus' crates --include='*.rs' \
+    | grep -v '^crates/core/' | grep -v '^crates/agent/' || true)
+if [ -n "$offenders" ]; then
+    fail "antdt_agent::bus imported outside crates/core and crates/agent: $offenders"
+fi
+
+# ---- 2. Bus seam inside runtime/ -------------------------------------------
+
+# Endpoint constructors and methods that only runtime/bus.rs may touch.
+# `.store.` / `.policy.` / `.ctx.` / `.agent.` also catch field access on a
+# resurrected direct endpoint handle.
+endpoint_patterns=(
+    'MetricStore::new\('
+    'Agent::new\('
+    '\.store\.'
+    '\.policy\.'
+    '\.ctx\.'
+    '\.agent\.'
+    '\.report_bpt\('
+    '\.report_event\('
+    '\.set_cluster_info\('
+    '\.snapshot\('
+    '\.drain_audit\('
+    '\.take_due\('
+    '\.deliver\('
+    '\.on_iteration\('
+    '\.decide\('
+)
+runtime_files=$(find crates/core/src/runtime -name '*.rs' ! -name 'bus.rs' | sort)
+for pat in "${endpoint_patterns[@]}"; do
+    hits=$(grep -En "$pat" $runtime_files || true)
+    if [ -n "$hits" ]; then
+        fail "direct control-plane endpoint call in runtime/ outside bus.rs (pattern '$pat'):
+$hits"
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "layering check failed: route control-plane traffic through runtime/bus.rs" >&2
+    exit "$status"
+fi
+echo "layering OK: crate DAG intact, all control-plane traffic goes through the bus"

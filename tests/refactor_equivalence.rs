@@ -189,3 +189,17 @@ fn golden_dump_is_deterministic_in_process() {
     let b = Job::run(bsp()).golden_dump();
     assert_eq!(a, b);
 }
+
+/// Determinism extends to a lossy, jittery control channel: every loss and
+/// jitter draw comes from the channel's own seeded stream, so two same-seed
+/// runs must stay byte-identical to *each other* (they legitimately differ
+/// from the Ideal-channel fixture).
+#[test]
+fn lossy_control_channel_runs_are_mutually_byte_identical() {
+    use antdt::sim::ControlChannel;
+    let ch =
+        ControlChannel::Modeled { latency_secs: 2.0, jitter_secs: 1.5, loss_prob: 0.2, seed: 99 };
+    let a = Job::run(bsp().with_control_channel(ch)).golden_dump();
+    let b = Job::run(bsp().with_control_channel(ch)).golden_dump();
+    assert_eq!(a, b);
+}
