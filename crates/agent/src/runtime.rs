@@ -149,12 +149,19 @@ impl Agent {
     /// applied the same broadcast (chaos-drill convergence invariant) and mark
     /// the directive's fate.
     pub fn take_due(&mut self, now: SimTime) -> Vec<(SimTime, u64, Action)> {
-        let n = self.inbox.iter().take_while(|&&(at, _, _)| at <= now).count();
-        let due: Vec<(SimTime, u64, Action)> = self.inbox.drain(..n).collect();
-        if let Some(c) = &self.counters {
-            c.applied.add(due.len() as u64);
-        }
+        let mut due = Vec::new();
+        self.take_due_into(now, &mut due);
         due
+    }
+
+    /// Allocation-free [`Agent::take_due`]: appends the due actions to `out`
+    /// so a caller-owned buffer can be reused across iteration boundaries.
+    pub fn take_due_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, u64, Action)>) {
+        let n = self.inbox.iter().take_while(|&&(at, _, _)| at <= now).count();
+        if let Some(c) = &self.counters {
+            c.applied.add(n as u64);
+        }
+        out.extend(self.inbox.drain(..n));
     }
 
     /// Reset after a restart: a fresh pod starts a fresh *incarnation* —

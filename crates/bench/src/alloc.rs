@@ -1,0 +1,64 @@
+//! A feature-gated counting global allocator for the `perf` benchmark.
+//!
+//! Wall-clock timings vary run to run, but the number of heap allocations a
+//! fixed-seed simulation performs is fully deterministic — so allocation
+//! counts are the regression-proof metric for the hot-path churn fixes. With
+//! `--features count-alloc` every binary in this crate routes allocation
+//! through a counter wrapped around the system allocator; without the feature
+//! there is no global-allocator override and [`allocation_count`] returns
+//! `None`.
+
+#[cfg(feature = "count-alloc")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(super) static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    struct CountingAlloc;
+
+    // Reallocations count too: a Vec that doubles ten times costs ten trips
+    // to the allocator even though only one `Vec` was ever "allocated".
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+}
+
+/// Heap allocations performed by this process so far, or `None` when the
+/// crate was built without `--features count-alloc`.
+pub fn allocation_count() -> Option<u64> {
+    #[cfg(feature = "count-alloc")]
+    {
+        Some(counting::ALLOCS.load(std::sync::atomic::Ordering::Relaxed))
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        None
+    }
+}
+
+/// Allocations performed while running `f` on the current thread (other
+/// threads' allocations are attributed too — measure serial sections).
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (Option<u64>, R) {
+    let before = allocation_count();
+    let r = f();
+    let after = allocation_count();
+    (before.zip(after).map(|(b, a)| a - b), r)
+}

@@ -8,22 +8,54 @@
 //! experiments all             # everything, in paper order
 //! experiments list            # show the registry
 //! experiments --out DIR <id>  # additionally write each report to DIR/<id>.txt
+//! experiments --jobs N <id>   # run on N pool threads (1 = fully serial)
+//! experiments --only a,b all  # restrict `all` to the listed ids
 //! ```
 
 use std::io::Write;
 
+/// Pop `--flag VALUE` out of `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} requires an argument");
+        std::process::exit(2);
+    }
+    let v = args.remove(pos + 1);
+    args.remove(pos);
+    Some(v)
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir: Option<std::path::PathBuf> = None;
-    if let Some(pos) = args.iter().position(|a| a == "--out") {
-        if pos + 1 >= args.len() {
-            eprintln!("--out requires a directory argument");
-            std::process::exit(2);
-        }
-        let dir = std::path::PathBuf::from(args.remove(pos + 1));
-        args.remove(pos);
+    if let Some(dir) = take_flag(&mut args, "--out") {
+        let dir = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&dir).expect("create --out directory");
         out_dir = Some(dir);
+    }
+    if let Some(n) = take_flag(&mut args, "--jobs") {
+        let n: usize = n.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs requires a positive integer, got {n:?}");
+            std::process::exit(2);
+        });
+        antdt_par::configure_jobs(n);
+    }
+    let only: Option<Vec<String>> = take_flag(&mut args, "--only").map(|list| {
+        list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    });
+    if let Some(ids) = &only {
+        let known: Vec<&str> = antdt_bench::registry().iter().map(|(id, _, _)| *id).collect();
+        for id in ids {
+            if !known.contains(&id.as_str()) {
+                eprintln!("unknown experiment id in --only: {id} (try `experiments list`)");
+                std::process::exit(2);
+            }
+        }
+        // `--only a,b` with no positional ids means "run exactly those".
+        if args.is_empty() {
+            args = ids.clone();
+        }
     }
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -36,7 +68,12 @@ fn main() {
         return;
     }
     for id in &args {
-        match antdt_bench::run(id) {
+        let report = if id == "all" {
+            Some(antdt_bench::run_all(only.as_deref()))
+        } else {
+            antdt_bench::run(id)
+        };
+        match report {
             Some(report) => {
                 let _ = write!(out, "{report}");
                 if let Some(dir) = &out_dir {

@@ -104,13 +104,22 @@ pub fn controlbus() -> String {
         "wall".into(),
     ]];
     let mut json_sweep = String::new();
-    let mut baseline_jct = 0.0_f64;
-    for latency in LATENCIES {
+    // Fan the sweep points out on the experiment pool; each point is an
+    // independent deterministic simulation. The latency-0 baseline is read
+    // back from the collected results (order is preserved), so the rendered
+    // rows are identical to the serial sweep.
+    let sweep = antdt_par::par_map(LATENCIES.to_vec(), |latency| {
         let (wall, r) = timed(REPS, || non_dedicated(channel_for(latency)));
+        (latency, wall, r)
+    });
+    let baseline_jct = sweep
+        .iter()
+        .find(|(l, _, _)| *l == 0.0)
+        .map(|(_, _, r)| r.jct.as_secs_f64())
+        .unwrap_or(0.0);
+    for (latency, wall, r) in &sweep {
+        let (latency, wall) = (*latency, *wall);
         let jct = r.jct.as_secs_f64();
-        if latency == 0.0 {
-            baseline_jct = jct;
-        }
         let applied =
             r.directives.iter().filter(|d| matches!(d.fate, DirectiveFate::Applied { .. })).count();
         rows.push(vec![
@@ -150,15 +159,6 @@ pub fn controlbus() -> String {
         json_parity.trim_end_matches(','),
         json_sweep.trim_end_matches(','),
     );
-    let _ = std::fs::create_dir_all("target");
-    let path = std::path::Path::new("target").join("BENCH_controlbus.json");
-    match std::fs::write(&path, &json) {
-        Ok(()) => {
-            let _ = writeln!(out, "  wrote {}", path.display());
-        }
-        Err(e) => {
-            let _ = writeln!(out, "  could not write {}: {e}", path.display());
-        }
-    }
+    crate::util::write_artifact(&mut out, "BENCH_controlbus.json", &json);
     out
 }

@@ -17,14 +17,20 @@ pub fn fig15() -> String {
         [(ModelProfile::resnet101(), false), (ModelProfile::mobilenets(), true)]
     {
         let name = model.name;
-        let ddp = Job::run(imagenet_job(model.clone(), membound));
-        let lb = Job::run(
+        // The three methods are independent runs on the same cluster: fan
+        // them out on the experiment pool.
+        let configs = vec![
+            imagenet_job(model.clone(), membound),
             imagenet_job(model.clone(), membound).with_mitigation(MitigationChoice::LbBsp),
-        );
-        let dd = Job::run(
             imagenet_job(model.clone(), membound)
                 .with_mitigation(MitigationChoice::AntDtDd)
                 .with_dd_classes(dd_classes_for(&model)),
+        ];
+        let mut runs = antdt_par::par_map(configs, Job::run).into_iter();
+        let (ddp, lb, dd) = (
+            runs.next().expect("ddp run"),
+            runs.next().expect("lb run"),
+            runs.next().expect("dd run"),
         );
         let _ = writeln!(out, "  {name}:");
         out.push_str(&table(&[
@@ -251,15 +257,13 @@ pub fn tab3() -> String {
     let mut out =
         header("tab3", "JCT under AntDT-ND and BSP, varying straggler intensity (paper Table III)");
     let seeds = [1u64, 2, 3];
+    // Each seed is an independent deterministic run; fan them out on the
+    // experiment pool. `par_map` preserves input order, so the mean/std see
+    // the same sequence as a serial sweep.
     let cell = |scenario: Scenario, m: MitigationChoice| -> (f64, f64) {
-        let jcts: Vec<f64> = seeds
-            .iter()
-            .map(|&s| {
-                Job::run(criteo_job(scenario).with_mitigation(m.clone()).with_seed(s))
-                    .jct
-                    .as_secs_f64()
-            })
-            .collect();
+        let jcts = antdt_par::par_map(seeds.to_vec(), |s| {
+            Job::run(criteo_job(scenario).with_mitigation(m.clone()).with_seed(s)).jct.as_secs_f64()
+        });
         mean_std(&jcts)
     };
     for side in ["worker", "server"] {

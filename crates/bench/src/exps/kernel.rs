@@ -76,14 +76,16 @@ fn local_sgd_fixture(sync_every: u32) -> JobConfig {
         .with_seed(23)
 }
 
-/// Best-of-`reps` wall time plus the (deterministic) report.
+/// Best-of-`reps` wall time plus the (deterministic) report. Under a frozen
+/// wall (`util::freeze_wall`) the reported wall is exactly `0.0`, so report
+/// strings stay byte-comparable across parity runs.
 pub(crate) fn timed(reps: usize, mk: impl Fn() -> JobConfig) -> (f64, JobReport) {
     let mut best = f64::INFINITY;
     let mut last = None;
     for _ in 0..reps {
         let t0 = std::time::Instant::now();
         let r = Job::run(mk());
-        best = best.min(t0.elapsed().as_secs_f64());
+        best = best.min(crate::util::elapsed_secs(t0));
         last = Some(r);
     }
     (best, last.expect("reps >= 1"))
@@ -186,15 +188,6 @@ pub fn kernel() -> String {
         ls_wall,
         ar_wall,
     );
-    let _ = std::fs::create_dir_all("target");
-    let path = std::path::Path::new("target").join("BENCH_kernel.json");
-    match std::fs::write(&path, &json) {
-        Ok(()) => {
-            let _ = writeln!(out, "  wrote {}", path.display());
-        }
-        Err(e) => {
-            let _ = writeln!(out, "  could not write {}: {e}", path.display());
-        }
-    }
+    crate::util::write_artifact(&mut out, "BENCH_kernel.json", &json);
     out
 }

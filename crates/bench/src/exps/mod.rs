@@ -13,6 +13,7 @@ mod kernel;
 mod motivation;
 mod nd;
 mod ops;
+mod perf;
 
 pub use controlbus::controlbus;
 pub use framework::{fig15, fig16, fig17, fig18, fig19, tab3};
@@ -20,6 +21,7 @@ pub use kernel::kernel;
 pub use motivation::{fig1, fig2, fig3, fig7, fig8, fig9};
 pub use nd::{fig10, fig11, fig12, fig13, fig14};
 pub use ops::{ablate, chaos, integrity, solver, telemetry};
+pub use perf::perf;
 
 use antdt_controller::DeviceClassSpec;
 use antdt_core::JobConfig;

@@ -79,12 +79,12 @@ pub fn solver() -> String {
         let v: Vec<f64> = (0..n).map(|i| 1000.0 + (i % 7) as f64 * 300.0).collect();
         let t0 = std::time::Instant::now();
         let alloc = minmax_batch_allocation(30_720, &v, 1);
-        let dt = t0.elapsed();
+        let dt_ms = crate::util::elapsed_secs(t0) * 1e3;
         assert_eq!(alloc.iter().sum::<u64>(), 30_720);
         rows.push(vec![
             "Eq. 3 (ADJUST_BS)".into(),
             format!("{n} workers"),
-            format!("{:.3} ms", dt.as_secs_f64() * 1e3),
+            format!("{dt_ms:.3} ms"),
         ]);
     }
     let classes: Vec<Eq4Class> = (0..4)
@@ -98,13 +98,9 @@ pub fn solver() -> String {
     let t0 = std::time::Instant::now();
     let sol =
         grad_accum_allocation(Eq4Config { global_batch: 4_096, c_min: 1, c_max: 5 }, &classes);
-    let dt = t0.elapsed();
+    let dt_ms = crate::util::elapsed_secs(t0) * 1e3;
     assert!(sol.is_some());
-    rows.push(vec![
-        "Eq. 4 (AntDT-DD)".into(),
-        "4 classes × C≤5".into(),
-        format!("{:.3} ms", dt.as_secs_f64() * 1e3),
-    ]);
+    rows.push(vec!["Eq. 4 (AntDT-DD)".into(), "4 classes × C≤5".into(), format!("{dt_ms:.3} ms")]);
     out.push_str(&table(&rows));
     out
 }
@@ -121,7 +117,7 @@ pub fn ablate() -> String {
         "dup-sample bound".into(),
         "DDS overhead".into(),
     ]];
-    for m in [1u64, 10, 100, 500] {
+    let m_runs = antdt_par::par_map(vec![1u64, 10, 100, 500], |m| {
         let r = Job::run(
             criteo_job(Scenario::WorkerMix { intensity: WORKER_SI })
                 .with_batches_per_shard(m)
@@ -129,6 +125,9 @@ pub fn ablate() -> String {
                 .with_epochs(1)
                 .with_mitigation(MitigationChoice::AntDtNd),
         );
+        (m, r)
+    });
+    for (m, r) in m_runs {
         let a = r.audit.unwrap();
         rows.push(vec![
             m.to_string(),
@@ -143,7 +142,7 @@ pub fn ablate() -> String {
     // (b) Detection threshold lambda.
     out.push_str("  (b) slowness ratio lambda (kills issued / JCT):\n");
     let mut rows = vec![vec!["lambda".into(), "JCT".into(), "kills".into()]];
-    for lambda in [1.1f64, 1.3, 1.5, 2.0, 3.0] {
+    let lambda_runs = antdt_par::par_map(vec![1.1f64, 1.3, 1.5, 2.0, 3.0], |lambda| {
         let mut cfg = criteo_job(Scenario::WorkerMix { intensity: WORKER_SI })
             .with_samples(15_000_000)
             .with_epochs(1);
@@ -153,7 +152,9 @@ pub fn ablate() -> String {
             lambda,
             ..Default::default()
         });
-        let r = antdt_core_run_with(cfg, Box::new(nd));
+        (lambda, antdt_core_run_with(cfg, Box::new(nd)))
+    });
+    for (lambda, r) in lambda_runs {
         rows.push(vec![format!("{lambda:.1}"), secs(r.jct.as_secs_f64()), r.n_kills().to_string()]);
     }
     out.push_str(&table(&rows));
@@ -190,7 +191,7 @@ pub fn ablate() -> String {
     // (d) Backup worker count b.
     out.push_str("  (d) backup worker count b (worker stragglers):\n");
     let mut rows = vec![vec!["b".into(), "JCT".into(), "recomputed samples".into()]];
-    for b in [0u32, 1, 2, 4] {
+    let b_runs = antdt_par::par_map(vec![0u32, 1, 2, 4], |b| {
         let m = if b == 0 { MitigationChoice::None } else { MitigationChoice::BackupWorkers { b } };
         let r = Job::run(
             criteo_job(Scenario::WorkerMix { intensity: WORKER_SI })
@@ -198,6 +199,9 @@ pub fn ablate() -> String {
                 .with_epochs(1)
                 .with_mitigation(m),
         );
+        (b, r)
+    });
+    for (b, r) in b_runs {
         rows.push(vec![
             b.to_string(),
             secs(r.jct.as_secs_f64()),
@@ -209,7 +213,7 @@ pub fn ablate() -> String {
     // (e) SSP staleness sweep (extension beyond the paper's BSP/ASP).
     out.push_str("  (e) SSP staleness bound (worker stragglers, DDS):\n");
     let mut rows = vec![vec!["staleness".into(), "JCT".into()]];
-    for s in [0u32, 2, 8] {
+    let s_runs = antdt_par::par_map(vec![0u32, 2, 8], |s| {
         let r = Job::run(
             JobConfig::ps_ssp(cluster_a(), Scenario::WorkerMix { intensity: WORKER_SI }, s)
                 .with_model(ModelProfile::xdeepfm())
@@ -217,6 +221,9 @@ pub fn ablate() -> String {
                 .with_samples(15_000_000)
                 .with_batches_per_shard(100),
         );
+        (s, r)
+    });
+    for (s, r) in s_runs {
         rows.push(vec![s.to_string(), secs(r.jct.as_secs_f64())]);
     }
     out.push_str(&table(&rows));
@@ -304,7 +311,7 @@ pub fn telemetry() -> String {
         for _ in 0..reps {
             let t0 = std::time::Instant::now();
             let r = Job::run(mk());
-            best = best.min(t0.elapsed().as_secs_f64());
+            best = best.min(crate::util::elapsed_secs(t0));
             last = Some(r);
         }
         (best, last.expect("reps >= 1"))
@@ -363,15 +370,6 @@ pub fn telemetry() -> String {
         instrumented.jct.as_secs_f64(),
         plain.jct == instrumented.jct,
     );
-    let _ = std::fs::create_dir_all("target");
-    let path = std::path::Path::new("target").join("BENCH_telemetry.json");
-    match std::fs::write(&path, &json) {
-        Ok(()) => {
-            let _ = writeln!(out, "  wrote {}", path.display());
-        }
-        Err(e) => {
-            let _ = writeln!(out, "  could not write {}: {e}", path.display());
-        }
-    }
+    crate::util::write_artifact(&mut out, "BENCH_telemetry.json", &json);
     out
 }

@@ -10,6 +10,7 @@
 //! to match the paper's testbed; the *shapes* — who wins, by what factor,
 //! where crossovers fall — are the reproduction targets (see EXPERIMENTS.md).
 
+pub mod alloc;
 pub mod exps;
 pub mod util;
 
@@ -54,18 +55,43 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "Control bus: Ideal-channel parity vs pre-bus + JCT vs control latency",
             exps::controlbus,
         ),
+        (
+            "perf",
+            "Perf harness: engine throughput, allocation counts, parallel speedup + parity",
+            exps::perf,
+        ),
     ]
 }
 
-/// Run one experiment by id (`all` runs everything in order).
+/// Ids excluded from `all`: `perf` itself runs `all` twice (serial and
+/// parallel) to measure the speedup, so including it would recurse.
+const EXCLUDED_FROM_ALL: [&str; 1] = ["perf"];
+
+/// Run everything (minus the ids excluded from `all`), fanned out on the
+/// [`antdt_par`] pool. Per-id outputs are stitched back in registry order, so
+/// the result is byte-identical to a serial pass. `only` restricts the set to
+/// the listed ids (the `--only` flag of the `experiments` binary); registry
+/// order still governs.
+pub fn run_all(only: Option<&[String]>) -> String {
+    let runners: Vec<Runner> = registry()
+        .into_iter()
+        .filter(|(eid, _, _)| !EXCLUDED_FROM_ALL.contains(eid))
+        .filter(|(eid, _, _)| only.is_none_or(|ids| ids.iter().any(|i| i == eid)))
+        .map(|(_, _, f)| f)
+        .collect();
+    let outs = antdt_par::par_map(runners, |f| f());
+    let mut out = String::new();
+    for o in outs {
+        out.push_str(&o);
+        out.push('\n');
+    }
+    out
+}
+
+/// Run one experiment by id (`all` runs everything via [`run_all`]).
 pub fn run(id: &str) -> Option<String> {
     if id == "all" {
-        let mut out = String::new();
-        for (_, _, f) in registry() {
-            out.push_str(&f());
-            out.push('\n');
-        }
-        return Some(out);
+        return Some(run_all(None));
     }
     registry().into_iter().find(|(eid, _, _)| *eid == id).map(|(_, _, f)| f())
 }

@@ -1,7 +1,67 @@
-//! Formatting helpers for the experiment reports.
+//! Formatting helpers for the experiment reports, plus the *frozen wall*
+//! switch that makes report strings byte-comparable across runs.
 
 use antdt_sim::{SimTime, TimeSeries};
 use std::fmt::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, stopwatch readings render as `0.0` and artifact files are not
+/// written (both sides print the identical "skipped" line instead). The perf
+/// harness and the parity tests freeze the wall so a serial and a parallel
+/// `run("all")` produce byte-identical strings — wall time is the only
+/// nondeterministic ingredient in any report.
+static WALL_FROZEN: AtomicBool = AtomicBool::new(false);
+
+/// Whether the wall clock is currently frozen (see [`freeze_wall`]).
+pub fn wall_frozen() -> bool {
+    WALL_FROZEN.load(Ordering::Relaxed)
+}
+
+/// Run `f` with the wall clock frozen. The flag is global (worker threads of
+/// the experiment pool must observe it), so frozen sections should not be run
+/// concurrently with sections that want real timings.
+pub fn freeze_wall<R>(f: impl FnOnce() -> R) -> R {
+    struct Unfreeze;
+    impl Drop for Unfreeze {
+        fn drop(&mut self) {
+            WALL_FROZEN.store(false, Ordering::Relaxed);
+        }
+    }
+    WALL_FROZEN.store(true, Ordering::Relaxed);
+    let _guard = Unfreeze;
+    f()
+}
+
+/// Stopwatch reading honoring the frozen wall: elapsed seconds since `t0`,
+/// or exactly `0.0` while frozen.
+pub fn elapsed_secs(t0: std::time::Instant) -> f64 {
+    if wall_frozen() {
+        0.0
+    } else {
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+/// Write a machine-readable artifact under `target/`, appending the outcome
+/// line to `out`. Under a frozen wall the write is skipped and a fixed line is
+/// printed instead, so parity runs stay byte-identical without racing on the
+/// filesystem.
+pub fn write_artifact(out: &mut String, filename: &str, json: &str) {
+    if wall_frozen() {
+        let _ = writeln!(out, "  skipped writing target/{filename} (frozen wall: parity run)");
+        return;
+    }
+    let _ = std::fs::create_dir_all("target");
+    let path = std::path::Path::new("target").join(filename);
+    match std::fs::write(&path, json) {
+        Ok(()) => {
+            let _ = writeln!(out, "  wrote {}", path.display());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  could not write {}: {e}", path.display());
+        }
+    }
+}
 
 /// Section header.
 pub fn header(id: &str, title: &str) -> String {

@@ -185,8 +185,22 @@ impl ChaosDriver {
         }
     }
 
-    /// Drill the full plan × policy matrix.
+    /// Drill the full plan × policy matrix, fanning the cells out on the
+    /// [`antdt_par`] experiment pool. Every cell is an independent
+    /// deterministic simulation, so the report is bit-for-bit identical to
+    /// [`ChaosDriver::run_serial`] — the parity tests assert it.
     pub fn run(&self) -> MatrixReport {
+        let cells: Vec<(usize, usize)> = (0..self.plans.len())
+            .flat_map(|i| (0..self.policies.len()).map(move |j| (i, j)))
+            .collect();
+        let drills =
+            antdt_par::par_map(cells, |(i, j)| self.run_one(&self.plans[i], &self.policies[j]));
+        MatrixReport { drills }
+    }
+
+    /// [`ChaosDriver::run`] without the pool: the serial reference used by the
+    /// byte-parity assertions.
+    pub fn run_serial(&self) -> MatrixReport {
         let mut drills = Vec::new();
         for plan in &self.plans {
             for policy in &self.policies {

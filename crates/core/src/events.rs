@@ -3,7 +3,9 @@
 //! counter); events addressed to a previous generation are stale — the node was
 //! killed after they were scheduled — and are dropped on receipt.
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// No equality derives: the engine orders events by its packed `(time, seq)`
+// key alone, and nothing in the runtimes compares `Ev` values.
+#[derive(Debug, Clone, Copy)]
 pub enum Ev {
     /// Worker `w` attempts to begin its next iteration.
     WorkerStart { w: u32, gen: u32 },

@@ -29,6 +29,8 @@ pub struct BspFlavor {
     /// Workers the current barrier waits for (frozen at the last close).
     participants: HashSet<u32>,
     pushes: Vec<Push>,
+    /// Reused per-server sort buffer for the barrier-close FIFO pass.
+    arrivals_scratch: Vec<SimTime>,
     /// Backup-workers knob: how many stragglers the barrier may drop.
     backup_b: u32,
     /// A close was attempted while a server was down; retry on recovery.
@@ -45,6 +47,7 @@ impl BspPs {
                 iter: 0,
                 participants: (0..n as u32).collect(),
                 pushes: Vec::new(),
+                arrivals_scratch: Vec::new(),
                 backup_b: 0,
                 close_pending: false,
             },
@@ -77,12 +80,14 @@ impl BspFlavor {
         // ---- Server pass: per-server FIFO over the arrived pieces, then one
         // optimizer apply per iteration.
         let mut ready_max = SimTime::ZERO;
+        let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
         for j in 0..k.servers.len() {
-            let mut arrivals: Vec<SimTime> = self.pushes.iter().map(|p| p.arrivals[j]).collect();
+            arrivals.clear();
+            arrivals.extend(self.pushes.iter().map(|p| p.arrivals[j]));
             arrivals.sort_unstable();
             let mut t = k.servers[j].free_at;
             let mut busy = 0.0;
-            for a in arrivals {
+            for &a in &arrivals {
                 let start = t.max(a);
                 let svc = k.cfg.model.server_agg_secs * k.servers[j].profile.slowdown(start);
                 t = start + SimDuration::from_secs_f64(svc);
@@ -96,10 +101,7 @@ impl BspFlavor {
             super::bus::send_report(k, eng, NodeId::server(j as u32), t, busy, 0);
             ready_max = ready_max.max(t);
         }
-
-        // ---- Drop the stragglers beyond the backup threshold (their late
-        // ComputeDone events will roll back & rejoin).
-        let pushed: HashSet<u32> = self.pushes.iter().map(|p| p.w).collect();
+        self.arrivals_scratch = arrivals;
 
         // ---- Math: aggregate pushed gradients, one apply.
         {
@@ -116,10 +118,11 @@ impl BspFlavor {
         }
 
         // ---- Commit pushed workers; record their BPT and schedule the next
-        // iteration start after the pull.
-        let pushes = std::mem::take(&mut self.pushes);
+        // iteration start after the pull. `self.pushes` is iterated in place
+        // and cleared at the end of the close, so the buffer is reused across
+        // barriers instead of reallocated each iteration.
         let mut iteration_samples = 0u64;
-        for p in &pushes {
+        for p in &self.pushes {
             let wi = p.w as usize;
             let Some(inf) = k.workers[wi].inflight.take() else {
                 continue;
@@ -167,27 +170,30 @@ impl BspFlavor {
         k.jct_mark = k.jct_mark.max(ready_max);
         self.iter += 1;
         // Freeze the next iteration's participant set: everyone currently able
-        // to contribute a push.
-        self.participants = k
-            .workers
-            .iter()
-            .enumerate()
-            .filter(|(_, x)| x.alive && !x.done && !x.starving && x.quota > 0)
-            .map(|(i, _)| i as u32)
-            .collect();
+        // to contribute a push (clear + extend reuses the set's capacity).
+        self.participants.clear();
+        self.participants.extend(
+            k.workers
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| x.alive && !x.done && !x.starving && x.quota > 0)
+                .map(|(i, _)| i as u32),
+        );
         // Workers still computing past the barrier belong to the *old* iter;
         // nothing to do — their ComputeDone rolls them into the new one. Idle
         // alive workers that never joined (quota 0 at the time) get poked so a
-        // fresh AdjustBs can pick them up.
+        // fresh AdjustBs can pick them up. Stragglers beyond the backup
+        // threshold were dropped (late ComputeDone rolls back & rejoins).
         for w in 0..k.workers.len() {
             if k.workers[w].alive
                 && !k.workers[w].done
                 && k.workers[w].inflight.is_none()
-                && !pushed.contains(&(w as u32))
+                && self.pushes.iter().all(|p| p.w != w as u32)
             {
                 eng.schedule(ready_max, Ev::WorkerStart { w: w as u32, gen: k.workers[w].gen });
             }
         }
+        self.pushes.clear();
         k.check_finished(eng);
     }
 }

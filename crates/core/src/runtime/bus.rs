@@ -94,6 +94,8 @@ pub(crate) struct ControlBus {
     seq_to_rec: HashMap<u64, usize>,
     /// Fence rejections awaiting the next decision-audit drain.
     rejections: Vec<DecisionRecord>,
+    /// Reused buffer for [`ControlBus::drain_actions_into`].
+    due_scratch: Vec<(SimTime, u64, Action)>,
     tele: Option<RtTele>,
 }
 
@@ -148,6 +150,7 @@ impl ControlBus {
             directives: Vec::new(),
             seq_to_rec: HashMap::new(),
             rejections: Vec::new(),
+            due_scratch: Vec::new(),
             tele,
         }
     }
@@ -243,18 +246,25 @@ impl ControlBus {
     }
 
     /// At worker `wi`'s iteration boundary, drain every due action in
-    /// canonical `(delivery time, seq)` order, marking each directive
-    /// applied.
-    pub(crate) fn drain_actions(&mut self, wi: usize, now: SimTime) -> Vec<(SimTime, Action)> {
+    /// canonical `(delivery time, seq)` order into `out` (cleared first),
+    /// marking each directive applied. Takes a caller-owned buffer so the
+    /// per-iteration hot path performs no allocation once buffers have grown.
+    pub(crate) fn drain_actions_into(
+        &mut self,
+        wi: usize,
+        now: SimTime,
+        out: &mut Vec<(SimTime, Action)>,
+    ) {
+        out.clear();
         let gen = self.agents[wi].incarnation();
-        self.agents[wi]
-            .take_due(now)
-            .into_iter()
-            .map(|(at, seq, action)| {
-                self.mark(seq, DirectiveFate::Applied { gen, at: now });
-                (at, action)
-            })
-            .collect()
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.agents[wi].take_due_into(now, &mut due);
+        for (at, seq, action) in due.drain(..) {
+            self.mark(seq, DirectiveFate::Applied { gen, at: now });
+            out.push((at, action));
+        }
+        self.due_scratch = due;
     }
 
     /// Consume the directive audit for the final report.

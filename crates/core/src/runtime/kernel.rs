@@ -111,6 +111,9 @@ pub struct Kernel {
     /// Whether `commit` charges a DDS fetch round-trip per `report_done`
     /// (the PS runtimes do; the round-driven runtimes fold it into the round).
     pub(crate) charge_report_fetch: bool,
+    /// Reused buffer for draining due Controller actions at iteration/round
+    /// boundaries (taken and restored around the apply loop).
+    pub(crate) actions_scratch: Vec<(SimTime, Action)>,
 
     // ---- chaos-drill state; all of it stays empty/neutral unless the config
     // carries `injections` or a `liveness_timeout`.
@@ -271,6 +274,7 @@ impl Kernel {
             gantt,
             stall_until: SimTime::ZERO,
             charge_report_fetch,
+            actions_scratch: Vec::new(),
             injections_log: Vec::new(),
             action_log: Vec::new(),
             chaos_no_failover: HashSet::new(),

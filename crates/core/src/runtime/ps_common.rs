@@ -122,14 +122,16 @@ pub(crate) fn worker_start<F: PsFlavor>(
     // starving worker's data poll applies the action too, but runs no
     // iteration, so attributing the (later) round to it would read as
     // false divergence.
-    let due = k.bus.drain_actions(wi, now);
+    let mut due = std::mem::take(&mut k.actions_scratch);
+    k.bus.drain_actions_into(wi, now, &mut due);
     let mut applied: Vec<(SimTime, String)> = Vec::new();
-    for (delivered_at, action) in due {
+    for (delivered_at, action) in due.drain(..) {
         if !k.cfg.injections.is_empty() {
             applied.push((delivered_at, format!("{action:?}")));
         }
         apply_worker_action(k, f, wi, action);
     }
+    k.actions_scratch = due;
 
     // Flavor admission gate (SSP: don't run ahead of the slowest alive
     // worker).

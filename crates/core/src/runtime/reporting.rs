@@ -86,9 +86,23 @@ impl Kernel {
             rolled_back_samples: self.rolled_back_samples,
             timed_out: self.timed_out,
             stalled: self.stalled,
-            worker_bpt: self.workers.iter().map(|w| w.series_bpt.clone()).collect(),
-            worker_batch: self.workers.iter().map(|w| w.series_batch.clone()).collect(),
-            server_bpt: self.servers.iter().map(|s| s.series_bpt.clone()).collect(),
+            // `self` is consumed here, so the per-node series move into the
+            // report instead of deep-cloning every (time, value) vector.
+            worker_bpt: self
+                .workers
+                .iter_mut()
+                .map(|w| std::mem::take(&mut w.series_bpt))
+                .collect(),
+            worker_batch: self
+                .workers
+                .iter_mut()
+                .map(|w| std::mem::take(&mut w.series_batch))
+                .collect(),
+            server_bpt: self
+                .servers
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.series_bpt))
+                .collect(),
             global_throughput: self.throughput,
             actions: self.actions,
             kills: self.kills,

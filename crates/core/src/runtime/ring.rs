@@ -73,8 +73,9 @@ impl RoundDriver {
             if !k.workers[w].alive {
                 continue;
             }
-            let due = k.bus.drain_actions(w, now);
-            for (delivered_at, a) in due {
+            let mut due = std::mem::take(&mut k.actions_scratch);
+            k.bus.drain_actions_into(w, now, &mut due);
+            for (delivered_at, a) in due.drain(..) {
                 if !k.cfg.injections.is_empty() {
                     k.action_log.push(ActionApplication {
                         worker: w as u32,
@@ -86,6 +87,7 @@ impl RoundDriver {
                 }
                 apply_rank_action(k, w, a);
             }
+            k.actions_scratch = due;
             let accum = k.workers[w].accum.max(1);
             let quota = k.workers[w].quota;
             let steps = accum as u64 * self.sync_every as u64;
@@ -165,10 +167,13 @@ impl RoundDriver {
             self.start_round(k, eng);
             return;
         }
-        let parts = std::mem::take(&mut self.parts);
+        // Iterate `self.parts` in place — `start_round` clears and refills the
+        // same buffer, so the per-round `Vec` allocation happens exactly once
+        // per job instead of once per round.
         // Math: sample-weighted mean of the per-rank accumulated gradients.
         {
-            let contribs: Vec<(u64, &[f32], f32)> = parts
+            let contribs: Vec<(u64, &[f32], f32)> = self
+                .parts
                 .iter()
                 .filter_map(|p| {
                     let g = p.grad.as_deref()?;
@@ -178,7 +183,7 @@ impl RoundDriver {
             ml_bridge::weighted_step(&mut k.math, &contribs, k.cfg.global_batch);
         }
         let mut round_samples = 0u64;
-        for p in &parts {
+        for p in &self.parts {
             k.commit(p.w, now);
             round_samples += p.took;
             k.workers[p.w].series_bpt.push(now, p.compute_secs.max(0.0));

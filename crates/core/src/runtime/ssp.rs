@@ -9,15 +9,18 @@ use super::kernel::Kernel;
 use super::ps_common::{self, PsFlavor, PsStrategy};
 use crate::events::Ev;
 use antdt_sim::{Engine, SimTime};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The SSP flavor over the shared PS driver.
 pub struct SspFlavor {
     staleness: u32,
     /// Pushes that arrived while a server was down: `(worker, gen, at)`.
     parked: Vec<(u32, u32, SimTime)>,
-    /// Workers parked at the staleness bound.
-    waiting: HashSet<u32>,
+    /// Workers parked at the staleness bound. Ordered so that same-instant
+    /// wake-ups enqueue in worker order: the engine breaks time ties FIFO, so
+    /// a hash-ordered drain here would leak run-to-run nondeterminism into
+    /// the schedule.
+    waiting: BTreeSet<u32>,
 }
 
 /// The SSP parameter-server runtime.
@@ -25,7 +28,7 @@ pub type SspPs = PsStrategy<SspFlavor>;
 
 impl SspPs {
     pub fn new(staleness: u32) -> Self {
-        PsStrategy { flavor: SspFlavor { staleness, parked: Vec::new(), waiting: HashSet::new() } }
+        PsStrategy { flavor: SspFlavor { staleness, parked: Vec::new(), waiting: BTreeSet::new() } }
     }
 }
 
@@ -35,7 +38,7 @@ impl SspFlavor {
         if self.waiting.is_empty() {
             return;
         }
-        let waiting: Vec<u32> = self.waiting.drain().collect();
+        let waiting = std::mem::take(&mut self.waiting);
         for v in waiting {
             eng.schedule(at, Ev::WorkerStart { w: v, gen: k.workers[v as usize].gen });
         }
@@ -110,7 +113,7 @@ mod tests {
     }
 
     fn mk_flavor(staleness: u32) -> SspFlavor {
-        SspFlavor { staleness, parked: Vec::new(), waiting: HashSet::new() }
+        SspFlavor { staleness, parked: Vec::new(), waiting: BTreeSet::new() }
     }
 
     /// The bound is inclusive: a worker exactly `staleness` iterations ahead

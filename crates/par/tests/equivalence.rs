@@ -1,0 +1,31 @@
+//! Property: `par_map` is observationally a `map` — same results, same
+//! order — for arbitrary inputs, pool sizes and (pure) workloads.
+
+use antdt_par::ThreadPool;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn par_map_equals_serial_map(
+        items in proptest::collection::vec(-1_000_000i64..1_000_000, 0..200),
+        threads in 1usize..6,
+        mul in -3i64..4,
+        add in -100i64..100,
+    ) {
+        let f = |x: i64| x.wrapping_mul(mul).wrapping_add(add);
+        let expect: Vec<i64> = items.iter().copied().map(f).collect();
+        let pool = ThreadPool::new(threads);
+        let got = pool.par_map(items, f);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn global_par_map_equals_serial_map(
+        items in proptest::collection::vec(0u32..5_000_000, 0..200),
+    ) {
+        let f = |x: u32| u64::from(x) * 7 + 1;
+        let expect: Vec<u64> = items.iter().copied().map(f).collect();
+        let got = antdt_par::par_map(items, f);
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,26 +1,48 @@
 //! The discrete-event engine: a priority queue of timestamped events with a
 //! FIFO tiebreak so that events scheduled at the same instant fire in the order
 //! they were scheduled. This makes every run fully deterministic.
+//!
+//! The heap key `(SimTime, seq)` is packed into a single `u128` — time in the
+//! high 64 bits, insertion sequence in the low 64 — so the hot push/pop path
+//! does one integer compare instead of a lexicographic pair compare, and the
+//! payload type needs no trait bounds at all.
 
 use crate::time::{SimDuration, SimTime};
 use antdt_telemetry::Counter;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
+    /// `(at.0 as u128) << 64 | seq`: compares exactly like `(at, seq)` because
+    /// both fields are unsigned and time occupies the high bits.
+    key: u128,
     ev: E,
 }
 
-impl<E: Eq> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Ordered by (time, insertion sequence); the payload never participates.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl<E> Scheduled<E> {
+    #[inline]
+    fn at(&self) -> SimTime {
+        SimTime((self.key >> 64) as u64)
     }
 }
-impl<E: Eq> PartialOrd for Scheduled<E> {
+
+// Ordered by the packed key only; the payload never participates, so `E` needs
+// no `Eq`/`Ord` bounds.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> Ord for Scheduled<E> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -42,7 +64,7 @@ impl<E: Eq> PartialOrd for Scheduled<E> {
 /// assert_eq!(seen[1], (SimTime::from_secs_f64(2.0), "b"));
 /// ```
 #[derive(Debug)]
-pub struct Engine<E: Eq> {
+pub struct Engine<E> {
     queue: BinaryHeap<Reverse<Scheduled<E>>>,
     now: SimTime,
     seq: u64,
@@ -51,13 +73,13 @@ pub struct Engine<E: Eq> {
     counters: Option<(Counter, Counter)>,
 }
 
-impl<E: Eq> Default for Engine<E> {
+impl<E> Default for Engine<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E: Eq> Engine<E> {
+impl<E> Engine<E> {
     pub fn new() -> Self {
         Engine {
             queue: BinaryHeap::new(),
@@ -99,7 +121,8 @@ impl<E: Eq> Engine<E> {
     /// time-travelling, so the clock stays monotonic.
     pub fn schedule(&mut self, at: SimTime, ev: E) {
         let at = at.max(self.now);
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, ev }));
+        let key = (u128::from(at.0) << 64) | u128::from(self.seq);
+        self.queue.push(Reverse(Scheduled { key, ev }));
         self.seq += 1;
         if let Some((scheduled, _)) = &self.counters {
             scheduled.inc();
@@ -114,8 +137,8 @@ impl<E: Eq> Engine<E> {
     /// Pop the next event, advancing the clock. Returns `None` when drained.
     pub fn step(&mut self) -> Option<E> {
         let Reverse(s) = self.queue.pop()?;
-        debug_assert!(s.at >= self.now, "event queue produced non-monotonic time");
-        self.now = s.at;
+        debug_assert!(s.at() >= self.now, "event queue produced non-monotonic time");
+        self.now = s.at();
         self.processed += 1;
         if let Some((_, processed)) = &self.counters {
             processed.inc();
@@ -137,7 +160,7 @@ impl<E: Eq> Engine<E> {
         loop {
             match self.queue.peek() {
                 None => return true,
-                Some(Reverse(s)) if s.at > deadline => return false,
+                Some(Reverse(s)) if s.at() > deadline => return false,
                 _ => {}
             }
             let ev = self.step().expect("peeked event must pop");
@@ -156,7 +179,7 @@ impl<E: Eq> Engine<E> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, PartialEq, Eq)]
+    #[derive(Debug)]
     enum Ev {
         Tick(u32),
     }
@@ -181,6 +204,32 @@ mod tests {
         let mut order = Vec::new();
         eng.run(|_, Ev::Tick(n)| order.push(n));
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn payload_needs_no_trait_bounds() {
+        // `f64` is not `Eq`; closures are not `Clone`. Both must still work as
+        // event payloads since ordering only ever touches the packed key.
+        let mut eng: Engine<f64> = Engine::new();
+        eng.schedule(SimTime::from_secs_f64(2.0), 2.5);
+        eng.schedule(SimTime::from_secs_f64(1.0), f64::NAN);
+        let mut seen = Vec::new();
+        eng.run(|_, v| seen.push(v));
+        assert!(seen[0].is_nan());
+        assert_eq!(seen[1], 2.5);
+    }
+
+    #[test]
+    fn packed_key_preserves_time_then_fifo_order_at_extremes() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule(SimTime(u64::MAX), 3);
+        eng.schedule(SimTime(u64::MAX), 4);
+        eng.schedule(SimTime::ZERO, 1);
+        eng.schedule(SimTime::ZERO, 2);
+        let mut order = Vec::new();
+        eng.run(|_, n| order.push(n));
+        assert_eq!(order, vec![1, 2, 3, 4]);
+        assert_eq!(eng.now(), SimTime(u64::MAX));
     }
 
     #[test]

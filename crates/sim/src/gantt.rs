@@ -106,13 +106,17 @@ impl Gantt {
     /// Render a coarse ASCII chart (one row per node, `cols` columns) — handy for
     /// the `experiments fig9` output.
     pub fn ascii(&self, cols: usize) -> String {
+        use std::fmt::Write as _;
         let Some(end) = self.spans.iter().map(|s| s.end).max() else {
             return String::new();
         };
         let scale = end.as_micros().max(1) as f64;
         let mut out = String::new();
+        // One row buffer reused across nodes; rows are written straight into
+        // `out` instead of through a per-row intermediate `String`.
+        let mut row = vec![' '; cols];
         for node in self.nodes() {
-            let mut row = vec![' '; cols];
+            row.iter_mut().for_each(|c| *c = ' ');
             for s in self.spans.iter().filter(|s| s.node == node) {
                 let a = ((s.start.as_micros() as f64 / scale) * cols as f64) as usize;
                 let b =
@@ -128,7 +132,9 @@ impl Gantt {
                     *c = ch;
                 }
             }
-            out.push_str(&format!("n{:<3} |{}|\n", node, row.iter().collect::<String>()));
+            let _ = write!(out, "n{node:<3} |");
+            out.extend(row.iter());
+            out.push_str("|\n");
         }
         out
     }

@@ -89,21 +89,29 @@ impl TimeSeries {
     /// Downsample to at most `buckets` points by averaging consecutive runs —
     /// used when printing figure data.
     pub fn downsample(&self, buckets: usize) -> Vec<(SimTime, f64)> {
+        let mut out = Vec::new();
+        self.downsample_into(buckets, &mut out);
+        out
+    }
+
+    /// Allocation-reusing [`TimeSeries::downsample`]: clears `out` and fills
+    /// it, so a caller printing many series can recycle one buffer.
+    pub fn downsample_into(&self, buckets: usize, out: &mut Vec<(SimTime, f64)>) {
+        out.clear();
         if buckets == 0 || self.points.is_empty() {
-            return Vec::new();
+            return;
         }
         if self.points.len() <= buckets {
-            return self.points.clone();
+            out.extend_from_slice(&self.points);
+            return;
         }
         let chunk = self.points.len().div_ceil(buckets);
-        self.points
-            .chunks(chunk)
-            .map(|c| {
-                let t = c[c.len() / 2].0;
-                let v = c.iter().map(|&(_, v)| v).sum::<f64>() / c.len() as f64;
-                (t, v)
-            })
-            .collect()
+        out.reserve(self.points.len().div_ceil(chunk));
+        out.extend(self.points.chunks(chunk).map(|c| {
+            let t = c[c.len() / 2].0;
+            let v = c.iter().map(|&(_, v)| v).sum::<f64>() / c.len() as f64;
+            (t, v)
+        }));
     }
 }
 

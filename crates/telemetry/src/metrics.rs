@@ -11,7 +11,7 @@
 use crate::json;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -108,12 +108,19 @@ impl Histogram {
 
 /// Label set for a metric series, kept sorted by key so that identical label
 /// sets written in any order resolve to the same series and render identically.
-type Labels = Vec<(String, String)>;
+/// Keys and values are interned [`Arc<str>`]s: each distinct string is
+/// allocated once per registry, and repeat lookups only bump refcounts.
+type Labels = Vec<(Arc<str>, Arc<str>)>;
 
-fn labels_of(pairs: &[(&str, &str)]) -> Labels {
-    let mut ls: Labels = pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
-    ls.sort();
-    ls
+/// Get or insert `s` in the intern pool. `BTreeSet::get` accepts `&str`
+/// because `Arc<str>: Borrow<str>`, so the hit path allocates nothing.
+fn intern_in(pool: &mut BTreeSet<Arc<str>>, s: &str) -> Arc<str> {
+    if let Some(a) = pool.get(s) {
+        return a.clone();
+    }
+    let a: Arc<str> = Arc::from(s);
+    pool.insert(a.clone());
+    a
 }
 
 #[derive(Debug, Clone)]
@@ -144,7 +151,10 @@ pub struct SeriesSnapshot {
 /// therefore deterministic regardless of registration order.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    series: Mutex<BTreeMap<String, BTreeMap<Labels, Metric>>>,
+    /// Intern pool for metric names, label keys and label values. Locked
+    /// strictly before (never together with) `series`.
+    interned: Mutex<BTreeSet<Arc<str>>>,
+    series: Mutex<BTreeMap<Arc<str>, BTreeMap<Labels, Metric>>>,
 }
 
 impl MetricsRegistry {
@@ -152,13 +162,28 @@ impl MetricsRegistry {
         Self::default()
     }
 
+    /// Intern the name and label pairs for one series lookup. After the first
+    /// registration of a series, repeat lookups allocate nothing.
+    fn key_of(&self, name: &str, pairs: &[(&str, &str)]) -> (Arc<str>, Labels) {
+        let mut pool = self.interned.lock();
+        let name = intern_in(&mut pool, name);
+        let mut ls: Labels = pairs
+            .iter()
+            .map(|&(k, v)| (intern_in(&mut pool, k), intern_in(&mut pool, v)))
+            .collect();
+        drop(pool);
+        ls.sort();
+        (name, ls)
+    }
+
     /// Get or register the counter `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let (name, labels) = self.key_of(name, labels);
         let mut s = self.series.lock();
         let m = s
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_default()
-            .entry(labels_of(labels))
+            .entry(labels)
             .or_insert_with(|| Metric::Counter(Counter::default()));
         match m {
             Metric::Counter(c) => c.clone(),
@@ -168,11 +193,12 @@ impl MetricsRegistry {
 
     /// Get or register the gauge `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let (name, labels) = self.key_of(name, labels);
         let mut s = self.series.lock();
         let m = s
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_default()
-            .entry(labels_of(labels))
+            .entry(labels)
             .or_insert_with(|| Metric::Gauge(Gauge::default()));
         match m {
             Metric::Gauge(g) => g.clone(),
@@ -183,11 +209,12 @@ impl MetricsRegistry {
     /// Get or register the histogram `name{labels}` with the given inclusive
     /// upper bucket bounds (an implicit `+Inf` bucket is appended).
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let (name, labels) = self.key_of(name, labels);
         let mut s = self.series.lock();
         let m = s
-            .entry(name.to_string())
+            .entry(name.clone())
             .or_default()
-            .entry(labels_of(labels))
+            .entry(labels)
             .or_insert_with(|| Metric::Histogram(Histogram::new(bounds.to_vec())));
         match m {
             Metric::Histogram(h) => h.clone(),
@@ -263,10 +290,11 @@ impl MetricsRegistry {
         let mut out = Vec::new();
         for (name, by_labels) in s.iter() {
             for (labels, metric) in by_labels.iter() {
-                let labels: BTreeMap<String, String> = labels.iter().cloned().collect();
+                let labels: BTreeMap<String, String> =
+                    labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
                 let snap = match metric {
                     Metric::Counter(c) => SeriesSnapshot {
-                        name: name.clone(),
+                        name: name.to_string(),
                         labels,
                         kind: "counter".into(),
                         value: Some(c.get()),
@@ -275,7 +303,7 @@ impl MetricsRegistry {
                         buckets: None,
                     },
                     Metric::Gauge(g) => SeriesSnapshot {
-                        name: name.clone(),
+                        name: name.to_string(),
                         labels,
                         kind: "gauge".into(),
                         value: Some(g.get()),
@@ -294,7 +322,7 @@ impl MetricsRegistry {
                             .collect();
                         buckets.push(("+Inf".into(), counts[h.inner.bounds.len()]));
                         SeriesSnapshot {
-                            name: name.clone(),
+                            name: name.to_string(),
                             labels,
                             kind: "histogram".into(),
                             value: None,

@@ -33,6 +33,13 @@ for crate in monitor controller agent; do
         fail "crates/$crate depends on antdt-core (component crates are leaves)"
     fi
 done
+# antdt-par is the pool under the whole experiment fabric: it must stay a
+# std-only leaf (no workspace crates, no external deps) so nothing above it
+# can leak back in and every layer may use it freely.
+if grep -En '^\s*antdt-' crates/par/Cargo.toml >/dev/null; then
+    fail "crates/par depends on a workspace crate (the pool is a std-only leaf)"
+fi
+
 # The bus endpoint types live in antdt-agent; only the runtime (antdt-core)
 # and the agent crate itself may import them.
 offenders=$(grep -Rln 'antdt_agent::bus' crates --include='*.rs' \
