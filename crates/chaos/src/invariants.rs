@@ -230,6 +230,43 @@ pub fn auc_parity(drill: &JobReport, clean: &JobReport, tolerance: f64) -> Invar
     }
 }
 
+/// Checkpoint-replay recovery: when a drill ran with the `antdt-ckpt`
+/// subsystem armed and lost nodes, recovery must have gone through the
+/// snapshot path — a restore was recorded — and the replay must have healed
+/// the data plane (at-least-once holds) without costing model quality (AUC
+/// parity against the clean twin, waived for simulated-math runs). Waived
+/// with a note when the subsystem was not armed, so the checker is safe to
+/// run on every drill in a matrix.
+pub fn replay_recovery(
+    drill: &JobReport,
+    clean: &JobReport,
+    auc_tolerance: f64,
+) -> InvariantOutcome {
+    let Some(ckpt) = &drill.ckpt else {
+        return InvariantOutcome::new(
+            "ckpt-replay",
+            true,
+            "waived: checkpoint subsystem not enabled for this drill".into(),
+        );
+    };
+    let restored = drill.kills.is_empty() || !ckpt.restores.is_empty();
+    let integrity = at_least_once(drill);
+    let parity = auc_parity(drill, clean, auc_tolerance);
+    InvariantOutcome::new(
+        "ckpt-replay",
+        restored && integrity.passed && parity.passed,
+        format!(
+            "kills={} snapshots={} restores={} replayed_samples={} | {} | {}",
+            drill.kills.len(),
+            ckpt.snapshots.len(),
+            ckpt.restores.len(),
+            drill.replayed_samples,
+            integrity.detail,
+            parity.detail
+        ),
+    )
+}
+
 /// Run the whole checker suite for one drill. `expect_kills` / `expect_stall`
 /// come from the plan shape (see `FaultPlan::has_kills` / `expects_stall`);
 /// `synchronous` is whether the job trains with a global barrier (BSP/SSP or
@@ -264,5 +301,6 @@ pub fn check_all(
         convergence,
         no_stale_directive(drill),
         auc_parity(drill, clean, auc_tolerance),
+        replay_recovery(drill, clean, auc_tolerance),
     ]
 }

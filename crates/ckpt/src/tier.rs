@@ -1,0 +1,81 @@
+//! Storage-tier cost model: where a snapshot lands decides how long the
+//! write drains and how long a restore read blocks the replacement pod.
+//!
+//! Numbers are deliberately coarse — the subsystem's experiments care about
+//! the *shape* of the tradeoff (fast-but-local vs slow-but-durable), not
+//! about any particular device. Calibrate with [`StorageTier::Custom`].
+
+/// A checkpoint storage target with asymmetric read/write bandwidth and
+/// fixed per-operation latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StorageTier {
+    /// Node-local NVMe-class disk: fast, but a lost node loses it too —
+    /// in a real system this tier is paired with background upload; here it
+    /// simply models the cheap end of the spectrum.
+    LocalDisk,
+    /// Remote object store (S3/OSS-class): durable, high-latency, modest
+    /// per-stream bandwidth.
+    ObjectStore,
+    /// Bring-your-own numbers.
+    Custom { write_bw_bps: f64, read_bw_bps: f64, write_latency_secs: f64, read_latency_secs: f64 },
+}
+
+impl StorageTier {
+    /// (write bw B/s, read bw B/s, write latency s, read latency s)
+    fn model(&self) -> (f64, f64, f64, f64) {
+        match *self {
+            StorageTier::LocalDisk => (1.2e9, 2.0e9, 0.002, 0.001),
+            StorageTier::ObjectStore => (150.0e6, 300.0e6, 0.12, 0.08),
+            StorageTier::Custom {
+                write_bw_bps,
+                read_bw_bps,
+                write_latency_secs,
+                read_latency_secs,
+            } => (write_bw_bps, read_bw_bps, write_latency_secs, read_latency_secs),
+        }
+    }
+
+    /// Seconds for a `bytes`-sized snapshot write to fully drain.
+    pub fn write_secs(&self, bytes: u64) -> f64 {
+        let (wbw, _, wlat, _) = self.model();
+        wlat + bytes as f64 / wbw.max(1.0)
+    }
+
+    /// Seconds for a restore to read a `bytes`-sized snapshot back.
+    pub fn read_secs(&self, bytes: u64) -> f64 {
+        let (_, rbw, _, rlat) = self.model();
+        rlat + bytes as f64 / rbw.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_disk_beats_object_store() {
+        let (disk, obj) = (StorageTier::LocalDisk, StorageTier::ObjectStore);
+        let bytes = 512 << 20;
+        assert!(disk.write_secs(bytes) < obj.write_secs(bytes));
+        assert!(disk.read_secs(bytes) < obj.read_secs(bytes));
+    }
+
+    #[test]
+    fn latency_floors_small_writes() {
+        let t = StorageTier::ObjectStore;
+        assert!(t.write_secs(0) >= 0.12);
+        assert!(t.read_secs(0) >= 0.08);
+    }
+
+    #[test]
+    fn custom_tier_is_linear_in_bytes() {
+        let t = StorageTier::Custom {
+            write_bw_bps: 100.0,
+            read_bw_bps: 50.0,
+            write_latency_secs: 1.0,
+            read_latency_secs: 2.0,
+        };
+        assert!((t.write_secs(200) - 3.0).abs() < 1e-12);
+        assert!((t.read_secs(200) - 6.0).abs() < 1e-12);
+    }
+}

@@ -2,6 +2,7 @@
 //! mitigation solution, cost knobs and execution mode.
 
 use antdt_agent::{AgentConfig, BroadcastModel};
+use antdt_ckpt::CkptConfig;
 use antdt_controller::{DdConfig, DeviceClassSpec};
 use antdt_ml::Dataset;
 use antdt_monitor::MonitorConfig;
@@ -73,7 +74,16 @@ pub enum FailoverMode {
     DdsBased,
     /// Mainstream libraries: restore model + IO state from the last checkpoint
     /// and recompute everything since — the whole job stalls for the duration.
+    /// This is the closed-form *estimate*: the delay is charged as a scalar
+    /// (`ckpt_restore_secs` + rollback), no state actually moves. Kept for
+    /// golden-trace compatibility and the Fig. 17 analytic cross-check.
     CheckpointBased,
+    /// Checkpoint-replay through the `antdt-ckpt` subsystem: the last
+    /// *durable* snapshot is read back at storage-tier speed, the DDS queue
+    /// is rewound to it, and the lost iterations replay through the real
+    /// `SyncStrategy` drivers — recovery time is emergent, not a constant.
+    /// Requires a Parameter Server job on the DDS data strategy.
+    Replay,
 }
 
 /// Background fault injection: mean time between failures per node (memoryless
@@ -225,6 +235,11 @@ pub struct JobConfig {
     /// Wall-clock factor for recomputing lost progress after a *server*
     /// failover (< 1: the replay has no stragglers and a warm cache).
     pub rollback_recompute_factor: f64,
+    /// The `antdt-ckpt` subsystem: storage tier, cadence policy, capture
+    /// stall. `None` (the default) leaves checkpointing as the legacy cost
+    /// model — golden traces depend on that. `FailoverMode::Replay` turns
+    /// the subsystem on with `CkptConfig::default()` when this is unset.
+    pub ckpt: Option<CkptConfig>,
 
     /// AntDT-DD device classes (required when `mitigation == AntDtDd`).
     pub dd_classes: Option<Vec<DeviceClassSpec>>,
@@ -275,6 +290,7 @@ impl JobConfig {
             ckpt_restore_secs: 60.0,
             world_rebuild_secs: 45.0,
             rollback_recompute_factor: 0.8,
+            ckpt: None,
             dd_classes: None,
             failover: FailoverMode::DdsBased,
             faults: None,
@@ -390,8 +406,22 @@ impl JobConfig {
         self.checkpoint_interval = d;
         self
     }
+    /// Seconds the legacy (subsystem-off) checkpoint save stalls the servers.
+    /// When sweeping the interval against `FailoverMode::Replay`, set this
+    /// comparable to [`antdt_ckpt::CkptConfig::capture_stall_secs`] so the two
+    /// models differ in *recovery*, not in pause cost.
+    pub fn with_ckpt_save_secs(mut self, secs: f64) -> Self {
+        self.ckpt_save_secs = secs;
+        self
+    }
     pub fn with_failover_mode(mut self, mode: FailoverMode) -> Self {
         self.failover = mode;
+        self
+    }
+    /// Enable the checkpoint subsystem with an explicit storage tier /
+    /// cadence policy / capture cost (see [`antdt_ckpt::CkptConfig`]).
+    pub fn with_ckpt(mut self, c: CkptConfig) -> Self {
+        self.ckpt = Some(c);
         self
     }
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
@@ -443,6 +473,22 @@ impl JobConfig {
             assert!(
                 (b as usize) < self.n_workers(),
                 "backup worker count must leave at least one active worker"
+            );
+        }
+        if self.failover == FailoverMode::Replay {
+            assert!(
+                matches!(self.arch, Arch::ParameterServer { .. }),
+                "FailoverMode::Replay requires a Parameter Server job"
+            );
+            assert!(
+                self.data == DataStrategy::Dds,
+                "FailoverMode::Replay requires the DDS data strategy (there is no queue to rewind otherwise)"
+            );
+        }
+        if let Some(c) = &self.ckpt {
+            assert!(
+                c.capture_stall_secs.is_finite() && c.capture_stall_secs >= 0.0,
+                "ckpt capture stall must be finite and non-negative"
             );
         }
         if let ExecutionMode::Real { dataset, .. } = &self.execution {
@@ -566,6 +612,31 @@ mod tests {
                     fault: InjectedFault::DropReports { prob: 0.5, window_secs: 60.0, seed: 7 },
                 },
             ])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Replay requires a Parameter Server")]
+    fn replay_failover_rejected_for_allreduce() {
+        JobConfig::allreduce(cluster_a_scaled(4, 0), Scenario::None)
+            .with_failover_mode(FailoverMode::Replay)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "Replay requires the DDS data strategy")]
+    fn replay_failover_rejected_without_dds() {
+        JobConfig::ps_asp(cluster_a_scaled(4, 2), Scenario::None)
+            .with_data_strategy(DataStrategy::EvenPartition)
+            .with_failover_mode(FailoverMode::Replay)
+            .validate();
+    }
+
+    #[test]
+    fn replay_failover_with_ckpt_config_passes_validation() {
+        JobConfig::ps_bsp(cluster_a_scaled(4, 2), Scenario::None)
+            .with_failover_mode(FailoverMode::Replay)
+            .with_ckpt(CkptConfig::default())
             .validate();
     }
 

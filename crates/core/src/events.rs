@@ -25,6 +25,10 @@ pub enum Ev {
     ServerRestart { s: u32, gen: u32 },
     /// Periodic checkpoint save.
     Checkpoint,
+    /// Replay failover: the staged snapshot finished streaming back from the
+    /// storage tier; apply the rewind (DDS queue, model parameters) at the
+    /// restore instant, just before the replacement pod starts.
+    CkptRestore,
     /// Background fault arrival at worker `w` (kills whatever generation is
     /// alive, then re-arms).
     FaultWorker { w: u32 },

@@ -31,12 +31,16 @@ pub(crate) mod obs;
 pub mod report;
 pub mod runtime;
 
+pub use antdt_ckpt::{CkptConfig, CkptPolicy, StorageTier};
 pub use config::{
     Arch, ChaosInjection, Consistency, DataStrategy, ExecutionMode, FailoverMode, FaultConfig,
     InjectedFault, JobConfig, MitigationChoice,
 };
 pub use job::Job;
-pub use report::{ActionApplication, DirectiveFate, DirectiveRecord, InjectionRecord, JobReport};
+pub use report::{
+    ActionApplication, CkptRecord, CkptReport, DirectiveFate, DirectiveRecord, InjectionRecord,
+    JobReport, ReplayRecord,
+};
 
 /// Run a job with an explicitly constructed policy — the escape hatch for
 /// ablations that sweep policy hyper-parameters the standard

@@ -75,6 +75,39 @@ pub struct ActionApplication {
     pub action: String,
 }
 
+/// One checkpoint capture as recorded by the `antdt-ckpt` subsystem: when it
+/// was taken, when its async drain write made it durable, and the snapshot's
+/// size and content digest (the digest is what the determinism tests pin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CkptRecord {
+    pub taken_at_us: u64,
+    pub durable_at_us: u64,
+    pub bytes: u64,
+    pub digest: u64,
+}
+
+/// One checkpoint-replay restore: which snapshot was loaded and how much
+/// completed work the rewind sent back to the TODO queue for replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ReplayRecord {
+    pub restored_at_us: u64,
+    /// `meta.taken_at_us` of the snapshot that was loaded (0 for the empty
+    /// cold-start snapshot when nothing was durable yet).
+    pub snapshot_at_us: u64,
+    pub requeued_shards: u64,
+    pub requeued_samples: u64,
+}
+
+/// Checkpoint-subsystem section of the report; present iff the subsystem was
+/// armed (`FailoverMode::Replay` or an explicit `CkptConfig`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CkptReport {
+    pub snapshots: Vec<CkptRecord>,
+    pub restores: Vec<ReplayRecord>,
+    /// The cadence the `CkptPolicy` knob had settled on when the job ended.
+    pub final_interval_secs: f64,
+}
+
 #[derive(Debug, Clone, Serialize)]
 pub struct JobReport {
     /// Job completion time.
@@ -85,6 +118,9 @@ pub struct JobReport {
     /// Samples computed but rolled back (dropped backup-worker pushes,
     /// mid-compute deaths) — recomputed later by the at-least-once machinery.
     pub rolled_back_samples: u64,
+    /// Samples requeued by checkpoint-replay restores and re-done through the
+    /// real drivers. Zero unless the checkpoint subsystem was armed.
+    pub replayed_samples: u64,
     /// `true` if the safety cap fired before the data was exhausted.
     pub timed_out: bool,
     /// `true` if the liveness watchdog aborted the run: no training progress
@@ -129,6 +165,9 @@ pub struct JobReport {
     /// Rendered telemetry artifacts; present when `JobConfig::telemetry` was
     /// set.
     pub telemetry: Option<TelemetryReport>,
+    /// Checkpoint-subsystem ledger (captures, restores, final cadence);
+    /// `None` unless the subsystem was armed.
+    pub ckpt: Option<CkptReport>,
 }
 
 impl JobReport {
@@ -193,6 +232,19 @@ impl JobReport {
         let _ = writeln!(w, "events_processed: {}", self.events_processed);
         for d in &self.decision_log {
             let _ = writeln!(w, "decision: {d:?}");
+        }
+        // Checkpoint-subsystem lines render only when the subsystem was
+        // armed: every pre-subsystem fixture (and any default-config run)
+        // stays byte-identical.
+        if let Some(c) = &self.ckpt {
+            let _ = writeln!(w, "replayed_samples: {}", self.replayed_samples);
+            for r in &c.snapshots {
+                let _ = writeln!(w, "ckpt: {r:?}");
+            }
+            for r in &c.restores {
+                let _ = writeln!(w, "ckpt_restore: {r:?}");
+            }
+            let _ = writeln!(w, "ckpt_interval_final: {:?}", c.final_interval_secs);
         }
         let _ = writeln!(w, "telemetry_recorded: {}", self.telemetry.is_some());
         s

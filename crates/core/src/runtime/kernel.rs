@@ -10,9 +10,10 @@
 //! the kernel.
 
 use super::bus::ControlBus;
+use super::ckpt::CkptRt;
 use super::data::{DataSource, LeaseState};
 use super::ml_bridge::MathState;
-use crate::config::{DataStrategy, ExecutionMode, JobConfig};
+use crate::config::{DataStrategy, ExecutionMode, FailoverMode, JobConfig};
 use crate::obs::RtTele;
 use crate::report::{ActionApplication, InjectionRecord};
 use antdt_agent::OverheadLedger;
@@ -95,8 +96,14 @@ pub struct Kernel {
     pub(crate) kills: Vec<(SimTime, NodeId)>,
     pub(crate) restarts: Vec<(SimTime, NodeId)>,
     pub(crate) last_ckpt: SimTime,
+    /// The checkpoint/state subsystem; `Some` iff the job runs
+    /// `FailoverMode::Replay` or carries an explicit `CkptConfig`.
+    pub(crate) ckpt_rt: Option<CkptRt>,
     pub(crate) samples_done: u64,
     pub(crate) rolled_back_samples: u64,
+    /// Samples requeued by checkpoint-replay restores (re-done through the
+    /// real drivers, the emergent analogue of `rolled_back_samples`).
+    pub(crate) replayed_samples: u64,
     pub(crate) iterations: u64,
     pub(crate) jct_mark: SimTime,
     pub(crate) finished: bool,
@@ -249,6 +256,12 @@ impl Kernel {
         // Telemetry implies Gantt recording: the recorded spans become the
         // bulk of the exported Chrome trace.
         let gantt = (cfg.record_gantt || cfg.telemetry).then(Gantt::new);
+        // The checkpoint subsystem arms iff asked for: Replay failover needs
+        // real snapshots, and an explicit CkptConfig opts in without changing
+        // the failover mode (capture-cost studies).
+        let ckpt_rt = (cfg.failover == FailoverMode::Replay || cfg.ckpt.is_some()).then(|| {
+            CkptRt::new(cfg.ckpt.unwrap_or_default(), cfg.checkpoint_interval.as_secs_f64())
+        });
         Kernel {
             sched_rng: pool.stream(7),
             pool,
@@ -262,8 +275,10 @@ impl Kernel {
             kills: Vec::new(),
             restarts: Vec::new(),
             last_ckpt: SimTime::ZERO,
+            ckpt_rt,
             samples_done: 0,
             rolled_back_samples: 0,
+            replayed_samples: 0,
             iterations: 0,
             jct_mark: SimTime::ZERO,
             finished: false,

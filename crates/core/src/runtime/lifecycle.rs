@@ -15,6 +15,14 @@ use antdt_sim::dist::Dist;
 use antdt_sim::gantt::SpanKind;
 use antdt_sim::{Engine, NodeProfile, SimDuration};
 
+/// The closed-form recompute charge of legacy checkpoint failover (§V-E3):
+/// `factor × min(time since last checkpoint, checkpoint interval)`. Extracted
+/// so the golden-trace-pinned formula has exactly one home (worker and server
+/// kills share it) and a unit test can pin it against the Replay rework.
+pub(crate) fn legacy_rollback_secs(factor: f64, since_ckpt_secs: f64, interval_secs: f64) -> f64 {
+    factor * since_ckpt_secs.min(interval_secs)
+}
+
 /// Kill worker `w` (generation-checked): roll back its in-flight samples,
 /// requeue its DOING shards, drop it from the consistency layer and schedule
 /// the replacement pod.
@@ -60,11 +68,15 @@ pub(crate) fn worker_kill<F: PsFlavor>(
         }
     }
     f.on_worker_killed(k, eng, w);
-    // Schedule the replacement pod. DDS-based recovery only rebuilds the
-    // communication world (the servers still hold the parameters);
-    // checkpoint-based recovery additionally restores the checkpoint and
-    // recomputes all progress since it — stalling the whole job (§V-E3).
-    // Chaos no-failover kills skip the replacement entirely.
+    // Schedule the replacement pod; what the replacement must recover is the
+    // failover mode's call. DDS-based recovery only rebuilds the
+    // communication world (the servers still hold the parameters, so nothing
+    // stalls). Checkpoint-based recovery charges a closed-form restore +
+    // recompute estimate that stalls the whole job (§V-E3). Replay recovery
+    // stages the last durable snapshot and rewinds through the `antdt-ckpt`
+    // subsystem at the restore instant — nothing is charged up front; the
+    // lost work replays through the real drivers. Chaos no-failover kills
+    // skip the replacement entirely.
     if !k.chaos_no_failover.contains(&w) {
         let mut delay =
             k.sched_restart_delay(now) + SimDuration::from_secs_f64(k.cfg.world_rebuild_secs);
@@ -72,11 +84,25 @@ pub(crate) fn worker_kill<F: PsFlavor>(
         if extra > 0.0 {
             delay += SimDuration::from_secs_f64(extra);
         }
-        if k.cfg.failover == FailoverMode::CheckpointBased {
-            let rollback = k.cfg.rollback_recompute_factor
-                * now.since(k.last_ckpt).as_secs_f64().min(k.cfg.checkpoint_interval.as_secs_f64());
-            delay += SimDuration::from_secs_f64(k.cfg.ckpt_restore_secs + rollback);
-            k.stall_until = k.stall_until.max(now + delay);
+        match k.cfg.failover {
+            FailoverMode::DdsBased => {}
+            FailoverMode::CheckpointBased => {
+                let rollback = legacy_rollback_secs(
+                    k.cfg.rollback_recompute_factor,
+                    now.since(k.last_ckpt).as_secs_f64(),
+                    k.cfg.checkpoint_interval.as_secs_f64(),
+                );
+                delay += SimDuration::from_secs_f64(k.cfg.ckpt_restore_secs + rollback);
+                k.stall_until = k.stall_until.max(now + delay);
+            }
+            FailoverMode::Replay => {
+                // The snapshot read-back is on the replacement's critical
+                // path; the rewind applies just before the pod starts
+                // (CkptRestore is scheduled first at the same instant, and
+                // the engine processes same-time events in schedule order).
+                delay += k.stage_ckpt_restore(now);
+                eng.schedule(now + delay, Ev::CkptRestore);
+            }
         }
         if let Some(g) = k.gantt.as_mut() {
             g.record(w, SpanKind::Failover, now, now + delay);
@@ -163,9 +189,13 @@ impl Kernel {
         eng.schedule(now, Ev::WorkerStart { w, gen });
     }
 
-    /// Kill server `s` (generation-checked) and schedule its checkpoint-based
-    /// failover: pending + init + rebuild + checkpoint restore + recompute of
-    /// the progress since the last checkpoint (§V-E2).
+    /// Kill server `s` (generation-checked) and schedule its failover. Server
+    /// recovery is checkpoint-based in every mode but [`FailoverMode::Replay`]
+    /// (the dead server's parameter shard is gone): pending + init + rebuild +
+    /// checkpoint restore + recompute of the progress since the last
+    /// checkpoint (§V-E2). Under Replay the closed-form restore + recompute
+    /// charge is replaced by the storage-tier read-back of the last durable
+    /// snapshot plus the emergent replay of the rewound work.
     pub(crate) fn server_kill(&mut self, eng: &mut Engine<Ev>, s: u32, gen: u32) {
         let sj = s as usize;
         if !self.servers[sj].alive || self.servers[sj].gen != gen {
@@ -185,15 +215,28 @@ impl Kernel {
             at: now,
             class: ErrorClass::Retryable(RetryableError::ProactiveKill),
         });
-        let rollback = self.cfg.rollback_recompute_factor
-            * now
-                .since(self.last_ckpt)
-                .as_secs_f64()
-                .min(self.cfg.checkpoint_interval.as_secs_f64());
-        let delay = self.sched_restart_delay(now)
-            + SimDuration::from_secs_f64(
-                self.cfg.world_rebuild_secs + self.cfg.ckpt_restore_secs + rollback,
-            );
+        let delay = match self.cfg.failover {
+            FailoverMode::DdsBased | FailoverMode::CheckpointBased => {
+                let rollback = legacy_rollback_secs(
+                    self.cfg.rollback_recompute_factor,
+                    now.since(self.last_ckpt).as_secs_f64(),
+                    self.cfg.checkpoint_interval.as_secs_f64(),
+                );
+                self.sched_restart_delay(now)
+                    + SimDuration::from_secs_f64(
+                        self.cfg.world_rebuild_secs + self.cfg.ckpt_restore_secs + rollback,
+                    )
+            }
+            FailoverMode::Replay => {
+                // The rewind lands just before the replacement server comes
+                // up (same-instant events process in schedule order).
+                let delay = self.sched_restart_delay(now)
+                    + SimDuration::from_secs_f64(self.cfg.world_rebuild_secs)
+                    + self.stage_ckpt_restore(now);
+                eng.schedule(now + delay, Ev::CkptRestore);
+                delay
+            }
+        };
         eng.schedule(now + delay, Ev::ServerRestart { s, gen: self.servers[sj].gen });
     }
 
@@ -220,8 +263,14 @@ impl Kernel {
     }
 
     /// Periodic checkpoint: stamp the rollback watermark, stall the servers
-    /// for the save, re-arm.
+    /// for the save, re-arm. With the checkpoint subsystem armed the event
+    /// instead captures a real [`antdt_ckpt::Snapshot`] (async-drained to the
+    /// storage tier, cadence re-armed by the `CkptPolicy` knob).
     pub(crate) fn checkpoint(&mut self, eng: &mut Engine<Ev>) {
+        if self.ckpt_rt.is_some() {
+            self.ckpt_capture(eng);
+            return;
+        }
         if self.finished {
             return;
         }
@@ -238,5 +287,23 @@ impl Kernel {
             }
         }
         eng.schedule(now + self.cfg.checkpoint_interval, Ev::Checkpoint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::legacy_rollback_secs;
+
+    /// Pins the closed-form recompute charge the golden traces depend on, so
+    /// the Replay rework can never silently perturb the legacy delay.
+    #[test]
+    fn legacy_rollback_formula_is_pinned() {
+        // Mid-interval kill: factor × elapsed since the last checkpoint.
+        assert_eq!(legacy_rollback_secs(0.8, 300.0, 600.0), 240.0);
+        // Beyond one interval the recompute caps at factor × interval.
+        assert_eq!(legacy_rollback_secs(0.8, 900.0, 600.0), 480.0);
+        // Degenerate cases stay at zero.
+        assert_eq!(legacy_rollback_secs(0.8, 0.0, 600.0), 0.0);
+        assert_eq!(legacy_rollback_secs(0.0, 300.0, 600.0), 0.0);
     }
 }

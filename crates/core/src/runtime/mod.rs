@@ -9,6 +9,7 @@
 //! | `data`        | data plane: DDS leases, fixed partitions, commit/rollback   |
 //! | `ml_bridge`   | real-gradient computation + weighted optimizer steps        |
 //! | `lifecycle`   | kill / restart / failover / checkpoint state machines       |
+//! | `ckpt`        | snapshot capture, async storage drain, replay restore       |
 //! | `chaos_hooks` | windowed chaos faults, lifts, report-drop, liveness         |
 //! | `reporting`   | sample accounting, finish detection, `JobReport` assembly   |
 //! | [`strategy`]  | the [`SyncStrategy`] trait + generic event-loop driver      |
@@ -23,6 +24,7 @@ pub mod asp;
 pub mod bsp;
 pub(crate) mod bus;
 pub(crate) mod chaos_hooks;
+pub(crate) mod ckpt;
 pub(crate) mod data;
 pub(crate) mod kernel;
 pub(crate) mod lifecycle;

@@ -389,6 +389,7 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
             | Ev::ChaosFault { .. }
             | Ev::ChaosLift { .. }
             | Ev::LivenessCheck
+            | Ev::CkptRestore
             | Ev::BusMsg { .. } => {
                 unreachable!("kernel-routed event reached the strategy")
             }

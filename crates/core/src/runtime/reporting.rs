@@ -6,7 +6,7 @@ use super::data::DataSource;
 use super::kernel::Kernel;
 use crate::config::{DataStrategy, ExecutionMode};
 use crate::events::Ev;
-use crate::report::JobReport;
+use crate::report::{CkptReport, JobReport};
 use antdt_ml::Model;
 use antdt_sim::{Engine, SimDuration, SimTime};
 
@@ -71,6 +71,11 @@ impl Kernel {
             };
             rt.tele.report(reason)
         });
+        let ckpt = self.ckpt_rt.take().map(|rt| CkptReport {
+            snapshots: rt.records,
+            restores: rt.restores,
+            final_interval_secs: rt.interval_now,
+        });
         let auc = match (&self.math, &self.cfg.execution) {
             (Some(math), ExecutionMode::Real { holdout, .. }) if !holdout.is_empty() => {
                 let scores = math.model.scores(holdout);
@@ -84,6 +89,7 @@ impl Kernel {
             iterations: self.iterations,
             samples_done: self.samples_done,
             rolled_back_samples: self.rolled_back_samples,
+            replayed_samples: self.replayed_samples,
             timed_out: self.timed_out,
             stalled: self.stalled,
             // `self` is consumed here, so the per-node series move into the
@@ -118,6 +124,7 @@ impl Kernel {
             events_processed,
             decision_log: self.decision_log,
             telemetry,
+            ckpt,
         }
     }
 }

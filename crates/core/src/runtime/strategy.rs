@@ -133,6 +133,7 @@ fn handle<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine<Ev>, 
         Ev::ChaosFault { k: idx } => chaos_hooks::chaos_fault(k, strat, eng, idx),
         Ev::ChaosLift { k: idx } => chaos_hooks::chaos_lift(k, strat, eng, idx),
         Ev::LivenessCheck => k.liveness_check(eng),
+        Ev::CkptRestore => k.apply_ckpt_restore(eng),
         Ev::BusMsg { seq } => super::bus::on_bus_msg(k, eng, seq),
         other => strat.on_event(k, eng, other),
     }

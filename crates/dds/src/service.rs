@@ -312,6 +312,60 @@ impl DdsService {
         out
     }
 
+    /// Export the queue for a checkpoint: enqueued epochs, DONE count, the
+    /// pending queue and the per-slot state table (0=TODO 1=DOING 2=DONE),
+    /// in the `antdt-ckpt` snapshot shape.
+    pub fn export_ckpt(&self) -> antdt_ckpt::DdsSnapshot {
+        let g = self.inner.lock();
+        antdt_ckpt::DdsSnapshot {
+            epochs_enqueued: g.epochs_enqueued,
+            done_total: g.done_total,
+            queue: g.queue.iter().copied().collect(),
+            state: g
+                .state
+                .iter()
+                .map(|s| match s {
+                    ShardState::Todo => 0,
+                    ShardState::Doing => 1,
+                    ShardState::Done => 2,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rewind to a checkpoint: every slot DONE *now* but not DONE in the
+    /// snapshot goes back to `TODO` at the queue tail (ascending slot order,
+    /// deterministic) — that work post-dates the snapshot and must replay.
+    /// Live `DOING` leases are deliberately left untouched: surviving
+    /// workers' in-flight computes commit normally, and a slot that replays
+    /// *and* commits shows up in the at-most-once audit via its serve count,
+    /// exactly like any other requeue. Returns `(requeued shards, requeued
+    /// samples)`.
+    pub fn rewind_ckpt(&self, snap: &antdt_ckpt::DdsSnapshot) -> (u64, u64) {
+        let mut g = self.inner.lock();
+        let k = g.k();
+        let mut shards_requeued = 0u64;
+        let mut samples_requeued = 0u64;
+        for i in 0..g.state.len() {
+            let done_in_snap = snap.state.get(i).copied() == Some(2);
+            if g.state[i] == ShardState::Done && !done_in_snap {
+                g.state[i] = ShardState::Todo;
+                g.owner[i] = None;
+                g.queue.push_back(i as u64);
+                g.done_total -= 1;
+                let len = g.shards[i % k].len;
+                g.stats.requeued_shards += 1;
+                g.stats.requeued_samples += len;
+                shards_requeued += 1;
+                samples_requeued += len;
+            }
+        }
+        if let Some(c) = &g.counters {
+            c.requeued.add(shards_requeued);
+        }
+        (shards_requeued, samples_requeued)
+    }
+
     /// Chaos-drill outage control: while paused, `fetch` serves nothing (as if
     /// the service were unreachable). Completion/failure reports still land —
     /// the client library buffers them, so no integrity state is lost.
@@ -582,6 +636,62 @@ mod tests {
         assert_eq!(a.done_shards, 1);
         assert_eq!(a.outstanding_shards, 11);
         assert!(!a.at_least_once);
+    }
+
+    #[test]
+    fn export_ckpt_freezes_queue_and_states() {
+        let s = svc(400, 10, 10, 1); // 4 shards
+        let doing = s.fetch(0).unwrap();
+        let done = s.fetch(1).unwrap();
+        s.report_done(1, done).unwrap();
+        let snap = s.export_ckpt();
+        assert_eq!(snap.epochs_enqueued, 1);
+        assert_eq!(snap.done_total, 1);
+        assert_eq!(snap.queue.len(), 2);
+        assert_eq!(snap.state.iter().filter(|&&b| b == 1).count(), 1);
+        assert_eq!(snap.state.iter().filter(|&&b| b == 2).count(), 1);
+        let _ = doing;
+    }
+
+    #[test]
+    fn rewind_ckpt_requeues_post_snapshot_done_work() {
+        let s = svc(400, 10, 10, 1); // 4 shards of 100
+        let early = s.fetch(0).unwrap();
+        s.report_done(0, early).unwrap();
+        let snap = s.export_ckpt(); // 1 DONE at snapshot time
+        let live = s.fetch(1).unwrap(); // DOING across the rewind
+        let late = s.fetch(0).unwrap();
+        s.report_done(0, late).unwrap(); // DONE after the snapshot
+        let (shards, samples) = s.rewind_ckpt(&snap);
+        assert_eq!((shards, samples), (1, 100), "only the post-snapshot DONE replays");
+        assert_eq!(s.progress().0, 1);
+        // The live lease survived the rewind and commits normally.
+        s.report_done(1, live).unwrap();
+        while let Some(l) = s.fetch(2) {
+            s.report_done(2, l).unwrap();
+        }
+        assert!(s.is_complete());
+        let a = s.audit();
+        assert!(a.at_least_once);
+        assert!(!a.at_most_once, "the replayed shard was served twice");
+        assert_eq!(a.requeued_shards, 1);
+    }
+
+    #[test]
+    fn rewind_to_empty_snapshot_replays_everything_done() {
+        let s = svc(300, 10, 10, 1); // 3 shards
+        for _ in 0..2 {
+            let l = s.fetch(0).unwrap();
+            s.report_done(0, l).unwrap();
+        }
+        // No checkpoint was ever durable: the empty snapshot rewinds all DONEs.
+        let (shards, _) = s.rewind_ckpt(&antdt_ckpt::DdsSnapshot::default());
+        assert_eq!(shards, 2);
+        assert_eq!(s.progress().0, 0);
+        while let Some(l) = s.fetch(1) {
+            s.report_done(1, l).unwrap();
+        }
+        assert!(s.is_complete());
     }
 
     #[test]

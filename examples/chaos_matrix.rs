@@ -13,7 +13,8 @@
 //! ```
 
 use antdt::chaos::{ChaosDriver, Fault, FaultPlan, NodeRef, PlanBounds};
-use antdt::core::{JobConfig, MitigationChoice};
+use antdt::ckpt::{CkptConfig, CkptPolicy, StorageTier};
+use antdt::core::{FailoverMode, JobConfig, MitigationChoice};
 use antdt::sim::SimDuration;
 use antdt::workloads::{cluster, Scenario};
 
@@ -101,6 +102,31 @@ fn main() {
             rec.recovered_at.map(|t| t.0 as f64 / 1e6),
         );
     }
+
+    // Checkpoint-replay recovery: the same kill drill under
+    // `FailoverMode::Replay` — the replacement loads the last durable
+    // snapshot from the storage tier and the DDS queue rewinds to it, so the
+    // lost work replays through the real drivers. The `ckpt-replay` invariant
+    // audits that the restore actually happened and integrity survived.
+    println!("\nckpt-replay drill (kill w1 under Replay failover, adaptive cadence):");
+    let replay = ChaosDriver::new(
+        base.clone()
+            .with_failover_mode(FailoverMode::Replay)
+            .with_checkpoint_interval(SimDuration::from_secs(30))
+            .with_ckpt(CkptConfig {
+                tier: StorageTier::LocalDisk,
+                policy: CkptPolicy::Adaptive { min_secs: 30.0, max_secs: 300.0 },
+                capture_stall_secs: 1.0,
+            }),
+    )
+    .run_one(
+        &FaultPlan::new("ckpt-replay").at(40.0, Fault::KillNode { node: NodeRef::Worker(1) }),
+        &MitigationChoice::AntDtNd,
+    );
+    let inv = replay.invariant("ckpt-replay").expect("checker runs on every drill");
+    println!("  {:<20} {}  ({})", inv.name, if inv.passed { "PASS" } else { "FAIL" }, inv.detail);
+    assert!(inv.passed, "ckpt-replay invariant failed: {}", inv.detail);
+    assert!(replay.passed, "replay drill broke an invariant: {:?}", replay.invariants);
 
     // The loud-failure path: no failover => the watchdog must detect a stall.
     println!("\nwedge drill (kill w2 with failover disabled, 120 s watchdog):");

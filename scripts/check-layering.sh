@@ -39,6 +39,13 @@ done
 if grep -En '^\s*antdt-' crates/par/Cargo.toml >/dev/null; then
     fail "crates/par depends on a workspace crate (the pool is a std-only leaf)"
 fi
+# antdt-ckpt is the snapshot/cost-model leaf shared by the runtime and the
+# controller: like the pool it must stay std-only (dev-deps excluded) so a
+# checkpoint format change can never drag runtime types into the leaves.
+if sed -n '/^\[dependencies\]/,/^\[/p' crates/ckpt/Cargo.toml \
+    | grep -E '^\s*[a-zA-Z]' >/dev/null; then
+    fail "crates/ckpt has runtime dependencies (the checkpoint model is a std-only leaf)"
+fi
 
 # The bus endpoint types live in antdt-agent; only the runtime (antdt-core)
 # and the agent crate itself may import them.

@@ -12,6 +12,7 @@
 //! * [`agent`] — per-node agent and global-action synchronization
 //! * [`core`] — Parameter Server and AllReduce training runtimes plus the job driver
 //! * [`chaos`] — deterministic fault-injection plans, chaos-drill driver and invariant checkers
+//! * [`ckpt`] — checkpoint/state subsystem: snapshots, storage-tier cost model, cadence policy
 //! * [`telemetry`] — metrics registry, span tracing, decision audit log and flight recorder
 //!
 //! ## Quickstart
@@ -33,6 +34,7 @@
 
 pub use antdt_agent as agent;
 pub use antdt_chaos as chaos;
+pub use antdt_ckpt as ckpt;
 pub use antdt_controller as controller;
 pub use antdt_core as core;
 pub use antdt_dds as dds;

@@ -203,3 +203,49 @@ fn lossy_control_channel_runs_are_mutually_byte_identical() {
     let b = Job::run(bsp().with_control_channel(ch)).golden_dump();
     assert_eq!(a, b);
 }
+
+/// Golden-trace safety of the checkpoint subsystem: with a default config
+/// (no `CkptConfig`, legacy failover) the subsystem is disarmed — the report
+/// carries no ckpt section and the dump renders no ckpt lines, so all eight
+/// fixtures above are byte-for-byte unaffected by its existence.
+#[test]
+fn ckpt_subsystem_disabled_by_default() {
+    let report = Job::run(bsp());
+    assert!(report.ckpt.is_none(), "default config must not arm the subsystem");
+    assert_eq!(report.replayed_samples, 0);
+    let dump = report.golden_dump();
+    assert!(
+        !dump.lines().any(|l| l.starts_with("ckpt") || l.starts_with("replayed_samples")),
+        "disabled subsystem must not add dump lines"
+    );
+}
+
+/// Same-seed determinism of the subsystem itself: two runs under Replay
+/// failover with an adaptive cadence must produce byte-identical dumps and
+/// identical snapshot digests (the hand-rolled serialization is part of the
+/// determinism surface).
+#[test]
+fn replay_runs_are_mutually_byte_identical_with_equal_digests() {
+    use antdt::ckpt::{CkptConfig, CkptPolicy, StorageTier};
+    use antdt::core::FailoverMode;
+    let cfg = || {
+        bsp()
+            .with_failover_mode(FailoverMode::Replay)
+            .with_checkpoint_interval(SimDuration::from_secs(60))
+            .with_ckpt(CkptConfig {
+                tier: StorageTier::ObjectStore,
+                policy: CkptPolicy::Adaptive { min_secs: 30.0, max_secs: 240.0 },
+                capture_stall_secs: 1.0,
+            })
+            .with_injections(ps_chaos_plan())
+            .with_liveness_timeout(SimDuration::from_secs(1_800))
+    };
+    let a = Job::run(cfg());
+    let b = Job::run(cfg());
+    let (ca, cb) = (a.ckpt.as_ref().unwrap(), b.ckpt.as_ref().unwrap());
+    assert!(!ca.snapshots.is_empty(), "captures must have run");
+    let da: Vec<u64> = ca.snapshots.iter().map(|s| s.digest).collect();
+    let db: Vec<u64> = cb.snapshots.iter().map(|s| s.digest).collect();
+    assert_eq!(da, db, "same-seed snapshot digests must match");
+    assert_eq!(a.golden_dump(), b.golden_dump());
+}
