@@ -1,0 +1,36 @@
+//! Straggler attribution for AntDT: exact per-cause time decomposition,
+//! critical-path blame scores, and what-if predictions.
+//!
+//! The paper's premise is that stragglers dominate JCT; this crate is the
+//! layer that *explains* a slow job instead of merely showing it. It is a
+//! std-only leaf (no dependencies, enforced by the layering ratchet) holding
+//! three pieces:
+//!
+//! * [`ledger`] — a per-node [`Ledger`] that tags every interval of a node's
+//!   wall time with a [`WaitCause`] (compute, data wait, sync wait, comm,
+//!   control-bus latency, checkpoint stall, fault recovery). The ledger is
+//!   cursor-chained: each fill extends a node's timeline contiguously, so the
+//!   decomposition *provably* sums to the node's measured wall time — the
+//!   conservation property is exact in integer microseconds (ε = 0), checked
+//!   by [`Ledger::check_conservation`].
+//! * [`blame`] — turns a finished ledger into an [`Analysis`]: per-node cause
+//!   breakdowns, the barrier-determiner critical path, and per-node blame
+//!   scores (microseconds of JCT attributable to each node's excess over the
+//!   fleet median, à la the what-if-analysis paper).
+//! * [`whatif`] — [`Perturbation`]s (`HealthyNode`, `ZeroControlLatency`,
+//!   `NoCkptStalls`) and the analytical [`predicted_delta_us`] that a
+//!   counterfactual replay of the same job is expected to realize; the
+//!   runtime crate replays deterministically and reports the measured delta
+//!   next to this prediction.
+//!
+//! The runtime kernel feeds the ledger through instrumentation hooks armed by
+//! `JobConfig::with_attribution()`; attribution never adds DES events or RNG
+//! draws, so arming it is schedule-neutral.
+
+pub mod blame;
+pub mod ledger;
+pub mod whatif;
+
+pub use blame::{analyze, Analysis, BlameEntry, CritSegment, NodeBreakdown};
+pub use ledger::{BarrierRec, Ledger, Seg, WaitCause};
+pub use whatif::{predicted_delta_us, Perturbation};

@@ -1,0 +1,90 @@
+//! Property tests: conservation (ε = 0) survives arbitrary interleavings of
+//! every ledger operation, and the blame analysis stays internally
+//! consistent with the ledger it was derived from.
+
+use antdt_attr::{analyze, Ledger, WaitCause};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Fill { node: u32, to_us: u64, cause: usize },
+    Sync { node: u32, to_us: u64, ctrl_us: u64 },
+    Pending { node: u32, cause: usize },
+    Truncate { node: u32, at_us: u64 },
+    Kill { node: u32 },
+    Barrier { iter: u64, arrivals: Vec<(u32, u64)> },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let node = 0u32..6;
+    prop_oneof![
+        (node.clone(), 0u64..10_000, 0usize..WaitCause::COUNT)
+            .prop_map(|(node, to_us, cause)| Op::Fill { node, to_us, cause }),
+        (node.clone(), 0u64..10_000, 0u64..500).prop_map(|(node, to_us, ctrl_us)| Op::Sync {
+            node,
+            to_us,
+            ctrl_us
+        }),
+        (node.clone(), 0usize..WaitCause::COUNT)
+            .prop_map(|(node, cause)| Op::Pending { node, cause }),
+        (node.clone(), 0u64..10_000).prop_map(|(node, at_us)| Op::Truncate { node, at_us }),
+        node.clone().prop_map(|node| Op::Kill { node }),
+        (0u64..100, prop::collection::vec((node, 0u64..10_000), 0..5))
+            .prop_map(|(iter, arrivals)| Op::Barrier { iter, arrivals }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn conservation_is_exact_under_arbitrary_ops(ops in prop::collection::vec(op(), 0..120)) {
+        let mut l = Ledger::new();
+        for o in &ops {
+            match o {
+                Op::Fill { node, to_us, cause } => l.fill(*node, *to_us, WaitCause::ALL[*cause]),
+                Op::Sync { node, to_us, ctrl_us } => l.sync_to(*node, *to_us, *ctrl_us),
+                Op::Pending { node, cause } => l.set_pending(*node, WaitCause::ALL[*cause]),
+                Op::Truncate { node, at_us } => l.truncate(*node, *at_us),
+                Op::Kill { node } => l.mark_dead(*node),
+                Op::Barrier { iter, arrivals } => l.barrier(*iter, arrivals),
+            }
+            l.check_conservation().unwrap();
+        }
+        l.finalize(20_000);
+        l.check_conservation().unwrap();
+        for n in l.node_ids() {
+            if !l.is_dead(n) {
+                prop_assert_eq!(l.wall_us(n), 20_000);
+            }
+            prop_assert_eq!(l.totals(n).iter().sum::<u64>(), l.wall_us(n));
+        }
+    }
+
+    #[test]
+    fn analysis_matches_its_ledger(ops in prop::collection::vec(op(), 0..80)) {
+        let mut l = Ledger::new();
+        for o in &ops {
+            match o {
+                Op::Fill { node, to_us, cause } => l.fill(*node, *to_us, WaitCause::ALL[*cause]),
+                Op::Sync { node, to_us, ctrl_us } => l.sync_to(*node, *to_us, *ctrl_us),
+                Op::Pending { node, cause } => l.set_pending(*node, WaitCause::ALL[*cause]),
+                Op::Truncate { node, at_us } => l.truncate(*node, *at_us),
+                Op::Kill { node } => l.mark_dead(*node),
+                Op::Barrier { iter, arrivals } => l.barrier(*iter, arrivals),
+            }
+        }
+        l.finalize(20_000);
+        let a = analyze(&l, 20_000);
+        prop_assert_eq!(a.nodes.len(), l.node_ids().len());
+        for b in &a.nodes {
+            prop_assert_eq!(b.wall_us, l.wall_us(b.node));
+            prop_assert_eq!(b.totals_us.iter().sum::<u64>(), b.wall_us);
+        }
+        // The ranking is a permutation of the nodes, sorted by score.
+        prop_assert_eq!(a.blame.len(), a.nodes.len());
+        for w in a.blame.windows(2) {
+            prop_assert!(w[0].score_us >= w[1].score_us);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! Figs. 15–19 and Table III), `ops` (integrity, solver, ablations, chaos,
 //! telemetry) and `kernel` (runtime-kernel refactor parity + throughput).
 
+mod attr;
 mod ckpt;
 mod controlbus;
 mod framework;
@@ -16,6 +17,7 @@ mod nd;
 mod ops;
 mod perf;
 
+pub use attr::attr;
 pub use ckpt::ckpt;
 pub use controlbus::controlbus;
 pub use framework::{fig15, fig16, fig17, fig18, fig19, tab3};

@@ -4,7 +4,7 @@
 //! regenerates the corresponding artifact from scratch on the simulator and
 //! returns a printable report; the `experiments` binary dispatches on ids
 //! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `chaos`,
-//! `telemetry`, `kernel`, `controlbus`, `ckpt`, `all`).
+//! `telemetry`, `kernel`, `controlbus`, `ckpt`, `attr`, `all`).
 //!
 //! Absolute numbers come from a simulated substrate, so they are not expected
 //! to match the paper's testbed; the *shapes* — who wins, by what factor,
@@ -59,6 +59,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "ckpt",
             "Checkpointing: JCT vs checkpoint-interval sweep under kills, replay vs closed-form",
             exps::ckpt,
+        ),
+        (
+            "attr",
+            "Attribution: engine overhead off vs on, blame ranking, counterfactual validation",
+            exps::attr,
         ),
         (
             "perf",

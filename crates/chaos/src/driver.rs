@@ -4,7 +4,7 @@
 
 use crate::invariants::{self, InvariantOutcome};
 use crate::plan::FaultPlan;
-use antdt_core::{Arch, Consistency, InjectionRecord, Job, JobConfig, MitigationChoice};
+use antdt_core::{Arch, AttrBlame, Consistency, InjectionRecord, Job, JobConfig, MitigationChoice};
 use antdt_sim::SimDuration;
 use antdt_telemetry::FlightDump;
 use serde::Serialize;
@@ -35,6 +35,9 @@ pub struct DrillReport {
     /// of the run. Present only when the drill stalled or an invariant failed
     /// (the cases where a post-mortem is wanted).
     pub flight_dump: Option<FlightDump>,
+    /// The drill run's blame ranking (descending score), from the attribution
+    /// engine — who made this drill slow, with the faults in play.
+    pub blame: Vec<AttrBlame>,
 }
 
 impl DrillReport {
@@ -59,8 +62,15 @@ impl MatrixReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<22} {:<18} {:>6} {:>11} {:>11} {:>9}  {}\n",
-            "plan", "policy", "faults", "clean JCT", "drill JCT", "overhead", "verdict"
+            "{:<22} {:<18} {:>6} {:>11} {:>11} {:>9} {:>14}  {}\n",
+            "plan",
+            "policy",
+            "faults",
+            "clean JCT",
+            "drill JCT",
+            "overhead",
+            "top blame",
+            "verdict"
         ));
         for d in &self.drills {
             let verdict = if d.passed {
@@ -70,14 +80,20 @@ impl MatrixReport {
                     d.invariants.iter().filter(|o| !o.passed).map(|o| o.name.as_str()).collect();
                 format!("FAIL [{}]", failed.join(", "))
             };
+            let top = d
+                .blame
+                .first()
+                .map(|b| format!("n{} {:.1}s", b.node, b.score_us as f64 / 1e6))
+                .unwrap_or_else(|| "-".to_string());
             out.push_str(&format!(
-                "{:<22} {:<18} {:>6} {:>10.1}s {:>10.1}s {:>8.1}%  {}\n",
+                "{:<22} {:<18} {:>6} {:>10.1}s {:>10.1}s {:>8.1}% {:>14}  {}\n",
                 d.plan,
                 d.policy,
                 d.faults_injected,
                 d.jct_clean_secs,
                 d.jct_drill_secs,
                 d.overhead_frac * 100.0,
+                top,
                 verdict
             ));
         }
@@ -137,15 +153,17 @@ impl ChaosDriver {
         let clean_cfg = self.base.clone().with_mitigation(policy.clone());
         let clean = Job::run(clean_cfg);
 
-        // Drills run with telemetry on so a failure leaves a flight-recorder
-        // trail; telemetry never changes the simulated schedule.
+        // Drills run with telemetry and attribution on so a failure leaves a
+        // flight-recorder trail and a blame ranking; neither changes the
+        // simulated schedule.
         let drill_cfg = self
             .base
             .clone()
             .with_mitigation(policy.clone())
             .with_injections(plan.compile())
             .with_liveness_timeout(self.liveness_timeout)
-            .with_telemetry();
+            .with_telemetry()
+            .with_attribution();
         let drill = Job::run(drill_cfg);
 
         let synchronous =
@@ -168,6 +186,7 @@ impl ChaosDriver {
         } else {
             None
         };
+        let blame = drill.attr.as_ref().map(|a| a.blame.clone()).unwrap_or_default();
         DrillReport {
             plan: plan.name.clone(),
             policy: format!("{policy:?}"),
@@ -182,6 +201,7 @@ impl ChaosDriver {
             stalled: drill.stalled,
             timed_out: drill.timed_out,
             flight_dump,
+            blame,
         }
     }
 

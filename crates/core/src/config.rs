@@ -265,6 +265,12 @@ pub struct JobConfig {
     /// participates in event scheduling or RNG draws, so enabling it cannot
     /// change a run's simulated results.
     pub telemetry: bool,
+    /// Run the straggler-attribution engine: tag every node interval with a
+    /// `WaitCause`, extract blame scores, and attach an `AttrReport` to the
+    /// `JobReport`. Like telemetry, attribution is schedule-neutral — it adds
+    /// no events and draws no randomness, so an attribution-on run differs
+    /// from the default-off run only in the report.
+    pub attribution: bool,
 }
 
 impl JobConfig {
@@ -300,6 +306,7 @@ impl JobConfig {
             max_sim_time: SimTime::from_secs_f64(30.0 * 24.0 * 3600.0),
             record_gantt: false,
             telemetry: false,
+            attribution: false,
         }
     }
 
@@ -400,6 +407,13 @@ impl JobConfig {
     }
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+    /// Arm the straggler-attribution engine (per-cause time decomposition,
+    /// blame scores, `JobReport::attr`). Schedule-neutral: see
+    /// [`JobConfig::attribution`].
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
         self
     }
     pub fn with_checkpoint_interval(mut self, d: SimDuration) -> Self {

@@ -30,6 +30,7 @@ pub mod job;
 pub(crate) mod obs;
 pub mod report;
 pub mod runtime;
+pub mod whatif;
 
 pub use antdt_ckpt::{CkptConfig, CkptPolicy, StorageTier};
 pub use config::{
@@ -38,9 +39,10 @@ pub use config::{
 };
 pub use job::Job;
 pub use report::{
-    ActionApplication, CkptRecord, CkptReport, DirectiveFate, DirectiveRecord, InjectionRecord,
-    JobReport, ReplayRecord,
+    ActionApplication, AttrBlame, AttrCrit, AttrNode, AttrReport, CkptRecord, CkptReport,
+    CounterfactualRow, DirectiveFate, DirectiveRecord, InjectionRecord, JobReport, ReplayRecord,
 };
+pub use whatif::{apply_perturbation, run_what_if, what_if_table, Perturbation};
 
 /// Run a job with an explicitly constructed policy — the escape hatch for
 /// ablations that sweep policy hyper-parameters the standard

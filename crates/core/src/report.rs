@@ -108,6 +108,123 @@ pub struct CkptReport {
     pub final_interval_secs: f64,
 }
 
+/// One node's per-cause time decomposition, frozen from the `antdt-attr`
+/// ledger. Conservation holds exactly: `totals_us` sums to `wall_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AttrNode {
+    /// Worker `w` or server `1000 + s` (the telemetry lane convention).
+    pub node: u32,
+    /// The node's attributed wall time in microseconds.
+    pub wall_us: u64,
+    /// Killed without failover: the timeline is frozen at the kill instant.
+    pub dead: bool,
+    /// Per-cause microsecond totals, indexed by
+    /// [`antdt_attr::WaitCause::index`].
+    pub totals_us: [u64; antdt_attr::WaitCause::COUNT],
+}
+
+/// One critical-path segment: barrier `iter` was determined by `node`,
+/// `gap_us` after the runner-up arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AttrCrit {
+    pub iter: u64,
+    pub node: u32,
+    pub gap_us: u64,
+}
+
+/// One node's blame scores (see `antdt-attr`'s `blame` module for the two
+/// signals and when each becomes the headline score).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AttrBlame {
+    pub node: u32,
+    /// Summed barrier-determiner margins (exact for BSP/ring).
+    pub crit_us: u64,
+    /// Summed per-cause time above the role-group median (ASP/SSP fallback).
+    pub excess_us: u64,
+    /// `crit_us` when any barrier was recorded, `excess_us` otherwise.
+    pub score_us: u64,
+}
+
+/// One counterfactual replay next to its analytical prediction: the job was
+/// deterministically re-run with the perturbation applied and the measured
+/// JCT delta is reported beside what the blame analysis predicted.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterfactualRow {
+    /// `Perturbation::label()` of the applied edit.
+    pub label: String,
+    /// JCT reduction the blame analysis predicts, in microseconds.
+    pub predicted_delta_us: u64,
+    /// Measured `base JCT − what-if JCT` (negative if the edit hurt).
+    pub measured_delta_us: i64,
+    pub base_jct_us: u64,
+    pub what_if_jct_us: u64,
+}
+
+/// Straggler-attribution section of the report; present iff
+/// `JobConfig::attribution` armed the engine. `counterfactuals` is filled by
+/// the separate what-if harness ([`crate::whatif`]), not by the run itself.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AttrReport {
+    /// Job end used to finalize the ledgers (the measured JCT).
+    pub end_us: u64,
+    /// Per-node breakdowns, ascending node id.
+    pub nodes: Vec<AttrNode>,
+    /// Critical-path segments in barrier order.
+    pub crit: Vec<AttrCrit>,
+    /// Blame ranking, descending score (`blame[0]` is the top-blamed node).
+    pub blame: Vec<AttrBlame>,
+    pub counterfactuals: Vec<CounterfactualRow>,
+}
+
+impl AttrReport {
+    /// Render the attribution report as deterministic JSON (fixed field
+    /// order), via the same hand-rolled writer the telemetry exporters use.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{");
+        let w = &mut s;
+        let _ = write!(w, "\"end_us\":{},\"nodes\":[", self.end_us);
+        for (i, n) in self.nodes.iter().enumerate() {
+            let sep = if i > 0 { "," } else { "" };
+            let _ = write!(
+                w,
+                "{sep}{{\"node\":{},\"wall_us\":{},\"dead\":{},\"causes\":{{",
+                n.node, n.wall_us, n.dead
+            );
+            for (j, c) in antdt_attr::WaitCause::ALL.iter().enumerate() {
+                let sep = if j > 0 { "," } else { "" };
+                let _ = write!(w, "{sep}\"{}\":{}", c.as_str(), n.totals_us[c.index()]);
+            }
+            w.push_str("}}");
+        }
+        w.push_str("],\"blame\":[");
+        for (i, b) in self.blame.iter().enumerate() {
+            let sep = if i > 0 { "," } else { "" };
+            let _ = write!(
+                w,
+                "{sep}{{\"node\":{},\"crit_us\":{},\"excess_us\":{},\"score_us\":{}}}",
+                b.node, b.crit_us, b.excess_us, b.score_us
+            );
+        }
+        w.push_str("],\"counterfactuals\":[");
+        for (i, r) in self.counterfactuals.iter().enumerate() {
+            if i > 0 {
+                w.push(',');
+            }
+            w.push('{');
+            w.push_str("\"label\":");
+            antdt_telemetry::json::write_str(w, &r.label);
+            let _ = write!(
+                w,
+                ",\"predicted_delta_us\":{},\"measured_delta_us\":{},\"base_jct_us\":{},\"what_if_jct_us\":{}}}",
+                r.predicted_delta_us, r.measured_delta_us, r.base_jct_us, r.what_if_jct_us
+            );
+        }
+        w.push_str("]}");
+        s
+    }
+}
+
 #[derive(Debug, Clone, Serialize)]
 pub struct JobReport {
     /// Job completion time.
@@ -168,6 +285,9 @@ pub struct JobReport {
     /// Checkpoint-subsystem ledger (captures, restores, final cadence);
     /// `None` unless the subsystem was armed.
     pub ckpt: Option<CkptReport>,
+    /// Straggler-attribution section (per-cause decomposition, blame
+    /// ranking); `None` unless `JobConfig::attribution` armed the engine.
+    pub attr: Option<AttrReport>,
 }
 
 impl JobReport {
@@ -245,6 +365,22 @@ impl JobReport {
                 let _ = writeln!(w, "ckpt_restore: {r:?}");
             }
             let _ = writeln!(w, "ckpt_interval_final: {:?}", c.final_interval_secs);
+        }
+        // Attribution lines render only when the engine was armed, keeping
+        // every attribution-off fixture byte-identical. Counterfactual rows
+        // are deliberately excluded: they come from *separate* what-if runs
+        // stapled on after the fact, not from this run's schedule.
+        if let Some(a) = &self.attr {
+            let _ = writeln!(w, "attr_end_us: {}", a.end_us);
+            for n in &a.nodes {
+                let _ = writeln!(w, "attr_node: {n:?}");
+            }
+            for c in &a.crit {
+                let _ = writeln!(w, "attr_crit: {c:?}");
+            }
+            for b in &a.blame {
+                let _ = writeln!(w, "attr_blame: {b:?}");
+            }
         }
         let _ = writeln!(w, "telemetry_recorded: {}", self.telemetry.is_some());
         s

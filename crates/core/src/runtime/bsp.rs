@@ -5,10 +5,12 @@
 //! `b` stragglers may be dropped — their late pushes roll back and rejoin
 //! the next iteration.
 
+use super::attr::SERVER_LANE;
 use super::kernel::Kernel;
 use super::ml_bridge;
 use super::ps_common::{PsFlavor, PsStrategy};
 use crate::events::Ev;
+use antdt_attr::WaitCause;
 use antdt_monitor::NodeId;
 use antdt_sim::gantt::SpanKind;
 use antdt_sim::{Engine, SimDuration, SimTime};
@@ -92,10 +94,15 @@ impl BspFlavor {
                 let svc = k.cfg.model.server_agg_secs * k.servers[j].profile.slowdown(start);
                 t = start + SimDuration::from_secs_f64(svc);
                 busy += svc;
+                // Server lane: idle until the piece arrives, Comm while
+                // aggregating it.
+                k.attr_fill(SERVER_LANE + j as u32, start, WaitCause::SyncWait);
+                k.attr_fill(SERVER_LANE + j as u32, t, WaitCause::Comm);
             }
             let apply = k.cfg.model.server_apply_secs * k.servers[j].profile.slowdown(t);
             t += SimDuration::from_secs_f64(apply);
             busy += apply;
+            k.attr_fill(SERVER_LANE + j as u32, t, WaitCause::Comm);
             k.servers[j].free_at = t;
             k.servers[j].series_bpt.push(t, busy);
             super::bus::send_report(k, eng, NodeId::server(j as u32), t, busy, 0);
@@ -122,6 +129,9 @@ impl BspFlavor {
         // and cleared at the end of the close, so the buffer is reused across
         // barriers instead of reallocated each iteration.
         let mut iteration_samples = 0u64;
+        // Per-participant barrier-arrival instants for the critical-path
+        // analysis (only collected when attribution is armed).
+        let mut arrs: Vec<(u32, u64)> = Vec::new();
         for p in &self.pushes {
             let wi = p.w as usize;
             let Some(inf) = k.workers[wi].inflight.take() else {
@@ -158,9 +168,19 @@ impl BspFlavor {
                 );
             }
             let next = ready_max + SimDuration::from_secs_f64(pull);
+            // Worker lane: push transfer, barrier wait, pull. The barrier
+            // arrival is when the last gradient piece landed.
+            let arrived = inf.compute_end + SimDuration::from_secs_f64(push_tx);
+            k.attr_fill(p.w, arrived, WaitCause::Comm);
+            k.attr_fill(p.w, ready_max, WaitCause::SyncWait);
+            k.attr_fill(p.w, next, WaitCause::Comm);
+            if k.attr.is_some() {
+                arrs.push((p.w, arrived.as_micros()));
+            }
             k.workers[wi].next_allowed = next;
             eng.schedule(next, Ev::WorkerStart { w: p.w, gen: k.workers[wi].gen });
         }
+        k.attr_barrier(self.iter, &arrs);
 
         // DDS shard-state synchronization sits on the iteration's critical
         // path once per global iteration (Fig. 18 accounting).

@@ -14,6 +14,7 @@
 use super::kernel::Kernel;
 use crate::events::Ev;
 use crate::report::{CkptRecord, ReplayRecord};
+use antdt_attr::WaitCause;
 use antdt_ckpt::{
     CkptConfig, CkptPolicy, DdsSnapshot, DrainQueue, PsState, Snapshot, SnapshotMeta, StorageTier,
     WorkerMark,
@@ -148,9 +149,13 @@ impl Kernel {
         let prev = c.interval_now;
         c.interval_now = interval;
 
-        for srv in &mut self.servers {
-            if srv.alive {
-                srv.free_at = srv.free_at.max(now) + SimDuration::from_secs_f64(stall);
+        for j in 0..self.servers.len() {
+            if self.servers[j].alive {
+                let base = self.servers[j].free_at.max(now);
+                let end = base + SimDuration::from_secs_f64(stall);
+                self.servers[j].free_at = end;
+                self.attr_fill(super::attr::SERVER_LANE + j as u32, base, WaitCause::SyncWait);
+                self.attr_fill(super::attr::SERVER_LANE + j as u32, end, WaitCause::CkptStall);
             }
         }
         if changed {

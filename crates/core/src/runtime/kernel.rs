@@ -9,6 +9,7 @@
 //! rounds — lives behind [`super::strategy::SyncStrategy`] and only borrows
 //! the kernel.
 
+use super::attr::AttrRt;
 use super::bus::ControlBus;
 use super::ckpt::CkptRt;
 use super::data::{DataSource, LeaseState};
@@ -99,6 +100,11 @@ pub struct Kernel {
     /// The checkpoint/state subsystem; `Some` iff the job runs
     /// `FailoverMode::Replay` or carries an explicit `CkptConfig`.
     pub(crate) ckpt_rt: Option<CkptRt>,
+    /// The straggler-attribution engine; `Some` iff `JobConfig::attribution`.
+    /// Like telemetry it never schedules events or draws randomness — the
+    /// instrumentation hooks only observe instants the schedule already
+    /// produced.
+    pub(crate) attr: Option<AttrRt>,
     pub(crate) samples_done: u64,
     pub(crate) rolled_back_samples: u64,
     /// Samples requeued by checkpoint-replay restores (re-done through the
@@ -262,6 +268,7 @@ impl Kernel {
         let ckpt_rt = (cfg.failover == FailoverMode::Replay || cfg.ckpt.is_some()).then(|| {
             CkptRt::new(cfg.ckpt.unwrap_or_default(), cfg.checkpoint_interval.as_secs_f64())
         });
+        let attr = cfg.attribution.then(AttrRt::new);
         Kernel {
             sched_rng: pool.stream(7),
             pool,
@@ -276,6 +283,7 @@ impl Kernel {
             restarts: Vec::new(),
             last_ckpt: SimTime::ZERO,
             ckpt_rt,
+            attr,
             samples_done: 0,
             rolled_back_samples: 0,
             replayed_samples: 0,

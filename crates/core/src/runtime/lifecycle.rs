@@ -10,6 +10,7 @@ use super::kernel::Kernel;
 use super::ps_common::PsFlavor;
 use crate::config::FailoverMode;
 use crate::events::Ev;
+use antdt_attr::WaitCause;
 use antdt_monitor::{ErrorClass, NodeEvent, NodeId, RetryableError};
 use antdt_sim::dist::Dist;
 use antdt_sim::gantt::SpanKind;
@@ -42,6 +43,10 @@ pub(crate) fn worker_kill<F: PsFlavor>(
     k.workers[wi].alive = false;
     k.workers[wi].gen += 1;
     k.workers[wi].killed_at = Some(now);
+    // Clip attributed work past the kill instant; without a replacement
+    // coming (chaos no-failover) the timeline freezes here, otherwise the
+    // replacement's first iteration boundary charges the gap to recovery.
+    k.attr_kill(w, now, k.chaos_no_failover.contains(&w));
     k.kills.push((now, NodeId::worker(w)));
     if let Some(rt) = &k.tele {
         rt.kills.inc();
@@ -204,6 +209,7 @@ impl Kernel {
         let now = eng.now();
         self.servers[sj].alive = false;
         self.servers[sj].gen += 1;
+        self.attr_kill(super::attr::SERVER_LANE + s, now, false);
         self.kills.push((now, NodeId::server(s)));
         if let Some(rt) = &self.tele {
             rt.kills.inc();
@@ -237,6 +243,9 @@ impl Kernel {
                 delay
             }
         };
+        // Server lanes are push-driven (no boundary sync ever closes their
+        // gaps), so charge the whole failover window to recovery up front.
+        self.attr_fill(super::attr::SERVER_LANE + s, now + delay, WaitCause::FaultRecovery);
         eng.schedule(now + delay, Ev::ServerRestart { s, gen: self.servers[sj].gen });
     }
 
@@ -280,10 +289,13 @@ impl Kernel {
             rt.tele.tracer.instant("checkpoint", "lifecycle", now.as_micros(), 0, &[]);
         }
         // Saving blocks the servers briefly.
-        for srv in &mut self.servers {
-            if srv.alive {
-                srv.free_at =
-                    srv.free_at.max(now) + SimDuration::from_secs_f64(self.cfg.ckpt_save_secs);
+        for j in 0..self.servers.len() {
+            if self.servers[j].alive {
+                let base = self.servers[j].free_at.max(now);
+                let end = base + SimDuration::from_secs_f64(self.cfg.ckpt_save_secs);
+                self.servers[j].free_at = end;
+                self.attr_fill(super::attr::SERVER_LANE + j as u32, base, WaitCause::SyncWait);
+                self.attr_fill(super::attr::SERVER_LANE + j as u32, end, WaitCause::CkptStall);
             }
         }
         eng.schedule(now + self.cfg.checkpoint_interval, Ev::Checkpoint);

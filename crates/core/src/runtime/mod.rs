@@ -6,6 +6,7 @@
 //! | module        | owns                                                        |
 //! |---------------|-------------------------------------------------------------|
 //! | `kernel`      | world state: workers, servers, policy ctx, accumulators     |
+//! | `attr`        | straggler attribution: per-cause ledger hooks, blame report |
 //! | `data`        | data plane: DDS leases, fixed partitions, commit/rollback   |
 //! | `ml_bridge`   | real-gradient computation + weighted optimizer steps        |
 //! | `lifecycle`   | kill / restart / failover / checkpoint state machines       |
@@ -21,6 +22,7 @@
 //! [`SyncStrategy`]: strategy::SyncStrategy
 
 pub mod asp;
+pub(crate) mod attr;
 pub mod bsp;
 pub(crate) mod bus;
 pub(crate) mod chaos_hooks;

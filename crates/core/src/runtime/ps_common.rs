@@ -6,6 +6,7 @@
 //! hooks. [`PsStrategy`] lifts any flavor into a [`SyncStrategy`], so the
 //! three PS runtimes are three small flavor files over this module.
 
+use super::attr::SERVER_LANE;
 use super::data::{DataSource, DATA_POLL, DDS_SYNC_SECS};
 use super::kernel::{Inflight, Kernel};
 use super::strategy::SyncStrategy;
@@ -13,6 +14,7 @@ use super::{lifecycle, ml_bridge};
 use crate::config::InjectedFault;
 use crate::events::Ev;
 use crate::report::ActionApplication;
+use antdt_attr::WaitCause;
 use antdt_controller::Action;
 use antdt_monitor::{ErrorClass, NodeId, RetryableError};
 use antdt_sim::gantt::SpanKind;
@@ -111,6 +113,7 @@ pub(crate) fn worker_start<F: PsFlavor>(
     }
     if now < k.stall_until {
         // Checkpoint-based failover in progress: everyone waits.
+        k.attr_pending(w, WaitCause::FaultRecovery);
         eng.schedule(k.stall_until, Ev::WorkerStart { w, gen });
         return;
     }
@@ -124,6 +127,7 @@ pub(crate) fn worker_start<F: PsFlavor>(
     // false divergence.
     let mut due = std::mem::take(&mut k.actions_scratch);
     k.bus.drain_actions_into(wi, now, &mut due);
+    let ctrl_us = k.attr_ctrl_lag_us(now, &due);
     let mut applied: Vec<(SimTime, String)> = Vec::new();
     for (delivered_at, action) in due.drain(..) {
         if !k.cfg.injections.is_empty() {
@@ -132,6 +136,10 @@ pub(crate) fn worker_start<F: PsFlavor>(
         apply_worker_action(k, f, wi, action);
     }
     k.actions_scratch = due;
+
+    // The worker reached an iteration boundary: close its open idle gap
+    // (pending cause, plus the control-bus share if a directive sat queued).
+    k.attr_sync(w, now, ctrl_us);
 
     // Flavor admission gate (SSP: don't run ahead of the slowest alive
     // worker).
@@ -177,6 +185,7 @@ pub(crate) fn worker_start<F: PsFlavor>(
             // shards while it holds the minimum iteration count).
             f.before_data_wait(k, eng);
             k.workers[wi].starving = true;
+            k.attr_pending(w, WaitCause::DataWait);
             f.on_data_wait(k, eng, w);
             eng.schedule_after(DATA_POLL, Ev::WorkerStart { w, gen });
         }
@@ -200,6 +209,10 @@ pub(crate) fn worker_start<F: PsFlavor>(
     let iter_tag = f.iter_tag(k, wi);
     let compute_end = now + SimDuration::from_secs_f64(dur);
     k.workers[wi].inflight = Some(Inflight { took, start: now, compute_end, grad });
+    // The DDS-sync share of the iteration is data-plane overhead, the rest
+    // is compute proper.
+    k.attr_fill(w, now + SimDuration::from_secs_f64(DDS_SYNC_SECS), WaitCause::DataWait);
+    k.attr_fill(w, compute_end, WaitCause::Compute);
     if let Some(g) = k.gantt.as_mut() {
         g.record(w, SpanKind::Compute, now, compute_end);
     }
@@ -240,9 +253,14 @@ pub(crate) fn finish_asp_push<F: PsFlavor>(
     let Some(inf) = k.workers[wi].inflight.take() else {
         return;
     };
+    // A push drained from a server-down park charges the wait between the
+    // original compute end and now to recovery (no-op on the normal path,
+    // where the cursor already sits at `compute_end`).
+    k.attr_fill(w, compute_end, WaitCause::FaultRecovery);
     // Per-server booking: each push costs aggregation + apply (ASP applies
     // per push — the higher server-side update frequency of §VII-B1b).
     let mut ready = SimTime::ZERO;
+    let mut max_arrival = compute_end;
     for j in 0..k.servers.len() {
         let arrival = compute_end + SimDuration::from_secs_f64(k.path_transfer(compute_end, wi, j));
         let start = k.servers[j].free_at.max(arrival);
@@ -251,8 +269,13 @@ pub(crate) fn finish_asp_push<F: PsFlavor>(
         let end = start + SimDuration::from_secs_f64(svc);
         k.servers[j].free_at = end;
         k.servers[j].series_bpt.push(end, svc);
+        // Server lane: idle until the push begins service, then Comm while
+        // aggregating/applying it.
+        k.attr_fill(SERVER_LANE + j as u32, start, WaitCause::SyncWait);
+        k.attr_fill(SERVER_LANE + j as u32, end, WaitCause::Comm);
         super::bus::send_report(k, eng, NodeId::server(j as u32), end, svc, 0);
         ready = ready.max(end);
+        max_arrival = max_arrival.max(arrival);
     }
     // Math: apply this worker's gradient immediately (arrival order is the
     // event order, exactly ASP's semantics).
@@ -282,7 +305,12 @@ pub(crate) fn finish_asp_push<F: PsFlavor>(
     k.account_samples(ready, inf.took);
     k.bump_iteration();
     k.jct_mark = k.jct_mark.max(ready);
+    // Worker lane: push transfer, then queueing at the busiest server,
+    // then the pull back.
+    k.attr_fill(w, max_arrival, WaitCause::Comm);
+    k.attr_fill(w, ready, WaitCause::SyncWait);
     let next = ready + SimDuration::from_secs_f64(pull);
+    k.attr_fill(w, next, WaitCause::Comm);
     k.workers[wi].next_allowed = next;
     eng.schedule(next, Ev::WorkerStart { w, gen });
 

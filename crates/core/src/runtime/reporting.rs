@@ -55,12 +55,22 @@ impl Kernel {
         let mut late_audit = self.bus.drain_decision_audit();
         self.decision_log.append(&mut late_audit);
         let directives = self.bus.take_directives();
+        // Finalize the attribution ledger at the measured JCT before the
+        // telemetry render so its counter tracks land in the same bundle.
+        let jct_us = self.jct_mark.since(SimTime::ZERO).as_micros();
+        let attr_ledger = self.attr.take().map(|mut rt| {
+            rt.ledger.finalize(jct_us);
+            rt.ledger
+        });
         let telemetry = self.tele.take().map(|rt| {
             // Merge the Gantt spans into the trace before rendering: they are
             // the bulk of the Perfetto timeline (compute/comm/idle/failover
             // lanes per node).
             if let Some(g) = &self.gantt {
                 rt.tele.tracer.extend(g.to_trace_events());
+            }
+            if let Some(l) = &attr_ledger {
+                super::attr::export_telemetry(l, &rt.tele);
             }
             let reason = if self.stalled {
                 "stalled"
@@ -71,6 +81,7 @@ impl Kernel {
             };
             rt.tele.report(reason)
         });
+        let attr = attr_ledger.map(|l| super::attr::report_of(&l, jct_us));
         let ckpt = self.ckpt_rt.take().map(|rt| CkptReport {
             snapshots: rt.records,
             restores: rt.restores,
@@ -125,6 +136,7 @@ impl Kernel {
             decision_log: self.decision_log,
             telemetry,
             ckpt,
+            attr,
         }
     }
 }

@@ -17,6 +17,7 @@ use super::strategy::SyncStrategy;
 use crate::config::{DataStrategy, InjectedFault};
 use crate::events::Ev;
 use crate::report::ActionApplication;
+use antdt_attr::WaitCause;
 use antdt_controller::Action;
 use antdt_monitor::NodeId;
 use antdt_sim::gantt::SpanKind;
@@ -75,6 +76,7 @@ impl RoundDriver {
             }
             let mut due = std::mem::take(&mut k.actions_scratch);
             k.bus.drain_actions_into(w, now, &mut due);
+            let ctrl_us = k.attr_ctrl_lag_us(now, &due);
             for (delivered_at, a) in due.drain(..) {
                 if !k.cfg.injections.is_empty() {
                     k.action_log.push(ActionApplication {
@@ -88,6 +90,9 @@ impl RoundDriver {
                 apply_rank_action(k, w, a);
             }
             k.actions_scratch = due;
+            // Round boundary: close the rank's open idle gap (pending cause
+            // plus any control-bus share).
+            k.attr_sync(w as u32, now, ctrl_us);
             let accum = k.workers[w].accum.max(1);
             let quota = k.workers[w].quota;
             let steps = accum as u64 * self.sync_every as u64;
@@ -105,8 +110,11 @@ impl RoundDriver {
                 compute += profile.iteration_secs(&k.pool, now, base, rng);
             }
             if took == 0 {
+                // The rank sits this round out waiting for data.
+                k.attr_pending(w as u32, WaitCause::DataWait);
                 continue;
             }
+            k.attr_fill(w as u32, now + SimDuration::from_secs_f64(compute), WaitCause::Compute);
             let grad = k.real_grad(w, took);
             if let Some(g) = k.gantt.as_mut() {
                 g.record(
@@ -154,6 +162,18 @@ impl RoundDriver {
                 );
                 g.record(p.w as u32, SpanKind::Comm, max_end, end);
             }
+        }
+        if k.attr.is_some() {
+            let mut arrs: Vec<(u32, u64)> = Vec::with_capacity(self.parts.len());
+            for p in &self.parts {
+                // The ring can't start until the slowest rank finishes its
+                // compute: idle until then, Comm for the AllReduce itself.
+                let done = self.round_start + SimDuration::from_secs_f64(p.compute_secs);
+                k.attr_fill(p.w as u32, max_end, WaitCause::SyncWait);
+                k.attr_fill(p.w as u32, end, WaitCause::Comm);
+                arrs.push((p.w as u32, done.as_micros()));
+            }
+            k.attr_barrier(self.round, &arrs);
         }
         eng.schedule(end, Ev::RoundEnd { round: self.round });
     }
@@ -254,6 +274,8 @@ impl RoundDriver {
         }
         k.workers[wi].alive = false;
         k.workers[wi].leases.clear();
+        // A killed rank never rejoins a DDP ring: freeze its timeline here.
+        k.attr_kill(w, now, true);
         k.kills.push((now, NodeId::worker(w)));
         if let Some(rt) = &k.tele {
             rt.kills.inc();

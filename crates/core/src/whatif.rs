@@ -1,0 +1,121 @@
+//! Counterfactual replay: re-run a finished job with a [`Perturbation`]
+//! applied and measure the JCT delta the edit actually bought.
+//!
+//! This is the validation half of the attribution engine. The `antdt-attr`
+//! analysis *predicts* how much JCT a perturbation recovers
+//! ([`antdt_attr::predicted_delta_us`]); this module deterministically
+//! replays the same seeded job with the edit applied to the [`JobConfig`]
+//! and reports the measured delta next to the prediction. When the two
+//! agree, the blame scores are explaining the schedule, not curve-fitting
+//! it.
+
+use crate::config::JobConfig;
+use crate::job::Job;
+use crate::report::{CounterfactualRow, JobReport};
+use crate::runtime::attr::analysis_of;
+use antdt_attr::predicted_delta_us;
+use antdt_sim::ControlChannel;
+
+pub use antdt_attr::Perturbation;
+
+/// Apply one counterfactual edit to a job config. The returned config is the
+/// same seeded job in every other respect, so the replay isolates exactly the
+/// perturbed mechanism.
+pub fn apply_perturbation(mut cfg: JobConfig, p: &Perturbation) -> JobConfig {
+    match p {
+        Perturbation::HealthyNode(n) => {
+            // Strip the contention phases; the node keeps its hardware class,
+            // link, and RNG stream (jitter draws replay identically).
+            let n = *n as usize;
+            if let Some(w) = cfg.cluster.workers.get_mut(n) {
+                w.profile.phases.clear();
+            }
+        }
+        Perturbation::ZeroControlLatency => {
+            cfg.control_channel = ControlChannel::Ideal;
+        }
+        Perturbation::NoCkptStalls => {
+            cfg.ckpt_save_secs = 0.0;
+            if let Some(c) = cfg.ckpt.as_mut() {
+                c.capture_stall_secs = 0.0;
+            }
+        }
+    }
+    cfg
+}
+
+/// Re-run `cfg` with `p` applied (attribution stays armed so the replay is
+/// itself explainable).
+pub fn run_what_if(cfg: &JobConfig, p: &Perturbation) -> JobReport {
+    Job::run(apply_perturbation(cfg.clone(), p))
+}
+
+/// Replay every perturbation against `base` (a finished attribution-armed
+/// run of `cfg`) and tabulate measured vs predicted JCT deltas.
+///
+/// Panics if `base` carries no attribution section — the caller must have
+/// armed the engine via [`JobConfig::with_attribution`].
+pub fn what_if_table(
+    cfg: &JobConfig,
+    base: &JobReport,
+    perturbations: &[Perturbation],
+) -> Vec<CounterfactualRow> {
+    let attr = base.attr.as_ref().expect("what_if_table needs an attribution-armed base report");
+    let analysis = analysis_of(attr);
+    let base_jct_us = base.jct.as_micros();
+    perturbations
+        .iter()
+        .map(|p| {
+            let what_if = run_what_if(cfg, p);
+            let what_if_jct_us = what_if.jct.as_micros();
+            CounterfactualRow {
+                label: p.label(),
+                predicted_delta_us: predicted_delta_us(&analysis, p),
+                measured_delta_us: base_jct_us as i64 - what_if_jct_us as i64,
+                base_jct_us,
+                what_if_jct_us,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdt_workloads::cluster::cluster_a_scaled;
+    use antdt_workloads::Scenario;
+
+    fn cfg() -> JobConfig {
+        JobConfig::ps_bsp(cluster_a_scaled(4, 2), Scenario::WorkerPersistent { intensity: 1.0 })
+            .with_attribution()
+    }
+
+    #[test]
+    fn perturbations_edit_only_their_mechanism() {
+        let base = cfg();
+        // WorkerPersistent puts the contention phases on the last worker.
+        let straggler = base.cluster.workers.len() as u32 - 1;
+        assert!(!base.cluster.workers[straggler as usize].profile.phases.is_empty());
+
+        let healthy = apply_perturbation(base.clone(), &Perturbation::HealthyNode(straggler));
+        assert!(healthy.cluster.workers[straggler as usize].profile.phases.is_empty());
+        assert_eq!(
+            healthy.cluster.workers[straggler as usize].profile.stream,
+            base.cluster.workers[straggler as usize].profile.stream,
+        );
+
+        let quiet = apply_perturbation(base.clone(), &Perturbation::ZeroControlLatency);
+        assert_eq!(quiet.control_channel, ControlChannel::Ideal);
+        assert_eq!(quiet.ckpt_save_secs, base.ckpt_save_secs);
+
+        let no_stall = apply_perturbation(base, &Perturbation::NoCkptStalls);
+        assert_eq!(no_stall.ckpt_save_secs, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_healthy_node_is_a_no_op() {
+        let base = cfg();
+        let edited = apply_perturbation(base.clone(), &Perturbation::HealthyNode(10_000));
+        assert_eq!(edited.cluster.workers.len(), base.cluster.workers.len());
+    }
+}

@@ -76,18 +76,21 @@ impl Gantt {
 
     /// Convert every span into a Chrome trace-event (`ph = "X"`) so the chart
     /// can be merged into a [`antdt_telemetry::SpanTracer`] export and loaded
-    /// in Perfetto. One lane (`tid`) per node; the span kind becomes both the
-    /// event name and its category.
+    /// in Perfetto. Each node gets one track *per span kind* (`tid = node * 8
+    /// + kind lane`: compute 0, comm 1, idle 2, failover 3, overhead 4) —
+    /// collapsing everything onto one row per node used to hide exactly the
+    /// wait intervals the attribution engine decomposes. The span kind
+    /// becomes the event name; the category stays `gantt`.
     pub fn to_trace_events(&self) -> Vec<TraceEvent> {
         self.spans
             .iter()
             .map(|s| {
-                let name = match s.kind {
-                    SpanKind::Compute => "compute",
-                    SpanKind::Comm => "comm",
-                    SpanKind::Idle => "idle",
-                    SpanKind::Failover => "failover",
-                    SpanKind::Overhead => "overhead",
+                let (name, lane) = match s.kind {
+                    SpanKind::Compute => ("compute", 0),
+                    SpanKind::Comm => ("comm", 1),
+                    SpanKind::Idle => ("idle", 2),
+                    SpanKind::Failover => ("failover", 3),
+                    SpanKind::Overhead => ("overhead", 4),
                 };
                 TraceEvent {
                     name: name.to_string(),
@@ -96,7 +99,8 @@ impl Gantt {
                     ts: s.start.as_micros(),
                     dur: Some(s.duration().as_micros()),
                     pid: 0,
-                    tid: s.node,
+                    tid: s.node * 8 + lane,
+                    value: None,
                     args: Default::default(),
                 }
             })
@@ -167,13 +171,17 @@ mod tests {
     fn spans_convert_to_chrome_trace_events() {
         let mut g = Gantt::new();
         g.record(2, SpanKind::Comm, SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(3.0));
+        g.record(2, SpanKind::Compute, SimTime::ZERO, SimTime::from_secs_f64(1.0));
         let evs = g.to_trace_events();
-        assert_eq!(evs.len(), 1);
+        assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].name, "comm");
         assert_eq!(evs[0].ph, "X");
         assert_eq!(evs[0].ts, 1_000_000);
         assert_eq!(evs[0].dur, Some(2_000_000));
-        assert_eq!(evs[0].tid, 2);
+        // Wait and compute spans land on distinct tracks of the same node:
+        // tid = node * 8 + kind lane (comm = 1, compute = 0).
+        assert_eq!(evs[0].tid, 17);
+        assert_eq!(evs[1].tid, 16);
     }
 
     #[test]

@@ -11,15 +11,16 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One event in the Chrome trace-event format. Only the fields the viewers
-/// actually consume are modelled: `ph = "X"` (complete span, with `dur`) and
-/// `ph = "i"` (instant).
+/// actually consume are modelled: `ph = "X"` (complete span, with `dur`),
+/// `ph = "i"` (instant) and `ph = "C"` (counter sample, with `value`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
     pub name: String,
     /// Category — the layer that emitted the event (`engine`, `dds`,
     /// `controller`, `chaos`, …). Viewers use it for filtering.
     pub cat: String,
-    /// Phase: `"X"` for complete spans, `"i"` for instants.
+    /// Phase: `"X"` for complete spans, `"i"` for instants, `"C"` for
+    /// counter samples.
     pub ph: String,
     /// Start timestamp in microseconds of virtual time.
     pub ts: u64,
@@ -30,6 +31,10 @@ pub struct TraceEvent {
     pub pid: u32,
     /// Thread id; one lane per node.
     pub tid: u32,
+    /// Counter value; present only on `"C"` events, rendered as the numeric
+    /// `args.value` Perfetto expects for counter tracks.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub value: Option<u64>,
     /// Free-form arguments shown in the viewer's detail pane.
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub args: BTreeMap<String, String>,
@@ -57,12 +62,18 @@ impl TraceEvent {
             out.push_str(&format!(",\"dur\":{d}"));
         }
         out.push_str(&format!(",\"pid\":{},\"tid\":{}", self.pid, self.tid));
-        if !self.args.is_empty() {
+        if self.value.is_some() || !self.args.is_empty() {
             out.push_str(",\"args\":{");
-            for (i, (k, v)) in self.args.iter().enumerate() {
-                if i > 0 {
+            let mut first = true;
+            if let Some(v) = self.value {
+                out.push_str(&format!("\"value\":{v}"));
+                first = false;
+            }
+            for (k, v) in &self.args {
+                if !first {
                     out.push(',');
                 }
+                first = false;
                 json::write_str(out, k);
                 out.push(':');
                 json::write_str(out, v);
@@ -88,16 +99,24 @@ impl TraceEvent {
             Some(d) => Some(d.as_u64().ok_or("`dur` must be a non-negative integer")?),
             None => None,
         };
+        let mut value = None;
         let args = match v.get("args") {
             Some(a) => {
                 let obj = a.as_object().ok_or("`args` must be an object")?;
-                obj.iter()
-                    .map(|(k, val)| {
-                        val.as_str()
-                            .map(|s| (k.clone(), s.to_string()))
-                            .ok_or_else(|| format!("arg `{k}` must be a string"))
-                    })
-                    .collect::<Result<BTreeMap<_, _>, _>>()?
+                let mut map = BTreeMap::new();
+                for (k, val) in obj {
+                    // The numeric `value` arg is the counter-track payload;
+                    // everything else stays a string argument.
+                    if k == "value" {
+                        if let Some(n) = val.as_u64() {
+                            value = Some(n);
+                            continue;
+                        }
+                    }
+                    let s = val.as_str().ok_or_else(|| format!("arg `{k}` must be a string"))?;
+                    map.insert(k.clone(), s.to_string());
+                }
+                map
             }
             None => BTreeMap::new(),
         };
@@ -109,6 +128,7 @@ impl TraceEvent {
             dur,
             pid: field_u64("pid")? as u32,
             tid: field_u64("tid")? as u32,
+            value,
             args,
         })
     }
@@ -162,6 +182,7 @@ impl SpanTracer {
             dur: Some(dur),
             pid: 0,
             tid,
+            value: None,
             args: BTreeMap::new(),
         });
     }
@@ -176,7 +197,24 @@ impl SpanTracer {
             dur: None,
             pid: 0,
             tid,
+            value: None,
             args: args.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+    }
+
+    /// Record a counter sample (`ph = "C"`). Perfetto renders one counter
+    /// track per `(name, tid)` pair from the numeric `args.value` payload.
+    pub fn counter(&self, name: &str, cat: &str, ts: u64, tid: u32, value: u64) {
+        self.events.lock().push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: "C".into(),
+            ts,
+            dur: None,
+            pid: 0,
+            tid,
+            value: Some(value),
+            args: BTreeMap::new(),
         });
     }
 
@@ -216,13 +254,17 @@ mod tests {
         let t = SpanTracer::new();
         t.complete("compute", "gantt", 100, 50, 3);
         t.instant("kill", "lifecycle", 120, 1, &[("node", "w1")]);
+        t.counter("attr_wait:sync_wait", "attr", 150, 2, 9_000);
         let json = t.export_json();
         let parsed = ChromeTrace::from_json(&json).expect("valid trace JSON");
         assert_eq!(parsed, t.export());
-        assert_eq!(parsed.trace_events.len(), 2);
+        assert_eq!(parsed.trace_events.len(), 3);
         assert_eq!(parsed.trace_events[0].ph, "X");
         assert_eq!(parsed.trace_events[0].dur, Some(50));
         assert_eq!(parsed.trace_events[1].args["node"], "w1");
+        assert_eq!(parsed.trace_events[2].ph, "C");
+        assert_eq!(parsed.trace_events[2].value, Some(9_000));
+        assert!(json.contains("\"args\":{\"value\":9000}"));
     }
 
     #[test]

@@ -46,6 +46,13 @@ if sed -n '/^\[dependencies\]/,/^\[/p' crates/ckpt/Cargo.toml \
     | grep -E '^\s*[a-zA-Z]' >/dev/null; then
     fail "crates/ckpt has runtime dependencies (the checkpoint model is a std-only leaf)"
 fi
+# antdt-attr is the attribution ledger/blame leaf shared by the runtime and
+# the analysis tooling: std-only (dev-deps excluded) so cause taxonomy and
+# blame math stay importable from any layer without dragging runtime types.
+if sed -n '/^\[dependencies\]/,/^\[/p' crates/attr/Cargo.toml \
+    | grep -E '^\s*[a-zA-Z]' >/dev/null; then
+    fail "crates/attr has runtime dependencies (the attribution ledger is a std-only leaf)"
+fi
 
 # The bus endpoint types live in antdt-agent; only the runtime (antdt-core)
 # and the agent crate itself may import them.

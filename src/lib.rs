@@ -10,6 +10,7 @@
 //! * [`monitor`] — sliding-window metrics and node events
 //! * [`controller`] — mitigation actions, min-max solvers, AntDT-ND / AntDT-DD policies
 //! * [`agent`] — per-node agent and global-action synchronization
+//! * [`attr`] — straggler attribution: per-cause time ledger, blame analysis, what-if predictions
 //! * [`core`] — Parameter Server and AllReduce training runtimes plus the job driver
 //! * [`chaos`] — deterministic fault-injection plans, chaos-drill driver and invariant checkers
 //! * [`ckpt`] — checkpoint/state subsystem: snapshots, storage-tier cost model, cadence policy
@@ -33,6 +34,7 @@
 //! ```
 
 pub use antdt_agent as agent;
+pub use antdt_attr as attr;
 pub use antdt_chaos as chaos;
 pub use antdt_ckpt as ckpt;
 pub use antdt_controller as controller;
