@@ -10,6 +10,7 @@
 mod attr;
 mod ckpt;
 mod controlbus;
+mod elastic;
 mod framework;
 mod kernel;
 mod motivation;
@@ -20,6 +21,7 @@ mod perf;
 pub use attr::attr;
 pub use ckpt::ckpt;
 pub use controlbus::controlbus;
+pub use elastic::elastic;
 pub use framework::{fig15, fig16, fig17, fig18, fig19, tab3};
 pub use kernel::kernel;
 pub use motivation::{fig1, fig2, fig3, fig7, fig8, fig9};

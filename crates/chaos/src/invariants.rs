@@ -212,6 +212,60 @@ pub fn no_stale_directive(report: &JobReport) -> InvariantOutcome {
     )
 }
 
+/// Membership consistency: the elastic bookkeeping survived the drill.
+/// Three checks on the report's membership section —
+///
+/// 1. **No double-remove**: every slot carries at most one `Departed` record
+///    (the generation fence must collapse a SCALE_IN racing a KILL_RESTART
+///    of the same node into exactly one removal).
+/// 2. **No orphaned work**: no shard was still DOING under a departed
+///    worker's ownership when the job ended — departure requeued its leases.
+/// 3. **No zombie slots**: a departed slot never re-joins (slots are
+///    append-only; retirement is final).
+///
+/// Vacuous pass when the run never changed membership (the section is absent
+/// exactly then), so the checker is safe on every drill in a matrix.
+pub fn membership_consistent(report: &JobReport) -> InvariantOutcome {
+    let Some(m) = &report.membership else {
+        return InvariantOutcome::new(
+            "membership-consistent",
+            true,
+            "membership never changed during the drill".into(),
+        );
+    };
+    use antdt_core::MembershipEventKind;
+    let mut double_removes = 0usize;
+    let mut zombies = 0usize;
+    for &node in &m.departed {
+        let departs =
+            m.events.iter().filter(|e| e.node == node && e.kind == MembershipEventKind::Departed);
+        if departs.count() > 1 {
+            double_removes += 1;
+        }
+        let depart_at = m
+            .events
+            .iter()
+            .find(|e| e.node == node && e.kind == MembershipEventKind::Departed)
+            .map_or(f64::MAX, |e| e.at_secs);
+        if m.events.iter().any(|e| {
+            e.node == node && e.kind == MembershipEventKind::Joined && e.at_secs > depart_at
+        }) {
+            zombies += 1;
+        }
+    }
+    let orphaned: Vec<u32> =
+        m.doing_owners_at_end.iter().copied().filter(|w| m.departed.contains(w)).collect();
+    InvariantOutcome::new(
+        "membership-consistent",
+        double_removes == 0 && zombies == 0 && orphaned.is_empty(),
+        format!(
+            "joins={} departs={} double_removes={double_removes} zombies={zombies} \
+             orphaned_doing_owners={orphaned:?}",
+            m.joins, m.departs
+        ),
+    )
+}
+
 /// AUC parity: the model trained under faults must match the fault-free run
 /// of the same seed within `tolerance`. Vacuous pass when either run did not
 /// train a real model (synthetic execution mode).
@@ -292,7 +346,12 @@ pub fn check_all(
     if expect_stall {
         // A wedged job cannot satisfy data-completeness invariants; the only
         // question is whether the watchdog turned the hang into a loud fail.
-        return vec![liveness(drill, true), convergence, no_stale_directive(drill)];
+        return vec![
+            liveness(drill, true),
+            convergence,
+            no_stale_directive(drill),
+            membership_consistent(drill),
+        ];
     }
     vec![
         at_least_once(drill),
@@ -300,6 +359,7 @@ pub fn check_all(
         liveness(drill, false),
         convergence,
         no_stale_directive(drill),
+        membership_consistent(drill),
         auc_parity(drill, clean, auc_tolerance),
         replay_recovery(drill, clean, auc_tolerance),
     ]

@@ -1,0 +1,349 @@
+//! The elasticity policy: grow or shrink the worker set as a first-class
+//! mitigation, complementing the fixed-size action set of paper §V.
+//!
+//! Scale out when a *persistent* straggler keeps dragging the barrier
+//! (`T̄ᵢᵖᵉʳ ≥ λ·T̄ᵖᵉʳ` for several consecutive ticks) and the cluster can
+//! actually deliver a node quickly (not busy, expected pending time under a
+//! gate) — adding capacity dilutes the straggler's share instead of waiting
+//! behind it. Scale in when the cluster shows sustained idle capacity: every
+//! worker's local batch sits at or below a floor (the global batch spread too
+//! thin) for several consecutive ticks, so retiring the slowest member
+//! consolidates load at no throughput cost.
+
+use crate::action::Action;
+use crate::policy::{MitigationPolicy, PolicyCtx};
+use antdt_monitor::{MonitorSnapshot, NodeStats};
+use antdt_sim::{SimDuration, SimTime};
+use antdt_telemetry::DecisionRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticConfig {
+    /// Relative slowness ratio `λ` (same default as AntDT-ND).
+    pub lambda: f64,
+    /// Hard ceiling on the worker set (provisioning budget).
+    pub max_workers: u32,
+    /// Hard floor on the worker set.
+    pub min_workers: u32,
+    /// Workers added per scale-out decision.
+    pub scale_out_step: u32,
+    /// Persistent-straggler ticks required before scaling out.
+    pub straggler_ticks: u32,
+    /// Only scale out when the scheduler's expected pending time is at or
+    /// under this (a node must arrive fast enough to matter).
+    pub pending_gate_secs: f64,
+    /// A worker counts as idle capacity when its local batch is at or under
+    /// this floor (the global batch is spread too thin).
+    pub idle_batch_floor: u64,
+    /// Idle-capacity ticks required before scaling in.
+    pub idle_ticks: u32,
+    /// Minimum spacing between membership changes, in either direction.
+    pub cooldown: SimDuration,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            lambda: 1.5,
+            max_workers: 64,
+            min_workers: 1,
+            scale_out_step: 1,
+            straggler_ticks: 2,
+            pending_gate_secs: 120.0,
+            idle_batch_floor: 0,
+            idle_ticks: 3,
+            cooldown: SimDuration::from_minutes(15),
+        }
+    }
+}
+
+/// Elasticity policy state. Usually composed with a fixed-size policy (see
+/// [`crate::compose`]) so batch re-balancing keeps running between resizes.
+#[derive(Debug, Clone)]
+pub struct ElasticPolicy {
+    cfg: ElasticConfig,
+    straggler_streak: u32,
+    idle_streak: u32,
+    last_resize: Option<SimTime>,
+    scale_outs: u64,
+    scale_ins: u64,
+    audit: Vec<DecisionRecord>,
+}
+
+impl ElasticPolicy {
+    pub fn new(cfg: ElasticConfig) -> Self {
+        assert!(cfg.lambda > 1.0, "lambda must exceed 1");
+        assert!(cfg.min_workers >= 1);
+        assert!(cfg.scale_out_step >= 1);
+        ElasticPolicy {
+            cfg,
+            straggler_streak: 0,
+            idle_streak: 0,
+            last_resize: None,
+            scale_outs: 0,
+            scale_ins: 0,
+            audit: Vec::new(),
+        }
+    }
+
+    pub fn scale_outs(&self) -> u64 {
+        self.scale_outs
+    }
+
+    pub fn scale_ins(&self) -> u64 {
+        self.scale_ins
+    }
+
+    fn cooled_down(&self, now: SimTime) -> bool {
+        match self.last_resize {
+            Some(t) => now.since(t) >= self.cfg.cooldown,
+            None => true,
+        }
+    }
+}
+
+fn alive_workers(snap: &MonitorSnapshot) -> impl Iterator<Item = &NodeStats> {
+    snap.workers.iter().filter(|s| s.alive)
+}
+
+impl MitigationPolicy for ElasticPolicy {
+    fn name(&self) -> &'static str {
+        "elastic"
+    }
+
+    fn decide(&mut self, now: SimTime, snap: &MonitorSnapshot, _ctx: &PolicyCtx) -> Vec<Action> {
+        let alive = alive_workers(snap).count() as u32;
+        if alive == 0 {
+            return vec![Action::None];
+        }
+
+        // ---- Persistent-straggler streak (scale-out trigger). ----
+        let mean_per = snap.mean_worker_bpt_per();
+        let straggler = match mean_per {
+            Some(mean) => {
+                alive_workers(snap).any(|s| s.bpt_per.is_some_and(|t| t >= self.cfg.lambda * mean))
+            }
+            None => false,
+        };
+        self.straggler_streak = if straggler { self.straggler_streak + 1 } else { 0 };
+
+        // ---- Idle-capacity streak (scale-in trigger). ----
+        let idle = self.cfg.idle_batch_floor > 0
+            && alive_workers(snap).all(|s| s.batch.is_some_and(|b| b <= self.cfg.idle_batch_floor));
+        self.idle_streak = if idle { self.idle_streak + 1 } else { 0 };
+
+        if !self.cooled_down(now) {
+            return vec![Action::None];
+        }
+
+        // Scale out: sustained straggler, deliverable capacity, under the cap.
+        if self.straggler_streak >= self.cfg.straggler_ticks
+            && !snap.cluster.busy
+            && snap.cluster.expected_pending_secs <= self.cfg.pending_gate_secs
+            && alive < self.cfg.max_workers
+        {
+            let add = self.cfg.scale_out_step.min(self.cfg.max_workers - alive);
+            self.last_resize = Some(now);
+            self.straggler_streak = 0;
+            self.scale_outs += 1;
+            let action = Action::ScaleOut { add };
+            self.audit.push(DecisionRecord {
+                at_us: now.as_micros(),
+                rule: "elastic-scale-out".into(),
+                node: String::new(),
+                window: BTreeMap::from([
+                    ("lambda".into(), self.cfg.lambda),
+                    ("mean_bpt_per".into(), mean_per.unwrap_or(f64::NAN)),
+                    ("alive_workers".into(), alive as f64),
+                    ("add".into(), add as f64),
+                    ("pending_secs".into(), snap.cluster.expected_pending_secs),
+                ]),
+                solver: None,
+                actions: vec![format!("{action:?}")],
+            });
+            return vec![action];
+        }
+
+        // Scale in: sustained idle capacity, above the floor. Retire the
+        // slowest member — it drags barriers, and its batch share re-homes
+        // onto faster survivors.
+        if self.idle_streak >= self.cfg.idle_ticks && alive > self.cfg.min_workers {
+            if let Some(victim) = alive_workers(snap).max_by(|a, b| {
+                let (ta, tb) = (a.bpt_per.unwrap_or(0.0), b.bpt_per.unwrap_or(0.0));
+                ta.partial_cmp(&tb).unwrap().then(a.node.idx.cmp(&b.node.idx))
+            }) {
+                self.last_resize = Some(now);
+                self.idle_streak = 0;
+                self.scale_ins += 1;
+                let action = Action::ScaleIn { node: victim.node };
+                self.audit.push(DecisionRecord {
+                    at_us: now.as_micros(),
+                    rule: "elastic-scale-in".into(),
+                    node: victim.node.to_string(),
+                    window: BTreeMap::from([
+                        ("alive_workers".into(), alive as f64),
+                        ("idle_batch_floor".into(), self.cfg.idle_batch_floor as f64),
+                        ("victim_bpt_per".into(), victim.bpt_per.unwrap_or(f64::NAN)),
+                    ]),
+                    solver: None,
+                    actions: vec![format!("{action:?}")],
+                });
+                return vec![action];
+            }
+        }
+
+        vec![Action::None]
+    }
+
+    fn drain_audit(&mut self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.audit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antdt_monitor::{ClusterInfo, NodeId};
+
+    fn worker(idx: u32, per: f64, batch: u64, alive: bool) -> NodeStats {
+        NodeStats {
+            node: NodeId::worker(idx),
+            bpt_trans: Some(per),
+            bpt_per: Some(per),
+            throughput: Some(100.0 / per),
+            batch: Some(batch),
+            alive,
+        }
+    }
+
+    fn snap(workers: Vec<NodeStats>, busy: bool, pending: f64) -> MonitorSnapshot {
+        MonitorSnapshot {
+            workers,
+            servers: vec![],
+            cluster: ClusterInfo { busy, expected_pending_secs: pending },
+        }
+    }
+
+    fn ctx() -> PolicyCtx {
+        PolicyCtx { global_batch: 4096, n_workers: 3, n_servers: 1 }
+    }
+
+    fn straggling() -> MonitorSnapshot {
+        snap(
+            vec![
+                worker(0, 2.0, 1000, true),
+                worker(1, 2.0, 1000, true),
+                worker(2, 7.0, 1000, true),
+            ],
+            false,
+            10.0,
+        )
+    }
+
+    #[test]
+    fn scale_out_needs_a_sustained_straggler() {
+        let mut p = ElasticPolicy::new(ElasticConfig::default());
+        // One straggling tick: below the streak requirement.
+        assert_eq!(
+            p.decide(SimTime::from_secs_f64(60.0), &straggling(), &ctx()),
+            vec![Action::None]
+        );
+        // Second consecutive tick: fire.
+        let actions = p.decide(SimTime::from_secs_f64(120.0), &straggling(), &ctx());
+        assert_eq!(actions, vec![Action::ScaleOut { add: 1 }]);
+        assert_eq!(p.scale_outs(), 1);
+        let audit = p.drain_audit();
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].rule, "elastic-scale-out");
+    }
+
+    #[test]
+    fn straggler_streak_resets_on_a_healthy_tick() {
+        let mut p = ElasticPolicy::new(ElasticConfig::default());
+        p.decide(SimTime::from_secs_f64(60.0), &straggling(), &ctx());
+        let healthy =
+            snap(vec![worker(0, 2.0, 1000, true), worker(1, 2.1, 1000, true)], false, 10.0);
+        p.decide(SimTime::from_secs_f64(120.0), &healthy, &ctx());
+        // The streak restarted: one more straggling tick is not enough.
+        assert_eq!(
+            p.decide(SimTime::from_secs_f64(180.0), &straggling(), &ctx()),
+            vec![Action::None]
+        );
+    }
+
+    #[test]
+    fn busy_cluster_or_long_pending_gates_scale_out() {
+        let mut p = ElasticPolicy::new(ElasticConfig::default());
+        let busy = snap(straggling().workers, true, 900.0);
+        p.decide(SimTime::from_secs_f64(60.0), &busy, &ctx());
+        assert_eq!(p.decide(SimTime::from_secs_f64(120.0), &busy, &ctx()), vec![Action::None]);
+        let slow_queue = snap(straggling().workers, false, 900.0);
+        assert_eq!(
+            p.decide(SimTime::from_secs_f64(180.0), &slow_queue, &ctx()),
+            vec![Action::None]
+        );
+        assert_eq!(p.scale_outs(), 0);
+    }
+
+    #[test]
+    fn max_workers_caps_growth_and_cooldown_spaces_resizes() {
+        let cfg = ElasticConfig { max_workers: 3, ..Default::default() };
+        let mut p = ElasticPolicy::new(cfg);
+        // Already at the cap: never scales out.
+        p.decide(SimTime::from_secs_f64(60.0), &straggling(), &ctx());
+        assert_eq!(
+            p.decide(SimTime::from_secs_f64(120.0), &straggling(), &ctx()),
+            vec![Action::None]
+        );
+
+        let mut p = ElasticPolicy::new(ElasticConfig::default());
+        p.decide(SimTime::from_secs_f64(60.0), &straggling(), &ctx());
+        assert!(matches!(
+            p.decide(SimTime::from_secs_f64(120.0), &straggling(), &ctx())[0],
+            Action::ScaleOut { .. }
+        ));
+        // Within the cooldown, another sustained straggler changes nothing.
+        for i in 0..5 {
+            let t = SimTime::from_secs_f64(180.0 + i as f64 * 60.0);
+            assert_eq!(p.decide(t, &straggling(), &ctx()), vec![Action::None]);
+        }
+    }
+
+    #[test]
+    fn sustained_idle_capacity_scales_in_the_slowest() {
+        let cfg = ElasticConfig { idle_batch_floor: 256, idle_ticks: 2, ..Default::default() };
+        let mut p = ElasticPolicy::new(cfg);
+        let idle = snap(
+            vec![worker(0, 2.0, 100, true), worker(1, 2.0, 100, true), worker(2, 3.0, 100, true)],
+            false,
+            10.0,
+        );
+        assert_eq!(p.decide(SimTime::from_secs_f64(60.0), &idle, &ctx()), vec![Action::None]);
+        let actions = p.decide(SimTime::from_secs_f64(120.0), &idle, &ctx());
+        assert_eq!(actions, vec![Action::ScaleIn { node: NodeId::worker(2) }]);
+        assert_eq!(p.scale_ins(), 1);
+        assert_eq!(p.drain_audit()[0].rule, "elastic-scale-in");
+    }
+
+    #[test]
+    fn min_workers_floors_scale_in_and_zero_floor_disables_it() {
+        let cfg = ElasticConfig {
+            idle_batch_floor: 256,
+            idle_ticks: 1,
+            min_workers: 2,
+            ..Default::default()
+        };
+        let mut p = ElasticPolicy::new(cfg);
+        let idle = snap(vec![worker(0, 2.0, 100, true), worker(1, 2.0, 100, true)], false, 10.0);
+        assert_eq!(p.decide(SimTime::from_secs_f64(60.0), &idle, &ctx()), vec![Action::None]);
+
+        // Default config (floor 0): scale-in can never fire.
+        let mut p = ElasticPolicy::new(ElasticConfig::default());
+        for i in 0..6 {
+            let t = SimTime::from_secs_f64(60.0 * (i + 1) as f64);
+            assert_eq!(p.decide(t, &idle, &ctx()), vec![Action::None]);
+        }
+        assert_eq!(p.scale_ins(), 0);
+    }
+}

@@ -3,7 +3,7 @@
 
 use antdt_agent::{AgentConfig, BroadcastModel};
 use antdt_ckpt::CkptConfig;
-use antdt_controller::{DdConfig, DeviceClassSpec};
+use antdt_controller::{DdConfig, DeviceClassSpec, ElasticConfig};
 use antdt_ml::Dataset;
 use antdt_monitor::MonitorConfig;
 use antdt_sim::{ControlChannel, SimDuration, SimTime};
@@ -64,6 +64,10 @@ pub enum MitigationChoice {
     KillRestartOnly,
     /// Optimization-based baseline.
     AdjustLr,
+    /// Elastic membership: `SCALE_OUT` under persistent stragglers when the
+    /// scheduler has capacity, `SCALE_IN` on sustained idle capacity. Arms
+    /// the consistent-hash shard ring (requires the DDS data strategy).
+    Elastic(ElasticConfig),
 }
 
 /// How a killed worker's training state is recovered (§V-E3, Fig. 17).
@@ -141,6 +145,14 @@ pub enum InjectedFault {
     /// window — directives crawl, reports go missing, and the fencing /
     /// idempotence machinery has to hold the line.
     ControlDegrade { latency_secs: f64, loss_prob: f64, window_secs: f64, seed: u64 },
+    /// Force a `SCALE_OUT { add }` at a fixed instant, bypassing the policy —
+    /// the membership drill. Arms the consistent-hash ring like
+    /// [`MitigationChoice::Elastic`] does (requires the DDS data strategy).
+    ScaleOut { add: u32 },
+    /// Force a `SCALE_IN` of worker `w` at a fixed instant. Generation-fenced
+    /// like a kill, so a drill racing it against `KillWorker { w }` exercises
+    /// the double-remove guard.
+    ScaleIn { w: u32 },
 }
 
 impl InjectedFault {
@@ -170,6 +182,8 @@ impl InjectedFault {
                     loss_prob * 100.0
                 )
             }
+            InjectedFault::ScaleOut { add } => format!("scale out by {add} workers"),
+            InjectedFault::ScaleIn { w } => format!("scale in worker {w}"),
         }
     }
 
@@ -458,6 +472,18 @@ impl JobConfig {
         self.cluster.n_servers()
     }
 
+    /// Whether this job can change membership mid-run: the elastic policy is
+    /// the mitigation, or a chaos drill injects a scale fault. Everything
+    /// elastic — the consistent-hash ring, the membership report section —
+    /// keys off this, so an unarmed job takes the exact pre-elastic code
+    /// paths and its trace stays byte-identical.
+    pub fn elastic_armed(&self) -> bool {
+        matches!(self.mitigation, MitigationChoice::Elastic(_))
+            || self.injections.iter().any(|inj| {
+                matches!(inj.fault, InjectedFault::ScaleOut { .. } | InjectedFault::ScaleIn { .. })
+            })
+    }
+
     /// The DD config derived from `dd_classes`.
     pub fn dd_config(&self) -> Option<DdConfig> {
         self.dd_classes.clone().map(DdConfig::new)
@@ -482,6 +508,20 @@ impl JobConfig {
                 .map(|c| c.count as usize)
                 .sum();
             assert_eq!(n, self.n_workers(), "dd_classes must cover every worker");
+        }
+        if let MitigationChoice::Elastic(e) = &self.mitigation {
+            assert!(
+                self.data == DataStrategy::Dds,
+                "Elastic mitigation requires the DDS data strategy (joiners pull shards; a static partition cannot be re-cut mid-run)"
+            );
+            assert!(
+                self.n_workers() <= e.max_workers as usize,
+                "cluster already larger than the elastic max_workers ceiling"
+            );
+            assert!(
+                self.n_workers() >= e.min_workers as usize,
+                "cluster smaller than the elastic min_workers floor"
+            );
         }
         if let MitigationChoice::BackupWorkers { b } = self.mitigation {
             assert!(
@@ -559,6 +599,24 @@ impl JobConfig {
                     assert!(
                         (0.0..1.0).contains(loss_prob),
                         "ControlDegrade loss probability must be in [0, 1)"
+                    );
+                }
+                InjectedFault::ScaleOut { add } => {
+                    assert!(*add >= 1, "ScaleOut must add at least one worker");
+                    assert!(
+                        self.data == DataStrategy::Dds,
+                        "ScaleOut injection requires the DDS data strategy (a static partition cannot feed joiners)"
+                    );
+                }
+                InjectedFault::ScaleIn { w } => {
+                    assert!(
+                        (*w as usize) < self.n_workers(),
+                        "injection retires worker {w} but the cluster starts with {} workers",
+                        self.n_workers()
+                    );
+                    assert!(
+                        self.data == DataStrategy::Dds,
+                        "ScaleIn injection requires the DDS data strategy (a departed worker's static partition would be lost)"
                     );
                 }
             }

@@ -40,7 +40,8 @@ pub use config::{
 pub use job::Job;
 pub use report::{
     ActionApplication, AttrBlame, AttrCrit, AttrNode, AttrReport, CkptRecord, CkptReport,
-    CounterfactualRow, DirectiveFate, DirectiveRecord, InjectionRecord, JobReport, ReplayRecord,
+    CounterfactualRow, DirectiveFate, DirectiveRecord, InjectionRecord, JobReport, MembershipEvent,
+    MembershipEventKind, MembershipReport, ReplayRecord,
 };
 pub use whatif::{apply_perturbation, run_what_if, what_if_table, Perturbation};
 

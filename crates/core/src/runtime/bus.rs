@@ -190,6 +190,22 @@ impl ControlBus {
         self.overlays.retain(|(i, _, _)| *i != idx);
     }
 
+    /// A `SCALE_OUT` provisioned worker slot `wi`: register its Monitor
+    /// stream and construct its Agent endpoint. Worker ids are append-only
+    /// slot indices, so the agent vector stays index-aligned forever. This
+    /// lives here because the bus is the only module allowed to construct
+    /// control-plane endpoints (`scripts/check-layering.sh`).
+    pub(crate) fn register_worker(&mut self, wi: u32, agent_cfg: AgentConfig) {
+        debug_assert_eq!(wi as usize, self.agents.len(), "worker ids are append-only slots");
+        self.store.register(NodeId::worker(wi));
+        let mut agent = Agent::new(NodeId::worker(wi), agent_cfg);
+        if let Some(rt) = &self.tele {
+            agent.attach_telemetry(rt.agents.clone());
+        }
+        self.agents.push(agent);
+        self.ctx.n_workers += 1;
+    }
+
     /// Whether worker `wi`'s agent wants to push a report this iteration
     /// (the `report_every_iters` cadence).
     pub(crate) fn report_due(&mut self, wi: usize) -> bool {
@@ -525,6 +541,34 @@ pub(crate) fn send_kill(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, node
     k.bus.enqueue(eng, seq, msg, now, false, false);
 }
 
+/// Controller → worker: a `SCALE_IN` retire signal. Fenced exactly like a
+/// kill: the target's generation is resolved at decision time, and the
+/// depart event's generation guard is the fence. The two race outcomes of a
+/// SCALE_IN against a `KILL_RESTART` of the same node both end single-remove:
+/// depart lands first → the kill no-ops on the alive check; kill lands
+/// first → the generation bumped, so the depart is dropped stale (the
+/// Controller re-decides the scale-in against the replacement later).
+pub(crate) fn send_scale_in(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, node: NodeId) {
+    debug_assert_eq!(node.role, Role::Worker, "only workers scale in");
+    let action = Action::ScaleIn { node };
+    let gen = k.workers[node.idx as usize].gen;
+    if k.bus.inline_mode() {
+        let delay = k.cfg.broadcast.direct_delay(16);
+        let at = now + delay;
+        let seq = k.bus.record(node, gen, now, &action);
+        k.bus.mark(seq, DirectiveFate::Fired { at });
+        k.bus.hop_span("bus-directive", now, at, node);
+        eng.schedule(at, Ev::WorkerDepart { w: node.idx, gen });
+        return;
+    }
+    let seq = k.bus.record(node, gen, now, &action);
+    let d = Directive { seq, decided_at: now, fence_gen: gen, action };
+    let msg = ControlMsg::Directive { target: node, directive: d };
+    // Like a kill: a lost retire signal is not replayed by the transport —
+    // the Controller re-decides at a later tick.
+    k.bus.enqueue(eng, seq, msg, now, false, false);
+}
+
 /// An `Ev::BusMsg` instant fired: a scheduled arrival or retransmission.
 pub(crate) fn on_bus_msg(k: &mut Kernel, eng: &mut Engine<Ev>, seq: u64) {
     let Some(env) = k.bus.pending.remove(&seq) else {
@@ -564,14 +608,23 @@ fn deliver_directive(
     d: Directive,
     now: SimTime,
 ) {
-    // KILL_RESTART bypasses the agent inbox: the signal goes to the node's
-    // runtime, and the kill event's generation guard fences staleness.
-    if matches!(d.action, Action::KillRestart { .. }) {
+    // KILL_RESTART and SCALE_IN bypass the agent inbox: the signal goes to
+    // the node's runtime, and the scheduled event's generation guard fences
+    // staleness (a SCALE_IN addressed to a killed-and-replaced incarnation
+    // must not retire the replacement).
+    if matches!(d.action, Action::KillRestart { .. } | Action::ScaleIn { .. }) {
         k.bus.mark(seq, DirectiveFate::Fired { at: now });
         k.bus.hop_span("bus-directive", env.sent_at, now, target);
-        match target.role {
-            Role::Worker => eng.schedule(now, Ev::WorkerKill { w: target.idx, gen: d.fence_gen }),
-            Role::Server => eng.schedule(now, Ev::ServerKill { s: target.idx, gen: d.fence_gen }),
+        match (&d.action, target.role) {
+            (Action::ScaleIn { .. }, _) => {
+                eng.schedule(now, Ev::WorkerDepart { w: target.idx, gen: d.fence_gen })
+            }
+            (_, Role::Worker) => {
+                eng.schedule(now, Ev::WorkerKill { w: target.idx, gen: d.fence_gen })
+            }
+            (_, Role::Server) => {
+                eng.schedule(now, Ev::ServerKill { s: target.idx, gen: d.fence_gen })
+            }
         }
         return;
     }

@@ -13,6 +13,7 @@ use super::attr::AttrRt;
 use super::bus::ControlBus;
 use super::ckpt::CkptRt;
 use super::data::{DataSource, LeaseState};
+use super::membership::Membership;
 use super::ml_bridge::MathState;
 use crate::config::{DataStrategy, ExecutionMode, FailoverMode, JobConfig};
 use crate::obs::RtTele;
@@ -84,8 +85,17 @@ pub struct Kernel {
     pub(crate) cfg: JobConfig,
     pub(crate) pool: RngPool,
     pub(crate) sched_rng: StdRng,
+    /// Append-only worker slots: a slot's index is its stable node id for
+    /// the whole job. `SCALE_OUT` appends, `SCALE_IN` retires in place —
+    /// see [`super::membership`].
     pub(crate) workers: Vec<WorkerState>,
     pub(crate) servers: Vec<ServerState>,
+    /// Elastic membership registry (event timeline + departed set); empty
+    /// for the whole run unless the job arms elasticity.
+    pub(crate) membership: Membership,
+    /// `RngPool::stream2` family for per-worker jitter streams — kept so
+    /// scale-out joiners draw from the same family as the initial fleet.
+    pub(crate) worker_stream_family: u64,
     pub(crate) dds: Option<DdsService>,
     /// The control plane: Monitor store, Controller policy, per-node Agents
     /// and the channel connecting them. Every Monitor/Controller/Agent
@@ -188,6 +198,15 @@ impl Kernel {
         if let (Some(rt), Some(dds)) = (&tele, &dds) {
             dds.attach_telemetry(rt.dds.clone());
         }
+        // Elastic jobs place shards through the consistent-hash ring so a
+        // membership change re-homes the minimal fraction of the queue.
+        // Unarmed jobs keep the strictly-FIFO serve order the golden traces
+        // pin (arming changes which worker fetches which shard).
+        if let Some(dds) = &dds {
+            if cfg.elastic_armed() {
+                dds.arm_ring(antdt_dds::DEFAULT_VNODES, 0..n as u32);
+            }
+        }
 
         let math = match &cfg.execution {
             ExecutionMode::Simulated => None,
@@ -274,6 +293,8 @@ impl Kernel {
             pool,
             workers,
             servers,
+            membership: Membership::new(n),
+            worker_stream_family,
             dds,
             bus,
             math,

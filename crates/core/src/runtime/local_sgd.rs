@@ -58,6 +58,11 @@ impl SyncStrategy for LocalSgd {
 
     fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
         self.driver.on_event(k, eng, ev);
+        match ev {
+            Ev::WorkerJoin { w } => self.on_membership_change(k, eng, w, true),
+            Ev::WorkerDepart { w, .. } => self.on_membership_change(k, eng, w, false),
+            _ => {}
+        }
     }
 
     fn on_controller_action(
@@ -77,6 +82,6 @@ impl SyncStrategy for LocalSgd {
         fault: &InjectedFault,
         _rec_idx: usize,
     ) {
-        self.driver.inject_kill(k, eng.now(), fault);
+        self.driver.inject_kill(k, eng, fault);
     }
 }

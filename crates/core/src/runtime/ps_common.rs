@@ -338,7 +338,12 @@ fn apply_worker_action<F: PsFlavor>(k: &mut Kernel, f: &mut F, wi: usize, action
                 k.workers[wi].lr_scale = s;
             }
         }
-        Action::KillRestart { .. } | Action::None => {}
+        // Membership and kill actions never transit an agent inbox (they are
+        // runtime/scheduler signals), so there is nothing to apply here.
+        Action::KillRestart { .. }
+        | Action::ScaleOut { .. }
+        | Action::ScaleIn { .. }
+        | Action::None => {}
     }
 }
 
@@ -350,6 +355,10 @@ fn dispatch(k: &mut Kernel, eng: &mut Engine<Ev>, action: Action, now: SimTime) 
     match action {
         Action::None => {}
         Action::KillRestart { node } => super::bus::send_kill(k, eng, now, node),
+        // Scale-out goes to the cluster scheduler (pods are provisioned at
+        // decision time); scale-in is a fenced retire signal to the node.
+        Action::ScaleOut { add } => super::membership::scale_out(k, eng, now, add),
+        Action::ScaleIn { node } => super::bus::send_scale_in(k, eng, now, node),
         global => super::bus::broadcast(k, eng, now, global, super::bus::BroadcastScope::PsAlive),
     }
 }
@@ -412,6 +421,18 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
             Ev::Checkpoint => k.checkpoint(eng),
             Ev::FaultWorker { w } => lifecycle::fault_worker(k, &mut self.flavor, eng, w),
             Ev::FaultServer { s } => k.fault_server(eng, s),
+            Ev::WorkerJoin { w } => {
+                if super::membership::complete_join(k, eng, w) {
+                    let gen = k.workers[w as usize].gen;
+                    eng.schedule(eng.now(), Ev::WorkerStart { w, gen });
+                    self.on_membership_change(k, eng, w, true);
+                }
+            }
+            Ev::WorkerDepart { w, gen } => {
+                if lifecycle::worker_depart(k, &mut self.flavor, eng, w, gen) {
+                    self.on_membership_change(k, eng, w, false);
+                }
+            }
             Ev::RoundEnd { .. } => unreachable!("PS runtime has no rounds"),
             Ev::MonitorTick
             | Ev::ChaosFault { .. }
@@ -481,6 +502,19 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
             }
             InjectedFault::RestartDelay { w, extra_secs } => {
                 k.chaos_restart_extra[w as usize] += extra_secs;
+            }
+            InjectedFault::ScaleOut { add } => {
+                let now = eng.now();
+                super::membership::scale_out(k, eng, now, add);
+            }
+            InjectedFault::ScaleIn { w } => {
+                // Forced drill: the retire signal fires in place (the plan
+                // instant IS the delivery instant); the generation/alive
+                // guards still arbitrate any race with a kill.
+                let gen = k.workers[w as usize].gen;
+                if lifecycle::worker_depart(k, &mut self.flavor, eng, w, gen) {
+                    self.on_membership_change(k, eng, w, false);
+                }
             }
             _ => unreachable!("windowed faults are kernel-handled"),
         }

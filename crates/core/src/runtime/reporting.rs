@@ -6,7 +6,7 @@ use super::data::DataSource;
 use super::kernel::Kernel;
 use crate::config::{DataStrategy, ExecutionMode};
 use crate::events::Ev;
-use crate::report::{CkptReport, JobReport};
+use crate::report::{CkptReport, JobReport, MembershipEventKind, MembershipReport};
 use antdt_ml::Model;
 use antdt_sim::{Engine, SimDuration, SimTime};
 
@@ -87,6 +87,31 @@ impl Kernel {
             restores: rt.restores,
             final_interval_secs: rt.interval_now,
         });
+        // The membership section exists only when the worker set actually
+        // changed, so fixed-world runs (the golden fixtures) render `None`.
+        let membership = (!self.membership.events.is_empty()).then(|| {
+            let events = std::mem::take(&mut self.membership.events);
+            let mut departed: Vec<u32> = self.membership.departed.iter().copied().collect();
+            departed.sort_unstable();
+            MembershipReport {
+                initial_workers: self.membership.initial as u32,
+                peak_workers: self.workers.len() as u32,
+                final_workers: self.workers.iter().filter(|w| w.alive || w.done).count() as u32,
+                joins: events
+                    .iter()
+                    .filter(|e| matches!(e.kind, MembershipEventKind::Joined))
+                    .count() as u32,
+                departs: departed.len() as u32,
+                events,
+                departed,
+                resizes: self.dds.as_ref().map(|d| d.resize_log()).unwrap_or_default(),
+                doing_owners_at_end: self
+                    .dds
+                    .as_ref()
+                    .map(|d| d.doing_owners())
+                    .unwrap_or_default(),
+            }
+        });
         let auc = match (&self.math, &self.cfg.execution) {
             (Some(math), ExecutionMode::Real { holdout, .. }) if !holdout.is_empty() => {
                 let scores = math.model.scores(holdout);
@@ -137,6 +162,7 @@ impl Kernel {
             telemetry,
             ckpt,
             attr,
+            membership,
         }
     }
 }

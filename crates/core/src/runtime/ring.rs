@@ -54,12 +54,19 @@ impl RoundDriver {
     }
 
     pub(crate) fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
-        if let Ev::RoundEnd { round } = ev {
-            if round == self.round {
-                self.close_round(k, eng);
+        match ev {
+            Ev::RoundEnd { round } if round == self.round => self.close_round(k, eng),
+            Ev::RoundEnd { .. } => {}
+            // A joiner becomes a live rank here; the next round open
+            // enumerates it like any other alive worker (no mid-round
+            // renegotiation).
+            Ev::WorkerJoin { w } => {
+                super::membership::complete_join(k, eng, w);
             }
+            Ev::WorkerDepart { w, gen } => self.depart_rank(k, eng, w, gen),
+            // Round-driven jobs have no PS-style lifecycle events.
+            _ => {}
         }
-        // Round-driven jobs have no PS-style lifecycle events.
     }
 
     /// Open a round: every live rank applies its delivered actions, computes
@@ -245,21 +252,44 @@ impl RoundDriver {
         now: SimTime,
         action: Action,
     ) {
-        if matches!(action, Action::None | Action::KillRestart { .. }) {
-            return; // kill-restart is a PS-side action in this build
+        match action {
+            Action::None | Action::KillRestart { .. } => {
+                // kill-restart is a PS-side action in this build
+            }
+            Action::ScaleOut { add } => {
+                k.record_action(now, &action);
+                super::membership::scale_out(k, eng, now, add);
+            }
+            Action::ScaleIn { node } => {
+                k.record_action(now, &action);
+                super::bus::send_scale_in(k, eng, now, node);
+            }
+            other => {
+                k.record_action(now, &other);
+                // Every rank, dead or alive: the round open applies whatever
+                // arrived, and dead ranks never rejoin a DDP ring anyway.
+                super::bus::broadcast(k, eng, now, other, super::bus::BroadcastScope::RingAll);
+            }
         }
-        k.record_action(now, &action);
-        // Every rank, dead or alive: the round open applies whatever arrived,
-        // and dead ranks never rejoin a DDP ring anyway.
-        super::bus::broadcast(k, eng, now, action, super::bus::BroadcastScope::RingAll);
     }
 
-    pub(crate) fn inject_kill(&mut self, k: &mut Kernel, now: SimTime, fault: &InjectedFault) {
+    pub(crate) fn inject_kill(
+        &mut self,
+        k: &mut Kernel,
+        eng: &mut Engine<Ev>,
+        fault: &InjectedFault,
+    ) {
+        let now = eng.now();
         match *fault {
             InjectedFault::KillWorker { w } => self.kill_rank(k, now, w, true),
             InjectedFault::KillWorkerNoFailover { w } => self.kill_rank(k, now, w, false),
             // No per-rank restarts in DDP, so there is no restart to delay.
             InjectedFault::RestartDelay { .. } => {}
+            InjectedFault::ScaleOut { add } => super::membership::scale_out(k, eng, now, add),
+            InjectedFault::ScaleIn { w } => {
+                let gen = k.workers[w as usize].gen;
+                self.depart_rank(k, eng, w, gen);
+            }
             InjectedFault::KillServer { .. } => unreachable!("validated out for ring runtimes"),
             _ => unreachable!("windowed faults are kernel-handled"),
         }
@@ -285,6 +315,40 @@ impl RoundDriver {
             if let Some(dds) = &k.dds {
                 dds.fail_worker(w);
             }
+        }
+    }
+
+    /// Retire rank `w` mid-run (`SCALE_IN`, generation-checked): the kill
+    /// path — leases requeue for the survivors, the rank leaves the round
+    /// set for good — but audited as a membership departure, not a failure,
+    /// and dropped from the consistent-hash placement ring. A rank whose
+    /// contribution is already in the open round still synchronizes it (the
+    /// depart takes effect at the next round open, never mid-round).
+    fn depart_rank(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32) {
+        let wi = w as usize;
+        if !k.workers[wi].alive || k.workers[wi].gen != gen {
+            return; // stale retire signal: the double-remove fence held
+        }
+        let now = eng.now();
+        k.workers[wi].alive = false;
+        k.workers[wi].gen += 1;
+        k.workers[wi].killed_at = Some(now);
+        k.workers[wi].leases.clear();
+        k.attr_kill(w, now, true);
+        k.membership.record(now, w, crate::report::MembershipEventKind::Departed);
+        k.bus.node_event(antdt_monitor::NodeEvent::Killed {
+            node: NodeId::worker(w),
+            at: now,
+            class: antdt_monitor::ErrorClass::Retryable(
+                antdt_monitor::RetryableError::ProactiveKill,
+            ),
+        });
+        if let Some(rt) = &k.tele {
+            rt.tele.tracer.instant("rank-depart", "lifecycle", now.as_micros(), w, &[]);
+        }
+        if let Some(dds) = &k.dds {
+            dds.fail_worker(w);
+            dds.ring_leave(w);
         }
     }
 }
@@ -340,6 +404,11 @@ impl SyncStrategy for RingAllReduce {
 
     fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
         self.driver.on_event(k, eng, ev);
+        match ev {
+            Ev::WorkerJoin { w } => self.on_membership_change(k, eng, w, true),
+            Ev::WorkerDepart { w, .. } => self.on_membership_change(k, eng, w, false),
+            _ => {}
+        }
     }
 
     fn on_controller_action(
@@ -359,6 +428,6 @@ impl SyncStrategy for RingAllReduce {
         fault: &InjectedFault,
         _rec_idx: usize,
     ) {
-        self.driver.inject_kill(k, eng.now(), fault);
+        self.driver.inject_kill(k, eng, fault);
     }
 }

@@ -78,6 +78,19 @@ pub trait SyncStrategy {
     fn on_dds_restored(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
         let _ = (k, eng);
     }
+
+    /// Membership changed: worker `w` joined (`joined`) or departed, and the
+    /// kernel-side bookkeeping (slot state, DDS ring, Monitor) is already
+    /// done. Strategies renegotiate barrier/round membership at the *next*
+    /// iteration boundary, never mid-step — and the default no-op is exactly
+    /// that, because every shipped driver already re-derives membership per
+    /// boundary (BSP refreezes its participant set at each barrier close,
+    /// the ring re-enumerates live ranks at each round open, ASP/SSP
+    /// schedules are per-worker). Override only for a strategy that caches
+    /// membership across boundaries.
+    fn on_membership_change(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, joined: bool) {
+        let _ = (k, eng, w, joined);
+    }
 }
 
 /// Run a job under strategy `S`: build the kernel, bootstrap, drive the event

@@ -27,8 +27,10 @@ pub mod service;
 pub mod shard;
 pub mod shuffle;
 pub mod stats;
+pub mod types;
 
-pub use service::{DdsConfig, DdsCounters, DdsError, DdsService, ShardLease};
-pub use shard::{Shard, ShardId, ShardState, WorkerId};
+pub use service::DdsService;
+pub use shard::{HashRing, Shard, ShardId, ShardState, WorkerId, DEFAULT_VNODES};
 pub use shuffle::ShardShuffler;
 pub use stats::{ConsumptionStats, IntegrityAudit, WorkerConsumption};
+pub use types::{DdsConfig, DdsCounters, DdsError, ResizeRecord, ShardLease};

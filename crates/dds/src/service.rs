@@ -7,111 +7,12 @@
 //! there is no epoch barrier, only the final completion condition that every
 //! epoch's every shard reached `DONE`.
 
-use crate::shard::{plan_shards, Shard, ShardId, ShardState, WorkerId};
+use crate::shard::{plan_shards, HashRing, Shard, ShardState, WorkerId};
 use crate::shuffle::ShardShuffler;
 use crate::stats::{ConsumptionStats, IntegrityAudit};
-use antdt_telemetry::Counter;
+pub use crate::types::{DdsConfig, DdsCounters, DdsError, ResizeRecord, ShardLease};
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-
-/// Telemetry counters a runtime can attach to a [`DdsService`]. The service's
-/// API is deliberately clock-free, so it counts state transitions itself and
-/// leaves timestamped tracing to its callers.
-#[derive(Debug, Clone, Default)]
-pub struct DdsCounters {
-    /// `fetch` calls that handed out a lease.
-    pub fetch_served: Counter,
-    /// `fetch` calls that served nothing (drained, all-DOING, or outage).
-    pub fetch_empty: Counter,
-    /// Shards reported `DONE`.
-    pub done: Counter,
-    /// Shards requeued `DOING → TODO` (explicit failure or worker death).
-    pub requeued: Counter,
-}
-
-/// Static configuration of the sharding service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DdsConfig {
-    /// `N` — samples per epoch.
-    pub total_samples: u64,
-    /// `B` — the batch size used for shard sizing (the *local* batch in the
-    /// paper's `K = ⌈N/(B·M)⌉` once divided over workers).
-    pub global_batch: u64,
-    /// `M` — batches per shard; the granularity hyper-parameter (default 100).
-    /// `M = 1` is required for at-most-once semantics.
-    pub batches_per_shard: u64,
-    /// Number of passes over the data.
-    pub epochs: u32,
-    /// Seed for the shard shuffler; `None` disables shuffling.
-    pub shuffle_seed: Option<u64>,
-}
-
-impl DdsConfig {
-    pub fn new(total_samples: u64, global_batch: u64) -> Self {
-        DdsConfig {
-            total_samples,
-            global_batch,
-            batches_per_shard: 100,
-            epochs: 1,
-            shuffle_seed: Some(0),
-        }
-    }
-
-    pub fn with_batches_per_shard(mut self, m: u64) -> Self {
-        self.batches_per_shard = m;
-        self
-    }
-
-    pub fn with_epochs(mut self, e: u32) -> Self {
-        self.epochs = e;
-        self
-    }
-
-    pub fn with_shuffle(mut self, seed: Option<u64>) -> Self {
-        self.shuffle_seed = seed;
-        self
-    }
-
-    /// Samples per shard, `B·M`.
-    pub fn samples_per_shard(&self) -> u64 {
-        self.global_batch.saturating_mul(self.batches_per_shard).max(1)
-    }
-
-    /// `K` — shards per epoch.
-    pub fn shards_per_epoch(&self) -> u64 {
-        self.total_samples.div_ceil(self.samples_per_shard())
-    }
-
-    /// Total DONE reports a complete job must produce.
-    pub fn expected_done_shards(&self) -> u64 {
-        self.shards_per_epoch() * self.epochs as u64
-    }
-}
-
-/// A leased shard: what [`DdsService::fetch`] hands to a worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ShardLease {
-    pub shard: Shard,
-    pub epoch: u32,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum DdsError {
-    /// The shard is not currently leased to this worker.
-    NotLeased { shard: ShardId, worker: WorkerId },
-}
-
-impl std::fmt::Display for DdsError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            DdsError::NotLeased { shard, worker } => {
-                write!(f, "shard {shard} is not leased to worker {worker}")
-            }
-        }
-    }
-}
-impl std::error::Error for DdsError {}
 
 #[derive(Debug)]
 struct Inner {
@@ -136,6 +37,13 @@ struct Inner {
     /// Fetches rejected because of an outage (drill diagnostics).
     paused_fetch_rejections: u64,
     counters: Option<DdsCounters>,
+    /// Consistent-hash placement ring. `None` (the default) keeps `fetch`
+    /// strictly FIFO and byte-identical to the pre-elastic service; armed, a
+    /// worker prefers queued slots the ring assigns to it, so a topology
+    /// change only re-homes the slots whose ring arc moved.
+    ring: Option<HashRing>,
+    /// Membership changes applied to the armed ring, with movement counts.
+    resizes: Vec<ResizeRecord>,
 }
 
 impl Inner {
@@ -193,6 +101,8 @@ impl DdsService {
             paused: false,
             paused_fetch_rejections: 0,
             counters: None,
+            ring: None,
+            resizes: Vec::new(),
         };
         inner.refill();
         DdsService { inner: Mutex::new(inner) }
@@ -224,7 +134,20 @@ impl DdsService {
             return None;
         }
         g.refill();
-        let Some(slot) = g.queue.pop_front() else {
+        // With an armed placement ring, prefer the first queued slot the ring
+        // assigns to this worker; fall back to the queue front so work is
+        // never left stranded (a slot owned by a busy member still gets
+        // served by whoever asks when its owner never comes).
+        let preferred = g
+            .ring
+            .as_ref()
+            .filter(|r| r.contains(worker))
+            .and_then(|r| g.queue.iter().position(|&slot| r.owner_of(slot) == Some(worker)));
+        let popped = match preferred {
+            Some(idx) => g.queue.remove(idx),
+            None => g.queue.pop_front(),
+        };
+        let Some(slot) = popped else {
             if let Some(c) = &g.counters {
                 c.fetch_empty.inc();
             }
@@ -410,6 +333,73 @@ impl DdsService {
         g.shuffler.sample_order(lease.epoch, &lease.shard)
     }
 
+    /// Arm the consistent-hash placement ring with the given initial members.
+    /// Until armed (the default), the service is strictly FIFO and its serve
+    /// order is byte-identical to the pre-elastic implementation.
+    pub fn arm_ring(&self, vnodes: u32, members: impl IntoIterator<Item = WorkerId>) {
+        let mut g = self.inner.lock();
+        g.ring = Some(HashRing::with_members(vnodes, members));
+    }
+
+    pub fn ring_armed(&self) -> bool {
+        self.inner.lock().ring.is_some()
+    }
+
+    /// Current ring membership (empty when the ring is unarmed).
+    pub fn ring_members(&self) -> Vec<WorkerId> {
+        self.inner.lock().ring.as_ref().map(|r| r.members().to_vec()).unwrap_or_default()
+    }
+
+    /// A worker joined: add it to the armed ring and record how many queued
+    /// slots re-homed onto it. No-op (returning `None`) when the ring is
+    /// unarmed or the member already present.
+    pub fn ring_join(&self, member: WorkerId) -> Option<ResizeRecord> {
+        self.resize(member, true)
+    }
+
+    /// A worker departed for good: drop it from the armed ring and record the
+    /// movement. The caller is responsible for rolling back its DOING leases
+    /// via [`DdsService::fail_worker`] — departure and lease recovery are the
+    /// same machinery a kill uses.
+    pub fn ring_leave(&self, member: WorkerId) -> Option<ResizeRecord> {
+        self.resize(member, false)
+    }
+
+    fn resize(&self, member: WorkerId, joined: bool) -> Option<ResizeRecord> {
+        let mut g = self.inner.lock();
+        let ring = g.ring.as_ref()?;
+        let before: Vec<Option<WorkerId>> = g.queue.iter().map(|&s| ring.owner_of(s)).collect();
+        let mut next = ring.clone();
+        let changed = if joined { next.add_node(member) } else { next.remove_node(member) };
+        if !changed {
+            return None;
+        }
+        let moved_slots =
+            g.queue.iter().zip(&before).filter(|&(&s, &b)| next.owner_of(s) != b).count() as u64;
+        let rec = ResizeRecord { member, joined, moved_slots, queued_slots: g.queue.len() as u64 };
+        g.ring = Some(next);
+        g.resizes.push(rec);
+        Some(rec)
+    }
+
+    /// Every resize applied to the ring so far, in order.
+    pub fn resize_log(&self) -> Vec<ResizeRecord> {
+        self.inner.lock().resizes.clone()
+    }
+
+    /// Distinct owners of currently-DOING slots, sorted. The chaos
+    /// `membership-consistent` invariant checks no departed worker appears.
+    pub fn doing_owners(&self) -> Vec<WorkerId> {
+        let g = self.inner.lock();
+        let mut owners: Vec<WorkerId> = (0..g.state.len())
+            .filter(|&i| g.state[i] == ShardState::Doing)
+            .filter_map(|i| g.owner[i])
+            .collect();
+        owners.sort_unstable();
+        owners.dedup();
+        owners
+    }
+
     /// The integrity audit (§VII-D2).
     pub fn audit(&self) -> IntegrityAudit {
         let g = self.inner.lock();
@@ -429,6 +419,7 @@ impl DdsService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::ShardId;
 
     fn svc(n: u64, b: u64, m: u64, epochs: u32) -> DdsService {
         DdsService::new(DdsConfig::new(n, b).with_batches_per_shard(m).with_epochs(epochs))
@@ -692,6 +683,82 @@ mod tests {
             s.report_done(1, l).unwrap();
         }
         assert!(s.is_complete());
+    }
+
+    #[test]
+    fn unarmed_ring_keeps_fifo_service_order() {
+        // Two identically-configured services, one never touched by ring
+        // APIs: serve order must match slot for slot.
+        let a = svc(1000, 10, 10, 1);
+        let b = svc(1000, 10, 10, 1);
+        assert!(!a.ring_armed());
+        loop {
+            let (la, lb) = (a.fetch(0), b.fetch(0));
+            assert_eq!(la, lb);
+            match la {
+                Some(l) => {
+                    a.report_done(0, l).unwrap();
+                    b.report_done(0, l).unwrap();
+                }
+                None => break,
+            }
+        }
+        assert!(a.is_complete());
+    }
+
+    #[test]
+    fn armed_ring_prefers_owned_slots_but_conserves_work() {
+        let s = svc(1000, 10, 10, 1); // 10 shards
+        s.arm_ring(64, [0, 1]);
+        assert_eq!(s.ring_members(), vec![0, 1]);
+        // Worker 0 alone drains everything: its own slots first, then the
+        // fallback serves worker 1's (work conservation).
+        let mut served = 0;
+        while let Some(l) = s.fetch(0) {
+            s.report_done(0, l).unwrap();
+            served += 1;
+        }
+        assert_eq!(served, 10);
+        assert!(s.is_complete());
+        assert!(s.audit().at_most_once);
+    }
+
+    #[test]
+    fn ring_join_and_leave_log_movement() {
+        let s = svc(2000, 10, 10, 1); // 20 shards
+        s.arm_ring(64, [0, 1, 2]);
+        let join = s.ring_join(3).expect("new member");
+        assert!(join.joined);
+        assert_eq!(join.queued_slots, 20);
+        assert!(join.moved_slots <= 20);
+        // Idempotent: joining again is a no-op.
+        assert!(s.ring_join(3).is_none());
+        let leave = s.ring_leave(1).expect("present member");
+        assert!(!leave.joined);
+        assert!(s.ring_leave(1).is_none());
+        assert_eq!(s.ring_members(), vec![0, 2, 3]);
+        assert_eq!(s.resize_log().len(), 2);
+        // Unarmed service: resize APIs are inert.
+        let plain = svc(100, 10, 10, 1);
+        assert!(plain.ring_join(0).is_none());
+        assert!(plain.resize_log().is_empty());
+    }
+
+    #[test]
+    fn departed_worker_leaves_no_doing_slots_behind() {
+        let s = svc(500, 10, 10, 1); // 5 shards
+        s.arm_ring(64, [0, 1]);
+        let _held = s.fetch(1).unwrap();
+        assert_eq!(s.doing_owners(), vec![1]);
+        // Depart worker 1: ring removal + lease rollback.
+        s.ring_leave(1);
+        s.fail_worker(1);
+        assert!(s.doing_owners().is_empty());
+        while let Some(l) = s.fetch(0) {
+            s.report_done(0, l).unwrap();
+        }
+        assert!(s.is_complete());
+        assert!(s.audit().at_least_once);
     }
 
     #[test]

@@ -63,6 +63,24 @@ fn main() {
                 )
                 .at(70.0, Fault::KillNode { node: NodeRef::Worker(1) }),
         )
+        .with_plan(
+            // Elastic resize under fire: grow the fleet by two pods, then
+            // retire one of the original workers for good. The membership-
+            // consistent invariant audits that the departed slot left no
+            // DOING shard behind and was removed exactly once.
+            FaultPlan::new("elastic-resize")
+                .at(20.0, Fault::ScaleOut { add: 2 })
+                .at(60.0, Fault::ScaleIn { node: NodeRef::Worker(1) }),
+        )
+        .with_plan(
+            // SCALE_IN racing KILL_RESTART on the same slot at the same
+            // instant. The depart fires first (ties keep plan order), so the
+            // kill must no-op on the alive check — exactly one removal, no
+            // replacement pod for a retired slot.
+            FaultPlan::new("scale-in-races-kill")
+                .at(30.0, Fault::ScaleIn { node: NodeRef::Worker(2) })
+                .at(30.0, Fault::KillNode { node: NodeRef::Worker(2) }),
+        )
         .with_plan(FaultPlan::random(
             42,
             &PlanBounds { n_workers: 4, horizon_secs: 90.0, max_events: 3 },
@@ -87,6 +105,18 @@ fn main() {
         assert!(inv.passed, "{}/{}: {}", d.plan, d.policy, inv.detail);
         if d.plan == "stale-directive" {
             println!("  {:<18} {}", d.policy, inv.detail);
+        }
+    }
+
+    // Membership consistency across the matrix: the elastic drills must
+    // retire exactly one slot with no orphaned work, and the race drill must
+    // collapse SCALE_IN + KILL_RESTART of the same slot into one removal.
+    println!("\nmembership-consistent across the matrix:");
+    for d in &matrix.drills {
+        let inv = d.invariant("membership-consistent").expect("checker runs on every drill");
+        assert!(inv.passed, "{}/{}: {}", d.plan, d.policy, inv.detail);
+        if d.plan.starts_with("elastic") || d.plan.starts_with("scale-in") {
+            println!("  {:<22} {:<18} {}", d.plan, d.policy, inv.detail);
         }
     }
 

@@ -1,0 +1,131 @@
+//! Job-level elasticity: `SCALE_OUT` under a persistent straggler must beat
+//! the static fleet, membership must be reported faithfully, unarmed runs
+//! must not even allocate the machinery, and the elastic chaos drills must be
+//! byte-identical between the pooled and serial matrix paths.
+
+use antdt::chaos::{ChaosDriver, Fault, FaultPlan, NodeRef};
+use antdt::controller::ElasticConfig;
+use antdt::core::{
+    ChaosInjection, InjectedFault, Job, JobConfig, MembershipEventKind, MitigationChoice,
+};
+use antdt::sim::SimDuration;
+use antdt::workloads::{cluster, Scenario};
+
+/// A PS-BSP job dragged by one persistent straggler; no mitigation unless a
+/// test adds one, so fleet size is the only lever.
+fn straggled(workers: usize) -> JobConfig {
+    JobConfig::ps_bsp(
+        cluster::cluster_a_scaled(workers, 2),
+        Scenario::WorkerPersistent { intensity: 0.6 },
+    )
+    .with_global_batch(4_096)
+    .with_samples(600_000)
+    .with_batches_per_shard(10)
+    .with_fast_cadence(SimDuration::from_secs(60))
+}
+
+#[test]
+fn scale_out_under_straggler_improves_jct_and_reports_membership() {
+    let fixed = Job::run(straggled(4));
+    assert!(fixed.membership.is_none(), "fixed-membership run must not report membership");
+
+    let elastic = Job::run(straggled(4).with_injections(vec![ChaosInjection {
+        at_secs: fixed.jct.as_secs_f64() * 0.15,
+        fault: InjectedFault::ScaleOut { add: 2 },
+    }]));
+    assert!(!elastic.timed_out && !elastic.stalled);
+    assert!(
+        elastic.jct < fixed.jct,
+        "two extra pods must dilute the straggler: {:?} vs {:?}",
+        elastic.jct,
+        fixed.jct
+    );
+
+    let m = elastic.membership.as_ref().expect("elastic run reports membership");
+    assert_eq!((m.initial_workers, m.peak_workers, m.final_workers), (4, 6, 6));
+    assert_eq!((m.joins, m.departs), (2, 0));
+    assert!(m.departed.is_empty() && m.doing_owners_at_end.is_empty());
+    // Each joiner's timeline is JoinScheduled → Joined, in slot order 4, 5.
+    for id in [4u32, 5] {
+        let sched = m
+            .events
+            .iter()
+            .find(|e| e.node == id && e.kind == MembershipEventKind::JoinScheduled)
+            .expect("join scheduled");
+        let joined = m
+            .events
+            .iter()
+            .find(|e| e.node == id && e.kind == MembershipEventKind::Joined)
+            .expect("join completed");
+        assert!(joined.at_secs > sched.at_secs, "provisioning takes time");
+    }
+    // The ring resized once per join and honored minimal movement: a join
+    // never re-homes the whole backlog.
+    assert_eq!(m.resizes.len(), 2);
+    for rr in &m.resizes {
+        assert!(rr.joined);
+        assert!(rr.moved_slots <= rr.queued_slots, "{rr:?}");
+        assert!(rr.queued_slots == 0 || rr.moved_slots < rr.queued_slots / 2, "{rr:?}");
+    }
+    // Growing the fleet must not corrupt the data plane.
+    let audit = elastic.audit.as_ref().expect("dds run");
+    assert!(audit.at_least_once && audit.at_most_once);
+    assert_eq!(audit.outstanding_shards, 0, "no shard left behind after the joins");
+}
+
+#[test]
+fn unarmed_runs_leave_no_membership_trace() {
+    let r = Job::run(straggled(4).with_samples(200_000));
+    assert!(r.membership.is_none());
+    assert!(
+        !r.golden_dump().contains("membership"),
+        "the golden surface of a fixed-membership run must not change"
+    );
+}
+
+#[test]
+fn elastic_policy_scales_out_end_to_end() {
+    // The closed loop: Monitor sees the persistent straggler, ElasticPolicy's
+    // streak trips, the Controller issues SCALE_OUT, the kernel provisions
+    // pods — no injections anywhere.
+    let policy = Job::run(straggled(4).with_mitigation(MitigationChoice::Elastic(ElasticConfig {
+        lambda: 1.3,
+        straggler_ticks: 2,
+        scale_out_step: 2,
+        ..Default::default()
+    })));
+    assert!(!policy.timed_out && !policy.stalled);
+    let m = policy.membership.as_ref().expect("the policy must have resized the fleet");
+    assert!(m.joins >= 1, "sustained straggler must trigger at least one join: {m:?}");
+    assert_eq!(m.departs, 0);
+
+    let fixed = Job::run(straggled(4));
+    assert!(
+        policy.jct < fixed.jct,
+        "policy-driven growth must beat the static fleet: {:?} vs {:?}",
+        policy.jct,
+        fixed.jct
+    );
+}
+
+#[test]
+fn elastic_chaos_matrix_is_pool_order_independent() {
+    // The elastic drills — including the SCALE_IN-races-KILL tie — must
+    // produce byte-identical reports whether the plan x policy matrix fans
+    // out on the worker pool or runs in nested serial loops.
+    let driver = ChaosDriver::new(straggled(4).with_samples(200_000))
+        .with_plan(
+            FaultPlan::new("elastic-resize")
+                .at(20.0, Fault::ScaleOut { add: 2 })
+                .at(60.0, Fault::ScaleIn { node: NodeRef::Worker(1) }),
+        )
+        .with_plan(
+            FaultPlan::new("scale-in-races-kill")
+                .at(30.0, Fault::ScaleIn { node: NodeRef::Worker(2) })
+                .at(30.0, Fault::KillNode { node: NodeRef::Worker(2) }),
+        )
+        .with_policies(vec![MitigationChoice::AntDtNd, MitigationChoice::None]);
+    let pooled = driver.run();
+    assert!(pooled.all_passed(), "{}", pooled.render());
+    assert_eq!(pooled, driver.run_serial(), "pooled and serial matrices diverged");
+}
