@@ -5,8 +5,11 @@
 
 use crate::alloc::{allocation_count, count_allocations};
 use crate::util::{freeze_wall, header, table};
-use antdt_core::{Job, JobConfig, MitigationChoice};
-use antdt_sim::{Engine, SimDuration, SimTime};
+use antdt_core::{Job, JobConfig, MitigationChoice, Perturbation};
+use antdt_sim::{
+    ContentionPhase, ControlChannel, Engine, EventQueue, HeapQueue, RuntimeQueue, SimDuration,
+    SimTime, WheelQueue,
+};
 use antdt_workloads::Scenario;
 use std::fmt::Write;
 
@@ -38,12 +41,14 @@ const MICRO_EVENTS: u64 = 1_000_000;
 
 /// A self-feeding event cascade: 64 seeds, every handled event schedules one
 /// follow-up at a pseudo-random (but fully deterministic) delay until
-/// [`MICRO_EVENTS`] have been scheduled. Exercises the heap's push/pop path
-/// with a realistic interleaving rather than a sorted drain.
-fn engine_microbench() -> (f64, u64, Option<u64>) {
+/// [`MICRO_EVENTS`] have been scheduled. Exercises the queue's push/pop path
+/// with a realistic interleaving rather than a sorted drain. Generic over the
+/// queue implementation so the wheel-vs-heap comparison runs the identical
+/// workload.
+fn engine_microbench<Q: EventQueue<u32> + Default>() -> (f64, u64, Option<u64>) {
     let a0 = allocation_count();
     let t0 = std::time::Instant::now();
-    let mut eng: Engine<u64> = Engine::new();
+    let mut eng: Engine<u64, Q> = Engine::new();
     for i in 0..64u64 {
         eng.schedule(SimTime(i), i);
     }
@@ -61,14 +66,135 @@ fn engine_microbench() -> (f64, u64, Option<u64>) {
     (wall, MICRO_EVENTS, allocs)
 }
 
+/// Best-of-3 events/sec of the cascade on queue `Q` (wall-clock noise is the
+/// dominant error source; the max of three runs is the stable statistic).
+fn cascade_eps<Q: EventQueue<u32> + Default>() -> f64 {
+    (0..3)
+        .map(|_| {
+            let (wall, events, _) = engine_microbench::<Q>();
+            events as f64 / wall.max(1e-9)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// A 1000-worker BSP job: the job-level queue-pressure fixture. ~1k pending
+/// worker events is the *smallest* scale where queue choice is visible at
+/// all in the job wall clock; the heap's array still fits in L2 here, so
+/// parity (not victory) is the bar — see the barrier-drain scaling bench
+/// for where the wheel pulls ahead.
+fn fixture_1k() -> JobConfig {
+    JobConfig::ps_bsp(antdt_workloads::cluster::cluster_a_scaled(1_000, 8), Scenario::None)
+        .with_global_batch(64_000)
+        .with_samples(1_280_000)
+        .with_batches_per_shard(10)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_seed(11)
+}
+
+/// Wheel-vs-heap events/sec on `cfg`, measured as interleaved pairs: each
+/// pair runs the job once per queue, alternating which goes first so cache
+/// warm-up and clock drift hit both sides equally, and the reported ratio is
+/// the **median** of the per-pair ratios. A best-of-N of each side measured
+/// apart lets one lucky scheduling window on either side swing the ratio by
+/// ±20%; the paired median is stable to a couple of percent.
+fn paired_job_ratio(cfg: &JobConfig, pairs: usize) -> (f64, f64, f64, u64) {
+    let one = |queue: fn() -> RuntimeQueue<u32>| {
+        let t0 = std::time::Instant::now();
+        let report = Job::run_on_queue(cfg.clone(), queue());
+        (t0.elapsed().as_secs_f64(), report.events_processed)
+    };
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut wheel_best = f64::INFINITY;
+    let mut heap_best = f64::INFINITY;
+    let mut events = 0u64;
+    for i in 0..pairs {
+        let (wheel_wall, heap_wall) = if i % 2 == 0 {
+            let (w, e) = one(RuntimeQueue::wheel);
+            events = e;
+            (w, one(RuntimeQueue::heap).0)
+        } else {
+            let h = one(RuntimeQueue::heap).0;
+            let (w, e) = one(RuntimeQueue::wheel);
+            events = e;
+            (w, h)
+        };
+        ratios.push(heap_wall / wheel_wall.max(1e-9));
+        wheel_best = wheel_best.min(wheel_wall);
+        heap_best = heap_best.min(heap_wall);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median = ratios[ratios.len() / 2];
+    (median, events as f64 / wheel_best.max(1e-9), events as f64 / heap_best.max(1e-9), events)
+}
+
+/// Pure queue pressure at growing pending-set sizes: one barrier cohort of
+/// `pending` worker-completion events pushed then drained per iteration
+/// (the BSP shape with handler work stripped away). This is where the
+/// data-structure asymptotics show: the heap's `log n` sift over an
+/// ever-larger array degrades with `pending`, the wheel's bucket work does
+/// not.
+fn barrier_drain<Q: EventQueue<u32> + Default>(events: u64, pending: u64) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        let mut q = Q::default();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut processed = 0u64;
+        while processed < events {
+            let d = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 59_935_000 + 65_000;
+            for w in 0..pending {
+                let jitter = w.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 4_000;
+                q.push((u128::from(now + d + jitter) << 64) | u128::from(seq), w as u32);
+                seq += 1;
+            }
+            for _ in 0..pending {
+                let (k, _) = q.pop_at_most(u128::MAX).expect("cohort was just pushed");
+                now = (k >> 64) as u64;
+                processed += 1;
+            }
+        }
+        best = best.max(processed as f64 / t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The fork-replay demo job (mirrors `examples/whatif_fork.rs`): every
+/// divergence source engages strictly after t=0, so all three stock
+/// perturbations replay from a fork.
+fn forkable_cfg() -> JobConfig {
+    let mut cfg =
+        JobConfig::ps_bsp(antdt_workloads::cluster::cluster_a_scaled(4, 2), Scenario::None)
+            .with_global_batch(4_096)
+            .with_samples(2_000_000)
+            .with_batches_per_shard(10)
+            .with_fast_cadence(SimDuration::from_secs(60))
+            .with_seed(11)
+            .with_attribution()
+            .with_control_channel(ControlChannel::Modeled {
+                latency_secs: 0.05,
+                jitter_secs: 0.02,
+                loss_prob: 0.01,
+                seed: 5,
+            })
+            .with_checkpoint_interval(SimDuration::from_secs(60));
+    cfg.cluster.workers[3].profile.phases.push(ContentionPhase::Persistent {
+        delay_secs: 4.0,
+        from: SimTime::from_secs_f64(60.0),
+        to: SimTime::MAX,
+    });
+    cfg
+}
+
 pub fn perf() -> String {
     let mut out = header(
         "perf",
         "Deterministic perf harness: engine throughput, allocation counts, parallel speedup",
     );
 
-    // -- 1. Engine microbench: events/sec + allocations vs the pre-PR numbers.
-    let (micro_wall, micro_events, micro_allocs) = engine_microbench();
+    // -- 1. Engine microbench: events/sec + allocations vs the pre-PR numbers
+    //    (on the default queue, the time wheel).
+    let (micro_wall, micro_events, micro_allocs) = engine_microbench::<WheelQueue<u32>>();
     let micro_eps = micro_events as f64 / micro_wall.max(1e-9);
     let _ = writeln!(
         out,
@@ -91,6 +217,59 @@ pub fn perf() -> String {
             );
         }
     }
+
+    // -- 1b. Wheel vs heap on the identical cascade: the ordering layer is
+    //    pluggable, so the comparison isolates exactly the queue data
+    //    structure.
+    let wheel_eps = cascade_eps::<WheelQueue<u32>>();
+    let heap_eps = cascade_eps::<HeapQueue<u32>>();
+    let micro_ratio = wheel_eps / heap_eps.max(1e-9);
+    let _ = writeln!(
+        out,
+        "  queue microbench: wheel {wheel_eps:.0} events/s vs heap {heap_eps:.0} events/s \
+         = {micro_ratio:.2}x"
+    );
+
+    // -- 1c. The 1000-worker fixture: queue pressure at the scale the wheel
+    //    exists for, plus the job-level parity check that the two queues
+    //    produce byte-identical traces even at 1k workers.
+    let big = fixture_1k();
+    let queue_parity = Job::run_on_queue(big.clone(), RuntimeQueue::wheel()).golden_dump()
+        == Job::run_on_queue(big.clone(), RuntimeQueue::heap()).golden_dump();
+    let (ratio_1k, eps_1k_wheel, eps_1k_heap, big_events) = paired_job_ratio(&big, 11);
+    let _ = writeln!(
+        out,
+        "  1k-worker fixture ({big_events} events, median of 11 interleaved pairs): \
+         wheel {eps_1k_wheel:.0} events/s vs heap {eps_1k_heap:.0} events/s = {ratio_1k:.2}x"
+    );
+    let _ = writeln!(
+        out,
+        "  1k-worker queue parity: {}",
+        if queue_parity { "MATCH (byte-identical dumps)" } else { "DIVERGED" }
+    );
+
+    // -- 1d. Queue scaling: the barrier drain at growing pending-set sizes.
+    //    At 1k pending the heap's sift path lives in L2 and its small
+    //    constants win; as the pending set grows past the cache the `log n`
+    //    hops turn into memory stalls while the wheel's per-event work stays
+    //    flat. The ratchet pins the crossover: the wheel must beat the heap
+    //    outright at the largest scale.
+    const SCALE_EVENTS: u64 = 2_000_000;
+    let scales = [1_000u64, 10_000, 50_000, 200_000];
+    let mut scale_rows: Vec<(u64, f64, f64)> = Vec::new();
+    for &pending in &scales {
+        let w = barrier_drain::<WheelQueue<u32>>(SCALE_EVENTS, pending);
+        let h = barrier_drain::<HeapQueue<u32>>(SCALE_EVENTS, pending);
+        let _ = writeln!(
+            out,
+            "  barrier drain @ {pending} pending: wheel {w:.0} events/s vs heap {h:.0} events/s \
+             = {:.2}x",
+            w / h.max(1e-9),
+        );
+        scale_rows.push((pending, w, h));
+    }
+    let (_, w_top, h_top) = scale_rows[scale_rows.len() - 1];
+    let ratio_top = w_top / h_top.max(1e-9);
 
     // -- 2. Job allocation counts on two golden fixtures (PS/BSP and ring).
     //    Deterministic under count-alloc: the same simulation performs the
@@ -149,6 +328,36 @@ pub fn perf() -> String {
         if chaos_parity { "MATCH (run == run_serial)" } else { "DIVERGED" }
     );
 
+    // -- 5. Fork-based what-if replay: the three stock perturbations off one
+    //    shared prefix must reproduce the full-rerun table row-for-row, and
+    //    the prefix share says how much simulation the forks skipped.
+    let fork_cfg = forkable_cfg();
+    let fork_base = Job::run(fork_cfg.clone());
+    let fork_perturbations = [
+        Perturbation::HealthyNode(3),
+        Perturbation::ZeroControlLatency,
+        Perturbation::NoCkptStalls,
+    ];
+    let full_rows = antdt_core::what_if_table(&fork_cfg, &fork_base, &fork_perturbations);
+    let (fork_rows, fork_stats) =
+        antdt_core::what_if_table_forked(&fork_cfg, &fork_base, &fork_perturbations);
+    let fork_parity = fork_rows == full_rows && fork_stats.forked == fork_perturbations.len();
+    let _ = writeln!(
+        out,
+        "  what-if fork replay: {} of {} forked, prefix share {:.1}% \
+         ({} of {} events inherited)",
+        fork_stats.forked,
+        fork_perturbations.len(),
+        fork_stats.prefix_share() * 100.0,
+        fork_stats.prefix_events,
+        fork_stats.total_events,
+    );
+    let _ = writeln!(
+        out,
+        "  what-if fork parity: {}",
+        if fork_parity { "MATCH (forked table == full-rerun table)" } else { "DIVERGED" }
+    );
+
     // Machine-readable artifact (hand-rendered: the offline serde_json is a stub).
     let json = format!(
         concat!(
@@ -157,6 +366,14 @@ pub fn perf() -> String {
             "\"pre_events_per_sec\":{:.1},\"throughput_ratio\":{:.3},",
             "\"allocs\":{},\"pre_allocs\":{}}},",
             "\"job_allocs\":{{\"bsp\":{},\"bsp_pre\":{},\"allreduce\":{},\"allreduce_pre\":{}}},",
+            "\"queue\":{{\"wheel_events_per_sec\":{:.1},\"heap_events_per_sec\":{:.1},",
+            "\"wheel_over_heap\":{:.3}}},",
+            "\"fixture_1k\":{{\"workers\":1000,\"events\":{},\"pairs\":11,",
+            "\"wheel_events_per_sec\":{:.1},\"heap_events_per_sec\":{:.1},",
+            "\"wheel_over_heap_median\":{:.3},\"queue_parity\":{}}},",
+            "\"queue_scaling\":[{}],",
+            "\"whatif_fork\":{{\"forked\":{},\"prefix_events\":{},\"suffix_events\":{},",
+            "\"total_events\":{},\"prefix_share\":{:.4},\"fork_parity\":{}}},",
             "\"parallel\":{{\"jobs\":{},\"available_parallelism\":{},",
             "\"wall_serial_secs\":{:.6},\"wall_parallel_secs\":{:.6},\"speedup\":{:.3},",
             "\"all_output_parity\":{},\"chaos_matrix_parity\":{}}}}}\n"
@@ -172,6 +389,36 @@ pub fn perf() -> String {
         PRE_PERF.bsp_job_allocs,
         fixture_allocs[1].map(|a| a.to_string()).unwrap_or_else(|| "null".into()),
         PRE_PERF.allreduce_job_allocs,
+        wheel_eps,
+        heap_eps,
+        micro_ratio,
+        big_events,
+        eps_1k_wheel,
+        eps_1k_heap,
+        ratio_1k,
+        queue_parity,
+        scale_rows
+            .iter()
+            .map(|&(pending, w, h)| {
+                format!(
+                    concat!(
+                        "{{\"pending\":{},\"wheel_events_per_sec\":{:.1},",
+                        "\"heap_events_per_sec\":{:.1},\"wheel_over_heap\":{:.3}}}"
+                    ),
+                    pending,
+                    w,
+                    h,
+                    w / h.max(1e-9)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+        fork_stats.forked,
+        fork_stats.prefix_events,
+        fork_stats.suffix_events,
+        fork_stats.total_events,
+        fork_stats.prefix_share(),
+        fork_parity,
         jobs,
         avail,
         wall_ser,
@@ -184,6 +431,24 @@ pub fn perf() -> String {
 
     assert!(all_parity, "parallel `experiments all` diverged from the serial pass");
     assert!(chaos_parity, "pooled chaos matrix diverged from the serial loops");
+    assert!(queue_parity, "heap and wheel queues diverged on the 1k-worker fixture");
+    assert!(fork_parity, "forked what-if table diverged from the full-rerun table");
+    // Two perf ratchets, one per regime. At 1k workers the pending set fits
+    // the heap's array in L2 and its `log n = 10` sift has tiny constants —
+    // the wheel's job is to stay within noise of that optimum (the paired
+    // median holds at ~0.93-0.95x on the dev container; 0.9 is the ratchet
+    // floor). Past the caches the asymptotics take over: the wheel must beat
+    // the heap outright at the largest barrier-drain scale (~1.4x on the dev
+    // container).
+    assert!(
+        ratio_1k >= 0.9,
+        "time wheel regressed below the binary heap on the 1k-worker fixture: {ratio_1k:.2}x"
+    );
+    assert!(
+        ratio_top >= 1.0,
+        "time wheel lost to the binary heap at {} pending events: {ratio_top:.2}x",
+        scales[scales.len() - 1],
+    );
     out
 }
 

@@ -12,6 +12,10 @@ use std::collections::HashMap;
 pub struct NoMitigation;
 
 impl MitigationPolicy for NoMitigation {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "none"
     }
@@ -40,6 +44,10 @@ impl LbBsp {
 }
 
 impl MitigationPolicy for LbBsp {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "lb-bsp"
     }
@@ -74,6 +82,10 @@ impl BackupWorkersPolicy {
 }
 
 impl MitigationPolicy for BackupWorkersPolicy {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "backup-workers"
     }
@@ -115,6 +127,10 @@ impl KillRestartOnly {
 }
 
 impl MitigationPolicy for KillRestartOnly {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "kill-restart"
     }
@@ -168,6 +184,10 @@ impl AdjustLrPolicy {
 }
 
 impl MitigationPolicy for AdjustLrPolicy {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "adjust-lr"
     }

@@ -18,6 +18,7 @@ use antdt_sim::SimTime;
 use std::collections::HashSet;
 
 /// Run several policies as one solution, merging their actions.
+#[derive(Clone)]
 pub struct Composite {
     parts: Vec<Box<dyn MitigationPolicy>>,
 }
@@ -30,6 +31,10 @@ impl Composite {
 }
 
 impl MitigationPolicy for Composite {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "composite"
     }
@@ -93,6 +98,7 @@ impl MitigationPolicy for Composite {
 /// Size the backup-worker count from live straggler detection: `b` = number of
 /// workers whose short-window BPT exceeds `lambda ×` the mean, capped at a
 /// fraction of the fleet (never drop a majority of the gradients).
+#[derive(Clone)]
 pub struct AdaptiveBackupWorkers {
     pub lambda: f64,
     /// Maximum fraction of workers that may be dropped per iteration.
@@ -107,6 +113,10 @@ impl AdaptiveBackupWorkers {
 }
 
 impl MitigationPolicy for AdaptiveBackupWorkers {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "adaptive-backup-workers"
     }

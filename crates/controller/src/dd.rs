@@ -100,6 +100,10 @@ impl AntDtDd {
 }
 
 impl MitigationPolicy for AntDtDd {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "antdt-dd"
     }

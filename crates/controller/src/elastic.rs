@@ -108,6 +108,10 @@ fn alive_workers(snap: &MonitorSnapshot) -> impl Iterator<Item = &NodeStats> {
 }
 
 impl MitigationPolicy for ElasticPolicy {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "elastic"
     }

@@ -92,6 +92,10 @@ impl AntDtNd {
 }
 
 impl MitigationPolicy for AntDtNd {
+    fn clone_box(&self) -> Box<dyn MitigationPolicy> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "antdt-nd"
     }

@@ -32,6 +32,17 @@ pub trait MitigationPolicy: Send {
     fn drain_audit(&mut self) -> Vec<DecisionRecord> {
         Vec::new()
     }
+
+    /// Clone the policy, state included, behind a fresh box. Lets the
+    /// runtime snapshot a mid-flight job (engine fork / what-if replay)
+    /// without consuming the original.
+    fn clone_box(&self) -> Box<dyn MitigationPolicy>;
+}
+
+impl Clone for Box<dyn MitigationPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Shared helper: per-worker throughputs `vᵢ` with dead workers zeroed and

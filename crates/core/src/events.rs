@@ -3,6 +3,16 @@
 //! counter); events addressed to a previous generation are stale — the node was
 //! killed after they were scheduled — and are dropped on receipt.
 
+/// The engine type every runtime drives: queue kind chosen at job
+/// construction (hierarchical time wheel by default, binary-heap oracle for
+/// equivalence runs) without threading a generic parameter through every
+/// strategy hook.
+pub type RtEngine = antdt_sim::Engine<Ev, antdt_sim::RuntimeQueue<u32>>;
+
+/// A point-in-time capture of an [`RtEngine`] (see
+/// [`antdt_sim::EngineSnapshot`]).
+pub type RtEngineSnapshot = antdt_sim::EngineSnapshot<Ev>;
+
 // No equality derives: the engine orders events by its packed `(time, seq)`
 // key alone, and nothing in the runtimes compares `Ev` values.
 #[derive(Debug, Clone, Copy)]

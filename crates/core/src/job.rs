@@ -17,9 +17,18 @@ impl Job {
         let policy = build_policy(&cfg);
         runtime::run_with_policy(cfg, policy)
     }
+
+    /// [`Job::run`] on an explicitly-chosen event-queue implementation. The
+    /// job-level heap-vs-wheel parity sweeps and the perf bench force each
+    /// variant in turn; regular callers should use [`Job::run`] (which takes
+    /// the default queue).
+    pub fn run_on_queue(cfg: JobConfig, queue: antdt_sim::RuntimeQueue<u32>) -> JobReport {
+        let policy = build_policy(&cfg);
+        runtime::run_with_policy_queued(cfg, policy, queue)
+    }
 }
 
-fn build_policy(cfg: &JobConfig) -> Box<dyn MitigationPolicy> {
+pub(crate) fn build_policy(cfg: &JobConfig) -> Box<dyn MitigationPolicy> {
     match &cfg.mitigation {
         MitigationChoice::None => Box::new(NoMitigation),
         MitigationChoice::AntDtNd => Box::new(AntDtNd::new(NdConfig::default())),

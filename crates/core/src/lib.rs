@@ -43,7 +43,10 @@ pub use report::{
     CounterfactualRow, DirectiveFate, DirectiveRecord, InjectionRecord, JobReport, MembershipEvent,
     MembershipEventKind, MembershipReport, ReplayRecord,
 };
-pub use whatif::{apply_perturbation, run_what_if, what_if_table, Perturbation};
+pub use whatif::{
+    apply_perturbation, run_what_if, run_what_if_forked, what_if_table, what_if_table_forked,
+    ForkReplayStats, ForkedRun, Perturbation,
+};
 
 /// Run a job with an explicitly constructed policy — the escape hatch for
 /// ablations that sweep policy hyper-parameters the standard

@@ -272,6 +272,32 @@ impl AttrReport {
     }
 }
 
+/// Set-once divergence instants collected by every run: for each supported
+/// [`Perturbation`](antdt_attr::Perturbation) kind, the first simulated
+/// instant at which the perturbed job would have behaved differently from
+/// this one. `None` means the perturbation never bites — the edit is a
+/// provable no-op for this run.
+///
+/// These feed the fork-based counterfactual replay
+/// ([`crate::whatif::what_if_table_forked`]): the shared prefix up to the
+/// divergence instant is simulated once and each what-if only replays its
+/// suffix. The marks are bookkeeping *about* the schedule, never part of it —
+/// they are deliberately not rendered in [`JobReport::golden_dump`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct DivergenceMarks {
+    /// Per worker slot: the first iteration start whose cost was changed by
+    /// the worker's contention phases (`Perturbation::HealthyNode`).
+    pub worker_contended: Vec<Option<SimTime>>,
+    /// First control-plane transmission sampled on the job's own `Modeled`
+    /// base channel (`Perturbation::ZeroControlLatency`). Sends inside a
+    /// `ControlDegrade` overlay window don't count — the overlay channel is
+    /// identical either way.
+    pub control_modeled: Option<SimTime>,
+    /// First checkpoint event that charged a nonzero save/capture stall
+    /// (`Perturbation::NoCkptStalls`).
+    pub ckpt_stall: Option<SimTime>,
+}
+
 #[derive(Debug, Clone, Serialize)]
 pub struct JobReport {
     /// Job completion time.
@@ -341,6 +367,10 @@ pub struct JobReport {
     /// Elastic-membership timeline (joins, departs, ring resizes); `None`
     /// unless the run actually changed membership.
     pub membership: Option<MembershipReport>,
+    /// Per-perturbation divergence instants for fork-based counterfactual
+    /// replay. Always collected (set-once, no schedule impact); deliberately
+    /// absent from [`JobReport::golden_dump`].
+    pub divergence: DivergenceMarks,
 }
 
 impl JobReport {

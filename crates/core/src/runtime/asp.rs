@@ -6,10 +6,11 @@
 
 use super::kernel::Kernel;
 use super::ps_common::{self, PsFlavor, PsStrategy};
-use crate::events::Ev;
-use antdt_sim::{Engine, SimTime};
+use crate::events::RtEngine;
+use antdt_sim::SimTime;
 
 /// The ASP flavor over the shared PS driver.
+#[derive(Clone)]
 pub struct AspFlavor {
     /// Pushes that arrived while a server was down: `(worker, gen, at)`.
     parked: Vec<(u32, u32, SimTime)>,
@@ -31,7 +32,7 @@ impl Default for AspPs {
 }
 
 impl PsFlavor for AspFlavor {
-    fn on_push(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32, _iter: u64) {
+    fn on_push(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32, gen: u32, _iter: u64) {
         let now = eng.now();
         if k.servers.iter().any(|s| !s.alive) {
             self.parked.push((w, gen, now));
@@ -40,7 +41,7 @@ impl PsFlavor for AspFlavor {
         ps_common::finish_asp_push(k, self, eng, w, gen, now);
     }
 
-    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime) {
+    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut RtEngine, now: SimTime) {
         let parked = std::mem::take(&mut self.parked);
         for (w, g, _computed_at) in parked {
             // The push resumes now: the gradient transfer restarts against

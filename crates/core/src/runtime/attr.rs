@@ -30,6 +30,7 @@ pub(crate) const SERVER_LANE: u32 = 1000;
 
 /// Runtime state of the attribution engine: just the per-node ledger — all
 /// analysis happens once, at report assembly.
+#[derive(Clone)]
 pub(crate) struct AttrRt {
     pub(crate) ledger: Ledger,
 }

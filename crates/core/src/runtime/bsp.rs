@@ -9,14 +9,15 @@ use super::attr::SERVER_LANE;
 use super::kernel::Kernel;
 use super::ml_bridge;
 use super::ps_common::{PsFlavor, PsStrategy};
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use antdt_attr::WaitCause;
 use antdt_monitor::NodeId;
 use antdt_sim::gantt::SpanKind;
-use antdt_sim::{Engine, SimDuration, SimTime};
+use antdt_sim::{SimDuration, SimTime};
 use std::collections::HashSet;
 
 /// One worker's arrived push awaiting the barrier close.
+#[derive(Clone)]
 struct Push {
     w: u32,
     compute_end: SimTime,
@@ -25,6 +26,7 @@ struct Push {
 }
 
 /// The BSP flavor over the shared PS driver.
+#[derive(Clone)]
 pub struct BspFlavor {
     /// Global barrier iteration counter.
     iter: u64,
@@ -65,7 +67,7 @@ impl BspFlavor {
     /// Close the barrier if enough pushes arrived: run the per-server FIFO
     /// pass, one aggregated optimizer apply, commit every pushed worker and
     /// release the next iteration.
-    fn try_close(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn try_close(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         if self.pushes.len() < self.required().min(self.participants.len().max(1)) {
             return;
         }
@@ -178,7 +180,12 @@ impl BspFlavor {
                 arrs.push((p.w, arrived.as_micros()));
             }
             k.workers[wi].next_allowed = next;
-            eng.schedule(next, Ev::WorkerStart { w: p.w, gen: k.workers[wi].gen });
+            // A close deferred by a dead server (`close_pending`) resumes at
+            // the failover instant, which can sit past the arrival-derived
+            // release times: the release is then "immediately", not in the
+            // past. The max keeps the engine's clamp counter a pure
+            // logic-error signal.
+            eng.schedule(next.max(eng.now()), Ev::WorkerStart { w: p.w, gen: k.workers[wi].gen });
         }
         k.attr_barrier(self.iter, &arrs);
 
@@ -210,7 +217,11 @@ impl BspFlavor {
                 && k.workers[w].inflight.is_none()
                 && self.pushes.iter().all(|p| p.w != w as u32)
             {
-                eng.schedule(ready_max, Ev::WorkerStart { w: w as u32, gen: k.workers[w].gen });
+                // Same deferred-close consideration as the release above.
+                eng.schedule(
+                    ready_max.max(eng.now()),
+                    Ev::WorkerStart { w: w as u32, gen: k.workers[w].gen },
+                );
             }
         }
         self.pushes.clear();
@@ -223,25 +234,25 @@ impl PsFlavor for BspFlavor {
         self.iter
     }
 
-    fn on_quota_zero(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_quota_zero(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         if self.participants.remove(&w) {
             self.try_close(k, eng);
         }
     }
 
-    fn on_data_wait(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_data_wait(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         if self.participants.remove(&w) {
             self.try_close(k, eng);
         }
     }
 
-    fn on_worker_done(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_worker_done(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         if self.participants.remove(&w) {
             self.try_close(k, eng);
         }
     }
 
-    fn on_push(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32, iter: u64) {
+    fn on_push(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32, gen: u32, iter: u64) {
         let wi = w as usize;
         let now = eng.now();
         if iter < self.iter {
@@ -259,15 +270,15 @@ impl PsFlavor for BspFlavor {
         self.try_close(k, eng);
     }
 
-    fn on_worker_killed(&mut self, _k: &mut Kernel, _eng: &mut Engine<Ev>, w: u32) {
+    fn on_worker_killed(&mut self, _k: &mut Kernel, _eng: &mut RtEngine, w: u32) {
         self.participants.remove(&w);
     }
 
-    fn after_failover(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn after_failover(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         self.try_close(k, eng);
     }
 
-    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, _now: SimTime) {
+    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut RtEngine, _now: SimTime) {
         if self.close_pending {
             self.try_close(k, eng);
         }

@@ -27,14 +27,14 @@
 //! the telemetry trace.
 
 use super::kernel::Kernel;
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use crate::obs::RtTele;
 use crate::report::{DirectiveFate, DirectiveRecord};
 use antdt_agent::bus::{ControlMsg, DeliveryOutcome, Directive};
 use antdt_agent::{Agent, AgentConfig};
 use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
 use antdt_monitor::{ClusterInfo, MetricStore, MonitorConfig, NodeEvent, NodeId, Role};
-use antdt_sim::{ChannelVerdict, ControlChannel, Engine, SimDuration, SimTime};
+use antdt_sim::{ChannelVerdict, ControlChannel, SimDuration, SimTime};
 use antdt_telemetry::DecisionRecord;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +57,7 @@ pub(crate) enum BroadcastScope {
 }
 
 /// Transport state of one in-flight message.
+#[derive(Clone)]
 enum EnvState {
     /// Scheduled to arrive at its `BusMsg` instant.
     Deliver,
@@ -65,6 +66,7 @@ enum EnvState {
 }
 
 /// One message in flight on a modeled channel.
+#[derive(Clone)]
 struct Envelope {
     msg: ControlMsg,
     state: EnvState,
@@ -77,6 +79,7 @@ struct Envelope {
 /// The control-plane endpoint bundle owned by the kernel: Monitor store,
 /// Controller policy, per-node Agents, and the channel that connects them.
 /// All Monitor/Controller/Agent traffic in `runtime/` flows through here.
+#[derive(Clone)]
 pub(crate) struct ControlBus {
     channel: ControlChannel,
     /// The base channel's dedicated RNG (`None` for `Ideal`).
@@ -96,6 +99,11 @@ pub(crate) struct ControlBus {
     rejections: Vec<DecisionRecord>,
     /// Reused buffer for [`ControlBus::drain_actions_into`].
     due_scratch: Vec<(SimTime, u64, Action)>,
+    /// Set-once divergence mark for `Perturbation::ZeroControlLatency`: the
+    /// first transmission sampled on the job's own `Modeled` base channel.
+    /// Transmissions inside a `ControlDegrade` overlay window don't count —
+    /// the overlay channel behaves identically under an `Ideal` base.
+    divergence: Option<SimTime>,
     tele: Option<RtTele>,
 }
 
@@ -151,8 +159,24 @@ impl ControlBus {
             seq_to_rec: HashMap::new(),
             rejections: Vec::new(),
             due_scratch: Vec::new(),
+            divergence: None,
             tele,
         }
+    }
+
+    /// The `ZeroControlLatency` divergence instant (see the field docs).
+    pub(crate) fn control_divergence(&self) -> Option<SimTime> {
+        self.divergence
+    }
+
+    /// Counterfactual live edit: swap the base channel for `Ideal` mid-run.
+    /// Only sound on a run forked *before* [`ControlBus::control_divergence`]
+    /// — in-flight envelopes from overlay windows are unaffected (their
+    /// retries resample on whatever channel is then in effect, now `Ideal`,
+    /// exactly as a from-scratch perturbed run would).
+    pub(crate) fn set_ideal_channel(&mut self) {
+        self.channel = ControlChannel::Ideal;
+        self.rng = None;
     }
 
     /// The channel currently in effect: the innermost `ControlDegrade`
@@ -375,7 +399,7 @@ impl ControlBus {
     /// now, arrival (or retry) as a `BusMsg` event.
     fn enqueue(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         seq: u64,
         msg: ControlMsg,
         base_at: SimTime,
@@ -397,7 +421,13 @@ impl ControlBus {
     }
 
     /// One transmission attempt of `env`, starting from `base_at`.
-    fn transmit(&mut self, eng: &mut Engine<Ev>, seq: u64, mut env: Envelope, base_at: SimTime) {
+    fn transmit(&mut self, eng: &mut RtEngine, seq: u64, mut env: Envelope, base_at: SimTime) {
+        // Every channel sample funnels through here, so this is the single
+        // choke point where an `Ideal`-base run would first behave
+        // differently (overlay samples are channel-independent).
+        if self.divergence.is_none() && self.overlays.is_empty() && !self.channel.is_ideal() {
+            self.divergence = Some(eng.now());
+        }
         env.attempts += 1;
         match self.sample() {
             ChannelVerdict::Deliver(d) => {
@@ -418,7 +448,7 @@ impl ControlBus {
     /// expire it once the budget runs out.
     fn schedule_retry(
         &mut self,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         seq: u64,
         mut env: Envelope,
         base_at: SimTime,
@@ -442,7 +472,7 @@ impl ControlBus {
 /// measured.
 pub(crate) fn send_report(
     k: &mut Kernel,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     node: NodeId,
     at: SimTime,
     bpt_secs: f64,
@@ -467,7 +497,7 @@ pub(crate) fn send_report(
 /// same pokes, same event order).
 pub(crate) fn broadcast(
     k: &mut Kernel,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     now: SimTime,
     action: Action,
     scope: BroadcastScope,
@@ -515,7 +545,7 @@ pub(crate) fn broadcast(
 /// Controller → node: a `KILL_RESTART` signal. The target generation is
 /// resolved at decision time; the scheduled kill event's generation guard is
 /// the fence on this path (a restarted node ignores a stale kill).
-pub(crate) fn send_kill(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, node: NodeId) {
+pub(crate) fn send_kill(k: &mut Kernel, eng: &mut RtEngine, now: SimTime, node: NodeId) {
     let action = Action::KillRestart { node };
     let gen = match node.role {
         Role::Worker => k.workers[node.idx as usize].gen,
@@ -548,7 +578,7 @@ pub(crate) fn send_kill(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, node
 /// depart lands first → the kill no-ops on the alive check; kill lands
 /// first → the generation bumped, so the depart is dropped stale (the
 /// Controller re-decides the scale-in against the replacement later).
-pub(crate) fn send_scale_in(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, node: NodeId) {
+pub(crate) fn send_scale_in(k: &mut Kernel, eng: &mut RtEngine, now: SimTime, node: NodeId) {
     debug_assert_eq!(node.role, Role::Worker, "only workers scale in");
     let action = Action::ScaleIn { node };
     let gen = k.workers[node.idx as usize].gen;
@@ -570,7 +600,7 @@ pub(crate) fn send_scale_in(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, 
 }
 
 /// An `Ev::BusMsg` instant fired: a scheduled arrival or retransmission.
-pub(crate) fn on_bus_msg(k: &mut Kernel, eng: &mut Engine<Ev>, seq: u64) {
+pub(crate) fn on_bus_msg(k: &mut Kernel, eng: &mut RtEngine, seq: u64) {
     let Some(env) = k.bus.pending.remove(&seq) else {
         return;
     };
@@ -582,7 +612,7 @@ pub(crate) fn on_bus_msg(k: &mut Kernel, eng: &mut Engine<Ev>, seq: u64) {
 }
 
 /// A message arrived at its endpoint.
-fn deliver(k: &mut Kernel, eng: &mut Engine<Ev>, seq: u64, env: Envelope, now: SimTime) {
+fn deliver(k: &mut Kernel, eng: &mut RtEngine, seq: u64, env: Envelope, now: SimTime) {
     match env.msg.clone() {
         ControlMsg::Report { node, at, bpt_secs, batch } => {
             k.bus.store.report_bpt(node, at, bpt_secs, batch);
@@ -601,7 +631,7 @@ fn deliver(k: &mut Kernel, eng: &mut Engine<Ev>, seq: u64, env: Envelope, now: S
 /// A fenced directive arrived at its target node.
 fn deliver_directive(
     k: &mut Kernel,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     seq: u64,
     env: Envelope,
     target: NodeId,

@@ -10,9 +10,9 @@
 use super::kernel::Kernel;
 use super::strategy::SyncStrategy;
 use crate::config::InjectedFault;
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use crate::report::InjectionRecord;
-use antdt_sim::{Engine, SimDuration};
+use antdt_sim::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 pub(crate) fn chaos_fault<S: SyncStrategy>(
     k: &mut Kernel,
     strat: &mut S,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     idx: u32,
 ) {
     let now = eng.now();
@@ -81,7 +81,7 @@ pub(crate) fn chaos_fault<S: SyncStrategy>(
 pub(crate) fn chaos_lift<S: SyncStrategy>(
     k: &mut Kernel,
     strat: &mut S,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     idx: u32,
 ) {
     match k.cfg.injections[idx as usize].fault {
@@ -125,7 +125,7 @@ impl Kernel {
     /// Liveness watchdog: abort loudly (`stalled`) when nothing has progressed
     /// for a full timeout window; otherwise re-arm at the earliest instant the
     /// window could next expire.
-    pub(crate) fn liveness_check(&mut self, eng: &mut Engine<Ev>) {
+    pub(crate) fn liveness_check(&mut self, eng: &mut RtEngine) {
         let timeout = self.cfg.liveness_timeout.expect("liveness event without timeout");
         let now = eng.now();
         if now.since(self.last_progress) >= timeout {

@@ -12,7 +12,7 @@
 //! closed-form estimate.
 
 use super::kernel::Kernel;
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use crate::report::{CkptRecord, ReplayRecord};
 use antdt_attr::WaitCause;
 use antdt_ckpt::{
@@ -20,12 +20,13 @@ use antdt_ckpt::{
     WorkerMark,
 };
 use antdt_ml::Model;
-use antdt_sim::{Engine, SimDuration, SimTime};
+use antdt_sim::{SimDuration, SimTime};
 use antdt_telemetry::DecisionRecord;
 use std::collections::BTreeMap;
 
 /// Runtime state of the checkpoint subsystem; present on the kernel iff the
 /// job runs `FailoverMode::Replay` or carries an explicit `CkptConfig`.
+#[derive(Clone)]
 pub(crate) struct CkptRt {
     pub(crate) tier: StorageTier,
     /// The Controller's cadence knob ([`CkptPolicy`]); recomputed after every
@@ -117,7 +118,7 @@ impl Kernel {
     /// bytes to the async drain (training resumes immediately; durability
     /// lands when the tier write completes), recompute the cadence from the
     /// observed fault rate and re-arm.
-    pub(crate) fn ckpt_capture(&mut self, eng: &mut Engine<Ev>) {
+    pub(crate) fn ckpt_capture(&mut self, eng: &mut RtEngine) {
         if self.finished {
             return;
         }
@@ -125,6 +126,12 @@ impl Kernel {
         self.last_ckpt = now;
         if let Some(rt) = &self.tele {
             rt.tele.tracer.instant("checkpoint", "lifecycle", now.as_micros(), 0, &[]);
+        }
+        // A nonzero capture stall perturbs both the servers' booking and the
+        // adaptive-cadence input (`stall + write_secs`), so the stall itself
+        // is the divergence condition even on a serverless topology.
+        if self.ckpt_rt.as_ref().is_some_and(|c| c.capture_stall_secs > 0.0) {
+            self.mark_ckpt_stall(now);
         }
         let snap = self.ckpt_build_snapshot(now);
         let bytes = snap.size_bytes();
@@ -201,7 +208,7 @@ impl Kernel {
     /// at the restore instant — surviving workers' live DOING leases are
     /// untouched and commit normally. No-op when nothing is staged (a second
     /// restore of the same recovery) or the job finished meanwhile.
-    pub(crate) fn apply_ckpt_restore(&mut self, eng: &mut Engine<Ev>) {
+    pub(crate) fn apply_ckpt_restore(&mut self, eng: &mut RtEngine) {
         let Some(snap) = self.ckpt_rt.as_mut().and_then(|c| c.pending_restore.take()) else {
             return;
         };

@@ -20,6 +20,7 @@ pub(crate) const DDS_FETCH_SECS: f64 = 0.005;
 pub(crate) const DATA_POLL: SimDuration = SimDuration(5_000_000);
 
 /// One open shard lease plus the worker's consumption cursor into it.
+#[derive(Clone)]
 pub struct LeaseState {
     pub(crate) lease: ShardLease,
     /// Concrete sample order (real-math mode only).
@@ -31,6 +32,7 @@ pub struct LeaseState {
 
 /// Where a worker's samples come from: the stateful DDS, or a fixed even
 /// partition (the native-baseline data plane).
+#[derive(Clone)]
 pub enum DataSource {
     Dds,
     Fixed { remaining: u64 },

@@ -17,7 +17,7 @@ use super::membership::Membership;
 use super::ml_bridge::MathState;
 use crate::config::{DataStrategy, ExecutionMode, FailoverMode, JobConfig};
 use crate::obs::RtTele;
-use crate::report::{ActionApplication, InjectionRecord};
+use crate::report::{ActionApplication, DivergenceMarks, InjectionRecord};
 use antdt_agent::OverheadLedger;
 use antdt_controller::{Action, MitigationPolicy, PolicyCtx};
 use antdt_dds::{DdsConfig, DdsService};
@@ -30,6 +30,7 @@ use rand::rngs::StdRng;
 use std::collections::{HashMap, HashSet};
 
 /// A worker's in-flight iteration (compute scheduled, push not yet landed).
+#[derive(Clone)]
 pub struct Inflight {
     pub(crate) took: u64,
     pub(crate) start: SimTime,
@@ -40,6 +41,7 @@ pub struct Inflight {
 /// One worker (PS) or rank (AllReduce). The kernel keeps the superset of
 /// per-node state; strategies that don't use a field (e.g. AllReduce never
 /// restarts a rank, so `gen` stays 0) simply leave it at its initial value.
+#[derive(Clone)]
 pub struct WorkerState {
     pub(crate) gen: u32,
     pub(crate) alive: bool,
@@ -70,6 +72,7 @@ pub struct WorkerState {
 }
 
 /// One parameter server (PS topologies only; empty for AllReduce).
+#[derive(Clone)]
 pub struct ServerState {
     pub(crate) gen: u32,
     pub(crate) alive: bool,
@@ -81,6 +84,7 @@ pub struct ServerState {
 
 /// The shared runtime world. See the module docs for the kernel/strategy
 /// split; field groups mirror the report sections they eventually feed.
+#[derive(Clone)]
 pub struct Kernel {
     pub(crate) cfg: JobConfig,
     pub(crate) pool: RngPool,
@@ -159,6 +163,10 @@ pub struct Kernel {
     pub(crate) last_progress: SimTime,
     pub(crate) stalled: bool,
 
+    /// Set-once per-perturbation divergence instants (see
+    /// [`DivergenceMarks`]). Pure observation of the schedule — never an
+    /// event, an RNG draw, or a cost.
+    pub(crate) marks: DivergenceMarks,
     /// Telemetry bundle; present iff `JobConfig::telemetry`. Counting and
     /// tracing never touch the event order or any RNG stream, so a run's
     /// simulated results are identical with telemetry on or off.
@@ -329,9 +337,36 @@ impl Kernel {
             chaos_outages: 0,
             last_progress: SimTime::ZERO,
             stalled: false,
+            marks: DivergenceMarks { worker_contended: vec![None; n], ..Default::default() },
             tele,
             decision_log: Vec::new(),
             cfg,
+        }
+    }
+
+    /// Set-once divergence mark for `Perturbation::HealthyNode(wi)`: the
+    /// first iteration start whose cost the worker's contention phases
+    /// actually changed. Before this instant, clearing the phases is a
+    /// provable no-op (`iteration_secs` consumes the same jitter draw and
+    /// composes the same result when the node is uncontended), so a what-if
+    /// replay may fork here instead of re-running the prefix.
+    pub(crate) fn mark_worker_contended(&mut self, wi: usize, now: SimTime) {
+        if self.marks.worker_contended.len() <= wi {
+            self.marks.worker_contended.resize(wi + 1, None);
+        }
+        if self.marks.worker_contended[wi].is_none()
+            && self.workers[wi].profile.contended(&self.pool, now)
+        {
+            self.marks.worker_contended[wi] = Some(now);
+        }
+    }
+
+    /// Set-once divergence mark for `Perturbation::NoCkptStalls`: the first
+    /// checkpoint that charged a nonzero stall (legacy save or subsystem
+    /// capture — either also perturbs the adaptive cadence input).
+    pub(crate) fn mark_ckpt_stall(&mut self, now: SimTime) {
+        if self.marks.ckpt_stall.is_none() {
+            self.marks.ckpt_stall = Some(now);
         }
     }
 

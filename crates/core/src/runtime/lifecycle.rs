@@ -9,12 +9,12 @@
 use super::kernel::Kernel;
 use super::ps_common::PsFlavor;
 use crate::config::FailoverMode;
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use antdt_attr::WaitCause;
 use antdt_monitor::{ErrorClass, NodeEvent, NodeId, RetryableError};
 use antdt_sim::dist::Dist;
 use antdt_sim::gantt::SpanKind;
-use antdt_sim::{Engine, NodeProfile, SimDuration};
+use antdt_sim::{NodeProfile, SimDuration};
 
 /// The closed-form recompute charge of legacy checkpoint failover (§V-E3):
 /// `factor × min(time since last checkpoint, checkpoint interval)`. Extracted
@@ -30,7 +30,7 @@ pub(crate) fn legacy_rollback_secs(factor: f64, since_ckpt_secs: f64, interval_s
 pub(crate) fn worker_kill<F: PsFlavor>(
     k: &mut Kernel,
     f: &mut F,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     w: u32,
     gen: u32,
     class: ErrorClass,
@@ -127,7 +127,7 @@ pub(crate) fn worker_kill<F: PsFlavor>(
 pub(crate) fn worker_depart<F: PsFlavor>(
     k: &mut Kernel,
     f: &mut F,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     w: u32,
     gen: u32,
 ) -> bool {
@@ -175,7 +175,7 @@ pub(crate) fn worker_depart<F: PsFlavor>(
 pub(crate) fn server_restart<F: PsFlavor>(
     k: &mut Kernel,
     f: &mut F,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     s: u32,
     gen: u32,
 ) {
@@ -206,7 +206,7 @@ pub(crate) fn server_restart<F: PsFlavor>(
 
 /// A background fault arrival for worker `w`: kill (if alive) and re-arm —
 /// the replacement pod is as mortal as its predecessor.
-pub(crate) fn fault_worker<F: PsFlavor>(k: &mut Kernel, f: &mut F, eng: &mut Engine<Ev>, w: u32) {
+pub(crate) fn fault_worker<F: PsFlavor>(k: &mut Kernel, f: &mut F, eng: &mut RtEngine, w: u32) {
     let gen = k.workers[w as usize].gen;
     if k.workers[w as usize].alive {
         worker_kill(k, f, eng, w, gen, ErrorClass::Retryable(RetryableError::NodeFailure));
@@ -218,7 +218,7 @@ pub(crate) fn fault_worker<F: PsFlavor>(k: &mut Kernel, f: &mut F, eng: &mut Eng
 
 impl Kernel {
     /// The replacement worker pod came up on healthy hardware.
-    pub(crate) fn worker_restart(&mut self, eng: &mut Engine<Ev>, w: u32, gen: u32) {
+    pub(crate) fn worker_restart(&mut self, eng: &mut RtEngine, w: u32, gen: u32) {
         let wi = w as usize;
         if self.workers[wi].alive || self.workers[wi].gen != gen || self.finished {
             return;
@@ -254,7 +254,7 @@ impl Kernel {
     /// checkpoint (§V-E2). Under Replay the closed-form restore + recompute
     /// charge is replaced by the storage-tier read-back of the last durable
     /// snapshot plus the emergent replay of the rewound work.
-    pub(crate) fn server_kill(&mut self, eng: &mut Engine<Ev>, s: u32, gen: u32) {
+    pub(crate) fn server_kill(&mut self, eng: &mut RtEngine, s: u32, gen: u32) {
         let sj = s as usize;
         if !self.servers[sj].alive || self.servers[sj].gen != gen {
             return;
@@ -309,7 +309,7 @@ impl Kernel {
     }
 
     /// A background fault arrival for server `s`: kill (if alive) and re-arm.
-    pub(crate) fn fault_server(&mut self, eng: &mut Engine<Ev>, s: u32) {
+    pub(crate) fn fault_server(&mut self, eng: &mut RtEngine, s: u32) {
         let gen = self.servers[s as usize].gen;
         if self.servers[s as usize].alive {
             self.server_kill(eng, s, gen);
@@ -328,7 +328,7 @@ impl Kernel {
     /// for the save, re-arm. With the checkpoint subsystem armed the event
     /// instead captures a real [`antdt_ckpt::Snapshot`] (async-drained to the
     /// storage tier, cadence re-armed by the `CkptPolicy` knob).
-    pub(crate) fn checkpoint(&mut self, eng: &mut Engine<Ev>) {
+    pub(crate) fn checkpoint(&mut self, eng: &mut RtEngine) {
         if self.ckpt_rt.is_some() {
             self.ckpt_capture(eng);
             return;
@@ -342,6 +342,9 @@ impl Kernel {
             rt.tele.tracer.instant("checkpoint", "lifecycle", now.as_micros(), 0, &[]);
         }
         // Saving blocks the servers briefly.
+        if self.cfg.ckpt_save_secs > 0.0 && self.servers.iter().any(|s| s.alive) {
+            self.mark_ckpt_stall(now);
+        }
         for j in 0..self.servers.len() {
             if self.servers[j].alive {
                 let base = self.servers[j].free_at.max(now);

@@ -25,12 +25,13 @@ use super::kernel::Kernel;
 use super::ring::RoundDriver;
 use super::strategy::SyncStrategy;
 use crate::config::InjectedFault;
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use antdt_controller::Action;
-use antdt_sim::{Engine, SimTime};
+use antdt_sim::SimTime;
 
 /// Local-SGD over the ring round driver: `sync_every` local steps per
 /// communication round.
+#[derive(Clone)]
 pub struct LocalSgd {
     driver: RoundDriver,
 }
@@ -52,11 +53,11 @@ impl SyncStrategy for LocalSgd {
     const CHARGE_REPORT_FETCH: bool = false;
     const USES_SERVERS: bool = false;
 
-    fn bootstrap_head(&mut self, _k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn bootstrap_head(&mut self, _k: &mut Kernel, eng: &mut RtEngine) {
         self.driver.bootstrap_head(eng);
     }
 
-    fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
+    fn on_event(&mut self, k: &mut Kernel, eng: &mut RtEngine, ev: Ev) {
         self.driver.on_event(k, eng, ev);
         match ev {
             Ev::WorkerJoin { w } => self.on_membership_change(k, eng, w, true),
@@ -68,7 +69,7 @@ impl SyncStrategy for LocalSgd {
     fn on_controller_action(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         now: SimTime,
         action: Action,
     ) {
@@ -78,7 +79,7 @@ impl SyncStrategy for LocalSgd {
     fn inject_kill(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         fault: &InjectedFault,
         _rec_idx: usize,
     ) {

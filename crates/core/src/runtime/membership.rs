@@ -21,11 +21,11 @@
 use super::data::DataSource;
 use super::kernel::{Kernel, WorkerState};
 use crate::config::DataStrategy;
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use crate::report::{MembershipEvent, MembershipEventKind};
 use antdt_monitor::{NodeEvent, NodeId};
 use antdt_sim::gantt::SpanKind;
-use antdt_sim::{Engine, NodeProfile, SimDuration, SimTime, TimeSeries};
+use antdt_sim::{NodeProfile, SimDuration, SimTime, TimeSeries};
 use std::collections::HashSet;
 
 /// Joiner jitter-profile streams start here: far above the initial workers
@@ -36,6 +36,7 @@ const JOIN_STREAM_BASE: u64 = 500_000;
 /// The membership registry: ordered event timeline plus the departed set the
 /// chaos `membership-consistent` invariant audits. Empty (zero events) on
 /// every fixed-membership run.
+#[derive(Clone)]
 pub(crate) struct Membership {
     /// Workers present at job start (slots `0..initial`).
     pub(crate) initial: usize,
@@ -62,7 +63,7 @@ impl Membership {
 /// schedule their joins. Runs at the Controller decision instant (the
 /// scheduler allocates pods; no agent is involved yet, so nothing transits
 /// the control channel).
-pub(crate) fn scale_out(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, add: u32) {
+pub(crate) fn scale_out(k: &mut Kernel, eng: &mut RtEngine, now: SimTime, add: u32) {
     for _ in 0..add {
         let id = k.workers.len() as u32;
         // The joiner inherits the cluster's baseline hardware (first spec
@@ -131,7 +132,7 @@ pub(crate) fn scale_out(k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime, add:
 /// effect (false if the slot was somehow already live). The caller schedules
 /// whatever its consistency model needs — PS flavors start the worker's
 /// iteration loop; round drivers just let the next round open pick it up.
-pub(crate) fn complete_join(k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) -> bool {
+pub(crate) fn complete_join(k: &mut Kernel, eng: &mut RtEngine, w: u32) -> bool {
     let wi = w as usize;
     if k.workers[wi].alive || k.finished {
         return false;

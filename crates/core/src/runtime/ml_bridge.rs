@@ -14,6 +14,7 @@ use antdt_ml::{FactorizationMachine, Model, Optimizer, PartitionPlan, Sgd};
 /// Real-math state: the model, its optimizer, the parameter partition over
 /// the servers and a persistent aggregation buffer (avoids a fresh
 /// `n_params` allocation per iteration).
+#[derive(Clone)]
 pub struct MathState {
     pub(crate) model: FactorizationMachine,
     pub(crate) opt: Sgd,

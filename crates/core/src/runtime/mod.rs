@@ -40,4 +40,4 @@ pub mod ring;
 pub mod ssp;
 pub mod strategy;
 
-pub use strategy::{run, run_with_policy, SyncStrategy};
+pub use strategy::{run, run_with_policy, run_with_policy_queued, SyncStrategy};

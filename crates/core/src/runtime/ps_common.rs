@@ -12,13 +12,13 @@ use super::kernel::{Inflight, Kernel};
 use super::strategy::SyncStrategy;
 use super::{lifecycle, ml_bridge};
 use crate::config::InjectedFault;
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use crate::report::ActionApplication;
 use antdt_attr::WaitCause;
 use antdt_controller::Action;
 use antdt_monitor::{ErrorClass, NodeId, RetryableError};
 use antdt_sim::gantt::SpanKind;
-use antdt_sim::{Engine, SimDuration, SimTime};
+use antdt_sim::{SimDuration, SimTime};
 
 /// Consistency-flavor hooks for the shared PS driver. Every hook has a no-op
 /// default; a flavor overrides only the points where its protocol differs.
@@ -37,43 +37,43 @@ pub trait PsFlavor {
     }
 
     /// The worker's quota is zero at iteration start (it sits out).
-    fn on_quota_zero(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_quota_zero(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         let _ = (k, eng, w);
     }
 
     /// The worker is about to enter a data-poll wait (shard queue empty).
     /// Runs before the `starving` flag is set.
-    fn before_data_wait(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn before_data_wait(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         let _ = (k, eng);
     }
 
     /// The worker entered the data-poll wait (`starving` now set).
-    fn on_data_wait(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_data_wait(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         let _ = (k, eng, w);
     }
 
     /// The worker consumed its last sample and left the job.
-    fn on_worker_done(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_worker_done(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         let _ = (k, eng, w);
     }
 
     /// A compute completion pushed its gradient (guards already passed).
-    fn on_push(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32, iter: u64);
+    fn on_push(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32, gen: u32, iter: u64);
 
     /// The worker was killed (bookkeeping + DDS failover already done, the
     /// replacement not yet scheduled).
-    fn on_worker_killed(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_worker_killed(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         let _ = (k, eng, w);
     }
 
     /// A worker kill finished (replacement scheduled or skipped); the barrier
     /// may now be closeable without the dead worker.
-    fn after_failover(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn after_failover(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         let _ = (k, eng);
     }
 
     /// The last dead server came back; parked/pending work resumes.
-    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime) {
+    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut RtEngine, now: SimTime) {
         let _ = (k, eng, now);
     }
 
@@ -84,7 +84,7 @@ pub trait PsFlavor {
 
     /// An async push committed; its worker restarts at `next` (SSP: waiters
     /// may now pass the staleness bound).
-    fn after_async_commit(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, next: SimTime) {
+    fn after_async_commit(&mut self, k: &mut Kernel, eng: &mut RtEngine, next: SimTime) {
         let _ = (k, eng, next);
     }
 }
@@ -94,7 +94,7 @@ pub trait PsFlavor {
 pub(crate) fn worker_start<F: PsFlavor>(
     k: &mut Kernel,
     f: &mut F,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     w: u32,
     gen: u32,
 ) {
@@ -196,6 +196,7 @@ pub(crate) fn worker_start<F: PsFlavor>(
     // behave like the full batch split C ways (the quota already reflects
     // the per-micro-batch size in DD mode).
     let accum = k.workers[wi].accum.max(1);
+    k.mark_worker_contended(wi, now);
     let mut dur = 0.0;
     for _ in 0..accum {
         let base = k.cfg.model.compute.time(took, k.workers[wi].device.speed);
@@ -223,7 +224,7 @@ pub(crate) fn worker_start<F: PsFlavor>(
 pub(crate) fn compute_done<F: PsFlavor>(
     k: &mut Kernel,
     f: &mut F,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     w: u32,
     gen: u32,
     iter: u64,
@@ -241,7 +242,7 @@ pub(crate) fn compute_done<F: PsFlavor>(
 pub(crate) fn finish_asp_push<F: PsFlavor>(
     k: &mut Kernel,
     f: &mut F,
-    eng: &mut Engine<Ev>,
+    eng: &mut RtEngine,
     w: u32,
     gen: u32,
     compute_end: SimTime,
@@ -351,7 +352,7 @@ fn apply_worker_action<F: PsFlavor>(k: &mut Kernel, f: &mut F, wi: usize, action
 /// direct sends, global actions as a fenced broadcast (Fig. 6: controller →
 /// primary agent → broadcast → local barrier; every worker applies at its
 /// next iteration boundary).
-fn dispatch(k: &mut Kernel, eng: &mut Engine<Ev>, action: Action, now: SimTime) {
+fn dispatch(k: &mut Kernel, eng: &mut RtEngine, action: Action, now: SimTime) {
     match action {
         Action::None => {}
         Action::KillRestart { node } => super::bus::send_kill(k, eng, now, node),
@@ -365,6 +366,7 @@ fn dispatch(k: &mut Kernel, eng: &mut Engine<Ev>, action: Action, now: SimTime) 
 
 /// A [`PsFlavor`] lifted into a [`SyncStrategy`]: the full parameter-server
 /// runtime over the shared kernel.
+#[derive(Clone)]
 pub struct PsStrategy<F: PsFlavor> {
     pub(crate) flavor: F,
 }
@@ -375,13 +377,13 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
     const CHARGE_REPORT_FETCH: bool = true;
     const USES_SERVERS: bool = true;
 
-    fn bootstrap_head(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn bootstrap_head(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         for w in 0..k.workers.len() as u32 {
             eng.schedule(SimTime::ZERO, Ev::WorkerStart { w, gen: 0 });
         }
     }
 
-    fn bootstrap_tail(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn bootstrap_tail(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         eng.schedule(SimTime::ZERO + k.cfg.checkpoint_interval, Ev::Checkpoint);
         if let Some(faults) = k.cfg.faults {
             for w in 0..k.workers.len() as u32 {
@@ -397,7 +399,7 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
         }
     }
 
-    fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
+    fn on_event(&mut self, k: &mut Kernel, eng: &mut RtEngine, ev: Ev) {
         match ev {
             Ev::WorkerStart { w, gen } => worker_start(k, &mut self.flavor, eng, w, gen),
             Ev::WorkerComputeDone { w, gen, iter } => {
@@ -448,7 +450,7 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
     fn on_controller_action(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         now: SimTime,
         action: Action,
     ) {
@@ -461,7 +463,7 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
     fn inject_kill(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         fault: &InjectedFault,
         rec_idx: usize,
     ) {
@@ -520,7 +522,7 @@ impl<F: PsFlavor> SyncStrategy for PsStrategy<F> {
         }
     }
 
-    fn on_dds_restored(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn on_dds_restored(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         // Starving workers poll every DATA_POLL anyway; poke them so
         // recovery isn't charged the tail of a poll interval.
         for w in 0..k.workers.len() {

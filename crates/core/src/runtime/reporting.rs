@@ -5,10 +5,10 @@
 use super::data::DataSource;
 use super::kernel::Kernel;
 use crate::config::{DataStrategy, ExecutionMode};
-use crate::events::Ev;
+use crate::events::RtEngine;
 use crate::report::{CkptReport, JobReport, MembershipEventKind, MembershipReport};
 use antdt_ml::Model;
-use antdt_sim::{Engine, SimDuration, SimTime};
+use antdt_sim::{SimDuration, SimTime};
 
 /// Bucket width of the global-throughput series (samples/sec, Fig. 14).
 pub(crate) const THROUGHPUT_BUCKET: SimDuration = SimDuration(60_000_000);
@@ -31,7 +31,7 @@ impl Kernel {
     }
 
     /// Finish when the data plane is drained and nothing is in flight.
-    pub(crate) fn check_finished(&mut self, eng: &mut Engine<Ev>) {
+    pub(crate) fn check_finished(&mut self, eng: &mut RtEngine) {
         if self.finished {
             return;
         }
@@ -163,6 +163,11 @@ impl Kernel {
             ckpt,
             attr,
             membership,
+            divergence: {
+                let mut marks = self.marks;
+                marks.control_modeled = self.bus.control_divergence();
+                marks
+            },
         }
     }
 }

@@ -15,16 +15,17 @@ use super::kernel::Kernel;
 use super::ml_bridge;
 use super::strategy::SyncStrategy;
 use crate::config::{DataStrategy, InjectedFault};
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use crate::report::ActionApplication;
 use antdt_attr::WaitCause;
 use antdt_controller::Action;
 use antdt_monitor::NodeId;
 use antdt_sim::gantt::SpanKind;
 use antdt_sim::network::ring_allreduce_secs;
-use antdt_sim::{Engine, SimDuration, SimTime};
+use antdt_sim::{SimDuration, SimTime};
 
 /// One rank's contribution to the open round.
+#[derive(Clone)]
 struct Part {
     w: usize,
     took: u64,
@@ -36,6 +37,7 @@ struct Part {
 /// leaves the ring for good (no per-rank restart in DDP); with failover its
 /// shards requeue and the surviving ranks absorb them (elastic-DDP
 /// assumption).
+#[derive(Clone)]
 pub(crate) struct RoundDriver {
     /// Local optimizer steps per communication round (1 = plain AllReduce).
     sync_every: u32,
@@ -49,11 +51,11 @@ impl RoundDriver {
         RoundDriver { sync_every, round: 0, round_start: SimTime::ZERO, parts: Vec::new() }
     }
 
-    pub(crate) fn bootstrap_head(&mut self, eng: &mut Engine<Ev>) {
+    pub(crate) fn bootstrap_head(&mut self, eng: &mut RtEngine) {
         eng.schedule(SimTime::ZERO, Ev::RoundEnd { round: 0 }); // bootstraps round 0
     }
 
-    pub(crate) fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
+    pub(crate) fn on_event(&mut self, k: &mut Kernel, eng: &mut RtEngine, ev: Ev) {
         match ev {
             Ev::RoundEnd { round } if round == self.round => self.close_round(k, eng),
             Ev::RoundEnd { .. } => {}
@@ -71,7 +73,7 @@ impl RoundDriver {
 
     /// Open a round: every live rank applies its delivered actions, computes
     /// its micro-batches, and the slowest participant sets the ring start.
-    fn start_round(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn start_round(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         let now = eng.now();
         self.round_start = now;
         self.parts.clear();
@@ -102,6 +104,7 @@ impl RoundDriver {
             k.attr_sync(w as u32, now, ctrl_us);
             let accum = k.workers[w].accum.max(1);
             let quota = k.workers[w].quota;
+            k.mark_worker_contended(w, now);
             let steps = accum as u64 * self.sync_every as u64;
             let mut took = 0u64;
             let mut compute = 0.0f64;
@@ -187,7 +190,7 @@ impl RoundDriver {
 
     /// Close the round: sample-weighted optimizer step, commit every
     /// contribution, account the round's throughput, open the next round.
-    fn close_round(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn close_round(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         let now = eng.now();
         if self.round == 0 && self.parts.is_empty() && self.round_start == SimTime::ZERO {
             // Bootstrap event.
@@ -248,7 +251,7 @@ impl RoundDriver {
     pub(crate) fn on_controller_action(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         now: SimTime,
         action: Action,
     ) {
@@ -276,7 +279,7 @@ impl RoundDriver {
     pub(crate) fn inject_kill(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         fault: &InjectedFault,
     ) {
         let now = eng.now();
@@ -324,7 +327,7 @@ impl RoundDriver {
     /// and dropped from the consistent-hash placement ring. A rank whose
     /// contribution is already in the open round still synchronizes it (the
     /// depart takes effect at the next round open, never mid-round).
-    fn depart_rank(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32) {
+    fn depart_rank(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32, gen: u32) {
         let wi = w as usize;
         if !k.workers[wi].alive || k.workers[wi].gen != gen {
             return; // stale retire signal: the double-remove fence held
@@ -376,6 +379,7 @@ fn apply_rank_action(k: &mut Kernel, w: usize, action: Action) {
 }
 
 /// The ring-AllReduce runtime: one optimizer step per communication round.
+#[derive(Clone)]
 pub struct RingAllReduce {
     driver: RoundDriver,
 }
@@ -398,11 +402,11 @@ impl SyncStrategy for RingAllReduce {
     const CHARGE_REPORT_FETCH: bool = false;
     const USES_SERVERS: bool = false;
 
-    fn bootstrap_head(&mut self, _k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn bootstrap_head(&mut self, _k: &mut Kernel, eng: &mut RtEngine) {
         self.driver.bootstrap_head(eng);
     }
 
-    fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev) {
+    fn on_event(&mut self, k: &mut Kernel, eng: &mut RtEngine, ev: Ev) {
         self.driver.on_event(k, eng, ev);
         match ev {
             Ev::WorkerJoin { w } => self.on_membership_change(k, eng, w, true),
@@ -414,7 +418,7 @@ impl SyncStrategy for RingAllReduce {
     fn on_controller_action(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         now: SimTime,
         action: Action,
     ) {
@@ -424,7 +428,7 @@ impl SyncStrategy for RingAllReduce {
     fn inject_kill(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         fault: &InjectedFault,
         _rec_idx: usize,
     ) {

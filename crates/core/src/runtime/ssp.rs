@@ -7,11 +7,12 @@
 
 use super::kernel::Kernel;
 use super::ps_common::{self, PsFlavor, PsStrategy};
-use crate::events::Ev;
-use antdt_sim::{Engine, SimTime};
+use crate::events::{Ev, RtEngine};
+use antdt_sim::SimTime;
 use std::collections::BTreeSet;
 
 /// The SSP flavor over the shared PS driver.
+#[derive(Clone)]
 pub struct SspFlavor {
     staleness: u32,
     /// Pushes that arrived while a server was down: `(worker, gen, at)`.
@@ -34,7 +35,7 @@ impl SspPs {
 
 impl SspFlavor {
     /// Wake every parked waiter at `at` (their own gate re-checks the bound).
-    fn drain_waiting(&mut self, k: &Kernel, eng: &mut Engine<Ev>, at: SimTime) {
+    fn drain_waiting(&mut self, k: &Kernel, eng: &mut RtEngine, at: SimTime) {
         if self.waiting.is_empty() {
             return;
         }
@@ -62,13 +63,13 @@ impl PsFlavor for SspFlavor {
         false
     }
 
-    fn before_data_wait(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn before_data_wait(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         // A starving worker holds the minimum iteration count while parked
         // workers hold the DOING shards: drain them or nobody progresses.
         self.drain_waiting(k, eng, eng.now());
     }
 
-    fn on_push(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, gen: u32, _iter: u64) {
+    fn on_push(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32, gen: u32, _iter: u64) {
         let now = eng.now();
         if k.servers.iter().any(|s| !s.alive) {
             self.parked.push((w, gen, now));
@@ -77,13 +78,13 @@ impl PsFlavor for SspFlavor {
         ps_common::finish_asp_push(k, self, eng, w, gen, now);
     }
 
-    fn on_worker_killed(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32) {
+    fn on_worker_killed(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32) {
         // The dead worker may have been the laggard pinning the bound.
         self.waiting.remove(&w);
         self.drain_waiting(k, eng, eng.now());
     }
 
-    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, now: SimTime) {
+    fn on_servers_recovered(&mut self, k: &mut Kernel, eng: &mut RtEngine, now: SimTime) {
         let parked = std::mem::take(&mut self.parked);
         for (w, g, _computed_at) in parked {
             // The push resumes now: the gradient transfer restarts against
@@ -92,7 +93,7 @@ impl PsFlavor for SspFlavor {
         }
     }
 
-    fn after_async_commit(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, next: SimTime) {
+    fn after_async_commit(&mut self, k: &mut Kernel, eng: &mut RtEngine, next: SimTime) {
         // This worker's progress may unblock waiters at the bound.
         self.drain_waiting(k, eng, next);
     }
@@ -152,7 +153,7 @@ mod tests {
     #[test]
     fn killed_laggard_is_dropped_and_remaining_waiters_wake() {
         let mut k = mk_kernel();
-        let mut eng: Engine<Ev> = Engine::new();
+        let mut eng = RtEngine::new();
         let mut f = mk_flavor(3);
         f.waiting.insert(1);
         f.waiting.insert(2);

@@ -10,12 +10,12 @@
 use super::chaos_hooks;
 use super::kernel::Kernel;
 use crate::config::{Arch, Consistency, InjectedFault, JobConfig};
-use crate::events::Ev;
+use crate::events::{Ev, RtEngine};
 use crate::obs::RtTele;
 use crate::report::JobReport;
 use antdt_controller::{Action, MitigationPolicy};
 use antdt_monitor::ClusterInfo;
-use antdt_sim::{Engine, SimTime};
+use antdt_sim::{RuntimeQueue, SimTime};
 
 /// One synchronization strategy over the shared `Kernel`.
 ///
@@ -42,23 +42,23 @@ pub trait SyncStrategy {
 
     /// Schedule the strategy's initial events (worker starts / round zero).
     /// Runs before the kernel arms the monitor tick.
-    fn bootstrap_head(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>);
+    fn bootstrap_head(&mut self, k: &mut Kernel, eng: &mut RtEngine);
 
     /// Schedule trailing bootstrap events (checkpoints, background faults).
     /// Runs after the monitor tick, before chaos injections.
-    fn bootstrap_tail(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn bootstrap_tail(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         let _ = (k, eng);
     }
 
     /// Handle a strategy-routed event (anything the kernel doesn't own:
     /// worker/server lifecycle, compute completions, round ends).
-    fn on_event(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, ev: Ev);
+    fn on_event(&mut self, k: &mut Kernel, eng: &mut RtEngine, ev: Ev);
 
     /// Deliver one Controller action decided at a monitor tick.
     fn on_controller_action(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         now: SimTime,
         action: Action,
     );
@@ -69,13 +69,13 @@ pub trait SyncStrategy {
     fn inject_kill(
         &mut self,
         k: &mut Kernel,
-        eng: &mut Engine<Ev>,
+        eng: &mut RtEngine,
         fault: &InjectedFault,
         rec_idx: usize,
     );
 
     /// The last overlapping DDS outage window lifted; data is flowing again.
-    fn on_dds_restored(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>) {
+    fn on_dds_restored(&mut self, k: &mut Kernel, eng: &mut RtEngine) {
         let _ = (k, eng);
     }
 
@@ -88,7 +88,7 @@ pub trait SyncStrategy {
     /// the ring re-enumerates live ranks at each round open, ASP/SSP
     /// schedules are per-worker). Override only for a strategy that caches
     /// membership across boundaries.
-    fn on_membership_change(&mut self, k: &mut Kernel, eng: &mut Engine<Ev>, w: u32, joined: bool) {
+    fn on_membership_change(&mut self, k: &mut Kernel, eng: &mut RtEngine, w: u32, joined: bool) {
         let _ = (k, eng, w, joined);
     }
 }
@@ -98,43 +98,129 @@ pub trait SyncStrategy {
 pub fn run<S: SyncStrategy>(
     cfg: JobConfig,
     policy: Box<dyn MitigationPolicy>,
-    mut strat: S,
+    strat: S,
 ) -> JobReport {
-    cfg.validate();
-    let rt = cfg.telemetry.then(|| RtTele::new(S::LABEL));
-    let mut k = Kernel::new(
-        cfg,
-        policy,
-        rt,
-        S::WORKER_STREAM_FAMILY,
-        S::CHARGE_REPORT_FETCH,
-        S::USES_SERVERS,
-    );
-    let mut eng: Engine<Ev> = Engine::new();
-    if let Some(rt) = &k.tele {
-        eng.attach_telemetry(rt.events_scheduled.clone(), rt.events_processed.clone());
-    }
-    strat.bootstrap_head(&mut k, &mut eng);
-    eng.schedule(SimTime::ZERO + k.cfg.monitor_tick, Ev::MonitorTick);
-    strat.bootstrap_tail(&mut k, &mut eng);
-    for (i, inj) in k.cfg.injections.iter().enumerate() {
-        eng.schedule(SimTime::from_secs_f64(inj.at_secs), Ev::ChaosFault { k: i as u32 });
-    }
-    if let Some(timeout) = k.cfg.liveness_timeout {
-        eng.schedule(SimTime::ZERO + timeout, Ev::LivenessCheck);
+    run_queued(cfg, policy, strat, RuntimeQueue::wheel())
+}
+
+/// [`run`], but on an explicitly-chosen event-queue kind. The heap variant is
+/// the reference oracle the equivalence tests force; results must be
+/// byte-identical either way.
+pub fn run_queued<S: SyncStrategy>(
+    cfg: JobConfig,
+    policy: Box<dyn MitigationPolicy>,
+    strat: S,
+    queue: RuntimeQueue<u32>,
+) -> JobReport {
+    SimRun::new_queued(cfg, policy, strat, queue).finish()
+}
+
+/// An in-flight job that can be advanced in stages, snapshotted and forked —
+/// the substrate for counterfactual replay (`whatif`): run the shared prefix
+/// once, fork at each divergence point, and only simulate the suffixes.
+pub struct SimRun<S: SyncStrategy> {
+    pub(crate) k: Kernel,
+    strat: S,
+    eng: RtEngine,
+}
+
+impl<S: SyncStrategy> SimRun<S> {
+    /// Build and bootstrap a job without running any events yet.
+    pub fn new_queued(
+        cfg: JobConfig,
+        policy: Box<dyn MitigationPolicy>,
+        mut strat: S,
+        queue: RuntimeQueue<u32>,
+    ) -> Self {
+        cfg.validate();
+        let rt = cfg.telemetry.then(|| RtTele::new(S::LABEL));
+        let mut k = Kernel::new(
+            cfg,
+            policy,
+            rt,
+            S::WORKER_STREAM_FAMILY,
+            S::CHARGE_REPORT_FETCH,
+            S::USES_SERVERS,
+        );
+        let mut eng = RtEngine::with_queue(queue);
+        if let Some(rt) = &k.tele {
+            eng.attach_telemetry(rt.events_scheduled.clone(), rt.events_processed.clone());
+        }
+        strat.bootstrap_head(&mut k, &mut eng);
+        eng.schedule(SimTime::ZERO + k.cfg.monitor_tick, Ev::MonitorTick);
+        strat.bootstrap_tail(&mut k, &mut eng);
+        for (i, inj) in k.cfg.injections.iter().enumerate() {
+            eng.schedule(SimTime::from_secs_f64(inj.at_secs), Ev::ChaosFault { k: i as u32 });
+        }
+        if let Some(timeout) = k.cfg.liveness_timeout {
+            eng.schedule(SimTime::ZERO + timeout, Ev::LivenessCheck);
+        }
+        SimRun { k, strat, eng }
     }
 
-    let deadline = k.cfg.max_sim_time;
-    let drained = eng.run_until(deadline, |eng, ev| handle(&mut k, &mut strat, eng, ev));
-    if !drained && !k.finished {
-        k.timed_out = true;
+    /// Fire every event up to and including instant `t` (but no further).
+    /// Returns `true` if the queue drained.
+    pub fn advance_until(&mut self, t: SimTime) -> bool {
+        let Self { k, strat, eng } = self;
+        eng.run_until(t, |eng, ev| handle(k, strat, eng, ev))
     }
-    k.into_report(eng.processed())
+
+    /// The job's current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.eng.processed()
+    }
+
+    /// Whether the job has reached its finish condition.
+    pub fn finished(&self) -> bool {
+        self.k.finished
+    }
+
+    /// Mutable access to the kernel, for applying a counterfactual edit at
+    /// the fork instant (see `crate::whatif`).
+    pub(crate) fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.k
+    }
+
+    /// Fork the run: an independent job resuming from this exact instant
+    /// with identical pending events, world state and RNG positions. The
+    /// original run is untouched. Panics if engine telemetry is attached
+    /// (forks would double-count into the shared counters), so callers must
+    /// fall back to full reruns for telemetry-armed jobs.
+    pub fn fork(&self) -> Self
+    where
+        S: Clone,
+    {
+        assert!(self.k.tele.is_none(), "cannot fork a telemetry-armed run: counters are shared");
+        let snap = self.eng.snapshot();
+        let eng = RtEngine::fork_with_queue(&snap, self.eng.queue().empty_like());
+        SimRun { k: self.k.clone(), strat: self.strat.clone(), eng }
+    }
+
+    /// Drive the job to completion (finish, drain or deadline) and assemble
+    /// its report.
+    pub fn finish(mut self) -> JobReport {
+        let deadline = self.k.cfg.max_sim_time;
+        let drained = self.advance_until(deadline);
+        if !drained && !self.k.finished {
+            self.k.timed_out = true;
+        }
+        debug_assert_eq!(
+            self.eng.clamped(),
+            0,
+            "runtime scheduled an event in the past (engine clamped it)"
+        );
+        self.k.into_report(self.eng.processed())
+    }
 }
 
 /// Route one event: kernel-owned events are handled here, everything else
 /// goes to the strategy.
-fn handle<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine<Ev>, ev: Ev) {
+fn handle<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut RtEngine, ev: Ev) {
     if k.finished {
         return;
     }
@@ -154,7 +240,7 @@ fn handle<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine<Ev>, 
 
 /// One Monitor→Controller tick: snapshot, decide, audit, dispatch each action
 /// through the strategy, re-arm.
-fn monitor_tick<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine<Ev>) {
+fn monitor_tick<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut RtEngine) {
     let now = eng.now();
     let sched = &k.cfg.cluster.scheduler;
     let info = ClusterInfo {
@@ -172,18 +258,100 @@ fn monitor_tick<S: SyncStrategy>(k: &mut Kernel, strat: &mut S, eng: &mut Engine
 
 /// Arch-dispatching entry point: pick the strategy for `cfg.arch` and run.
 pub fn run_with_policy(cfg: JobConfig, policy: Box<dyn MitigationPolicy>) -> JobReport {
+    run_with_policy_queued(cfg, policy, RuntimeQueue::wheel())
+}
+
+/// [`run_with_policy`] on an explicitly-chosen event-queue kind (the
+/// heap-vs-wheel equivalence tests and the perf bench force each in turn).
+pub fn run_with_policy_queued(
+    cfg: JobConfig,
+    policy: Box<dyn MitigationPolicy>,
+    queue: RuntimeQueue<u32>,
+) -> JobReport {
     match cfg.arch {
         Arch::ParameterServer { consistency } => match consistency {
             Consistency::Bsp => {
                 let n = cfg.n_workers();
-                run(cfg, policy, super::bsp::BspPs::new(n))
+                run_queued(cfg, policy, super::bsp::BspPs::new(n), queue)
             }
-            Consistency::Asp => run(cfg, policy, super::asp::AspPs::new()),
-            Consistency::Ssp { staleness } => run(cfg, policy, super::ssp::SspPs::new(staleness)),
+            Consistency::Asp => run_queued(cfg, policy, super::asp::AspPs::new(), queue),
+            Consistency::Ssp { staleness } => {
+                run_queued(cfg, policy, super::ssp::SspPs::new(staleness), queue)
+            }
         },
-        Arch::AllReduce => run(cfg, policy, super::ring::RingAllReduce::new()),
+        Arch::AllReduce => run_queued(cfg, policy, super::ring::RingAllReduce::new(), queue),
         Arch::LocalSgd { sync_every } => {
-            run(cfg, policy, super::local_sgd::LocalSgd::new(sync_every))
+            run_queued(cfg, policy, super::local_sgd::LocalSgd::new(sync_every), queue)
         }
     }
+}
+
+/// One fork-based what-if replay outcome: the perturbed job's report plus the
+/// prefix/suffix event split that proves how much simulation was shared.
+pub struct ForkedRun {
+    pub report: JobReport,
+    /// Events inherited from the shared prefix at the fork instant.
+    pub prefix_events: u64,
+    /// Events this what-if actually simulated (its suffix only).
+    pub suffix_events: u64,
+}
+
+/// Fork-based counterfactual replay: simulate ONE shared prefix of `cfg` and,
+/// at each perturbation's divergence instant, fork the run, apply the edit
+/// live, and finish only the suffix. Because the prefix is provably identical
+/// under the edit (that is what a [`crate::report::DivergenceMarks`] instant
+/// certifies), each forked report is byte-identical to a full perturbed
+/// rerun — while simulating strictly fewer events.
+///
+/// `jobs` must be sorted ascending by divergence instant, every instant
+/// strictly after `SimTime::ZERO`, and `cfg.telemetry` must be off (forks
+/// share telemetry counters; callers fall back to full reruns otherwise).
+pub(crate) fn fork_replay_with_policy(
+    cfg: &JobConfig,
+    jobs: &[(SimTime, crate::whatif::Perturbation)],
+) -> Vec<ForkedRun> {
+    match cfg.arch {
+        Arch::ParameterServer { consistency } => match consistency {
+            Consistency::Bsp => {
+                let n = cfg.n_workers();
+                fork_replay(cfg, super::bsp::BspPs::new(n), jobs)
+            }
+            Consistency::Asp => fork_replay(cfg, super::asp::AspPs::new(), jobs),
+            Consistency::Ssp { staleness } => {
+                fork_replay(cfg, super::ssp::SspPs::new(staleness), jobs)
+            }
+        },
+        Arch::AllReduce => fork_replay(cfg, super::ring::RingAllReduce::new(), jobs),
+        Arch::LocalSgd { sync_every } => {
+            fork_replay(cfg, super::local_sgd::LocalSgd::new(sync_every), jobs)
+        }
+    }
+}
+
+fn fork_replay<S: SyncStrategy + Clone>(
+    cfg: &JobConfig,
+    strat: S,
+    jobs: &[(SimTime, crate::whatif::Perturbation)],
+) -> Vec<ForkedRun> {
+    assert!(!cfg.telemetry, "fork replay requires telemetry off (shared counters)");
+    let policy = crate::job::build_policy(cfg);
+    let mut prefix = SimRun::new_queued(cfg.clone(), policy, strat, RuntimeQueue::wheel());
+    jobs.iter()
+        .map(|(t, p)| {
+            assert!(*t > SimTime::ZERO, "divergence at ZERO needs a full rerun");
+            // Fire everything strictly before the divergence instant. Events
+            // *at* the instant belong to the suffix: the divergent query
+            // happens while handling one of them.
+            prefix.advance_until(SimTime(t.as_micros() - 1));
+            let mut what_if = prefix.fork();
+            crate::whatif::apply_live_perturbation(what_if.kernel_mut(), p);
+            let prefix_events = what_if.processed();
+            let report = what_if.finish();
+            // The fork restores the prefix's processed count, so the final
+            // figure equals a full rerun's; the suffix is what this replay
+            // actually simulated.
+            let suffix_events = report.events_processed - prefix_events;
+            ForkedRun { report, prefix_events, suffix_events }
+        })
+        .collect()
 }

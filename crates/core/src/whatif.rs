@@ -13,9 +13,12 @@ use crate::config::JobConfig;
 use crate::job::Job;
 use crate::report::{CounterfactualRow, JobReport};
 use crate::runtime::attr::analysis_of;
+use crate::runtime::kernel::Kernel;
+use crate::runtime::strategy::fork_replay_with_policy;
 use antdt_attr::predicted_delta_us;
-use antdt_sim::ControlChannel;
+use antdt_sim::{ControlChannel, SimTime};
 
+pub use crate::runtime::strategy::ForkedRun;
 pub use antdt_attr::Perturbation;
 
 /// Apply one counterfactual edit to a job config. The returned config is the
@@ -48,6 +51,152 @@ pub fn apply_perturbation(mut cfg: JobConfig, p: &Perturbation) -> JobConfig {
 /// itself explainable).
 pub fn run_what_if(cfg: &JobConfig, p: &Perturbation) -> JobReport {
     Job::run(apply_perturbation(cfg.clone(), p))
+}
+
+/// Apply one counterfactual edit to a *live* forked kernel, mid-run. This is
+/// the runtime twin of [`apply_perturbation`]: the config copy keeps every
+/// later (re)spawn consistent, and the live mutations retarget state that was
+/// already materialised from the old config at boot.
+pub(crate) fn apply_live_perturbation(k: &mut Kernel, p: &Perturbation) {
+    k.cfg = apply_perturbation(k.cfg.clone(), p);
+    match p {
+        Perturbation::HealthyNode(n) => {
+            if let Some(w) = k.workers.get_mut(*n as usize) {
+                w.profile.phases.clear();
+            }
+        }
+        Perturbation::ZeroControlLatency => k.bus.set_ideal_channel(),
+        Perturbation::NoCkptStalls => {
+            if let Some(c) = k.ckpt_rt.as_mut() {
+                c.capture_stall_secs = 0.0;
+            }
+        }
+    }
+}
+
+/// How much simulation fork-based replay actually shared, across one
+/// [`what_if_table_forked`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForkReplayStats {
+    /// Perturbations replayed from a fork at their divergence instant.
+    pub forked: usize,
+    /// Perturbations that fell back to a full rerun (no divergence mark, a
+    /// divergence at time zero, or a telemetry-armed config).
+    pub full_reruns: usize,
+    /// Events inherited from shared prefixes instead of being re-simulated.
+    pub prefix_events: u64,
+    /// Events the forked what-ifs simulated themselves.
+    pub suffix_events: u64,
+    /// Total events the forked what-ifs report (prefix + suffix); equals what
+    /// full reruns of the same perturbations would have simulated.
+    pub total_events: u64,
+}
+
+impl ForkReplayStats {
+    /// Fraction of forked what-if events that were inherited, not simulated.
+    pub fn prefix_share(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            self.prefix_events as f64 / self.total_events as f64
+        }
+    }
+}
+
+/// Where `base` certifies `p` first bites the schedule, if it recorded one.
+fn divergence_of(base: &JobReport, p: &Perturbation) -> Option<SimTime> {
+    let marks = &base.divergence;
+    match p {
+        Perturbation::HealthyNode(n) => marks.worker_contended.get(*n as usize).copied().flatten(),
+        Perturbation::ZeroControlLatency => marks.control_modeled,
+        Perturbation::NoCkptStalls => marks.ckpt_stall,
+    }
+}
+
+/// Fork-replay a single perturbation off the divergence instant `base`
+/// recorded for it. Returns `None` when fork replay is not applicable — no
+/// recorded divergence (the edit never bites), a divergence at time zero
+/// (bootstrap already ran under the old config), or a telemetry-armed config
+/// (forks would share telemetry counters) — in which case the caller should
+/// use [`run_what_if`]. The returned report is byte-identical to
+/// [`run_what_if`]'s, simulated from only the suffix.
+pub fn run_what_if_forked(
+    cfg: &JobConfig,
+    base: &JobReport,
+    p: &Perturbation,
+) -> Option<ForkedRun> {
+    let t = divergence_of(base, p)?;
+    if t == SimTime::ZERO || cfg.telemetry {
+        return None;
+    }
+    fork_replay_with_policy(cfg, &[(t, *p)]).pop()
+}
+
+/// [`what_if_table`] computed by fork-based replay: perturbations whose
+/// divergence instant `base` recorded are replayed by forking ONE shared
+/// prefix of the baseline run just before that instant, applying the edit
+/// live, and simulating only the suffix. The rows are byte-identical to
+/// [`what_if_table`]'s — same deltas, same order — but the bulk of the
+/// schedule is simulated once instead of once per perturbation.
+///
+/// Perturbations with no recorded divergence (the edit never bites, so the
+/// "replay" equals the baseline) or one at time zero fall back to
+/// [`run_what_if`], as does everything when `cfg.telemetry` is armed (forks
+/// would share telemetry counters).
+pub fn what_if_table_forked(
+    cfg: &JobConfig,
+    base: &JobReport,
+    perturbations: &[Perturbation],
+) -> (Vec<CounterfactualRow>, ForkReplayStats) {
+    let attr = base.attr.as_ref().expect("what_if_table needs an attribution-armed base report");
+    let analysis = analysis_of(attr);
+    let base_jct_us = base.jct.as_micros();
+    let mut stats = ForkReplayStats::default();
+
+    // Partition: forkable perturbations are replayed off one shared prefix
+    // that only ever advances forward, so they must run in divergence order.
+    let mut forkable: Vec<(usize, SimTime)> = Vec::new();
+    let mut reruns: Vec<usize> = Vec::new();
+    for (i, p) in perturbations.iter().enumerate() {
+        match divergence_of(base, p) {
+            Some(t) if t > SimTime::ZERO && !cfg.telemetry => forkable.push((i, t)),
+            _ => reruns.push(i),
+        }
+    }
+    forkable.sort_by_key(|&(i, t)| (t, i));
+
+    let jobs: Vec<(SimTime, Perturbation)> =
+        forkable.iter().map(|&(i, t)| (t, perturbations[i])).collect();
+    let forked = fork_replay_with_policy(cfg, &jobs);
+
+    let mut reports: Vec<Option<JobReport>> = (0..perturbations.len()).map(|_| None).collect();
+    for (&(i, _), run) in forkable.iter().zip(forked) {
+        stats.forked += 1;
+        stats.prefix_events += run.prefix_events;
+        stats.suffix_events += run.suffix_events;
+        stats.total_events += run.report.events_processed;
+        reports[i] = Some(run.report);
+    }
+    for i in reruns {
+        stats.full_reruns += 1;
+        reports[i] = Some(run_what_if(cfg, &perturbations[i]));
+    }
+
+    let rows = perturbations
+        .iter()
+        .zip(reports)
+        .map(|(p, report)| {
+            let what_if_jct_us = report.expect("every perturbation got a report").jct.as_micros();
+            CounterfactualRow {
+                label: p.label(),
+                predicted_delta_us: predicted_delta_us(&analysis, p),
+                measured_delta_us: base_jct_us as i64 - what_if_jct_us as i64,
+                base_jct_us,
+                what_if_jct_us,
+            }
+        })
+        .collect();
+    (rows, stats)
 }
 
 /// Replay every perturbation against `base` (a finished attribution-armed

@@ -23,6 +23,7 @@
 //! single-threaded discrete-event runtimes in `antdt-core` or real worker
 //! threads (see the crossbeam integration test).
 
+mod queue_state;
 pub mod service;
 pub mod shard;
 pub mod shuffle;

@@ -1,5 +1,7 @@
-//! The Stateful Dynamic Data Sharding service proper: a global shard queue plus
-//! the per-shard state table, with requeue-on-failure and epoch management.
+//! The Stateful Dynamic Data Sharding service proper: the thread-safe
+//! facade over the crate-private `queue_state::QueueState` (the global shard
+//! queue plus the per-shard state table), layering on outage pausing,
+//! consumption statistics and telemetry counters.
 //!
 //! The queue flows *across* epochs: when it runs dry and more epochs remain,
 //! the next epoch's (re-shuffled) shards are appended immediately. Leader
@@ -7,29 +9,15 @@
 //! there is no epoch barrier, only the final completion condition that every
 //! epoch's every shard reached `DONE`.
 
-use crate::shard::{plan_shards, HashRing, Shard, ShardState, WorkerId};
-use crate::shuffle::ShardShuffler;
+use crate::queue_state::QueueState;
+use crate::shard::{Shard, WorkerId};
 use crate::stats::{ConsumptionStats, IntegrityAudit};
 pub use crate::types::{DdsConfig, DdsCounters, DdsError, ResizeRecord, ShardLease};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Inner {
-    cfg: DdsConfig,
-    shuffler: ShardShuffler,
-    /// Per-epoch shard geometry (identical every epoch).
-    shards: Vec<Shard>,
-    /// Epochs whose shards have been appended to the queue so far.
-    epochs_enqueued: u32,
-    /// Global slot ids: `epoch * K + shard_id`.
-    queue: VecDeque<u64>,
-    state: Vec<ShardState>,
-    owner: Vec<Option<WorkerId>>,
-    /// Serve counts per slot (>1 means a requeue happened — at-most-once audit).
-    serves: Vec<u32>,
-    done_total: u64,
-    ever_double_served: bool,
+    q: QueueState,
     stats: ConsumptionStats,
     /// Chaos-drill outage switch: while set, `fetch` serves nothing (the
     /// service is unreachable) and callers fall back to their retry loop.
@@ -37,40 +25,6 @@ struct Inner {
     /// Fetches rejected because of an outage (drill diagnostics).
     paused_fetch_rejections: u64,
     counters: Option<DdsCounters>,
-    /// Consistent-hash placement ring. `None` (the default) keeps `fetch`
-    /// strictly FIFO and byte-identical to the pre-elastic service; armed, a
-    /// worker prefers queued slots the ring assigns to it, so a topology
-    /// change only re-homes the slots whose ring arc moved.
-    ring: Option<HashRing>,
-    /// Membership changes applied to the armed ring, with movement counts.
-    resizes: Vec<ResizeRecord>,
-}
-
-impl Inner {
-    fn k(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Append the next epoch's shards when the queue is dry.
-    fn refill(&mut self) {
-        if !self.queue.is_empty() || self.epochs_enqueued >= self.cfg.epochs || self.k() == 0 {
-            return;
-        }
-        let e = self.epochs_enqueued;
-        let base = e as u64 * self.k() as u64;
-        for id in self.shuffler.epoch_order(e, self.k()) {
-            self.queue.push_back(base + id as u64);
-        }
-        let new_len = self.state.len() + self.k();
-        self.state.resize(new_len, ShardState::Todo);
-        self.owner.resize(new_len, None);
-        self.serves.resize(new_len, 0);
-        self.epochs_enqueued = e + 1;
-    }
-
-    fn slot(&self, lease: &ShardLease) -> usize {
-        lease.epoch as usize * self.k() + lease.shard.id as usize
-    }
 }
 
 /// The thread-safe sharding service. Share it via `Arc`.
@@ -79,37 +33,30 @@ pub struct DdsService {
     inner: Mutex<Inner>,
 }
 
+/// Cloning snapshots the full queue state behind a fresh lock — the basis
+/// for forking an in-flight simulation. Telemetry counters, if attached,
+/// stay shared with the original (they are `Arc`-backed).
+impl Clone for DdsService {
+    fn clone(&self) -> Self {
+        DdsService { inner: Mutex::new(self.inner.lock().clone()) }
+    }
+}
+
 impl DdsService {
     pub fn new(cfg: DdsConfig) -> Self {
-        let shards = plan_shards(cfg.total_samples, cfg.samples_per_shard());
-        let shuffler = match cfg.shuffle_seed {
-            Some(s) => ShardShuffler::new(s),
-            None => ShardShuffler::disabled(),
-        };
-        let mut inner = Inner {
-            cfg,
-            shuffler,
-            shards,
-            epochs_enqueued: 0,
-            queue: VecDeque::new(),
-            state: Vec::new(),
-            owner: Vec::new(),
-            serves: Vec::new(),
-            done_total: 0,
-            ever_double_served: false,
-            stats: ConsumptionStats::default(),
-            paused: false,
-            paused_fetch_rejections: 0,
-            counters: None,
-            ring: None,
-            resizes: Vec::new(),
-        };
-        inner.refill();
-        DdsService { inner: Mutex::new(inner) }
+        DdsService {
+            inner: Mutex::new(Inner {
+                q: QueueState::new(cfg),
+                stats: ConsumptionStats::default(),
+                paused: false,
+                paused_fetch_rejections: 0,
+                counters: None,
+            }),
+        }
     }
 
     pub fn config(&self) -> DdsConfig {
-        self.inner.lock().cfg
+        self.inner.lock().q.cfg
     }
 
     /// Attach telemetry counters; subsequent operations update them.
@@ -133,21 +80,7 @@ impl DdsService {
             }
             return None;
         }
-        g.refill();
-        // With an armed placement ring, prefer the first queued slot the ring
-        // assigns to this worker; fall back to the queue front so work is
-        // never left stranded (a slot owned by a busy member still gets
-        // served by whoever asks when its owner never comes).
-        let preferred = g
-            .ring
-            .as_ref()
-            .filter(|r| r.contains(worker))
-            .and_then(|r| g.queue.iter().position(|&slot| r.owner_of(slot) == Some(worker)));
-        let popped = match preferred {
-            Some(idx) => g.queue.remove(idx),
-            None => g.queue.pop_front(),
-        };
-        let Some(slot) = popped else {
+        let Some(lease) = g.q.take_next(worker) else {
             if let Some(c) = &g.counters {
                 c.fetch_empty.inc();
             }
@@ -156,39 +89,22 @@ impl DdsService {
         if let Some(c) = &g.counters {
             c.fetch_served.inc();
         }
-        debug_assert_eq!(g.state[slot as usize], ShardState::Todo);
-        g.state[slot as usize] = ShardState::Doing;
-        g.owner[slot as usize] = Some(worker);
-        g.serves[slot as usize] += 1;
-        if g.serves[slot as usize] > 1 {
-            g.ever_double_served = true;
-        }
-        let k = g.k() as u64;
-        let shard = g.shards[(slot % k) as usize];
-        let epoch = (slot / k) as u32;
         let w = g.stats.worker(worker);
         w.shards_fetched += 1;
-        w.samples_fetched += shard.len;
-        Some(ShardLease { shard, epoch })
+        w.samples_fetched += lease.shard.len;
+        Some(lease)
     }
 
     /// Mark a leased shard `DONE` (the worker's gradients reached the servers).
     pub fn report_done(&self, worker: WorkerId, lease: ShardLease) -> Result<(), DdsError> {
         let mut g = self.inner.lock();
-        let slot = g.slot(&lease);
-        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker) {
-            return Err(DdsError::NotLeased { shard: lease.shard.id, worker });
-        }
-        g.state[slot] = ShardState::Done;
-        g.owner[slot] = None;
-        g.done_total += 1;
+        g.q.finish(worker, lease)?;
         if let Some(c) = &g.counters {
             c.done.inc();
         }
-        let len = lease.shard.len;
         let w = g.stats.worker(worker);
         w.shards_done += 1;
-        w.samples_done += len;
+        w.samples_done += lease.shard.len;
         Ok(())
     }
 
@@ -196,13 +112,7 @@ impl DdsService {
     /// workers action): `DOING → TODO`, reinserted at the queue tail.
     pub fn report_failed(&self, worker: WorkerId, lease: ShardLease) -> Result<(), DdsError> {
         let mut g = self.inner.lock();
-        let slot = g.slot(&lease);
-        if g.state.get(slot).copied() != Some(ShardState::Doing) || g.owner[slot] != Some(worker) {
-            return Err(DdsError::NotLeased { shard: lease.shard.id, worker });
-        }
-        g.state[slot] = ShardState::Todo;
-        g.owner[slot] = None;
-        g.queue.push_back(slot as u64);
+        g.q.requeue(worker, lease)?;
         g.stats.requeued_shards += 1;
         g.stats.requeued_samples += lease.shard.len;
         if let Some(c) = &g.counters {
@@ -215,19 +125,10 @@ impl DdsService {
     /// goes back to `TODO` at the queue tail. Returns the requeued shards.
     pub fn fail_worker(&self, worker: WorkerId) -> Vec<Shard> {
         let mut g = self.inner.lock();
-        let slots: Vec<usize> = (0..g.state.len())
-            .filter(|&i| g.state[i] == ShardState::Doing && g.owner[i] == Some(worker))
-            .collect();
-        let mut out = Vec::with_capacity(slots.len());
-        let k = g.k();
-        for i in slots {
-            g.state[i] = ShardState::Todo;
-            g.owner[i] = None;
-            g.queue.push_back(i as u64);
-            let shard = g.shards[i % k];
+        let out = g.q.requeue_worker(worker);
+        for shard in &out {
             g.stats.requeued_shards += 1;
             g.stats.requeued_samples += shard.len;
-            out.push(shard);
         }
         if let Some(c) = &g.counters {
             c.requeued.add(out.len() as u64);
@@ -239,21 +140,7 @@ impl DdsService {
     /// pending queue and the per-slot state table (0=TODO 1=DOING 2=DONE),
     /// in the `antdt-ckpt` snapshot shape.
     pub fn export_ckpt(&self) -> antdt_ckpt::DdsSnapshot {
-        let g = self.inner.lock();
-        antdt_ckpt::DdsSnapshot {
-            epochs_enqueued: g.epochs_enqueued,
-            done_total: g.done_total,
-            queue: g.queue.iter().copied().collect(),
-            state: g
-                .state
-                .iter()
-                .map(|s| match s {
-                    ShardState::Todo => 0,
-                    ShardState::Doing => 1,
-                    ShardState::Done => 2,
-                })
-                .collect(),
-        }
+        self.inner.lock().q.export()
     }
 
     /// Rewind to a checkpoint: every slot DONE *now* but not DONE in the
@@ -266,23 +153,9 @@ impl DdsService {
     /// samples)`.
     pub fn rewind_ckpt(&self, snap: &antdt_ckpt::DdsSnapshot) -> (u64, u64) {
         let mut g = self.inner.lock();
-        let k = g.k();
-        let mut shards_requeued = 0u64;
-        let mut samples_requeued = 0u64;
-        for i in 0..g.state.len() {
-            let done_in_snap = snap.state.get(i).copied() == Some(2);
-            if g.state[i] == ShardState::Done && !done_in_snap {
-                g.state[i] = ShardState::Todo;
-                g.owner[i] = None;
-                g.queue.push_back(i as u64);
-                g.done_total -= 1;
-                let len = g.shards[i % k].len;
-                g.stats.requeued_shards += 1;
-                g.stats.requeued_samples += len;
-                shards_requeued += 1;
-                samples_requeued += len;
-            }
-        }
+        let (shards_requeued, samples_requeued) = g.q.rewind(snap);
+        g.stats.requeued_shards += shards_requeued;
+        g.stats.requeued_samples += samples_requeued;
         if let Some(c) = &g.counters {
             c.requeued.add(shards_requeued);
         }
@@ -308,18 +181,18 @@ impl DdsService {
     /// Whether every epoch's every shard has reached `DONE`.
     pub fn is_complete(&self) -> bool {
         let g = self.inner.lock();
-        g.done_total == g.cfg.expected_done_shards()
+        g.q.done_total() == g.q.cfg.expected_done_shards()
     }
 
     /// `(done shards so far, expected total)`.
     pub fn progress(&self) -> (u64, u64) {
         let g = self.inner.lock();
-        (g.done_total, g.cfg.expected_done_shards())
+        (g.q.done_total(), g.q.cfg.expected_done_shards())
     }
 
     /// Number of epochs whose shards have entered the queue so far.
     pub fn epochs_started(&self) -> u32 {
-        self.inner.lock().epochs_enqueued
+        self.inner.lock().q.epochs_enqueued()
     }
 
     /// Snapshot of consumption statistics.
@@ -329,32 +202,30 @@ impl DdsService {
 
     /// Sample order for a lease (delegates to the shard shuffler).
     pub fn sample_order(&self, lease: &ShardLease) -> Vec<u64> {
-        let g = self.inner.lock();
-        g.shuffler.sample_order(lease.epoch, &lease.shard)
+        self.inner.lock().q.sample_order(lease)
     }
 
     /// Arm the consistent-hash placement ring with the given initial members.
     /// Until armed (the default), the service is strictly FIFO and its serve
     /// order is byte-identical to the pre-elastic implementation.
     pub fn arm_ring(&self, vnodes: u32, members: impl IntoIterator<Item = WorkerId>) {
-        let mut g = self.inner.lock();
-        g.ring = Some(HashRing::with_members(vnodes, members));
+        self.inner.lock().q.arm_ring(vnodes, members);
     }
 
     pub fn ring_armed(&self) -> bool {
-        self.inner.lock().ring.is_some()
+        self.inner.lock().q.ring_armed()
     }
 
     /// Current ring membership (empty when the ring is unarmed).
     pub fn ring_members(&self) -> Vec<WorkerId> {
-        self.inner.lock().ring.as_ref().map(|r| r.members().to_vec()).unwrap_or_default()
+        self.inner.lock().q.ring_members()
     }
 
     /// A worker joined: add it to the armed ring and record how many queued
     /// slots re-homed onto it. No-op (returning `None`) when the ring is
     /// unarmed or the member already present.
     pub fn ring_join(&self, member: WorkerId) -> Option<ResizeRecord> {
-        self.resize(member, true)
+        self.inner.lock().q.resize(member, true)
     }
 
     /// A worker departed for good: drop it from the armed ring and record the
@@ -362,56 +233,33 @@ impl DdsService {
     /// via [`DdsService::fail_worker`] — departure and lease recovery are the
     /// same machinery a kill uses.
     pub fn ring_leave(&self, member: WorkerId) -> Option<ResizeRecord> {
-        self.resize(member, false)
-    }
-
-    fn resize(&self, member: WorkerId, joined: bool) -> Option<ResizeRecord> {
-        let mut g = self.inner.lock();
-        let ring = g.ring.as_ref()?;
-        let before: Vec<Option<WorkerId>> = g.queue.iter().map(|&s| ring.owner_of(s)).collect();
-        let mut next = ring.clone();
-        let changed = if joined { next.add_node(member) } else { next.remove_node(member) };
-        if !changed {
-            return None;
-        }
-        let moved_slots =
-            g.queue.iter().zip(&before).filter(|&(&s, &b)| next.owner_of(s) != b).count() as u64;
-        let rec = ResizeRecord { member, joined, moved_slots, queued_slots: g.queue.len() as u64 };
-        g.ring = Some(next);
-        g.resizes.push(rec);
-        Some(rec)
+        self.inner.lock().q.resize(member, false)
     }
 
     /// Every resize applied to the ring so far, in order.
     pub fn resize_log(&self) -> Vec<ResizeRecord> {
-        self.inner.lock().resizes.clone()
+        self.inner.lock().q.resize_log().to_vec()
     }
 
     /// Distinct owners of currently-DOING slots, sorted. The chaos
     /// `membership-consistent` invariant checks no departed worker appears.
     pub fn doing_owners(&self) -> Vec<WorkerId> {
-        let g = self.inner.lock();
-        let mut owners: Vec<WorkerId> = (0..g.state.len())
-            .filter(|&i| g.state[i] == ShardState::Doing)
-            .filter_map(|i| g.owner[i])
-            .collect();
-        owners.sort_unstable();
-        owners.dedup();
-        owners
+        self.inner.lock().q.doing_owners()
     }
 
     /// The integrity audit (§VII-D2).
     pub fn audit(&self) -> IntegrityAudit {
         let g = self.inner.lock();
-        let expected = g.cfg.expected_done_shards();
+        let expected = g.q.cfg.expected_done_shards();
+        let done = g.q.done_total();
         IntegrityAudit {
             expected_done_shards: expected,
-            done_shards: g.done_total,
-            outstanding_shards: expected - g.done_total,
+            done_shards: done,
+            outstanding_shards: expected - done,
             requeued_shards: g.stats.requeued_shards,
             duplicate_samples_upper_bound: g.stats.requeued_samples,
-            at_least_once: g.done_total == expected,
-            at_most_once: !g.ever_double_served,
+            at_least_once: done == expected,
+            at_most_once: !g.q.ever_double_served(),
         }
     }
 }

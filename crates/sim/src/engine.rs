@@ -2,53 +2,25 @@
 //! FIFO tiebreak so that events scheduled at the same instant fire in the order
 //! they were scheduled. This makes every run fully deterministic.
 //!
-//! The heap key `(SimTime, seq)` is packed into a single `u128` — time in the
-//! high 64 bits, insertion sequence in the low 64 — so the hot push/pop path
-//! does one integer compare instead of a lexicographic pair compare, and the
+//! The ordering key `(SimTime, seq)` is packed into a single `u128` — time in
+//! the high 64 bits, insertion sequence in the low 64 — so any queue that pops
+//! ascending keys reproduces the exact schedule. The queue itself is pluggable
+//! ([`crate::queue::EventQueue`]): a hierarchical time wheel by default, the
+//! original binary heap as the reference oracle. Payloads live in an arena
+//! slab ([`crate::queue::Arena`]) and only `u32` slot handles move through the
+//! queue, so the hot schedule/step path never allocates per event and the
 //! payload type needs no trait bounds at all.
 
+use crate::queue::{Arena, EventQueue, WheelQueue};
 use crate::time::{SimDuration, SimTime};
 use antdt_telemetry::Counter;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-#[derive(Debug, Clone)]
-struct Scheduled<E> {
-    /// `(at.0 as u128) << 64 | seq`: compares exactly like `(at, seq)` because
-    /// both fields are unsigned and time occupies the high bits.
-    key: u128,
-    ev: E,
-}
-
-impl<E> Scheduled<E> {
-    #[inline]
-    fn at(&self) -> SimTime {
-        SimTime((self.key >> 64) as u64)
-    }
-}
-
-// Ordered by the packed key only; the payload never participates, so `E` needs
-// no `Eq`/`Ord` bounds.
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> Ord for Scheduled<E> {
-    #[inline]
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
-}
-impl<E> PartialOrd for Scheduled<E> {
-    #[inline]
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
 
 /// A deterministic discrete-event engine over an arbitrary event type `E`.
+///
+/// The second parameter picks the queue implementation; the default
+/// [`WheelQueue`] is byte-for-byte equivalent to
+/// [`HeapQueue`](crate::queue::HeapQueue) (the differential tests in
+/// `crate::queue` and the golden job fixtures both pin this).
 ///
 /// ```
 /// use antdt_sim::{Engine, SimDuration, SimTime};
@@ -64,28 +36,72 @@ impl<E> PartialOrd for Scheduled<E> {
 /// assert_eq!(seen[1], (SimTime::from_secs_f64(2.0), "b"));
 /// ```
 #[derive(Debug)]
-pub struct Engine<E> {
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+pub struct Engine<E, Q: EventQueue<u32> = WheelQueue<u32>> {
+    queue: Q,
+    arena: Arena<E>,
     now: SimTime,
     seq: u64,
     processed: u64,
+    /// Events whose requested instant was in the past (clamped to `now`).
+    clamped: u64,
     /// Optional telemetry counters: (events scheduled, events processed).
     counters: Option<(Counter, Counter)>,
 }
 
-impl<E> Default for Engine<E> {
+/// A point-in-time capture of an engine: every pending event (with its exact
+/// ordering key) plus the clock, sequence and progress counters. Feed it to
+/// [`Engine::fork`] to resume any number of divergent futures from the same
+/// prefix — the forked engines replay the identical schedule until their
+/// drivers actually diverge.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot<E> {
+    /// Pending events, ascending by packed key.
+    entries: Vec<(u128, E)>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    clamped: u64,
+}
+
+impl<E> EngineSnapshot<E> {
+    /// Number of pending events captured.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Events processed by the engine up to the capture instant.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The capture instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+impl<E, Q: EventQueue<u32>> Default for Engine<E, Q> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> Engine<E> {
+impl<E, Q: EventQueue<u32>> Engine<E, Q> {
     pub fn new() -> Self {
+        Self::with_queue(Q::default())
+    }
+
+    /// Build an engine around an explicitly-constructed queue — e.g. a
+    /// [`RuntimeQueue`](crate::queue::RuntimeQueue) variant picked at job
+    /// construction time.
+    pub fn with_queue(queue: Q) -> Self {
         Engine {
-            queue: BinaryHeap::new(),
+            queue,
+            arena: Arena::default(),
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
+            clamped: 0,
             counters: None,
         }
     }
@@ -116,13 +132,32 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// The underlying queue (e.g. to inspect a runtime-selected kind when
+    /// forking).
+    pub fn queue(&self) -> &Q {
+        &self.queue
+    }
+
+    /// Number of events that were scheduled at an instant already in the
+    /// past and clamped to `now`. Scheduling into the past is a logic error
+    /// in the driving runtime; the runtimes assert this stays zero.
+    #[inline]
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
     /// Schedule `ev` at absolute instant `at`. Scheduling in the past is a logic
     /// error in the driving runtime; the engine clamps to `now` rather than
-    /// time-travelling, so the clock stays monotonic.
+    /// time-travelling (and counts the clamp — see [`Engine::clamped`]), so the
+    /// clock stays monotonic.
     pub fn schedule(&mut self, at: SimTime, ev: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         let key = (u128::from(at.0) << 64) | u128::from(self.seq);
-        self.queue.push(Reverse(Scheduled { key, ev }));
+        let slot = self.arena.insert(ev);
+        self.queue.push(key, slot);
         self.seq += 1;
         if let Some((scheduled, _)) = &self.counters {
             scheduled.inc();
@@ -136,14 +171,15 @@ impl<E> Engine<E> {
 
     /// Pop the next event, advancing the clock. Returns `None` when drained.
     pub fn step(&mut self) -> Option<E> {
-        let Reverse(s) = self.queue.pop()?;
-        debug_assert!(s.at() >= self.now, "event queue produced non-monotonic time");
-        self.now = s.at();
+        let (key, slot) = self.queue.pop()?;
+        let at = SimTime((key >> 64) as u64);
+        debug_assert!(at >= self.now, "event queue produced non-monotonic time");
+        self.now = at;
         self.processed += 1;
         if let Some((_, processed)) = &self.counters {
             processed.inc();
         }
-        Some(s.ev)
+        Some(self.arena.remove(slot))
     }
 
     /// Run to quiescence. The handler receives `&mut Engine` so it can schedule
@@ -156,37 +192,104 @@ impl<E> Engine<E> {
 
     /// Run until the clock would pass `deadline` (events at exactly `deadline`
     /// still fire). Returns `true` if the queue drained before the deadline.
+    ///
+    /// Each iteration is a single fused [`EventQueue::pop_at_most`] — not a
+    /// peek followed by a pop — so the queue resolves its front entry once
+    /// per event. On the time wheel that halves the per-event bookkeeping;
+    /// this loop is the hot path of every simulated job.
     pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Self, E)) -> bool {
-        loop {
-            match self.queue.peek() {
-                None => return true,
-                Some(Reverse(s)) if s.at() > deadline => return false,
-                _ => {}
+        // Any sequence number at `deadline` still fires: limit at seq::MAX.
+        let limit = (u128::from(deadline.0) << 64) | u128::from(u64::MAX);
+        while let Some((key, slot)) = self.queue.pop_at_most(limit) {
+            let at = SimTime((key >> 64) as u64);
+            debug_assert!(at >= self.now, "event queue produced non-monotonic time");
+            self.now = at;
+            self.processed += 1;
+            if let Some((_, processed)) = &self.counters {
+                processed.inc();
             }
-            let ev = self.step().expect("peeked event must pop");
+            let ev = self.arena.remove(slot);
             handler(self, ev);
         }
+        self.queue.is_empty()
     }
 
     /// Drop all pending events (used when a job finishes early, e.g. the last
     /// shard completes while stray monitor ticks are still queued).
     pub fn clear(&mut self) {
         self.queue.clear();
+        self.arena.clear();
+    }
+
+    /// Capture the engine: pending events (with exact ordering keys), clock,
+    /// sequence and progress counters. O(pending · log pending).
+    pub fn snapshot(&self) -> EngineSnapshot<E>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(u128, E)> = self
+            .queue
+            .entries()
+            .into_iter()
+            .map(|(key, slot)| (key, self.arena.get(slot).clone()))
+            .collect();
+        // Keys are unique (distinct sequence numbers), so this total order
+        // is exactly the pop order.
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        EngineSnapshot {
+            entries,
+            now: self.now,
+            seq: self.seq,
+            processed: self.processed,
+            clamped: self.clamped,
+        }
+    }
+
+    /// Build a fresh engine resuming from `snap`: same clock, same pending
+    /// events under their original keys, same sequence counter — so the fork
+    /// schedules future events with the very sequence numbers the snapshotted
+    /// engine would have used, and its trace is byte-identical until the
+    /// driver diverges. Telemetry counters are *not* inherited (attach new
+    /// ones if the fork should count separately).
+    pub fn fork(snap: &EngineSnapshot<E>) -> Self
+    where
+        E: Clone,
+    {
+        Self::fork_with_queue(snap, Q::default())
+    }
+
+    /// [`Engine::fork`], but resuming onto an explicitly-constructed queue
+    /// (so a fork can keep the parent's runtime-selected queue kind).
+    pub fn fork_with_queue(snap: &EngineSnapshot<E>, queue: Q) -> Self
+    where
+        E: Clone,
+    {
+        let mut eng = Self::with_queue(queue);
+        for (key, ev) in &snap.entries {
+            let slot = eng.arena.insert(ev.clone());
+            eng.queue.push(*key, slot);
+        }
+        eng.now = snap.now;
+        eng.seq = snap.seq;
+        eng.processed = snap.processed;
+        eng.clamped = snap.clamped;
+        eng
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::HeapQueue;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     enum Ev {
         Tick(u32),
     }
 
     #[test]
     fn events_fire_in_time_order() {
-        let mut eng = Engine::new();
+        let mut eng: Engine<Ev> = Engine::new();
         eng.schedule(SimTime::from_secs_f64(3.0), Ev::Tick(3));
         eng.schedule(SimTime::from_secs_f64(1.0), Ev::Tick(1));
         eng.schedule(SimTime::from_secs_f64(2.0), Ev::Tick(2));
@@ -197,7 +300,7 @@ mod tests {
 
     #[test]
     fn same_instant_is_fifo() {
-        let mut eng = Engine::new();
+        let mut eng: Engine<Ev> = Engine::new();
         for i in 0..100u32 {
             eng.schedule(SimTime::from_secs_f64(1.0), Ev::Tick(i));
         }
@@ -233,9 +336,10 @@ mod tests {
     }
 
     #[test]
-    fn scheduling_in_past_clamps_to_now() {
-        let mut eng = Engine::new();
+    fn scheduling_in_past_clamps_to_now_and_counts() {
+        let mut eng: Engine<Ev> = Engine::new();
         eng.schedule(SimTime::from_secs_f64(5.0), Ev::Tick(0));
+        assert_eq!(eng.clamped(), 0);
         let mut times = Vec::new();
         eng.run(|eng, Ev::Tick(n)| {
             if n == 0 {
@@ -244,11 +348,12 @@ mod tests {
             times.push((n, eng.now()));
         });
         assert_eq!(times[1], (1, SimTime::from_secs_f64(5.0)));
+        assert_eq!(eng.clamped(), 1);
     }
 
     #[test]
     fn cascading_events_from_handler() {
-        let mut eng = Engine::new();
+        let mut eng: Engine<Ev> = Engine::new();
         eng.schedule_after(SimDuration::from_secs(1), Ev::Tick(0));
         let mut count = 0;
         eng.run(|eng, Ev::Tick(n)| {
@@ -266,7 +371,7 @@ mod tests {
     fn attached_counters_track_scheduled_and_processed() {
         use antdt_telemetry::MetricsRegistry;
         let reg = MetricsRegistry::new();
-        let mut eng = Engine::new();
+        let mut eng: Engine<Ev> = Engine::new();
         eng.attach_telemetry(reg.counter("sched", &[]), reg.counter("proc", &[]));
         for i in 0..4u32 {
             eng.schedule(SimTime::from_secs_f64(i as f64), Ev::Tick(i));
@@ -280,7 +385,7 @@ mod tests {
 
     #[test]
     fn run_until_stops_at_deadline() {
-        let mut eng = Engine::new();
+        let mut eng: Engine<Ev> = Engine::new();
         for i in 1..=10u32 {
             eng.schedule(SimTime::from_secs_f64(i as f64), Ev::Tick(i));
         }
@@ -292,5 +397,103 @@ mod tests {
         let drained = eng.run_until(SimTime::MAX, |_, _| seen += 1);
         assert!(drained);
         assert_eq!(seen, 10);
+    }
+
+    /// The same self-feeding workload must produce the same trace on the
+    /// wheel (default) and the heap oracle.
+    #[test]
+    fn wheel_and_heap_engines_are_trace_identical() {
+        fn drive<Q: EventQueue<u32>>(mut eng: Engine<u64, Q>) -> Vec<(SimTime, u64)> {
+            let mut state = 12345u64;
+            for i in 0..64 {
+                eng.schedule(SimTime(i * 37), i);
+            }
+            let mut trace = Vec::new();
+            eng.run(|eng, v| {
+                trace.push((eng.now(), v));
+                if trace.len() < 5_000 {
+                    state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(v);
+                    let delay = state % 100_000;
+                    eng.schedule_after(SimDuration(delay), state);
+                }
+            });
+            trace
+        }
+        let wheel = drive(Engine::<u64, WheelQueue<u32>>::new());
+        let heap = drive(Engine::<u64, HeapQueue<u32>>::new());
+        assert_eq!(wheel.len(), heap.len());
+        assert_eq!(wheel, heap);
+    }
+
+    #[test]
+    fn snapshot_fork_replays_identical_suffix() {
+        fn feed(eng: &mut Engine<u32>, n: u32) {
+            if n < 40 {
+                eng.schedule_after(SimDuration((n as u64 * 733) % 977 + 1), n + 1);
+                if n.is_multiple_of(3) {
+                    eng.schedule_after(SimDuration(5), 1000 + n);
+                }
+            }
+        }
+        // Reference: run straight through, recording the tail after step 10.
+        let mut reference = Engine::<u32>::new();
+        reference.schedule(SimTime::ZERO, 0);
+        let mut ref_tail = Vec::new();
+        let mut steps = 0;
+        reference.run(|eng, n| {
+            steps += 1;
+            if steps > 10 {
+                ref_tail.push((eng.now(), n));
+            }
+            feed(eng, n);
+        });
+
+        // Forked: stop after 10 steps, snapshot, fork, replay the suffix.
+        let mut prefix = Engine::<u32>::new();
+        prefix.schedule(SimTime::ZERO, 0);
+        for _ in 0..10 {
+            let n = prefix.step().unwrap();
+            feed(&mut prefix, n);
+        }
+        let snap = prefix.snapshot();
+        assert_eq!(snap.processed(), 10);
+        assert_eq!(snap.now(), prefix.now());
+        let mut fork = Engine::<u32>::fork(&snap);
+        assert_eq!(fork.now(), prefix.now());
+        assert_eq!(fork.pending(), prefix.pending());
+        let mut fork_tail = Vec::new();
+        fork.run(|eng, n| {
+            fork_tail.push((eng.now(), n));
+            feed(eng, n);
+        });
+        assert_eq!(fork_tail, ref_tail);
+        assert_eq!(fork.processed(), reference.processed());
+
+        // The snapshotted engine is untouched and can itself continue.
+        let mut orig_tail = Vec::new();
+        prefix.run(|eng, n| {
+            orig_tail.push((eng.now(), n));
+            feed(eng, n);
+        });
+        assert_eq!(orig_tail, ref_tail);
+    }
+
+    #[test]
+    fn fork_of_heap_snapshot_runs_on_wheel() {
+        // Snapshots are queue-agnostic: capture on the heap oracle, resume
+        // on the default wheel.
+        let mut heap_eng = Engine::<u32, HeapQueue<u32>>::new();
+        for i in 0..20 {
+            heap_eng.schedule(SimTime(i * 11), i as u32);
+        }
+        for _ in 0..7 {
+            heap_eng.step();
+        }
+        let snap = heap_eng.snapshot();
+        let mut wheel_fork: Engine<u32> = Engine::fork(&snap);
+        let mut seen = Vec::new();
+        wheel_fork.run(|_, n| seen.push(n));
+        assert_eq!(seen, (7..20).collect::<Vec<_>>());
+        assert_eq!(wheel_fork.processed(), 20);
     }
 }

@@ -20,16 +20,18 @@ pub mod engine;
 pub mod gantt;
 pub mod network;
 pub mod profile;
+pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod series;
 pub mod time;
 
 pub use control::{ChannelVerdict, ControlChannel};
-pub use engine::Engine;
+pub use engine::{Engine, EngineSnapshot};
 pub use gantt::{Gantt, Span, SpanKind};
 pub use network::Link;
 pub use profile::{ContentionPhase, NodeProfile, TransientPattern};
+pub use queue::{EventQueue, HeapQueue, RuntimeQueue, WheelQueue};
 pub use rng::RngPool;
 pub use sched::{BusynessTimeline, SchedulerModel};
 pub use series::TimeSeries;

@@ -1,0 +1,105 @@
+//! The binary-heap event queue — the original engine queue, kept as the
+//! reference oracle the wheel is differentially tested against.
+
+use super::EventQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    key: u128,
+    ev: E,
+}
+
+// Ordered by the packed key only; the payload never participates, so `E`
+// needs no `Eq`/`Ord` bounds.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> Ord for Entry<E> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-queue over the packed `(time, seq)` key backed by `BinaryHeap`:
+/// O(log n) push/pop, no constraints on the key distribution.
+#[derive(Debug, Clone)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        HeapQueue { heap: BinaryHeap::new() }
+    }
+}
+
+impl<E> EventQueue<E> for HeapQueue<E> {
+    #[inline]
+    fn push(&mut self, key: u128, ev: E) {
+        self.heap.push(Reverse(Entry { key, ev }));
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u128, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.key, e.ev))
+    }
+
+    #[inline]
+    fn peek_key(&mut self) -> Option<u128> {
+        self.heap.peek().map(|Reverse(e)| e.key)
+    }
+
+    #[inline]
+    fn pop_at_most(&mut self, limit: u128) -> Option<(u128, E)> {
+        if self.heap.peek()?.0.key <= limit {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    fn entries(&self) -> Vec<(u128, E)>
+    where
+        E: Clone,
+    {
+        self.heap.iter().map(|Reverse(e)| (e.key, e.ev.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q: HeapQueue<&str> = HeapQueue::default();
+        q.push(2 << 64, "b");
+        q.push((1 << 64) | 1, "a2");
+        q.push(1 << 64, "a1");
+        assert_eq!(q.peek_key(), Some(1 << 64));
+        assert_eq!(q.pop(), Some((1 << 64, "a1")));
+        assert_eq!(q.pop(), Some(((1 << 64) | 1, "a2")));
+        assert_eq!(q.pop(), Some((2 << 64, "b")));
+        assert_eq!(q.pop(), None);
+    }
+}

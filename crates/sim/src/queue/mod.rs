@@ -1,0 +1,435 @@
+//! The pluggable event-queue layer under [`crate::Engine`].
+//!
+//! The engine orders events by a packed `u128` key — time in the high 64
+//! bits, per-engine insertion sequence in the low 64 — so *any* queue that
+//! pops strictly ascending keys reproduces the exact `(time, FIFO)` schedule.
+//! That contract is what makes the queue pluggable: [`HeapQueue`] (the
+//! original binary heap, kept as the reference oracle) and [`WheelQueue`]
+//! (a hierarchical time wheel with O(1) amortized insert/pop) are
+//! interchangeable byte-for-byte, and the differential tests in this module
+//! hold them to it.
+//!
+//! Queue payloads are opaque: the engine stores event payloads in an
+//! [`Arena`] and routes only `u32` slot handles through the queue, so the
+//! hot schedule/step path never allocates per event and bucket shuffles in
+//! the wheel move 24-byte entries regardless of the event type.
+
+mod arena;
+mod heap;
+mod wheel;
+
+pub use arena::Arena;
+pub use heap::HeapQueue;
+pub use wheel::WheelQueue;
+
+/// A priority queue of `(key, payload)` entries popped in ascending key
+/// order.
+///
+/// Invariants every implementation must uphold (the engine relies on all
+/// three for determinism):
+///
+/// 1. `pop` returns the entry with the smallest key; keys pushed by the
+///    engine are unique (the low 64 bits are a strictly increasing sequence
+///    number), so "smallest" is unambiguous.
+/// 2. Keys may only be pushed at or after the last popped key's *time*
+///    (high 64 bits) — the engine's monotone clock clamp guarantees this.
+///    Sequence numbers are globally increasing across all pushes.
+/// 3. `clear` drops all pending entries but keeps the queue usable at the
+///    current time position.
+pub trait EventQueue<E>: Default {
+    /// Insert `ev` under `key` (`time << 64 | seq`).
+    fn push(&mut self, key: u128, ev: E);
+
+    /// Remove and return the entry with the smallest key.
+    fn pop(&mut self) -> Option<(u128, E)>;
+
+    /// The smallest pending key. Takes `&mut self` because the wheel may
+    /// re-bucket internally while locating it (never observably).
+    fn peek_key(&mut self) -> Option<u128>;
+
+    /// Pop the front entry only if its key is at most `limit` — the engine's
+    /// deadline-bounded stepping as one queue operation, so implementations
+    /// can resolve their front once instead of answering a peek and a pop
+    /// separately. Returns `None` (leaving the queue untouched) when empty
+    /// or when the front key exceeds `limit`.
+    fn pop_at_most(&mut self, limit: u128) -> Option<(u128, E)> {
+        if self.peek_key()? <= limit {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending entries.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every pending entry (the queue stays usable at its current
+    /// time position).
+    fn clear(&mut self);
+
+    /// All pending entries in unspecified order (for engine snapshots).
+    fn entries(&self) -> Vec<(u128, E)>
+    where
+        E: Clone;
+}
+
+/// Runtime-selectable queue: wheel by default, heap for oracle runs.
+///
+/// The training runtimes in `antdt-core` drive a single concrete engine
+/// type through dozens of handler signatures; this enum gives them a
+/// queue choice at job-construction time without threading a generic
+/// parameter through every hook. Dispatch is one predictable branch per
+/// queue operation — noise next to the handler work per event.
+// The wheel variant carries its ~2 KiB occupancy bitmap inline by design:
+// there is exactly one queue per engine, and boxing it would put a pointer
+// chase on every push/pop.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RuntimeQueue<E> {
+    Wheel(WheelQueue<E>),
+    Heap(HeapQueue<E>),
+}
+
+impl<E> RuntimeQueue<E> {
+    pub fn wheel() -> Self {
+        RuntimeQueue::Wheel(WheelQueue::default())
+    }
+
+    pub fn heap() -> Self {
+        RuntimeQueue::Heap(HeapQueue::default())
+    }
+
+    /// A fresh, empty queue of the same variant (for engine forks that keep
+    /// the parent's runtime-selected kind).
+    pub fn empty_like(&self) -> Self {
+        match self {
+            RuntimeQueue::Wheel(_) => Self::wheel(),
+            RuntimeQueue::Heap(_) => Self::heap(),
+        }
+    }
+}
+
+impl<E> Default for RuntimeQueue<E> {
+    fn default() -> Self {
+        Self::wheel()
+    }
+}
+
+impl<E> EventQueue<E> for RuntimeQueue<E> {
+    fn push(&mut self, key: u128, ev: E) {
+        match self {
+            RuntimeQueue::Wheel(q) => q.push(key, ev),
+            RuntimeQueue::Heap(q) => q.push(key, ev),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u128, E)> {
+        match self {
+            RuntimeQueue::Wheel(q) => q.pop(),
+            RuntimeQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    fn peek_key(&mut self) -> Option<u128> {
+        match self {
+            RuntimeQueue::Wheel(q) => q.peek_key(),
+            RuntimeQueue::Heap(q) => q.peek_key(),
+        }
+    }
+
+    fn pop_at_most(&mut self, limit: u128) -> Option<(u128, E)> {
+        match self {
+            RuntimeQueue::Wheel(q) => q.pop_at_most(limit),
+            RuntimeQueue::Heap(q) => q.pop_at_most(limit),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RuntimeQueue::Wheel(q) => q.len(),
+            RuntimeQueue::Heap(q) => q.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            RuntimeQueue::Wheel(q) => q.clear(),
+            RuntimeQueue::Heap(q) => q.clear(),
+        }
+    }
+
+    fn entries(&self) -> Vec<(u128, E)>
+    where
+        E: Clone,
+    {
+        match self {
+            RuntimeQueue::Wheel(q) => q.entries(),
+            RuntimeQueue::Heap(q) => q.entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive both queues through the same legal workload and require
+    /// identical pop sequences.
+    fn differential(ops: &[(u64, u32)]) {
+        let mut heap: HeapQueue<u32> = HeapQueue::default();
+        let mut wheel: WheelQueue<u32> = WheelQueue::default();
+        let mut seq = 0u64;
+        let mut last_time = 0u64;
+        let mut pending = 0usize;
+        for &(dt, burst) in ops {
+            // Interleave pushes and pops the way the engine does: advance the
+            // clock by popping, then push a burst at/after the current time.
+            for _ in 0..burst {
+                let t = last_time.saturating_add(dt);
+                let key = (u128::from(t) << 64) | u128::from(seq);
+                seq += 1;
+                heap.push(key, seq as u32);
+                wheel.push(key, seq as u32);
+                pending += 1;
+            }
+            if pending > 0 {
+                assert_eq!(heap.peek_key(), wheel.peek_key());
+                let h = heap.pop().unwrap();
+                let w = wheel.pop().unwrap();
+                assert_eq!(h, w);
+                last_time = (h.0 >> 64) as u64;
+                pending -= 1;
+            }
+        }
+        while let Some(h) = heap.pop() {
+            assert_eq!(Some(h), wheel.pop());
+        }
+        assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn same_instant_bursts_match() {
+        differential(&[(0, 100), (1, 3), (0, 50), (2, 0), (0, 7)]);
+    }
+
+    #[test]
+    fn mixed_horizons_match() {
+        // Near-future, cross-level, and far-overflow delays interleaved.
+        differential(&[
+            (1, 4),
+            (63, 2),
+            (64, 2),
+            (4095, 3),
+            (4096, 3),
+            (1 << 20, 2),
+            (1 << 37, 2),
+            (5, 10),
+            (1 << 40, 1),
+            (2, 8),
+        ]);
+    }
+
+    #[test]
+    fn u64_max_times_match() {
+        let mut heap: HeapQueue<u8> = HeapQueue::default();
+        let mut wheel: WheelQueue<u8> = WheelQueue::default();
+        for (i, t) in [u64::MAX, 0, u64::MAX, 5].into_iter().enumerate() {
+            let key = (u128::from(t) << 64) | i as u128;
+            heap.push(key, i as u8);
+            wheel.push(key, i as u8);
+        }
+        for _ in 0..4 {
+            assert_eq!(heap.pop(), wheel.pop());
+        }
+    }
+
+    #[test]
+    fn clear_mid_run_matches() {
+        let mut heap: HeapQueue<u32> = HeapQueue::default();
+        let mut wheel: WheelQueue<u32> = WheelQueue::default();
+        for i in 0..10u64 {
+            let key = (u128::from(i * 100) << 64) | u128::from(i);
+            heap.push(key, i as u32);
+            wheel.push(key, i as u32);
+        }
+        assert_eq!(heap.pop(), wheel.pop());
+        heap.clear();
+        wheel.clear();
+        assert_eq!(heap.len(), 0);
+        assert_eq!(wheel.len(), 0);
+        // Both stay usable at their current position.
+        for i in 0..5u64 {
+            let key = (u128::from(100 + i) << 64) | u128::from(100 + i);
+            heap.push(key, i as u32);
+            wheel.push(key, i as u32);
+        }
+        for _ in 0..5 {
+            assert_eq!(heap.pop(), wheel.pop());
+        }
+    }
+
+    mod differential_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of a randomized, engine-legal workload.
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// Push `burst` events at `now + dt` (dt may cross any wheel
+            /// level or land in overflow).
+            Push { dt: u64, burst: u8 },
+            /// Pop one event, advancing the clock to its time.
+            Pop,
+            /// Deadline-bounded pop at `now + dt` (the engine's `run_until`
+            /// step) — may refuse, leaving the queue untouched.
+            PopAtMost { dt: u64 },
+            /// Drop all pending events mid-run.
+            Clear,
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            let dt = prop_oneof![
+                0u64..256,       // same-instant / level-0..1
+                0u64..(1 << 20), // mid levels
+                0u64..(1 << 37), // top level + overflow edge
+                Just(u64::MAX),  // saturating far future
+            ];
+            let limit_dt = prop_oneof![0u64..256, 0u64..(1 << 20), 0u64..(1 << 37)];
+            prop_oneof![
+                (dt, 0u8..8).prop_map(|(dt, burst)| Op::Push { dt, burst }),
+                Just(Op::Pop),
+                Just(Op::Pop),
+                limit_dt.prop_map(|dt| Op::PopAtMost { dt }),
+                Just(Op::Clear),
+            ]
+        }
+
+        proptest! {
+            /// The wheel and the heap oracle must agree on every peek and
+            /// pop across arbitrary legal workloads.
+            #[test]
+            fn wheel_matches_heap_oracle(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+                let mut heap: HeapQueue<u32> = HeapQueue::default();
+                let mut wheel: WheelQueue<u32> = WheelQueue::default();
+                let mut seq = 0u64;
+                let mut now = 0u64;
+                for op in ops {
+                    match op {
+                        Op::Push { dt, burst } => {
+                            for _ in 0..burst {
+                                let t = now.saturating_add(dt);
+                                let key = (u128::from(t) << 64) | u128::from(seq);
+                                heap.push(key, seq as u32);
+                                wheel.push(key, seq as u32);
+                                seq += 1;
+                            }
+                        }
+                        Op::Pop => {
+                            prop_assert_eq!(heap.peek_key(), wheel.peek_key());
+                            let h = heap.pop();
+                            let w = wheel.pop();
+                            prop_assert_eq!(h, w);
+                            if let Some((key, _)) = h {
+                                now = (key >> 64) as u64;
+                            }
+                        }
+                        Op::PopAtMost { dt } => {
+                            let limit = (u128::from(now.saturating_add(dt)) << 64)
+                                | u128::from(u64::MAX);
+                            let h = heap.pop_at_most(limit);
+                            let w = wheel.pop_at_most(limit);
+                            prop_assert_eq!(h, w);
+                            if let Some((key, _)) = h {
+                                now = (key >> 64) as u64;
+                            }
+                        }
+                        Op::Clear => {
+                            heap.clear();
+                            wheel.clear();
+                        }
+                    }
+                    prop_assert_eq!(heap.len(), wheel.len());
+                }
+                // Drain: the full residual schedules must be identical.
+                while let Some(h) = heap.pop() {
+                    prop_assert_eq!(Some(h), wheel.pop());
+                }
+                prop_assert!(wheel.pop().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn pop_at_most_boundary_semantics() {
+        // Exact-limit keys pop; a front one past the limit leaves the queue
+        // untouched — on the heap, the wheel, and the trait default (which
+        // `RuntimeQueue` would hit if it ever dropped its override).
+        fn check<Q: EventQueue<u32>>(mut q: Q) {
+            for (i, t) in [10u64, 20, 20, 30].into_iter().enumerate() {
+                q.push((u128::from(t) << 64) | i as u128, i as u32);
+            }
+            let exact = (20u128 << 64) | 1;
+            assert_eq!(q.pop_at_most((10 << 64) | u128::from(u64::MAX)), Some(((10 << 64), 0)));
+            // Limit below the front key (time matches, seq lower): refuse.
+            assert_eq!(q.pop_at_most(20 << 64), None);
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop_at_most(exact), Some((exact, 1)));
+            assert_eq!(q.pop_at_most(exact), None);
+            // A refused pop must not have perturbed order or contents.
+            assert_eq!(q.pop(), Some(((20 << 64) | 2, 2)));
+            assert_eq!(q.pop_at_most(u128::MAX), Some(((30 << 64) | 3, 3)));
+            assert_eq!(q.pop_at_most(u128::MAX), None);
+        }
+        check(HeapQueue::default());
+        check(WheelQueue::default());
+        check(RuntimeQueue::wheel());
+    }
+
+    /// After a deadline-bounded pop comes up empty, pushes at times between
+    /// the deadline and the next pending event (the engine's steady state:
+    /// drain to `t`, schedule more work near `t`) must still pop in exact
+    /// key order on both queues.
+    #[test]
+    fn refused_pop_then_near_deadline_pushes_match() {
+        let mut heap: HeapQueue<u32> = HeapQueue::default();
+        let mut wheel: WheelQueue<u32> = WheelQueue::default();
+        let mut seq = 0u64;
+        let mut push = |h: &mut HeapQueue<u32>, w: &mut WheelQueue<u32>, t: u64| {
+            let key = (u128::from(t) << 64) | u128::from(seq);
+            h.push(key, seq as u32);
+            w.push(key, seq as u32);
+            seq += 1;
+        };
+        push(&mut heap, &mut wheel, 1 << 20); // far future
+        for deadline in [1_000u64, 10_000, 100_000] {
+            let limit = (u128::from(deadline) << 64) | u128::from(u64::MAX);
+            assert_eq!(heap.pop_at_most(limit), wheel.pop_at_most(limit));
+            // Schedule follow-ups just past the deadline, like a round
+            // driver that advanced to `deadline` and planned the next round.
+            push(&mut heap, &mut wheel, deadline + 1);
+            push(&mut heap, &mut wheel, deadline + 500);
+        }
+        while let Some(h) = heap.pop() {
+            assert_eq!(Some(h), wheel.pop());
+        }
+        assert!(wheel.pop().is_none());
+    }
+
+    #[test]
+    fn runtime_queue_dispatches_both_variants() {
+        for mut q in [RuntimeQueue::<u32>::wheel(), RuntimeQueue::<u32>::heap()] {
+            q.push(5 << 64, 1);
+            q.push(3 << 64 | 1, 2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_key(), Some(3 << 64 | 1));
+            assert_eq!(q.pop(), Some((3 << 64 | 1, 2)));
+            assert_eq!(q.entries(), vec![(5 << 64, 1)]);
+            q.clear();
+            assert!(q.is_empty());
+        }
+    }
+}

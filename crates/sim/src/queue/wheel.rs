@@ -1,0 +1,580 @@
+//! A hierarchical time wheel (calendar queue) over the packed `(time, seq)`
+//! key: O(1) amortized insert and pop for the delay distributions the
+//! training runtimes produce, with an overflow heap that re-buckets
+//! far-future events as the horizon slides forward.
+//!
+//! # Geometry
+//!
+//! `LEVELS` levels of `SLOTS` slots each; a level-`l` slot spans
+//! `SLOTS^l` microseconds and slot indices are absolute
+//! (`(time >> SHIFT·l) & SLOT_MASK`), so the wheel as a whole covers
+//! `SLOTS^LEVELS` µs (2^39 µs ≈ 6.4 days of simulated time) ahead of the
+//! cursor. Events beyond that horizon go to an overflow binary heap keyed
+//! by the full `u128` and migrate into the wheel once the cursor gets
+//! close enough. The 8192-slot radix makes level 1 span 67 simulated
+//! seconds, so the millisecond-to-minute delays the training runtimes
+//! produce land at level 1 in one hop and cascade at most once.
+//!
+//! # The sorted run and the staging buffers
+//!
+//! The cursor only enters a level-`l` window after cascading that window's
+//! entries into the levels below, and every pop is served from the **run**
+//! — a single sorted buffer holding exactly the entries of the currently
+//! open level-1 slot (an 8 ms span). That makes ordering cheap and local:
+//!
+//! 1. A far push appends to the level's unsorted **staging buffer** and
+//!    sets the slot's occupancy bit — two cache-hot touches, no
+//!    random-indexed bucket write. When a window opens, its entries are
+//!    partitioned out of the staging buffer in one sequential scan; if a
+//!    scan yields too few entries (the staged set spreads across many
+//!    windows), the buffer is spilled once into per-slot buckets so scans
+//!    stay amortized O(1) per event on every workload shape.
+//! 2. A level-1 slot is one run window wide: when the cursor reaches it,
+//!    the extracted entries are sorted once (`sort_unstable` — keys are
+//!    unique `(time, seq)` pairs) and become the new run wholesale.
+//!    Cascading a level ≥ 2 window redistributes its entries *by time* to
+//!    the levels below, so no order is maintained above the run.
+//! 3. Direct pushes that land inside the open window binary-insert into
+//!    the run; the common engine case — same-instant follow-ups carrying
+//!    the globally monotone `seq` — hits the O(1) append fast path.
+//!
+//! Popping therefore yields strictly ascending keys, which is exactly the
+//! engine's contract, while the per-event footprint stays a handful of hot
+//! buffers rather than thousands of cold buckets.
+
+use super::EventQueue;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+/// log2 of the slot count per level.
+const SHIFT: u32 = 13;
+/// Slots per level; `WORDS` `u64` bitmap words track slot occupancy.
+const SLOTS: usize = 1 << SHIFT;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+const WORDS: usize = SLOTS / 64;
+/// Wheel depth: covers `2^(13·3)` µs ≈ 6.4 simulated days ahead of the
+/// cursor. Anything farther (liveness probes, `u64::MAX` sentinels) rides
+/// the overflow heap.
+const LEVELS: usize = 3;
+
+#[derive(Debug, Clone)]
+struct OverflowEntry<E> {
+    key: u128,
+    ev: E,
+}
+
+impl<E> PartialEq for OverflowEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for OverflowEntry<E> {}
+impl<E> Ord for OverflowEntry<E> {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+impl<E> PartialOrd for OverflowEntry<E> {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Hierarchical time-wheel implementation of [`EventQueue`].
+#[derive(Debug, Clone)]
+pub struct WheelQueue<E> {
+    /// The open level-1 window: entries within 8 ms of the cursor, in
+    /// ascending key order, popped from the front (see module docs).
+    run: VecDeque<(u128, E)>,
+    /// Per-level unsorted staging buffer (index `level - 1`): far pushes
+    /// append here — one hot buffer per level instead of a random-indexed
+    /// bucket write — and a window's entries are partitioned out when it
+    /// cascades open. See `refill_run` for the flush fallback that keeps
+    /// scan cost amortized O(1) per event on low-yield workloads.
+    stage: Vec<Vec<(u128, E)>>,
+    /// Scratch buffer for the staging partition (kept for its capacity).
+    spare: Vec<(u128, E)>,
+    /// Flat `(LEVELS-1) × SLOTS` upper-level bucket array, indexed
+    /// `(level - 1) * SLOTS + slot`: the flush target for low-yield staging
+    /// buffers, drained together with the staged entries when the slot's
+    /// window cascades open.
+    far: Vec<Vec<(u128, E)>>,
+    /// Bitmap of non-empty slots per level 1..`LEVELS` (index `level - 1`).
+    occupied: [[u64; WORDS]; LEVELS - 1],
+    /// Cursor: the wheel's current time in µs. Only advances.
+    elapsed: u64,
+    /// Events beyond the wheel horizon, ordered by full key.
+    overflow: BinaryHeap<Reverse<OverflowEntry<E>>>,
+    /// Cached `overflow` head key (`u128::MAX` when empty), so the hot
+    /// pop/peek path compares a field instead of peeking the heap twice.
+    oflow_head: u128,
+    len: usize,
+}
+
+impl<E> Default for WheelQueue<E> {
+    fn default() -> Self {
+        WheelQueue {
+            run: VecDeque::new(),
+            stage: (0..LEVELS - 1).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            far: (0..(LEVELS - 1) * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [[0; WORDS]; LEVELS - 1],
+            elapsed: 0,
+            overflow: BinaryHeap::new(),
+            oflow_head: u128::MAX,
+            len: 0,
+        }
+    }
+}
+
+#[inline]
+fn time_of(key: u128) -> u64 {
+    (key >> 64) as u64
+}
+
+impl<E> WheelQueue<E> {
+    /// The level whose bit range holds the highest bit where `time` differs
+    /// from the cursor, or `LEVELS` for beyond-horizon times.
+    #[inline]
+    fn level_of(&self, time: u64) -> usize {
+        let masked = time ^ self.elapsed;
+        if masked == 0 {
+            return 0;
+        }
+        ((63 - masked.leading_zeros()) / SHIFT) as usize
+    }
+
+    #[inline]
+    fn slot_of(level: usize, time: u64) -> usize {
+        ((time >> (SHIFT * level as u32)) & SLOT_MASK) as usize
+    }
+
+    /// Insert one entry into the sorted run. Appends are the common case:
+    /// direct pushes carry the engine's globally monotone `seq`, so a
+    /// same-window push is almost always the largest key so far. The binary
+    /// insert covers cascade redistribution and overflow migrations, which
+    /// arrive in arbitrary order.
+    #[inline]
+    fn insert_run(&mut self, key: u128, ev: E) {
+        match self.run.back() {
+            Some(&(last, _)) if last > key => {
+                let idx = self.run.partition_point(|&(k, _)| k < key);
+                self.run.insert(idx, (key, ev));
+            }
+            _ => self.run.push_back((key, ev)),
+        }
+    }
+
+    /// Place one entry at its level relative to the current cursor (caller
+    /// guarantees `time_of(key) >= self.elapsed` and in-horizon): the run
+    /// if it falls inside the open window, the level's staging buffer
+    /// otherwise.
+    #[inline]
+    fn place(&mut self, key: u128, ev: E) {
+        let level = self.level_of(time_of(key));
+        self.place_at(level, key, ev);
+    }
+
+    /// `place` with the level precomputed (callers on the push path already
+    /// have it from the horizon check).
+    #[inline]
+    fn place_at(&mut self, level: usize, key: u128, ev: E) {
+        debug_assert!(level < LEVELS);
+        debug_assert_eq!(level, self.level_of(time_of(key)));
+        if level == 0 {
+            self.insert_run(key, ev);
+        } else {
+            // Far pushes touch two hot locations — the level's staging
+            // buffer tail and a bit in the (one-KiB-per-level) occupancy
+            // bitmap — instead of a random slot in the bucket array. The
+            // partition to per-slot order is deferred to window opening.
+            let slot = Self::slot_of(level, time_of(key));
+            self.occupied[level - 1][slot >> 6] |= 1 << (slot & 63);
+            self.stage[level - 1].push((key, ev));
+        }
+    }
+
+    /// Migrate overflow entries that now fit the horizon into the wheel.
+    /// Stops at the first head that can't be placed: either still beyond
+    /// the horizon, or behind the cursor (a clamped push that raced a
+    /// cursor-advancing peek) — both are handled by the full-key comparison
+    /// in `pop`/`peek_key` instead.
+    #[inline]
+    fn rebucket_overflow(&mut self) {
+        // For an at-or-ahead-of-cursor time, "inside the horizon" is exactly
+        // "at most the last instant of the cursor's top-level rotation", so
+        // the common all-far case is one OR and one compare. (`oflow_head ==
+        // u128::MAX` when empty falls out the same way.)
+        const HORIZON_MASK: u64 = (1u64 << (SHIFT * LEVELS as u32)) - 1;
+        while time_of(self.oflow_head) <= self.elapsed | HORIZON_MASK {
+            if self.overflow.is_empty() {
+                // The `u128::MAX` empty sentinel passes the horizon check
+                // once the cursor reaches the topmost rotation.
+                break;
+            }
+            let t = time_of(self.oflow_head);
+            if t < self.elapsed {
+                // Behind-cursor stray: settled by key comparison instead.
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("cached head must pop");
+            self.oflow_head = self.overflow.peek().map_or(u128::MAX, |Reverse(h)| h.key);
+            self.place(e.key, e.ev);
+        }
+    }
+
+    /// Lowest occupied slot at or after `cur` in a level's bitmap, if any.
+    /// Slots behind the cursor belong to the *next* rotation and map to a
+    /// higher level until then, so they are ignored.
+    #[inline]
+    fn first_ahead(bitmap: &[u64; WORDS], cur: usize) -> Option<usize> {
+        let word = cur >> 6;
+        let masked = bitmap[word] & (!0u64 << (cur & 63));
+        if masked != 0 {
+            return Some((word << 6) | masked.trailing_zeros() as usize);
+        }
+        for (w, &bits) in bitmap.iter().enumerate().skip(word + 1) {
+            if bits != 0 {
+                return Some((w << 6) | bits.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Cascade far buckets until the run holds the earliest pending wheel
+    /// entries, or return with it empty if the wheel proper (not counting
+    /// overflow) is drained. Advances the cursor to each window being
+    /// opened, never past a pending entry — and never past `limit_time`:
+    /// a window whose base lies beyond it stays closed, so a deadline-
+    /// bounded pop that comes up empty leaves the cursor at the engine's
+    /// clock instead of jumping it to the next event. (Otherwise every
+    /// event scheduled after a drained `run_until` would land behind the
+    /// cursor and detour through the overflow heap.) Caller ensures the
+    /// run is empty.
+    fn refill_run(&mut self, limit_time: u64) {
+        debug_assert!(self.run.is_empty());
+        'search: loop {
+            for level in 1..LEVELS {
+                let cur = Self::slot_of(level, self.elapsed);
+                let Some(slot) = Self::first_ahead(&self.occupied[level - 1], cur) else {
+                    continue;
+                };
+                // slot == cursor would mean a window we entered without
+                // cascading — impossible (entries differ from `elapsed`
+                // inside the level's bit range, and cascades clear the slot
+                // on entry).
+                debug_assert!(slot > cur);
+                // Open the window: jump the cursor to its base and cascade
+                // the bucket into the levels below.
+                let shift = SHIFT * level as u32;
+                let window = 1u64 << (shift + SHIFT);
+                let base = (self.elapsed & !(window - 1)) | ((slot as u64) << shift);
+                debug_assert!(base >= self.elapsed);
+                if base > limit_time {
+                    // Every wheel entry is at or after this base, hence past
+                    // the caller's deadline: refuse without touching state.
+                    return;
+                }
+                self.elapsed = base;
+                self.occupied[level - 1][slot >> 6] &= !(1 << (slot & 63));
+                let mut bucket = std::mem::take(&mut self.far[(level - 1) * SLOTS + slot]);
+                // Partition the level's staging buffer: this window's
+                // entries join the bucket, the rest compact back (swapped
+                // through `spare`, so both allocations stay warm).
+                let stage = &mut self.stage[level - 1];
+                let scanned = stage.len();
+                let before = bucket.len();
+                for (key, ev) in stage.drain(..) {
+                    if time_of(key) >> shift == base >> shift {
+                        bucket.push((key, ev));
+                    } else {
+                        self.spare.push((key, ev));
+                    }
+                }
+                std::mem::swap(stage, &mut self.spare);
+                // Low scan yield means the staged entries spread across
+                // many windows — rescanning them at every refill would
+                // cost O(stage) per window opened. Spill them to their
+                // per-slot buckets once (occupancy bits are already set);
+                // each entry is spilled at most once, so scans stay
+                // amortized O(1) per event on every workload shape.
+                let extracted = bucket.len() - before;
+                if scanned > 64 && scanned > 4 * extracted {
+                    for (key, ev) in stage.drain(..) {
+                        let s = Self::slot_of(level, time_of(key));
+                        self.far[(level - 1) * SLOTS + s].push((key, ev));
+                    }
+                }
+                if level == 1 {
+                    // One level-1 slot == one run window: sort once (keys
+                    // are unique, `sort_unstable` is deterministic) and the
+                    // bucket *becomes* the run — `VecDeque::from(Vec)` takes
+                    // the buffer without copying, and the spent run's
+                    // allocation is recycled as the emptied bucket.
+                    bucket.sort_unstable_by_key(|&(k, _)| k);
+                    let spent = std::mem::replace(&mut self.run, VecDeque::from(bucket));
+                    bucket = Vec::from(spent);
+                    bucket.clear();
+                } else {
+                    for (key, ev) in bucket.drain(..) {
+                        debug_assert!(self.level_of(time_of(key)) < level);
+                        self.place(key, ev);
+                    }
+                }
+                // Keep the (empty) bucket's capacity for future rotations.
+                self.far[(level - 1) * SLOTS + slot] = bucket;
+                if !self.run.is_empty() {
+                    return;
+                }
+                continue 'search;
+            }
+            return;
+        }
+    }
+    /// Rebucket, cascade, and locate the global minimum. `None` iff the
+    /// queue is empty. Remaining overflow keys normally exceed every wheel
+    /// key (they differ from the cursor at a higher bit than any in-horizon
+    /// time), except for behind-cursor strays — the full-key comparison
+    /// settles both cases exactly.
+    #[inline]
+    fn resolve_front(&mut self) -> Option<(u128, bool)> {
+        self.resolve_front_within(u64::MAX)
+    }
+
+    /// [`WheelQueue::resolve_front`] that only cascades windows whose base
+    /// is at most `limit_time`. May return `None` with entries still
+    /// pending when all of them lie past the limit; when it does return a
+    /// front, that front is the exact global minimum.
+    #[inline]
+    fn resolve_front_within(&mut self, limit_time: u64) -> Option<(u128, bool)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.rebucket_overflow();
+        if self.run.is_empty() {
+            self.refill_run(limit_time);
+        }
+        match self.run.front() {
+            Some(&(w, _)) if self.oflow_head < w => Some((self.oflow_head, true)),
+            Some(&(w, _)) => Some((w, false)),
+            // Run still empty: everything pending lives in overflow, or a
+            // bounded refill refused to open a window past the limit. A
+            // beyond-horizon overflow head exceeds every wheel key, so
+            // returning it keeps the caller's key-vs-limit check exact;
+            // behind-cursor strays (below every wheel key) must surface
+            // here too.
+            None if self.oflow_head != u128::MAX => Some((self.oflow_head, true)),
+            None => None,
+        }
+    }
+
+    /// Remove the front entry located by [`WheelQueue::resolve_front`].
+    #[inline]
+    fn take_front(&mut self, from_overflow: bool) -> (u128, E) {
+        self.len -= 1;
+        if from_overflow {
+            let Reverse(e) = self.overflow.pop().expect("resolved front must pop");
+            self.oflow_head = self.overflow.peek().map_or(u128::MAX, |Reverse(h)| h.key);
+            self.elapsed = self.elapsed.max(time_of(e.key));
+            (e.key, e.ev)
+        } else {
+            let (key, ev) = self.run.pop_front().expect("resolved front must pop");
+            self.elapsed = time_of(key);
+            (key, ev)
+        }
+    }
+}
+
+impl<E> EventQueue<E> for WheelQueue<E> {
+    fn push(&mut self, key: u128, ev: E) {
+        let time = time_of(key);
+        self.len += 1;
+        // Behind-cursor pushes (the engine clamps to its own clock, which
+        // can trail the wheel cursor right after a cursor-advancing peek)
+        // ride the overflow heap so the level math never sees them.
+        let level = if time < self.elapsed { LEVELS } else { self.level_of(time) };
+        if level >= LEVELS {
+            self.oflow_head = self.oflow_head.min(key);
+            self.overflow.push(Reverse(OverflowEntry { key, ev }));
+        } else {
+            self.place_at(level, key, ev);
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u128, E)> {
+        let (_, src) = self.resolve_front()?;
+        Some(self.take_front(src))
+    }
+
+    fn peek_key(&mut self) -> Option<u128> {
+        self.resolve_front().map(|(key, _)| key)
+    }
+
+    fn pop_at_most(&mut self, limit: u128) -> Option<(u128, E)> {
+        // Bounding the refill by the deadline keeps a refusal cheap (a
+        // bitmap scan, no window cascade) and, crucially, keeps the cursor
+        // from outrunning the engine clock between `run_until` calls.
+        let (key, src) = self.resolve_front_within(time_of(limit))?;
+        if key > limit {
+            return None;
+        }
+        Some(self.take_front(src))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.run.clear();
+        for staged in &mut self.stage {
+            staged.clear();
+        }
+        for bucket in &mut self.far {
+            bucket.clear();
+        }
+        self.occupied = [[0; WORDS]; LEVELS - 1];
+        self.overflow.clear();
+        self.oflow_head = u128::MAX;
+        self.len = 0;
+        // `elapsed` is kept: the engine's clock survives a clear.
+    }
+
+    fn entries(&self) -> Vec<(u128, E)>
+    where
+        E: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.run.iter().cloned());
+        for staged in &self.stage {
+            out.extend(staged.iter().cloned());
+        }
+        for bucket in &self.far {
+            out.extend(bucket.iter().cloned());
+        }
+        out.extend(self.overflow.iter().map(|Reverse(e)| (e.key, e.ev.clone())));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(t: u64, s: u64) -> u128 {
+        (u128::from(t) << 64) | u128::from(s)
+    }
+
+    #[test]
+    fn pops_ascending_across_levels_and_overflow() {
+        let mut q: WheelQueue<usize> = WheelQueue::default();
+        let times = [
+            0,
+            1,
+            63,
+            64,
+            65,
+            4095,
+            4096,
+            1 << 18,
+            (1 << 40) - 1,
+            1 << 40, // beyond horizon at push time
+            1 << 44,
+            u64::MAX,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(key(t, i as u64), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            popped.push(time_of(k));
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn fifo_is_preserved_across_cascades() {
+        let mut q: WheelQueue<u64> = WheelQueue::default();
+        // Two events at the same far instant pushed before and after an
+        // intervening pop that advances the cursor across level boundaries.
+        q.push(key(100_000, 0), 0);
+        q.push(key(50, 1), 1);
+        assert_eq!(q.pop(), Some((key(50, 1), 1)));
+        q.push(key(100_000, 2), 2);
+        q.push(key(100_000, 3), 3);
+        assert_eq!(q.pop(), Some((key(100_000, 0), 0)));
+        assert_eq!(q.pop(), Some((key(100_000, 2), 2)));
+        assert_eq!(q.pop(), Some((key(100_000, 3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_migrates_in_seq_order() {
+        let mut q: WheelQueue<u64> = WheelQueue::default();
+        let horizon = 1u64 << (SHIFT * LEVELS as u32);
+        let far = horizon + 100; // beyond horizon from cursor 0
+        q.push(key(far, 0), 0);
+        q.push(key(far + 1, 1), 1);
+        // Advance the cursor into the far window, then push a same-instant
+        // event with a later seq: it must pop *after* the migrated one.
+        q.push(key(horizon, 2), 2);
+        assert_eq!(q.pop(), Some((key(horizon, 2), 2)));
+        q.push(key(far, 3), 3);
+        assert_eq!(q.pop(), Some((key(far, 0), 0)));
+        assert_eq!(q.pop(), Some((key(far, 3), 3)));
+        assert_eq!(q.pop(), Some((key(far + 1, 1), 1)));
+    }
+
+    #[test]
+    fn behind_cursor_push_still_pops_in_key_order() {
+        let mut q: WheelQueue<u64> = WheelQueue::default();
+        q.push(key(1000, 0), 0);
+        // A peek may cascade the cursor toward the pending entry...
+        assert_eq!(q.peek_key(), Some(key(1000, 0)));
+        // ...after which a clamped push behind the cursor must still pop
+        // first (its key is smaller).
+        q.push(key(100, 1), 1);
+        q.push(key(100, 2), 2);
+        assert_eq!(q.pop(), Some((key(100, 1), 1)));
+        assert_eq!(q.pop(), Some((key(100, 2), 2)));
+        assert_eq!(q.pop(), Some((key(1000, 0), 0)));
+    }
+
+    #[test]
+    fn out_of_order_same_instant_pushes_pop_sorted() {
+        // Far buckets are unsorted, so an adversarial push order (descending
+        // seq at one far instant, interleaved with other times) must be
+        // repaired by the sort when the window cascades open.
+        let mut q: WheelQueue<u64> = WheelQueue::default();
+        q.push(key(100_000, 7), 7);
+        q.push(key(90_000, 5), 5);
+        q.push(key(100_000, 3), 3);
+        q.push(key(100_000, 6), 6);
+        q.push(key(90_000, 1), 1);
+        let mut popped = Vec::new();
+        while let Some((k, _)) = q.pop() {
+            popped.push(k);
+        }
+        assert_eq!(
+            popped,
+            vec![key(90_000, 1), key(90_000, 5), key(100_000, 3), key(100_000, 6), key(100_000, 7)]
+        );
+    }
+
+    #[test]
+    fn len_and_entries_account_for_overflow() {
+        let mut q: WheelQueue<u8> = WheelQueue::default();
+        q.push(key(5, 0), 10);
+        q.push(key(u64::MAX, 1), 20);
+        assert_eq!(q.len(), 2);
+        let mut entries = q.entries();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(entries, vec![(key(5, 0), 10), (key(u64::MAX, 1), 20)]);
+        q.clear();
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+    }
+}

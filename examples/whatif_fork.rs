@@ -1,0 +1,106 @@
+//! Forking a simulation: counterfactual replay without re-running the prefix.
+//!
+//! A what-if replay re-runs a finished job with one mechanism edited out
+//! ("what if node 3 had been healthy?"). Until the perturbed mechanism first
+//! bites the schedule, the replay is byte-identical to the baseline — so
+//! re-simulating that prefix is pure waste. The runtime records each
+//! perturbation's *divergence instant* while the baseline runs
+//! (`JobReport::divergence`), and `what_if_table_forked` snapshots one shared
+//! prefix, forks the engine just before each instant, applies the edit live,
+//! and simulates only the suffix.
+//!
+//! The example is self-checking: it asserts the forked table is row-for-row
+//! identical to the full-rerun table, that every stock perturbation actually
+//! forked, and that a meaningful share of events was inherited rather than
+//! re-simulated.
+//!
+//! ```sh
+//! cargo run --release --example whatif_fork
+//! ```
+
+use antdt::core::{what_if_table, what_if_table_forked, Job, JobConfig, Perturbation};
+use antdt::sim::{ContentionPhase, ControlChannel, SimDuration, SimTime};
+use antdt::workloads::{cluster, ModelProfile, Scenario};
+
+fn main() {
+    // A BSP job where every divergence source engages strictly after t=0:
+    // worker 3 becomes contended at t=60s, the control channel is modeled
+    // (non-ideal), and checkpoints fire every 60s.
+    let straggler: u32 = 3;
+    let mut cfg = JobConfig::ps_bsp(cluster::cluster_a_scaled(4, 2), Scenario::None)
+        .with_model(ModelProfile::xdeepfm())
+        .with_global_batch(4_096)
+        .with_samples(2_000_000)
+        .with_batches_per_shard(10)
+        .with_seed(11)
+        .with_attribution()
+        .with_control_channel(ControlChannel::Modeled {
+            latency_secs: 0.05,
+            jitter_secs: 0.02,
+            loss_prob: 0.01,
+            seed: 5,
+        })
+        .with_checkpoint_interval(SimDuration::from_secs(60));
+    cfg.cluster.workers[straggler as usize].profile.phases.push(ContentionPhase::Persistent {
+        delay_secs: 4.0,
+        from: SimTime::from_secs_f64(60.0),
+        to: SimTime::MAX,
+    });
+
+    println!("running the baseline with divergence marks armed ...");
+    let base = Job::run(cfg.clone());
+    println!(
+        "JCT {:.1}s over {} iterations, {} events",
+        base.jct.as_secs_f64(),
+        base.iterations,
+        base.events_processed
+    );
+    let marks = &base.divergence;
+    println!(
+        "divergence marks: worker {straggler} contended at {:?}, control channel first \
+         modeled at {:?}, first checkpoint stall at {:?}\n",
+        marks.worker_contended[straggler as usize], marks.control_modeled, marks.ckpt_stall
+    );
+
+    let perturbations = [
+        Perturbation::HealthyNode(straggler),
+        Perturbation::ZeroControlLatency,
+        Perturbation::NoCkptStalls,
+    ];
+
+    // The expensive way: one full rerun per perturbation.
+    let full = what_if_table(&cfg, &base, &perturbations);
+    // The forked way: one shared prefix, three suffixes.
+    let (forked, stats) = what_if_table_forked(&cfg, &base, &perturbations);
+
+    println!("{:<22} {:>12} {:>12} {:>12}", "perturbation", "base JCT", "what-if JCT", "delta");
+    for row in &forked {
+        println!(
+            "{:<22} {:>11.1}s {:>11.1}s {:>+11.1}s",
+            row.label,
+            row.base_jct_us as f64 / 1e6,
+            row.what_if_jct_us as f64 / 1e6,
+            row.measured_delta_us as f64 / 1e6,
+        );
+    }
+    println!(
+        "\nforked {} of {} what-ifs; {} of {} events inherited from the shared prefix \
+         ({:.0}% not re-simulated)",
+        stats.forked,
+        perturbations.len(),
+        stats.prefix_events,
+        stats.total_events,
+        stats.prefix_share() * 100.0
+    );
+
+    // ---- Self-checks: forking is an optimization, never an approximation.
+    assert_eq!(forked, full, "forked table must equal the full-rerun table row-for-row");
+    assert_eq!(stats.forked, perturbations.len(), "every stock perturbation must fork");
+    assert_eq!(stats.full_reruns, 0);
+    assert!(
+        stats.prefix_share() > 0.0 && stats.prefix_share() < 1.0,
+        "prefix share {} outside (0, 1)",
+        stats.prefix_share()
+    );
+    println!("OK: forked replay is exact and shared the prefix");
+}

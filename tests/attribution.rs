@@ -267,6 +267,110 @@ fn what_if_table_covers_stock_perturbations() {
     assert_eq!(rows[2].label, "no_ckpt_stalls");
 }
 
+// ---- Fork-based counterfactual replay (engine snapshot/fork through whatif).
+
+/// A job with every divergence source armed *strictly after* time zero: a
+/// worker whose contention begins at t=60s (a `WorkerPersistent` phase starts
+/// at zero, which is correctly un-forkable — the prefix would be empty), a
+/// modeled (non-ideal) control channel, and a checkpoint cadence short enough
+/// to fire mid-run.
+fn forkable_job() -> (JobConfig, u32) {
+    let straggler = 3u32;
+    let mut cfg = ps_base(JobConfig::ps_bsp(cluster_a_scaled(4, 2), Scenario::None))
+        // A clean run finishes in under a minute; stretch it so the 60s
+        // contention onset and the checkpoint cadence both land mid-run.
+        .with_samples(2_000_000)
+        .with_attribution()
+        .with_control_channel(antdt::sim::ControlChannel::Modeled {
+            latency_secs: 0.05,
+            jitter_secs: 0.02,
+            loss_prob: 0.01,
+            seed: 5,
+        })
+        .with_checkpoint_interval(SimDuration::from_secs(60));
+    cfg.cluster.workers[straggler as usize].profile.phases.push(
+        antdt::sim::ContentionPhase::Persistent {
+            delay_secs: 4.0,
+            from: antdt::sim::SimTime::from_secs_f64(60.0),
+            to: antdt::sim::SimTime::MAX,
+        },
+    );
+    (cfg, straggler)
+}
+
+/// Fork-based replay must be byte-identical to a full perturbed rerun — for
+/// every perturbation kind — while simulating strictly fewer events. This is
+/// the acceptance gate on `Engine::snapshot`/`fork`: the shared prefix is
+/// provably unaffected by the edit, so only the suffix is simulated.
+#[test]
+fn forked_replay_is_byte_identical_and_simulates_only_the_suffix() {
+    let (cfg, straggler) = forkable_job();
+    let base = Job::run(cfg.clone());
+    for p in [
+        Perturbation::HealthyNode(straggler),
+        Perturbation::ZeroControlLatency,
+        Perturbation::NoCkptStalls,
+    ] {
+        let label = p.label();
+        let forked = antdt::core::run_what_if_forked(&cfg, &base, &p)
+            .unwrap_or_else(|| panic!("{label}: no divergence mark recorded"));
+        let full = antdt::core::run_what_if(&cfg, &p);
+        assert_eq!(
+            forked.report.golden_dump(),
+            full.golden_dump(),
+            "{label}: forked replay diverged from the full rerun"
+        );
+        assert_eq!(forked.report.events_processed, full.events_processed, "{label}");
+        assert!(forked.prefix_events > 0, "{label}: fork shared no prefix");
+        assert!(
+            forked.suffix_events < full.events_processed,
+            "{label}: fork simulated as much as the full rerun ({} of {})",
+            forked.suffix_events,
+            full.events_processed
+        );
+    }
+}
+
+/// The forked what-if table reproduces the plain table row-for-row, forks all
+/// three stock perturbations, and reports a meaningful shared-prefix ratio.
+#[test]
+fn forked_what_if_table_matches_the_full_table() {
+    let (cfg, straggler) = forkable_job();
+    let base = Job::run(cfg.clone());
+    let perturbations = [
+        Perturbation::HealthyNode(straggler),
+        Perturbation::ZeroControlLatency,
+        Perturbation::NoCkptStalls,
+    ];
+    let rows = antdt::core::what_if_table(&cfg, &base, &perturbations);
+    let (forked_rows, stats) = antdt::core::what_if_table_forked(&cfg, &base, &perturbations);
+    assert_eq!(forked_rows, rows, "forked table diverged from the full table");
+    assert_eq!(stats.forked, 3);
+    assert_eq!(stats.full_reruns, 0);
+    assert_eq!(stats.prefix_events + stats.suffix_events, stats.total_events);
+    let share = stats.prefix_share();
+    assert!(share > 0.0 && share < 1.0, "prefix share {share} outside (0, 1): {stats:?}");
+}
+
+/// A perturbation whose mechanism never engages records no divergence and
+/// falls back to a full rerun — which equals the baseline schedule.
+#[test]
+fn unengaged_perturbation_falls_back_to_a_full_rerun() {
+    // `straggler_job` keeps the default Ideal control channel, so
+    // ZeroControlLatency never bites and no divergence is recorded.
+    let (cfg, _) = straggler_job();
+    let base = Job::run(cfg.clone());
+    assert!(base.divergence.control_modeled.is_none());
+    assert!(
+        antdt::core::run_what_if_forked(&cfg, &base, &Perturbation::ZeroControlLatency).is_none()
+    );
+    let (rows, stats) =
+        antdt::core::what_if_table_forked(&cfg, &base, &[Perturbation::ZeroControlLatency]);
+    assert_eq!(stats.forked, 0);
+    assert_eq!(stats.full_reruns, 1);
+    assert_eq!(rows[0].measured_delta_us, 0, "an unengaged edit must not move JCT");
+}
+
 /// Conservation survives a seed sweep over every consistency flavor — the
 /// job-level analogue of the `antdt-attr` proptest, driven through the real
 /// runtimes.

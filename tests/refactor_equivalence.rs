@@ -29,8 +29,16 @@ fn golden_path(name: &str) -> PathBuf {
 /// Run `cfg`, dump the report, and compare against `tests/golden/<name>.txt`.
 /// A missing fixture (or `GOLDEN_BLESS=1`) writes the dump instead of
 /// asserting, so regeneration is `rm tests/golden/*.txt && cargo test`.
+///
+/// Every fixture is also run on the binary-heap event queue and compared to
+/// the (default) time-wheel dump byte-for-byte: the queue layer is a pure
+/// ordering oracle, so the two implementations may never disagree on any
+/// job-level trace.
 fn check(name: &str, cfg: JobConfig) {
-    let dump = Job::run(cfg).golden_dump();
+    use antdt::sim::RuntimeQueue;
+    let dump = Job::run_on_queue(cfg.clone(), RuntimeQueue::wheel()).golden_dump();
+    let heap_dump = Job::run_on_queue(cfg, RuntimeQueue::heap()).golden_dump();
+    assert_eq!(dump, heap_dump, "{name}: heap and wheel event queues disagree");
     let path = golden_path(name);
     if std::env::var_os("GOLDEN_BLESS").is_some() || !path.exists() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
