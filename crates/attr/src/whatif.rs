@@ -11,7 +11,7 @@ use crate::blame::Analysis;
 use crate::ledger::WaitCause;
 
 /// A counterfactual edit to a job.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Perturbation {
     /// Strip the straggler profile from one worker (by node id).
     HealthyNode(u32),

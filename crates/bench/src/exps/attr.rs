@@ -8,7 +8,7 @@
 //!    schedule is identical; the wall-time delta is the ledger bookkeeping.
 //! 2. **Blame** — the per-node ranking of the attribution-on run.
 //! 3. **Counterfactuals** — the three stock perturbations replayed through
-//!    [`antdt_core::what_if_table`]; measured JCT deltas sit next to the
+//!    [`antdt_core::what_if_table_forked`]; measured JCT deltas sit next to the
 //!    analytical predictions, and the `healthy_node` agreement percentage is
 //!    the headline number (the job-level test ratchets it at 15%).
 
@@ -83,7 +83,7 @@ pub fn attr() -> String {
         Perturbation::NoCkptStalls,
     ];
     let cfg = base().with_attribution();
-    let cf = antdt_core::what_if_table(&cfg, &on, &perturbations);
+    let (cf, fork_stats) = antdt_core::what_if_table_forked(&cfg, &on, &perturbations);
     let mut rows = vec![vec![
         "perturbation".into(),
         "predicted".into(),
@@ -126,6 +126,14 @@ pub fn attr() -> String {
         );
     }
     out.push_str(&table(&rows));
+    let _ = writeln!(
+        out,
+        "  replay: {} forked / {} full reruns ({:.0}% of forked events inherited from \
+         the shared prefix)",
+        fork_stats.forked,
+        fork_stats.full_reruns,
+        fork_stats.prefix_share() * 100.0,
+    );
     let _ = writeln!(
         out,
         "  top-blamed n{top}: blame predicts the JCT recovered by healing it \

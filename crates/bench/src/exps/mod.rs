@@ -17,6 +17,7 @@ mod motivation;
 mod nd;
 mod ops;
 mod perf;
+mod whatif;
 
 pub use attr::attr;
 pub use ckpt::ckpt;
@@ -28,6 +29,7 @@ pub use motivation::{fig1, fig2, fig3, fig7, fig8, fig9};
 pub use nd::{fig10, fig11, fig12, fig13, fig14};
 pub use ops::{ablate, chaos, integrity, solver, telemetry};
 pub use perf::perf;
+pub use whatif::whatif;
 
 use antdt_controller::DeviceClassSpec;
 use antdt_core::JobConfig;

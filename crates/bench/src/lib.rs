@@ -4,7 +4,8 @@
 //! regenerates the corresponding artifact from scratch on the simulator and
 //! returns a printable report; the `experiments` binary dispatches on ids
 //! (`fig1`…`fig19`, `tab3`, `integrity`, `solver`, `ablate`, `chaos`,
-//! `telemetry`, `kernel`, `controlbus`, `ckpt`, `attr`, `elastic`, `all`).
+//! `telemetry`, `kernel`, `controlbus`, `ckpt`, `attr`, `elastic`, `whatif`,
+//! `all`).
 //!
 //! Absolute numbers come from a simulated substrate, so they are not expected
 //! to match the paper's testbed; the *shapes* — who wins, by what factor,
@@ -69,6 +70,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "elastic",
             "Elastic membership: static-N vs SCALE_OUT mid-run vs oracle, ring movement audit",
             exps::elastic,
+        ),
+        (
+            "whatif",
+            "What-if service: 64-query batch throughput vs naive full reruns + parity",
+            exps::whatif,
         ),
         (
             "perf",

@@ -429,4 +429,43 @@ impl Kernel {
     pub(crate) fn pull_secs(&self, now: SimTime, wi: usize) -> f64 {
         (0..self.servers.len()).map(|j| self.path_transfer(now, wi, j)).fold(0.0, f64::max)
     }
+
+    /// Estimated heap footprint of this world in bytes: the struct plus the
+    /// dominant owned buffers a clone would allocate (per-node series and
+    /// leases, model parameters, DDS queue state, Gantt spans, logs). Small
+    /// map overheads are not itemised — this sizes snapshot caches, which
+    /// need budgets, not audits.
+    pub(crate) fn estimate_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let series = |s: &TimeSeries| s.points.capacity() * size_of::<(SimTime, f64)>();
+        let mut b = size_of::<Self>();
+        for w in &self.workers {
+            b += size_of::<WorkerState>()
+                + w.leases.capacity() * size_of::<LeaseState>()
+                + series(&w.series_bpt)
+                + series(&w.series_batch);
+            if let Some(g) = w.inflight.as_ref().and_then(|i| i.grad.as_ref()) {
+                b += g.capacity() * size_of::<f32>();
+            }
+        }
+        for s in &self.servers {
+            b += size_of::<ServerState>() + series(&s.series_bpt);
+        }
+        if let Some(m) = &self.math {
+            b += (m.model.n_params() + m.agg.capacity()) * size_of::<f32>();
+        }
+        if let Some(dds) = &self.dds {
+            b += dds.estimate_bytes();
+        }
+        if let Some(g) = &self.gantt {
+            b += g.spans.capacity() * size_of::<antdt_sim::Span>();
+        }
+        b + series(&self.throughput)
+            + self.actions.capacity() * size_of::<(SimTime, Action)>()
+            + self.kills.capacity() * size_of::<(SimTime, NodeId)>()
+            + self.restarts.capacity() * size_of::<(SimTime, NodeId)>()
+            + self.decision_log.capacity() * size_of::<DecisionRecord>()
+            + self.injections_log.capacity() * size_of::<InjectionRecord>()
+            + self.action_log.capacity() * size_of::<ActionApplication>()
+    }
 }

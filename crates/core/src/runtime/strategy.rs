@@ -296,6 +296,84 @@ pub struct ForkedRun {
     pub suffix_events: u64,
 }
 
+/// Object-safe, arch-erased view of a [`SimRun`]. The what-if query service
+/// caches prefix runs for jobs of *any* architecture in one store and fans
+/// suffix finishes over the work-stealing pool, so the strategy type
+/// parameter is erased behind a `Send` trait object.
+pub(crate) trait ErasedRun: Send {
+    fn advance_until(&mut self, t: SimTime) -> bool;
+    fn now(&self) -> SimTime;
+    fn processed(&self) -> u64;
+    fn finished(&self) -> bool;
+    /// Estimated heap bytes an independent fork of this run would own
+    /// (kernel clone + engine snapshot) — the cache-budget input.
+    fn estimate_bytes(&self) -> usize;
+    /// [`SimRun::fork`]; panics on telemetry-armed runs (shared counters).
+    fn fork_box(&self) -> Box<dyn ErasedRun>;
+    /// Apply a counterfactual edit to the live kernel (fork first!).
+    fn perturb(&mut self, p: &crate::whatif::Perturbation);
+    fn finish_box(self: Box<Self>) -> JobReport;
+}
+
+impl<S: SyncStrategy + Clone + Send + 'static> ErasedRun for SimRun<S> {
+    fn advance_until(&mut self, t: SimTime) -> bool {
+        SimRun::advance_until(self, t)
+    }
+    fn now(&self) -> SimTime {
+        SimRun::now(self)
+    }
+    fn processed(&self) -> u64 {
+        SimRun::processed(self)
+    }
+    fn finished(&self) -> bool {
+        SimRun::finished(self)
+    }
+    fn estimate_bytes(&self) -> usize {
+        self.k.estimate_bytes() + self.eng.snapshot_bytes_estimate()
+    }
+    fn fork_box(&self) -> Box<dyn ErasedRun> {
+        Box::new(SimRun::fork(self))
+    }
+    fn perturb(&mut self, p: &crate::whatif::Perturbation) {
+        crate::whatif::apply_live_perturbation(self.kernel_mut(), p);
+    }
+    fn finish_box(self: Box<Self>) -> JobReport {
+        SimRun::finish(*self)
+    }
+}
+
+/// Build and bootstrap an arch-erased run of `cfg` on the wheel queue — the
+/// same construction every strategy-dispatched entry point performs, minus
+/// the compile-time strategy type.
+pub(crate) fn erased_run_for(cfg: &JobConfig) -> Box<dyn ErasedRun> {
+    let policy = crate::job::build_policy(cfg);
+    let cfg = cfg.clone();
+    let queue = RuntimeQueue::wheel();
+    match cfg.arch {
+        Arch::ParameterServer { consistency } => match consistency {
+            Consistency::Bsp => {
+                let n = cfg.n_workers();
+                Box::new(SimRun::new_queued(cfg, policy, super::bsp::BspPs::new(n), queue))
+            }
+            Consistency::Asp => {
+                Box::new(SimRun::new_queued(cfg, policy, super::asp::AspPs::new(), queue))
+            }
+            Consistency::Ssp { staleness } => {
+                Box::new(SimRun::new_queued(cfg, policy, super::ssp::SspPs::new(staleness), queue))
+            }
+        },
+        Arch::AllReduce => {
+            Box::new(SimRun::new_queued(cfg, policy, super::ring::RingAllReduce::new(), queue))
+        }
+        Arch::LocalSgd { sync_every } => Box::new(SimRun::new_queued(
+            cfg,
+            policy,
+            super::local_sgd::LocalSgd::new(sync_every),
+            queue,
+        )),
+    }
+}
+
 /// Fork-based counterfactual replay: simulate ONE shared prefix of `cfg` and,
 /// at each perturbation's divergence instant, fork the run, apply the edit
 /// live, and finish only the suffix. Because the prefix is provably identical
@@ -310,32 +388,8 @@ pub(crate) fn fork_replay_with_policy(
     cfg: &JobConfig,
     jobs: &[(SimTime, crate::whatif::Perturbation)],
 ) -> Vec<ForkedRun> {
-    match cfg.arch {
-        Arch::ParameterServer { consistency } => match consistency {
-            Consistency::Bsp => {
-                let n = cfg.n_workers();
-                fork_replay(cfg, super::bsp::BspPs::new(n), jobs)
-            }
-            Consistency::Asp => fork_replay(cfg, super::asp::AspPs::new(), jobs),
-            Consistency::Ssp { staleness } => {
-                fork_replay(cfg, super::ssp::SspPs::new(staleness), jobs)
-            }
-        },
-        Arch::AllReduce => fork_replay(cfg, super::ring::RingAllReduce::new(), jobs),
-        Arch::LocalSgd { sync_every } => {
-            fork_replay(cfg, super::local_sgd::LocalSgd::new(sync_every), jobs)
-        }
-    }
-}
-
-fn fork_replay<S: SyncStrategy + Clone>(
-    cfg: &JobConfig,
-    strat: S,
-    jobs: &[(SimTime, crate::whatif::Perturbation)],
-) -> Vec<ForkedRun> {
     assert!(!cfg.telemetry, "fork replay requires telemetry off (shared counters)");
-    let policy = crate::job::build_policy(cfg);
-    let mut prefix = SimRun::new_queued(cfg.clone(), policy, strat, RuntimeQueue::wheel());
+    let mut prefix = erased_run_for(cfg);
     jobs.iter()
         .map(|(t, p)| {
             assert!(*t > SimTime::ZERO, "divergence at ZERO needs a full rerun");
@@ -343,10 +397,10 @@ fn fork_replay<S: SyncStrategy + Clone>(
             // *at* the instant belong to the suffix: the divergent query
             // happens while handling one of them.
             prefix.advance_until(SimTime(t.as_micros() - 1));
-            let mut what_if = prefix.fork();
-            crate::whatif::apply_live_perturbation(what_if.kernel_mut(), p);
+            let mut what_if = prefix.fork_box();
+            what_if.perturb(p);
             let prefix_events = what_if.processed();
-            let report = what_if.finish();
+            let report = what_if.finish_box();
             // The fork restores the prefix's processed count, so the final
             // figure equals a full rerun's; the suffix is what this replay
             // actually simulated.

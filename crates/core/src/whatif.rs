@@ -14,8 +14,8 @@ use crate::job::Job;
 use crate::report::{CounterfactualRow, JobReport};
 use crate::runtime::attr::analysis_of;
 use crate::runtime::kernel::Kernel;
-use crate::runtime::strategy::fork_replay_with_policy;
-use antdt_attr::predicted_delta_us;
+use crate::runtime::strategy::{erased_run_for, fork_replay_with_policy, ErasedRun};
+use antdt_attr::{predicted_delta_us, Analysis};
 use antdt_sim::{ControlChannel, SimTime};
 
 pub use crate::runtime::strategy::ForkedRun;
@@ -104,12 +104,146 @@ impl ForkReplayStats {
 }
 
 /// Where `base` certifies `p` first bites the schedule, if it recorded one.
-fn divergence_of(base: &JobReport, p: &Perturbation) -> Option<SimTime> {
+/// `None` (or a mark at [`SimTime::ZERO`]) means fork replay is not
+/// applicable and the perturbation needs a full rerun.
+pub fn divergence_instant(base: &JobReport, p: &Perturbation) -> Option<SimTime> {
     let marks = &base.divergence;
     match p {
         Perturbation::HealthyNode(n) => marks.worker_contended.get(*n as usize).copied().flatten(),
         Perturbation::ZeroControlLatency => marks.control_modeled,
         Perturbation::NoCkptStalls => marks.ckpt_stall,
+    }
+}
+
+/// 128-bit FNV-1a digest of a config's exhaustive `Debug` rendering — the
+/// "same trace/config" identity for snapshot caches and memo stores.
+/// [`JobConfig`] is plain data with a derived, field-exhaustive `Debug`, so
+/// equal digests mean the same simulated schedule. The rendering is streamed
+/// straight into the hash (Real-mode configs debug-print their datasets;
+/// materialising that string would dwarf the simulation).
+pub fn config_digest(cfg: &JobConfig) -> u128 {
+    use std::fmt::Write;
+    struct Fnv(u128);
+    impl Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= b as u128;
+                self.0 = self.0.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013B);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0x6C62_272E_07BB_0142_62B8_2175_6295_C58D);
+    write!(h, "{cfg:?}").expect("hashing a Debug rendering cannot fail");
+    h.0
+}
+
+/// An arch-erased in-flight job that can be advanced, forked and finished —
+/// the unit a what-if snapshot cache stores. Construction refuses
+/// telemetry-armed configs: forks share telemetry counters, so such jobs
+/// must full-rerun (see [`crate::runtime::strategy::SimRun::fork`]).
+pub struct PrefixRun(Box<dyn ErasedRun>);
+
+impl PrefixRun {
+    /// Build and bootstrap a run of `cfg` without firing any events.
+    ///
+    /// Panics if `cfg.telemetry` is armed.
+    pub fn new(cfg: &JobConfig) -> Self {
+        assert!(!cfg.telemetry, "PrefixRun requires telemetry off (forks share counters)");
+        PrefixRun(erased_run_for(cfg))
+    }
+
+    /// Fire every event up to and including instant `t` (but no further).
+    /// Returns `true` if the queue drained.
+    pub fn advance_until(&mut self, t: SimTime) -> bool {
+        self.0.advance_until(t)
+    }
+
+    /// The job's current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.0.now()
+    }
+
+    /// Events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.0.processed()
+    }
+
+    /// Whether the job has reached its finish condition.
+    pub fn finished(&self) -> bool {
+        self.0.finished()
+    }
+
+    /// Estimated heap bytes an independent fork of this run owns (world
+    /// clone + engine snapshot) — what a size-bounded cache charges.
+    pub fn estimate_bytes(&self) -> usize {
+        self.0.estimate_bytes()
+    }
+
+    /// An independent run resuming from this exact instant; `self` is
+    /// untouched.
+    pub fn fork(&self) -> PrefixRun {
+        PrefixRun(self.0.fork_box())
+    }
+
+    /// [`PrefixRun::fork`], then apply `p` to the forked kernel live — the
+    /// counterfactual branch point.
+    pub fn fork_perturbed(&self, p: &Perturbation) -> PrefixRun {
+        let mut f = self.0.fork_box();
+        f.perturb(p);
+        PrefixRun(f)
+    }
+
+    /// Drive to completion and assemble the report.
+    pub fn finish(self) -> JobReport {
+        self.0.finish_box()
+    }
+}
+
+/// How one batch of perturbations against a finished base run will be
+/// answered: which queries can fork a shared prefix, and which must rerun.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayPlan {
+    /// `(query index, divergence instant)` sorted ascending by `(instant,
+    /// index)` — fork order off a monotonically advancing shared prefix.
+    pub forkable: Vec<(usize, SimTime)>,
+    /// Query indices needing a full rerun: no recorded divergence (the edit
+    /// never bites), a divergence at time zero (bootstrap already ran under
+    /// the old config), or a telemetry-armed config (forks share counters).
+    pub full_reruns: Vec<usize>,
+}
+
+/// Partition `perturbations` into fork-replayable and full-rerun queries
+/// using the divergence marks `base` recorded (see [`ReplayPlan`]).
+pub fn plan_replays(
+    cfg: &JobConfig,
+    base: &JobReport,
+    perturbations: &[Perturbation],
+) -> ReplayPlan {
+    let mut plan = ReplayPlan::default();
+    for (i, p) in perturbations.iter().enumerate() {
+        match divergence_instant(base, p) {
+            Some(t) if t > SimTime::ZERO && !cfg.telemetry => plan.forkable.push((i, t)),
+            _ => plan.full_reruns.push(i),
+        }
+    }
+    plan.forkable.sort_by_key(|&(i, t)| (t, i));
+    plan
+}
+
+/// Assemble one what-if table row from a measured counterfactual JCT.
+pub fn counterfactual_row(
+    analysis: &Analysis,
+    base_jct_us: u64,
+    p: &Perturbation,
+    what_if_jct_us: u64,
+) -> CounterfactualRow {
+    CounterfactualRow {
+        label: p.label(),
+        predicted_delta_us: predicted_delta_us(analysis, p),
+        measured_delta_us: base_jct_us as i64 - what_if_jct_us as i64,
+        base_jct_us,
+        what_if_jct_us,
     }
 }
 
@@ -125,7 +259,7 @@ pub fn run_what_if_forked(
     base: &JobReport,
     p: &Perturbation,
 ) -> Option<ForkedRun> {
-    let t = divergence_of(base, p)?;
+    let t = divergence_instant(base, p)?;
     if t == SimTime::ZERO || cfg.telemetry {
         return None;
     }
@@ -153,31 +287,23 @@ pub fn what_if_table_forked(
     let base_jct_us = base.jct.as_micros();
     let mut stats = ForkReplayStats::default();
 
-    // Partition: forkable perturbations are replayed off one shared prefix
-    // that only ever advances forward, so they must run in divergence order.
-    let mut forkable: Vec<(usize, SimTime)> = Vec::new();
-    let mut reruns: Vec<usize> = Vec::new();
-    for (i, p) in perturbations.iter().enumerate() {
-        match divergence_of(base, p) {
-            Some(t) if t > SimTime::ZERO && !cfg.telemetry => forkable.push((i, t)),
-            _ => reruns.push(i),
-        }
-    }
-    forkable.sort_by_key(|&(i, t)| (t, i));
+    // Forkable perturbations are replayed off one shared prefix that only
+    // ever advances forward, so the plan puts them in divergence order.
+    let plan = plan_replays(cfg, base, perturbations);
 
     let jobs: Vec<(SimTime, Perturbation)> =
-        forkable.iter().map(|&(i, t)| (t, perturbations[i])).collect();
+        plan.forkable.iter().map(|&(i, t)| (t, perturbations[i])).collect();
     let forked = fork_replay_with_policy(cfg, &jobs);
 
     let mut reports: Vec<Option<JobReport>> = (0..perturbations.len()).map(|_| None).collect();
-    for (&(i, _), run) in forkable.iter().zip(forked) {
+    for (&(i, _), run) in plan.forkable.iter().zip(forked) {
         stats.forked += 1;
         stats.prefix_events += run.prefix_events;
         stats.suffix_events += run.suffix_events;
         stats.total_events += run.report.events_processed;
         reports[i] = Some(run.report);
     }
-    for i in reruns {
+    for i in plan.full_reruns {
         stats.full_reruns += 1;
         reports[i] = Some(run_what_if(cfg, &perturbations[i]));
     }
@@ -187,13 +313,7 @@ pub fn what_if_table_forked(
         .zip(reports)
         .map(|(p, report)| {
             let what_if_jct_us = report.expect("every perturbation got a report").jct.as_micros();
-            CounterfactualRow {
-                label: p.label(),
-                predicted_delta_us: predicted_delta_us(&analysis, p),
-                measured_delta_us: base_jct_us as i64 - what_if_jct_us as i64,
-                base_jct_us,
-                what_if_jct_us,
-            }
+            counterfactual_row(&analysis, base_jct_us, p, what_if_jct_us)
         })
         .collect();
     (rows, stats)
@@ -216,14 +336,7 @@ pub fn what_if_table(
         .iter()
         .map(|p| {
             let what_if = run_what_if(cfg, p);
-            let what_if_jct_us = what_if.jct.as_micros();
-            CounterfactualRow {
-                label: p.label(),
-                predicted_delta_us: predicted_delta_us(&analysis, p),
-                measured_delta_us: base_jct_us as i64 - what_if_jct_us as i64,
-                base_jct_us,
-                what_if_jct_us,
-            }
+            counterfactual_row(&analysis, base_jct_us, p, what_if.jct.as_micros())
         })
         .collect()
 }

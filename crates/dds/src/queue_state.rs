@@ -64,6 +64,20 @@ impl QueueState {
         q
     }
 
+    /// Estimated heap footprint in bytes: the struct plus every owned
+    /// buffer's capacity at its element size. Sizing input for simulation
+    /// snapshot caches, which clone exactly this state when they fork.
+    pub(crate) fn estimate_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.shards.capacity() * size_of::<Shard>()
+            + self.queue.capacity() * size_of::<u64>()
+            + self.state.capacity() * size_of::<ShardState>()
+            + self.owner.capacity() * size_of::<Option<WorkerId>>()
+            + self.serves.capacity() * size_of::<u32>()
+            + self.resizes.capacity() * size_of::<ResizeRecord>()
+    }
+
     pub(crate) fn k(&self) -> usize {
         self.shards.len()
     }

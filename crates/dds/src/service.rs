@@ -64,6 +64,13 @@ impl DdsService {
         self.inner.lock().counters = Some(counters);
     }
 
+    /// Estimated heap footprint of the service's current state in bytes —
+    /// what a [`Clone`] of this service would allocate. Sizing input for
+    /// simulation snapshot caches that must budget before capturing.
+    pub fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.inner.lock().q.estimate_bytes()
+    }
+
     /// Fetch the next `TODO` shard for `worker`, marking it `DOING`.
     ///
     /// Returns `None` when nothing is currently assignable: either the job is

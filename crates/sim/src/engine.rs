@@ -78,6 +78,15 @@ impl<E> EngineSnapshot<E> {
     pub fn now(&self) -> SimTime {
         self.now
     }
+
+    /// Estimated heap footprint of this snapshot in bytes: one packed key
+    /// plus one inline payload per pending event, plus the struct itself.
+    /// Payloads are measured at their inline size (`size_of::<E>()`), so
+    /// payload-owned heap data is not counted — callers that cache snapshots
+    /// add their own estimate for the world state the events point into.
+    pub fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.capacity() * std::mem::size_of::<(u128, E)>()
+    }
 }
 
 impl<E, Q: EventQueue<u32>> Default for Engine<E, Q> {
@@ -144,6 +153,14 @@ impl<E, Q: EventQueue<u32>> Engine<E, Q> {
     #[inline]
     pub fn clamped(&self) -> u64 {
         self.clamped
+    }
+
+    /// Estimated bytes a [`Engine::snapshot`] taken right now would occupy
+    /// (see [`EngineSnapshot::estimate_bytes`]) — the sizing input for
+    /// snapshot caches that must budget before actually capturing.
+    pub fn snapshot_bytes_estimate(&self) -> usize {
+        std::mem::size_of::<EngineSnapshot<E>>()
+            + self.queue.len() * std::mem::size_of::<(u128, E)>()
     }
 
     /// Schedule `ev` at absolute instant `at`. Scheduling in the past is a logic

@@ -81,8 +81,18 @@ fn main() {
     assert_eq!(top, 7, "the persistent straggler (last worker) must rank first");
 
     // ---- 3. Counterfactual validation: heal the culprit, replay, compare.
+    // `what_if_table_forked` replays off the base run's divergence marks —
+    // a straggler contended from t = 0 has nothing to fork, so the stats
+    // will report an (equally byte-exact) full rerun.
     println!("\nreplaying with {} healed ...", node_name(top));
-    let rows = antdt::core::what_if_table(&cfg, &report, &[Perturbation::HealthyNode(top)]);
+    let (rows, stats) =
+        antdt::core::what_if_table_forked(&cfg, &report, &[Perturbation::HealthyNode(top)]);
+    println!(
+        "  replay: {} forked / {} full reruns ({:.0}% of forked events inherited)",
+        stats.forked,
+        stats.full_reruns,
+        stats.prefix_share() * 100.0,
+    );
     let row = &rows[0];
     let predicted = row.predicted_delta_us as f64 / 1e6;
     let measured = row.measured_delta_us as f64 / 1e6;

@@ -54,6 +54,23 @@ if sed -n '/^\[dependencies\]/,/^\[/p' crates/attr/Cargo.toml \
     fail "crates/attr has runtime dependencies (the attribution ledger is a std-only leaf)"
 fi
 
+# antdt-whatif is the query-service layer ABOVE the runtime: it may depend
+# only on antdt-core, antdt-attr, antdt-sim, antdt-par and antdt-telemetry,
+# and nothing in the workspace may depend on it except the facade and the
+# bench harness — the runtime must never know the cache exists (service
+# disabled == zero behavior change).
+whatif_deps=$(sed -n '/^\[dependencies\]/,/^\[/p' crates/whatif/Cargo.toml \
+    | grep -oE '^\s*antdt-[a-z]+' | tr -d ' ' | sort)
+whatif_allowed=$(printf 'antdt-attr\nantdt-core\nantdt-par\nantdt-sim\nantdt-telemetry\n')
+if [ "$whatif_deps" != "$whatif_allowed" ]; then
+    fail "crates/whatif dependency set changed (allowed: core, attr, sim, par, telemetry): $whatif_deps"
+fi
+offenders=$(grep -ln 'antdt-whatif' crates/*/Cargo.toml \
+    | grep -v '^crates/bench/' | grep -v '^crates/whatif/' || true)
+if [ -n "$offenders" ]; then
+    fail "antdt-whatif imported below the service layer (only the facade and bench may): $offenders"
+fi
+
 # The bus endpoint types live in antdt-agent; only the runtime (antdt-core)
 # and the agent crate itself may import them.
 offenders=$(grep -Rln 'antdt_agent::bus' crates --include='*.rs' \

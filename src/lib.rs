@@ -15,6 +15,7 @@
 //! * [`chaos`] — deterministic fault-injection plans, chaos-drill driver and invariant checkers
 //! * [`ckpt`] — checkpoint/state subsystem: snapshots, storage-tier cost model, cadence policy
 //! * [`telemetry`] — metrics registry, span tracing, decision audit log and flight recorder
+//! * [`whatif`] — batch what-if query service: snapshot-cached fork replay at high throughput
 //!
 //! ## Quickstart
 //!
@@ -44,4 +45,5 @@ pub use antdt_ml as ml;
 pub use antdt_monitor as monitor;
 pub use antdt_sim as sim;
 pub use antdt_telemetry as telemetry;
+pub use antdt_whatif as whatif;
 pub use antdt_workloads as workloads;

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn real_job(scenario: Scenario, seed: u64) -> JobConfig {
+fn real_job_lr(scenario: Scenario, seed: u64, lr: f32) -> JobConfig {
     let data = ctr::generate(&CtrConfig::default().with_samples(24_000));
     let (train, holdout) = data.split_holdout(0.2);
     let n = train.len() as u64;
@@ -19,7 +19,11 @@ fn real_job(scenario: Scenario, seed: u64) -> JobConfig {
         .with_batches_per_shard(4)
         .with_seed(seed)
         .with_fast_cadence(SimDuration::from_secs(60))
-        .with_execution(ExecutionMode::Real { dataset: train, holdout, latent_k: 8, lr: 0.4 })
+        .with_execution(ExecutionMode::Real { dataset: train, holdout, latent_k: 8, lr })
+}
+
+fn real_job(scenario: Scenario, seed: u64) -> JobConfig {
+    real_job_lr(scenario, seed, 0.4)
 }
 
 #[test]
@@ -45,13 +49,18 @@ fn auc_is_unaffected_by_failovers() {
     );
     let (a, b) = (clean.auc.unwrap(), faulty.auc.unwrap());
     // The property under test is the *parity* bound below: failovers must
-    // not move the AUC. The absolute floor only guards against a model that
-    // collapsed to coin-flipping; at this scaled-down config (24k samples,
-    // 3 epochs) the reference AUC sits near 0.67, so 0.55 separates
-    // "learned something" from "degenerate" without re-asserting the full
-    // reference bar that `allreduce_real_training_reaches_reference_auc`
-    // covers at its own config.
-    assert!(a > 0.55, "reference model must learn, AUC {a}");
+    // not move the AUC. "The model learned" is asserted *relative to the
+    // same run untrained* (lr = 0 freezes the random init, so its AUC is the
+    // chance level of this exact PRNG stream and holdout split) instead of
+    // pinning an absolute value — an absolute floor encodes one `rand`
+    // implementation's stream and goes red under another (the stub-rand
+    // CHANGES.md PR 6/8 note). The full reference bar lives in
+    // `allreduce_real_training_reaches_reference_auc` at its own config.
+    let untrained = Job::run(real_job_lr(Scenario::None, 1, 0.0)).auc.unwrap();
+    assert!(
+        a > untrained + 0.05,
+        "training must beat the untrained baseline: trained {a} vs untrained {untrained}"
+    );
     assert!((a - b).abs() < 0.02, "clean {a} vs faulty {b}");
 }
 

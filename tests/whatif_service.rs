@@ -1,0 +1,276 @@
+//! Differential correctness of the what-if query service: for random query
+//! batches over the eight golden fixture configs, every answer the
+//! cached/forked/memoized service produces must be byte-identical (via
+//! `JobReport::golden_dump`) to a naive per-query full rerun — including the
+//! cache-eviction and snapshot-spine paths, which only change *how much
+//! simulation* an answer costs, never the answer.
+
+use antdt::core::{
+    apply_perturbation, ChaosInjection, InjectedFault, Job, JobConfig, MitigationChoice,
+    Perturbation,
+};
+use antdt::sim::SimDuration;
+use antdt::whatif::{AnswerSource, ServiceConfig, WhatIfQuery, WhatIfService};
+use antdt::workloads::cluster::{cluster_a_scaled, cluster_b};
+use antdt::workloads::{ModelProfile, Scenario};
+use proptest::prelude::*;
+
+// ---- the eight golden fixture configs (tests/refactor_equivalence.rs) ----
+
+fn ps_chaos_plan() -> Vec<ChaosInjection> {
+    vec![
+        ChaosInjection {
+            at_secs: 10.0,
+            fault: InjectedFault::RestartDelay { w: 2, extra_secs: 20.0 },
+        },
+        ChaosInjection { at_secs: 40.0, fault: InjectedFault::KillWorker { w: 2 } },
+        ChaosInjection {
+            at_secs: 70.0,
+            fault: InjectedFault::NetworkDegrade { w: 0, factor: 4.0, window_secs: 30.0 },
+        },
+        ChaosInjection { at_secs: 120.0, fault: InjectedFault::DdsOutage { window_secs: 20.0 } },
+        ChaosInjection {
+            at_secs: 150.0,
+            fault: InjectedFault::DropReports { prob: 0.3, window_secs: 60.0, seed: 7 },
+        },
+    ]
+}
+
+fn ar_chaos_plan() -> Vec<ChaosInjection> {
+    vec![
+        ChaosInjection { at_secs: 60.0, fault: InjectedFault::KillWorker { w: 5 } },
+        ChaosInjection {
+            at_secs: 90.0,
+            fault: InjectedFault::NetworkDegrade { w: 0, factor: 3.0, window_secs: 45.0 },
+        },
+        ChaosInjection {
+            at_secs: 180.0,
+            fault: InjectedFault::DropReports { prob: 0.25, window_secs: 90.0, seed: 13 },
+        },
+    ]
+}
+
+fn ps_base(cfg: JobConfig) -> JobConfig {
+    cfg.with_model(ModelProfile::xdeepfm())
+        .with_global_batch(4_096)
+        .with_samples(200_000)
+        .with_batches_per_shard(10)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_seed(11)
+}
+
+fn bsp() -> JobConfig {
+    ps_base(JobConfig::ps_bsp(cluster_a_scaled(4, 2), Scenario::WorkerMix { intensity: 1.0 }))
+        .with_mitigation(MitigationChoice::AntDtNd)
+}
+
+fn asp() -> JobConfig {
+    ps_base(JobConfig::ps_asp(
+        cluster_a_scaled(4, 2),
+        Scenario::WorkerPersistent { intensity: 0.8 },
+    ))
+    .with_samples(800_000)
+}
+
+fn ssp() -> JobConfig {
+    ps_base(JobConfig::ps_ssp(
+        cluster_a_scaled(4, 2),
+        Scenario::WorkerTransient { intensity: 0.8 },
+        3,
+    ))
+    .with_samples(800_000)
+}
+
+fn allreduce() -> JobConfig {
+    JobConfig::allreduce(cluster_b(), Scenario::None)
+        .with_model(ModelProfile::resnet101())
+        .with_global_batch(768)
+        .with_samples(345_600)
+        .with_batches_per_shard(2)
+        .with_fast_cadence(SimDuration::from_secs(60))
+        .with_seed(23)
+}
+
+/// Fixture config by index 0..8, in the golden-test order.
+fn fixture(i: usize) -> JobConfig {
+    let chaos_ps = |c: JobConfig| {
+        c.with_injections(ps_chaos_plan()).with_liveness_timeout(SimDuration::from_secs(1_800))
+    };
+    let chaos_ar = |c: JobConfig| {
+        c.with_injections(ar_chaos_plan()).with_liveness_timeout(SimDuration::from_secs(1_800))
+    };
+    match i {
+        0 => bsp(),
+        1 => chaos_ps(bsp()),
+        2 => asp(),
+        3 => chaos_ps(asp()),
+        4 => ssp(),
+        5 => chaos_ps(ssp()),
+        6 => allreduce(),
+        7 => chaos_ar(allreduce()),
+        _ => unreachable!(),
+    }
+}
+
+fn perturbation(i: usize, cfg: &JobConfig) -> Perturbation {
+    let n = cfg.cluster.workers.len() as u32;
+    match i {
+        0 => Perturbation::ZeroControlLatency,
+        1 => Perturbation::NoCkptStalls,
+        k => Perturbation::HealthyNode((k as u32 - 2) % n),
+    }
+}
+
+/// The answer the service must reproduce byte-for-byte.
+fn naive(cfg: &JobConfig, p: &Perturbation) -> String {
+    Job::run(apply_perturbation(cfg.clone(), p)).golden_dump()
+}
+
+/// A job whose divergence sources all engage strictly after t=0 (worker 3
+/// contended from 60s, modeled control channel, periodic checkpoints), so
+/// queries take the fork path and the snapshot cache actually fills — the
+/// fixture scenarios contend from t=0 and always full-rerun.
+fn forkable_cfg() -> JobConfig {
+    use antdt::sim::{ContentionPhase, ControlChannel, SimTime};
+    let mut cfg = JobConfig::ps_bsp(cluster_a_scaled(4, 2), Scenario::None)
+        .with_model(ModelProfile::xdeepfm())
+        .with_global_batch(4_096)
+        .with_samples(600_000)
+        .with_batches_per_shard(10)
+        .with_seed(11)
+        .with_control_channel(ControlChannel::Modeled {
+            latency_secs: 0.05,
+            jitter_secs: 0.02,
+            loss_prob: 0.01,
+            seed: 5,
+        })
+        .with_checkpoint_interval(SimDuration::from_secs(60));
+    cfg.cluster.workers[3].profile.phases.push(ContentionPhase::Persistent {
+        delay_secs: 4.0,
+        from: SimTime::from_secs_f64(60.0),
+        to: SimTime::MAX,
+    });
+    cfg
+}
+
+fn check_batch(service: &mut WhatIfService, queries: &[WhatIfQuery]) {
+    let answers = service.answer_batch(queries);
+    assert_eq!(answers.len(), queries.len());
+    for (q, a) in queries.iter().zip(&answers) {
+        assert_eq!(
+            a.report.golden_dump(),
+            naive(&q.cfg, &q.perturbation),
+            "service answer for {:?} diverged from naive full rerun",
+            q.perturbation,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random batches over the fixture configs, random cache budget (the
+    /// tiny one forces evictions mid-batch) and random spine cadence
+    /// (including disabled): answers always equal naive full reruns.
+    #[test]
+    fn service_answers_equal_naive_full_reruns(
+        cfg_idx in 0usize..8,
+        pert_idx in proptest::collection::vec(0usize..6, 2..5),
+        budget_tiny in proptest::bool::ANY,
+        spine_secs in prop_oneof![Just(0u64), Just(45u64), Just(240u64)],
+    ) {
+        let cfg = fixture(cfg_idx);
+        let queries: Vec<WhatIfQuery> = pert_idx
+            .iter()
+            .map(|&i| WhatIfQuery { cfg: cfg.clone(), perturbation: perturbation(i, &cfg) })
+            .collect();
+        let mut service = WhatIfService::new(ServiceConfig {
+            cache_budget_bytes: if budget_tiny { 1 << 20 } else { 256 << 20 },
+            spine_every: SimDuration::from_secs(spine_secs),
+            cache_fork_points: true,
+        });
+        check_batch(&mut service, &queries);
+    }
+}
+
+/// The spine-stepped base run (advance in slices, snapshot between, finish)
+/// must be byte-identical to a plain `Job::run` of the same config.
+#[test]
+fn spine_base_report_matches_plain_run() {
+    let cfg = bsp();
+    let mut service = WhatIfService::new(ServiceConfig {
+        spine_every: SimDuration::from_secs(60),
+        ..ServiceConfig::default()
+    });
+    let spined = service.base_report(&cfg).golden_dump();
+    assert!(service.cached_snapshots() > 0, "the spine must have seeded the cache");
+    assert_eq!(spined, Job::run(cfg).golden_dump());
+}
+
+/// Repeats hit the memo store — no simulation, same bytes — and forkable
+/// queries against a spined config populate and then reuse the cache.
+#[test]
+fn repeated_batches_are_memoized_and_cache_backed() {
+    let cfg = forkable_cfg();
+    let queries: Vec<WhatIfQuery> = [Perturbation::HealthyNode(3), Perturbation::NoCkptStalls]
+        .into_iter()
+        .map(|perturbation| WhatIfQuery { cfg: cfg.clone(), perturbation })
+        .collect();
+    let mut service = WhatIfService::new(ServiceConfig {
+        spine_every: SimDuration::from_secs(45),
+        ..ServiceConfig::default()
+    });
+
+    let first = service.answer_batch(&queries);
+    check_batch(&mut service, &queries); // second call: must all be memo hits
+    assert!(
+        first.iter().all(|a| matches!(a.source, AnswerSource::Forked { .. })),
+        "delayed-divergence queries must take the fork path"
+    );
+    assert!(first.iter().all(|a| a.prefix_events > 0), "forks inherit prefix events");
+    let stats = service.cache_stats();
+    assert!(stats.insertions > 0, "spine + fork points must populate the cache");
+
+    let again = service.answer_batch(&queries);
+    for (a, b) in first.iter().zip(&again) {
+        assert_eq!(b.source, AnswerSource::Memo);
+        assert_eq!(b.suffix_events, 0, "memo hits simulate nothing");
+        assert_eq!(a.report.golden_dump(), b.report.golden_dump());
+    }
+}
+
+/// A cache squeezed far below one batch's snapshot footprint keeps evicting
+/// — and the answers still match naive reruns (eviction only costs speed).
+#[test]
+fn eviction_under_a_tiny_budget_preserves_answers() {
+    let cfg = forkable_cfg();
+    let queries: Vec<WhatIfQuery> = (0..4)
+        .map(|w| WhatIfQuery { cfg: cfg.clone(), perturbation: Perturbation::HealthyNode(w) })
+        .collect();
+    let budget = 64 << 10;
+    let mut service = WhatIfService::new(ServiceConfig {
+        cache_budget_bytes: budget,
+        spine_every: SimDuration::from_secs(45),
+        cache_fork_points: true,
+    });
+    check_batch(&mut service, &queries);
+    let stats = service.cache_stats();
+    assert!(
+        stats.evictions > 0 || stats.oversize_rejections > 0,
+        "a 64 KiB budget must have forced evictions or oversize rejections: {stats:?}"
+    );
+    assert!(service.cache_bytes() <= budget, "the byte bound must hold after the batch");
+}
+
+/// Telemetry-armed configs cannot fork (shared counters): every query takes
+/// the full-rerun path and the answers still match naive reruns.
+#[test]
+fn telemetry_armed_configs_full_rerun() {
+    let cfg = bsp().with_telemetry();
+    let queries =
+        vec![WhatIfQuery { cfg: cfg.clone(), perturbation: Perturbation::HealthyNode(3) }];
+    let mut service = WhatIfService::new(ServiceConfig::default());
+    let answers = service.answer_batch(&queries);
+    assert_eq!(answers[0].source, AnswerSource::FullRerun);
+    assert_eq!(answers[0].report.golden_dump(), naive(&cfg, &queries[0].perturbation));
+}
